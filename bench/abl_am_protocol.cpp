@@ -1,0 +1,107 @@
+// Ablation A2 (§III / DESIGN.md): eager vs rendezvous active-message
+// protocol around the configurable threshold.
+//
+// Payloads at or below eager_max travel inline through the inbox ring (one
+// copy in, one copy out); larger payloads are staged in the shared heap and
+// only a descriptor crosses the ring (zero-copy delivery via view
+// adoption). This bench sweeps RPC payload size for two thresholds to show
+// the crossover and justify the 8 KiB default.
+#include <atomic>
+#include <cstdio>
+#include <vector>
+
+#include "arch/timer.hpp"
+#include "bench_util.hpp"
+#include "upcxx/upcxx.hpp"
+
+namespace {
+std::atomic<long> g_received{0};
+}
+
+int main() {
+  std::printf(
+      "Ablation — AM eager/rendezvous threshold (RPC payload throughput, 2 "
+      "ranks)\n\n");
+  const std::vector<std::size_t> sizes{256, 1024, 4096, 16384, 65536,
+                                       262144};
+  const std::vector<std::size_t> thresholds{512, 8192, 65536};
+  // MB/s per (threshold, size).
+  static std::vector<std::vector<double>> rate;
+
+  for (std::size_t th : thresholds) {
+    rate.emplace_back();
+    for (std::size_t sz : sizes) {
+      gex::Config cfg = gex::Config::from_env();
+      cfg.ranks = 2;
+      cfg.eager_max = th;
+      cfg.ring_bytes = 1 << 20;
+      cfg.heap_bytes = 256 << 20;
+      const int iters = static_cast<int>(
+          std::max<std::size_t>(64, ((16u << 20) / sz)) *
+          benchutil::work_scale());
+      static double mbs;
+      int fails = upcxx::run(cfg, [sz, iters] {
+        g_received = 0;
+        std::vector<double> payload(sz / sizeof(double));
+        upcxx::barrier();
+        if (upcxx::rank_me() == 0) {
+          const double t0 = arch::now_s();
+          upcxx::promise<> p;
+          for (int i = 0; i < iters; ++i) {
+            p.require_anonymous(1);
+            upcxx::rpc(1,
+                       [](upcxx::view<double> v) {
+                         g_received.fetch_add(
+                             static_cast<long>(v.size()),
+                             std::memory_order_relaxed);
+                       },
+                       upcxx::make_view(payload.data(),
+                                        payload.data() + payload.size()))
+                .then([p]() mutable { p.fulfill_anonymous(1); });
+            if (!(i % 8)) upcxx::progress();
+          }
+          p.finalize().wait();
+          mbs = static_cast<double>(sz) * iters /
+                (arch::now_s() - t0) / 1e6;
+        } else {
+          const long expect =
+              static_cast<long>(iters) *
+              static_cast<long>(sz / sizeof(double));
+          while (g_received.load(std::memory_order_relaxed) < expect)
+            upcxx::progress();
+        }
+        upcxx::barrier();
+      });
+      if (fails) return 2;
+      rate.back().push_back(mbs);
+    }
+  }
+
+  std::printf("%10s", "payload");
+  for (std::size_t th : thresholds)
+    std::printf("  eager<=%-8s", benchutil::human_size(th).c_str());
+  std::printf("\n");
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    std::printf("%10s", benchutil::human_size(sizes[i]).c_str());
+    for (std::size_t t = 0; t < thresholds.size(); ++t)
+      std::printf("  %10.1fMB/s", rate[t][i]);
+    std::printf("\n");
+  }
+
+  benchutil::ShapeChecks checks;
+  std::printf(
+      "\nExpected shape: small payloads are insensitive to the threshold; "
+      "large payloads benefit from rendezvous (single staging copy instead "
+      "of squeezing through the ring).\n");
+  // The real protocol crossover: at 16KB payloads the default config ships
+  // rendezvous while the 64KB-threshold config squeezes them through the
+  // ring (flow-control stalls); rendezvous must win clearly there. At
+  // 256KB all three configs are rendezvous, so that point only measures
+  // heap-state noise — reported, not asserted.
+  const std::size_t i16k = 3;  // sizes[3] == 16KB
+  checks.expect(rate[1][i16k] >= rate[2][i16k],
+                "rendezvous beats all-eager for 16KB payloads");
+  checks.expect(rate[1][0] >= rate[0][0] * 0.5,
+                "default threshold not pathological for small payloads");
+  return checks.summary("abl_am_protocol");
+}

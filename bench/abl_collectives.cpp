@@ -1,0 +1,142 @@
+// Ablation — collective topology: binary tree (the engine default) versus a
+// flat star rooted at rank 0. The tradeoff the engine design encodes:
+//   * per-hop latency: the star finishes a barrier in ~2 hops regardless of
+//     P, the tree needs ~2·ceil(log2 P) hops — so under wire latency the
+//     star wins on latency at any fixed P;
+//   * per-message software overhead: the star root injects/retires P-1
+//     messages serially, the tree bounds any rank at 2 children — so the
+//     star's cost grows linearly in P while the tree's critical path grows
+//     logarithmically, which is why scalable runtimes (and this engine)
+//     default to trees (the paper's scalability principle, §I).
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "arch/timer.hpp"
+#include "bench_util.hpp"
+#include "upcxx/upcxx.hpp"
+
+namespace {
+
+// Best-of-5 blocks: spin-synchronized collectives at 16 threads are very
+// sensitive to transient scheduler noise; the minimum over blocks is the
+// stable cost of the topology.
+double time_barriers_us(int iters) {
+  double best = 1e30;
+  for (int rep = 0; rep < 5; ++rep) {
+    upcxx::barrier();
+    const double t0 = arch::now_s();
+    for (int i = 0; i < iters / 5 + 1; ++i) upcxx::barrier();
+    best = std::min(best, (arch::now_s() - t0) / (iters / 5 + 1) * 1e6);
+  }
+  return best;
+}
+
+double time_reduce_us(int iters) {
+  double best = 1e30;
+  for (int rep = 0; rep < 5; ++rep) {
+    upcxx::barrier();
+    const double t0 = arch::now_s();
+    for (int i = 0; i < iters / 5 + 1; ++i)
+      upcxx::reduce_all(static_cast<long>(i), upcxx::op_fast_add{}).wait();
+    best = std::min(best, (arch::now_s() - t0) / (iters / 5 + 1) * 1e6);
+  }
+  return best;
+}
+
+struct Cell {
+  double barrier_us, reduce_us;
+};
+
+Cell run_config(int ranks, upcxx::detail::CollTopology topo,
+                std::uint64_t latency_ns, int iters) {
+  static Cell out;
+  gex::Config cfg = gex::Config::from_env();
+  cfg.ranks = ranks;
+  cfg.sim_latency_ns = latency_ns;
+  upcxx::run(cfg, [&] {
+    upcxx::experimental::set_coll_topology(topo);
+    const double b = time_barriers_us(iters);
+    const double r = time_reduce_us(iters);
+    upcxx::experimental::set_coll_topology(
+        upcxx::detail::CollTopology::tree);
+    if (upcxx::rank_me() == 0) out = {b, r};
+    upcxx::barrier();
+  });
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Ablation — collective topology (tree vs flat star)\n\n");
+  benchutil::ShapeChecks checks;
+  const int iters = benchutil::reps(2000, 100);
+  const auto ranks = benchutil::rank_sweep(16);
+
+  std::printf("-- software-overhead regime (zero wire latency) --\n");
+  std::printf("%6s %14s %14s %14s %14s\n", "ranks", "tree barrier",
+              "flat barrier", "tree reduce", "flat reduce");
+  std::vector<double> tree_b, flat_b;
+  for (int P : ranks) {
+    // The largest point is measured twice in fresh SPMD regions (thread
+    // placement re-rolls) and the minimum kept: 16 spinning ranks on a
+    // shared box occasionally draw a pathological schedule.
+    const int probes = P == ranks.back() ? 2 : 1;
+    Cell t{1e30, 1e30}, f{1e30, 1e30};
+    for (int q = 0; q < probes; ++q) {
+      const Cell tq =
+          run_config(P, upcxx::detail::CollTopology::tree, 0, iters);
+      const Cell fq =
+          run_config(P, upcxx::detail::CollTopology::flat, 0, iters);
+      t = {std::min(t.barrier_us, tq.barrier_us),
+           std::min(t.reduce_us, tq.reduce_us)};
+      f = {std::min(f.barrier_us, fq.barrier_us),
+           std::min(f.reduce_us, fq.reduce_us)};
+    }
+    tree_b.push_back(t.barrier_us);
+    flat_b.push_back(f.barrier_us);
+    std::printf("%6d %12.2fus %12.2fus %12.2fus %12.2fus\n", P, t.barrier_us,
+                f.barrier_us, t.reduce_us, f.reduce_us);
+  }
+
+  std::printf("\n-- latency regime (2us/hop, Aries-like) --\n");
+  std::printf("%6s %14s %14s\n", "ranks", "tree barrier", "flat barrier");
+  double tree_lat8 = 0, flat_lat8 = 0;
+  const int lat_iters = benchutil::reps(200, 20);
+  for (int P : ranks) {
+    if (P < 2) continue;
+    const Cell t =
+        run_config(P, upcxx::detail::CollTopology::tree, 2000, lat_iters);
+    const Cell f =
+        run_config(P, upcxx::detail::CollTopology::flat, 2000, lat_iters);
+    std::printf("%6d %12.2fus %12.2fus\n", P, t.barrier_us, f.barrier_us);
+    if (P == 8) {
+      // Compare at P=8: large enough for a 3-level tree (6 hops vs the
+      // star's 2), small enough that 8 spinning ranks do not contend for
+      // cores with themselves (which dominates P=16 on a shared box).
+      tree_lat8 = t.barrier_us;
+      flat_lat8 = f.barrier_us;
+    }
+  }
+
+  // Shape checks. Latency regime: tree depth costs hops, so at P>=8 the
+  // star must beat the tree on a latency-dominated wire.
+  if (flat_lat8 > 0)
+    checks.expect(flat_lat8 < tree_lat8,
+                  "latency regime: flat star beats tree at P>=8 "
+                  "(2 hops vs 2*log2(P) hops)");
+  // Software-overhead regime: the star's root serializes P-1 message
+  // handlings (linear critical path) vs the tree's logarithmic one, so by
+  // the largest P the star must have lost its small-P advantage — the
+  // crossover that makes trees the scalable default.
+  if (ranks.size() >= 3 && ranks.back() >= 16) {
+    checks.note("barrier at P=" + std::to_string(ranks.back()) + ": tree " +
+                std::to_string(tree_b.back()) + "us, flat " +
+                std::to_string(flat_b.back()) + "us");
+    checks.expect(flat_b.back() > tree_b.back() * 0.8,
+                  "overhead regime: star's linear root cost has caught the "
+                  "tree by the largest P (crossover)");
+  }
+  return checks.summary("abl_collectives");
+}

@@ -1,0 +1,85 @@
+// Shared plumbing for the paper-figure benchmark harnesses: table printing,
+// human-readable sizes, rank-count sweeps, and qualitative shape checks
+// (benches assert the paper's *shape* claims, never absolute numbers).
+#pragma once
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace benchutil {
+
+inline std::string human_size(std::size_t bytes) {
+  char buf[32];
+  if (bytes >= (1u << 20))
+    std::snprintf(buf, sizeof buf, "%zuMB", bytes >> 20);
+  else if (bytes >= (1u << 10))
+    std::snprintf(buf, sizeof buf, "%zuKB", bytes >> 10);
+  else
+    std::snprintf(buf, sizeof buf, "%zuB", bytes);
+  return buf;
+}
+
+// Rank counts to sweep: powers of two up to min(hardware, cap, env
+// BENCH_MAX_RANKS).
+inline std::vector<int> rank_sweep(int cap = 16) {
+  int hw = static_cast<int>(std::thread::hardware_concurrency());
+  if (hw <= 0) hw = 8;
+  if (const char* e = std::getenv("BENCH_MAX_RANKS")) cap = std::atoi(e);
+  const int maxr = std::min(cap, hw);
+  std::vector<int> out;
+  for (int p = 1; p <= maxr; p <<= 1) out.push_back(p);
+  return out;
+}
+
+// Repetition count, scalable down for smoke runs via BENCH_QUICK=1.
+inline int reps(int full, int quick = 1) {
+  if (const char* e = std::getenv("BENCH_QUICK"); e && *e == '1')
+    return quick;
+  return full;
+}
+
+// Scale factor for problem sizes (BENCH_QUICK shrinks work ~4x).
+inline double work_scale() {
+  if (const char* e = std::getenv("BENCH_QUICK"); e && *e == '1') return 0.25;
+  return 1.0;
+}
+
+class ShapeChecks {
+ public:
+  void expect(bool ok, const std::string& what) {
+    std::printf("  [%s] %s\n", ok ? "PASS" : "FAIL", what.c_str());
+    if (!ok) ++failures_;
+  }
+  // Non-binding observation (reported, never fails the run).
+  void note(const std::string& what) {
+    std::printf("  [note] %s\n", what.c_str());
+  }
+  int summary(const char* bench) const {
+    if (failures_ == 0) {
+      std::printf("== %s: all shape checks passed ==\n", bench);
+    } else {
+      std::printf("== %s: %d shape check(s) FAILED ==\n", bench, failures_);
+    }
+    return failures_ == 0 ? 0 : 1;
+  }
+
+ private:
+  int failures_ = 0;
+};
+
+// Median of a sample vector (destructive).
+inline double median(std::vector<double>& v) {
+  if (v.empty()) return 0;
+  std::sort(v.begin(), v.end());
+  return v[v.size() / 2];
+}
+
+inline double minimum(const std::vector<double>& v) {
+  return *std::min_element(v.begin(), v.end());
+}
+
+}  // namespace benchutil

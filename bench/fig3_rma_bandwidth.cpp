@@ -1,0 +1,126 @@
+// Fig 3b reproduction: flood put bandwidth, UPC++ non-blocking rput tracked
+// by a promise vs MPI-3 Put in a passive-target epoch flushed at the end
+// (IMB Unidir_put aggregate mode).
+//
+// Paper setup and code outline (§IV-B): issue many rputs with
+// operation_cx::as_promise(p), occasional progress every 10 iterations,
+// p.finalize().wait() at the end; bandwidth = volume / elapsed. Paper
+// result: comparable at small and large sizes, UPC++ up to 33% ahead in the
+// 1KB-256KB midrange (most pronounced at 8KB) where per-op software
+// overhead, not wire bandwidth, is the limiter.
+#include <cstdio>
+#include <vector>
+
+#include "arch/timer.hpp"
+#include "bench_util.hpp"
+#include "minimpi/minimpi.hpp"
+#include "upcxx/upcxx.hpp"
+
+namespace {
+
+double upcxx_flood(upcxx::global_ptr<char> dest, const char* src,
+                   std::size_t size, int iters) {
+  // Verbatim structure of the paper's code outline.
+  upcxx::promise<> p;
+  const double t0 = arch::now_s();
+  for (int it = 0; it < iters; ++it) {
+    upcxx::rput(src, dest, size, upcxx::operation_cx::as_promise(p));
+    if (!(it % 10)) upcxx::progress();
+  }
+  p.finalize().wait();
+  const double dt = arch::now_s() - t0;
+  return static_cast<double>(size) * iters / dt;  // bytes/s
+}
+
+double mpi_flood(minimpi::Win& win, const char* src, std::size_t size,
+                 int iters) {
+  const double t0 = arch::now_s();
+  for (int it = 0; it < iters; ++it) win.put(src, size, 1, 0);
+  win.flush(1);
+  const double dt = arch::now_s() - t0;
+  return static_cast<double>(size) * iters / dt;
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "Fig 3b — Flood Put Bandwidth (higher is better)\n"
+      "UPC++ promise-tracked rput flood vs minimpi Put flood + flush, 2 "
+      "ranks, best of %d trials\n\n",
+      benchutil::reps(10, 3));
+  benchutil::ShapeChecks checks;
+  struct Row {
+    std::size_t size;
+    double upcxx_mbs, mpi_mbs;
+  };
+  static std::vector<Row> rows;
+
+  gex::Config cfg = gex::Config::from_env();
+  cfg.ranks = 2;
+  int fails = upcxx::run(cfg, [] {
+    const int me = upcxx::rank_me();
+    constexpr std::size_t kMax = 4 << 20;
+    auto seg = upcxx::allocate<char>(kMax);
+    upcxx::dist_object<upcxx::global_ptr<char>> dir(seg);
+    auto peer = dir.fetch(1 - me).wait();
+    minimpi::init();
+    std::vector<char> exposure(kMax), src(kMax, 'y');
+    auto win = minimpi::Win::create(exposure.data(), exposure.size());
+
+    const int trials = benchutil::reps(10, 3);
+    for (std::size_t size = 8; size <= kMax; size <<= 2) {
+      // Keep per-trial volume roughly constant (~256 MB large sizes).
+      const int iters = static_cast<int>(
+          std::max<std::size_t>(32, (64u << 20) / size));
+      double best_u = 0, best_m = 0;
+      for (int t = 0; t < trials; ++t) {
+        if (me == 0)
+          best_u = std::max(best_u, upcxx_flood(peer, src.data(), size,
+                                                iters));
+        upcxx::barrier();
+        if (me == 0)
+          best_m = std::max(best_m, mpi_flood(win, src.data(), size, iters));
+        upcxx::barrier();
+      }
+      if (me == 0)
+        rows.push_back({size, best_u / 1e6, best_m / 1e6});
+    }
+    win.free();
+    minimpi::finalize();
+    upcxx::barrier();
+    upcxx::deallocate(seg);
+  });
+  if (fails) return 2;
+
+  std::printf("%10s %14s %14s %12s\n", "size", "UPC++ (MB/s)", "MPI (MB/s)",
+              "UPC++/MPI");
+  double best_mid_ratio = 0;
+  std::size_t best_mid_size = 0;
+  for (const auto& r : rows) {
+    std::printf("%10s %14.1f %14.1f %11.2fx\n",
+                benchutil::human_size(r.size).c_str(), r.upcxx_mbs,
+                r.mpi_mbs, r.upcxx_mbs / r.mpi_mbs);
+    if (r.size >= 1024 && r.size <= 262144) {
+      const double ratio = r.upcxx_mbs / r.mpi_mbs;
+      if (ratio > best_mid_ratio) {
+        best_mid_ratio = ratio;
+        best_mid_size = r.size;
+      }
+    }
+  }
+  std::printf(
+      "\nPaper: bandwidths comparable at the extremes; UPC++ ahead in the "
+      "1KB-256KB midrange (up to 33%% at 8KB).\n");
+  std::printf("Measured midrange peak advantage: %.0f%% at %s\n",
+              (best_mid_ratio - 1) * 100,
+              benchutil::human_size(best_mid_size).c_str());
+  checks.expect(best_mid_ratio >= 1.0,
+                "UPC++ matches or beats MPI somewhere in the 1KB-256KB "
+                "midrange");
+  const auto& big = rows.back();
+  checks.expect(big.upcxx_mbs / big.mpi_mbs > 0.8 &&
+                    big.upcxx_mbs / big.mpi_mbs < 1.25,
+                "bandwidths comparable at 4MB (memcpy-bound)");
+  return checks.summary("fig3_rma_bandwidth");
+}

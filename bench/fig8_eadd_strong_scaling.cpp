@@ -1,0 +1,109 @@
+// Fig 8 reproduction: strong scaling of the extend-add operation.
+//
+// Paper setup (§IV-D-3): audikw_1 frontal tree and distribution extracted
+// from STRUMPACK; three variants — UPC++ RPC (views), MPI Alltoallv
+// (STRUMPACK's strategy), MPI P2P (MUMPS's strategy); no computation beyond
+// accumulation; mean of 10 runs per point; identical computation and data
+// volume across variants.
+//
+// Substitution (DESIGN.md): the audikw_1 tree is modeled by the synthetic
+// 3-D nested-dissection generator at audikw_1-like scale (~1e6 vertices);
+// shape claims checked: UPC++ RPC maintains a consistent advantage over
+// both MPI variants, largest at scale (paper: up to 1.63x vs Alltoallv,
+// 3.11x vs P2P at 2048 cores).
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "apps/sparse/eadd.hpp"
+#include "arch/timer.hpp"
+#include "bench_util.hpp"
+#include "minimpi/minimpi.hpp"
+#include "upcxx/upcxx.hpp"
+
+int main() {
+  sparse::TreeParams params;
+  params.levels = benchutil::work_scale() < 1.0 ? 7 : 9;
+  params.n_vertices = 943695;  // audikw_1 dimension
+  params.sep_coeff = 0.5;
+  params.min_sep = 8;
+  params.max_front = benchutil::work_scale() < 1.0 ? 512 : 1024;
+  params.seed = 20190520;
+
+  const int runs = benchutil::reps(10, 2);
+  auto ranks = benchutil::rank_sweep(16);
+
+  std::printf(
+      "Fig 8 — Extend-add strong scaling (audikw_1 model tree: %d levels, "
+      "%d fronts, max front %d)\nmean of %d runs per point\n\n",
+      params.levels, (1 << params.levels) - 1, params.max_front, runs);
+
+  using sparse::EaddVariant;
+  const std::vector<EaddVariant> variants{EaddVariant::kMpiAlltoallv,
+                                          EaddVariant::kMpiP2p,
+                                          EaddVariant::kUpcxxRpc};
+  // time[variant][ranks] = seconds (max over ranks, mean over runs).
+  static std::map<EaddVariant, std::map<int, double>> times;
+
+  for (int P : ranks) {
+    gex::Config cfg = gex::Config::from_env();
+    cfg.ranks = P;
+    cfg.ring_bytes = 4 << 20;  // extend-add bursts are heavy
+    cfg.heap_bytes = 256 << 20;
+    int fails = upcxx::run(cfg, [&] {
+      minimpi::init();
+      auto tree = sparse::FrontalTree::synthetic(params, upcxx::rank_n());
+      sparse::EaddBench bench(tree, /*block=*/32);
+      bench.setup();
+      for (auto v : variants) {
+        double total = 0;
+        for (int r = 0; r < runs; ++r) {
+          bench.reset_values();
+          double mine = bench.run(v);
+          total +=
+              upcxx::reduce_all(mine, upcxx::op_fast_max{}).wait();
+        }
+        if (upcxx::rank_me() == 0)
+          times[v][upcxx::rank_n()] = total / runs;
+        upcxx::barrier();
+      }
+      minimpi::finalize();
+    });
+    if (fails) return 2;
+  }
+
+  std::printf("%8s %16s %16s %16s %12s %12s\n", "procs", "MPI Alltoallv(s)",
+              "MPI P2P(s)", "UPC++ RPC(s)", "A2A/UPC++", "P2P/UPC++");
+  for (int P : ranks) {
+    const double a2a = times[EaddVariant::kMpiAlltoallv][P];
+    const double p2p = times[EaddVariant::kMpiP2p][P];
+    const double rpc = times[EaddVariant::kUpcxxRpc][P];
+    std::printf("%8d %16.4f %16.4f %16.4f %11.2fx %11.2fx\n", P, a2a, p2p,
+                rpc, a2a / rpc, p2p / rpc);
+  }
+
+  benchutil::ShapeChecks checks;
+  std::printf(
+      "\nPaper: UPC++ RPC maintains a consistent advantage over both MPI "
+      "variants (up to 1.63x vs Alltoallv, 3.11x vs P2P at scale).\n");
+  const int pmax = ranks.back();
+  const double rpc = times[EaddVariant::kUpcxxRpc][pmax];
+  checks.expect(times[EaddVariant::kMpiAlltoallv][pmax] >= rpc * 0.95,
+                "UPC++ RPC >= MPI Alltoallv at the largest rank count");
+  checks.expect(times[EaddVariant::kMpiP2p][pmax] >= rpc * 0.95,
+                "UPC++ RPC >= MPI P2P at the largest rank count");
+  if (ranks.size() >= 2) {
+    // Strong scaling: more ranks should not slow the UPC++ variant down
+    // drastically (paper shows robust scaling to 2048 cores).
+    const double t1 = times[EaddVariant::kUpcxxRpc][ranks.front()];
+    checks.expect(rpc <= t1 * 1.5,
+                  "UPC++ extend-add does not degrade with rank count");
+  }
+  char buf[128];
+  std::snprintf(buf, sizeof buf,
+                "speedups at P=%d: %.2fx vs Alltoallv, %.2fx vs P2P", pmax,
+                times[EaddVariant::kMpiAlltoallv][pmax] / rpc,
+                times[EaddVariant::kMpiP2p][pmax] / rpc);
+  checks.note(buf);
+  return checks.summary("fig8_eadd_strong_scaling");
+}

@@ -1,0 +1,126 @@
+// E7 ablation (paper §V-A): DHT insertion, v1.0 chained-asynchronous insert
+// vs the v0.1 reconstruction (blocking remote allocation + blocking RMA).
+//
+// The paper argues the v0.1 idioms "incur both a blocking remote allocation
+// and a blocking RMA, which negatively impact latency performance and
+// overlap potential", and require ~50% more code. We measure per-insert
+// latency and pipelined (overlapped) throughput for both.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "apps/dht/dht.hpp"
+#include "arch/rng.hpp"
+#include "arch/timer.hpp"
+#include "bench_util.hpp"
+
+namespace {
+std::string make_key(arch::Xoshiro256& rng) {
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(rng.next()));
+  return std::string(buf, 16);
+}
+}  // namespace
+
+int main() {
+  std::printf(
+      "Ablation §V-A — DHT insert: v1.0 chained async vs v0.1 blocking "
+      "idioms (4 ranks)\n\n");
+  struct Row {
+    std::size_t vs;
+    double v10_us, v01_us, v10_pipe_us;
+  };
+  static std::vector<Row> rows;
+
+  gex::Config cfg = gex::Config::from_env();
+  cfg.ranks = 4;
+  cfg.segment_bytes = 256 << 20;
+  // Blocking cost only matters on a wire with latency: simulate an
+  // Aries-like 2 us hop so the v0.1 extra round trips and the v1.0 overlap
+  // potential are visible (on the raw memcpy wire every blocking call is
+  // nearly free and the comparison degenerates).
+  cfg.sim_latency_ns = 2000;
+  const int iters = static_cast<int>(400 * benchutil::work_scale()) + 50;
+  int fails = upcxx::run(cfg, [iters] {
+    for (std::size_t vs : {64u, 1024u, 8192u}) {
+      dht::RpcRmaMap v10;
+      dht::OldApiMap v01;
+      upcxx::barrier();
+      arch::Xoshiro256 rng(77 + upcxx::rank_me());
+      const std::string value(vs, 'q');
+
+      // Blocking per-insert latency, v1.0.
+      upcxx::barrier();
+      double t0 = arch::now_s();
+      for (int i = 0; i < iters; ++i) v10.insert(make_key(rng), value).wait();
+      double lat10 = (arch::now_s() - t0) / iters;
+      upcxx::barrier();
+
+      // Blocking per-insert latency, v0.1 (inherently blocking).
+      t0 = arch::now_s();
+      for (int i = 0; i < iters; ++i) v01.insert(make_key(rng), value);
+      double lat01 = (arch::now_s() - t0) / iters;
+      upcxx::barrier();
+
+      // Pipelined v1.0: conjoin futures, wait once (overlap potential the
+      // v0.1 API cannot express).
+      t0 = arch::now_s();
+      {
+        upcxx::promise<> all;
+        for (int i = 0; i < iters; ++i) {
+          all.require_anonymous(1);
+          v10.insert(make_key(rng), value).then([all]() mutable {
+            all.fulfill_anonymous(1);
+          });
+          if (!(i % 8)) upcxx::progress();
+        }
+        all.finalize().wait();
+      }
+      double pipe10 = (arch::now_s() - t0) / iters;
+      upcxx::barrier();
+
+      // Report the slowest rank (they all insert concurrently).
+      lat10 = upcxx::reduce_all(lat10, upcxx::op_fast_max{}).wait();
+      lat01 = upcxx::reduce_all(lat01, upcxx::op_fast_max{}).wait();
+      pipe10 = upcxx::reduce_all(pipe10, upcxx::op_fast_max{}).wait();
+      if (upcxx::rank_me() == 0)
+        rows.push_back({vs, lat10 * 1e6, lat01 * 1e6, pipe10 * 1e6});
+      upcxx::barrier();
+    }
+  });
+  if (fails) return 2;
+
+  std::printf("%8s %16s %16s %20s\n", "value", "v1.0 block (us)",
+              "v0.1 block (us)", "v1.0 pipelined (us)");
+  for (auto& r : rows)
+    std::printf("%8s %16.2f %16.2f %20.2f\n",
+                benchutil::human_size(r.vs).c_str(), r.v10_us, r.v01_us,
+                r.v10_pipe_us);
+
+  benchutil::ShapeChecks checks;
+  std::printf(
+      "\nPaper: v0.1's blocking allocation + blocking RMA hurt latency and "
+      "eliminate overlap; v1.0's fully asynchronous insert is simpler and "
+      "faster.\n");
+  bool overlap_wins_somewhere = false;
+  for (auto& r : rows) {
+    checks.expect(r.v10_us <= r.v01_us,
+                  benchutil::human_size(r.vs) +
+                      ": v1.0 blocking insert at least as fast as v0.1");
+    overlap_wins_somewhere |= (r.v10_pipe_us < r.v10_us);
+    char buf[128];
+    std::snprintf(buf, sizeof buf, "%s: pipelined %.2fus vs blocking %.2fus",
+                  benchutil::human_size(r.vs).c_str(), r.v10_pipe_us,
+                  r.v10_us);
+    checks.note(buf);
+  }
+  // Overlap is a latency-regime effect: tiny values are dominated by
+  // per-op software overhead and huge values by flow control, so we assert
+  // the paper's claim where it applies — some latency-bound size must
+  // benefit from pipelining.
+  checks.expect(overlap_wins_somewhere,
+                "pipelining beats blocking inserts in the latency-bound "
+                "regime");
+  return checks.summary("figx_dht_oldapi");
+}

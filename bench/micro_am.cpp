@@ -1,0 +1,113 @@
+// Micro-benchmark A5: substrate primitives — AM ping-pong latency, AM
+// throughput, ring reserve/commit cost, RPC round-trip overhead decomposed
+// against raw AM cost.
+#include <atomic>
+#include <cstdio>
+#include <vector>
+
+#include "arch/ring.hpp"
+#include "arch/timer.hpp"
+#include "bench_util.hpp"
+#include "upcxx/upcxx.hpp"
+
+namespace {
+
+std::atomic<long> g_pong{0};
+std::atomic<long> g_count{0};
+
+void pong_handler(gex::AmContext& cx) {
+  g_pong.fetch_add(1, std::memory_order_relaxed);
+}
+void count_handler(gex::AmContext& cx) {
+  g_count.fetch_add(1, std::memory_order_relaxed);
+}
+void echo_handler(gex::AmContext& cx) {
+  // Reply with an empty AM to the sender.
+  cx.engine->send(cx.src, &pong_handler, nullptr, 0);
+}
+
+double am_pingpong_us(int iters) {
+  const double t0 = arch::now_s();
+  long base = g_pong.load();
+  for (int i = 0; i < iters; ++i) {
+    gex::am().send(1, &echo_handler, nullptr, 0);
+    while (g_pong.load(std::memory_order_relaxed) <= base + i)
+      gex::am().poll();
+  }
+  return (arch::now_s() - t0) / iters * 1e6;
+}
+
+double am_throughput_mmsgs(int iters, std::size_t payload) {
+  std::vector<char> buf(payload);
+  const double t0 = arch::now_s();
+  for (int i = 0; i < iters; ++i)
+    gex::am().send(1, &count_handler, buf.data(), payload);
+  return iters / (arch::now_s() - t0) / 1e6;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Micro — substrate AM primitives (2 ranks)\n\n");
+  const int iters = static_cast<int>(50000 * benchutil::work_scale()) + 1000;
+
+  // Single-process ring micro first (no SPMD needed).
+  {
+    std::vector<std::byte> mem(arch::MpscByteRing::footprint(1 << 20));
+    auto* ring = arch::MpscByteRing::create(mem.data(), 1 << 20);
+    const double t0 = arch::now_s();
+    int n = 0;
+    for (int i = 0; i < 200000; ++i) {
+      auto t = ring->try_reserve(64);
+      if (t.payload) {
+        arch::MpscByteRing::commit(t);
+        ++n;
+      }
+      ring->try_consume([](void*, std::size_t) {});
+    }
+    const double dt = arch::now_s() - t0;
+    std::printf("ring reserve+commit+consume: %.1f ns/record (%d records)\n",
+                dt / n * 1e9, n);
+  }
+
+  static double pingpong_us, rpc_us, thr_small, thr_eager_edge;
+  gex::Config cfg = gex::Config::from_env();
+  cfg.ranks = 2;
+  int fails = upcxx::run(cfg, [iters] {
+    upcxx::barrier();
+    if (upcxx::rank_me() == 0) {
+      pingpong_us = am_pingpong_us(iters);
+      thr_small = am_throughput_mmsgs(iters, 8);
+      thr_eager_edge = am_throughput_mmsgs(iters / 4,
+                                           gex::am().eager_max());
+      // RPC round trip for comparison (adds serialization + progress
+      // engine + future machinery on top of two AMs).
+      const double t0 = arch::now_s();
+      for (int i = 0; i < iters / 4; ++i)
+        upcxx::rpc(1, [](int v) { return v; }, i).wait();
+      rpc_us = (arch::now_s() - t0) / (iters / 4) * 1e6;
+      // Signal rank 1 that the flood is over (its counters lag).
+      upcxx::rpc_ff(1, [] { g_count.store(-1); });
+    } else {
+      while (g_count.load(std::memory_order_relaxed) != -1)
+        upcxx::progress();
+    }
+    upcxx::barrier();
+  });
+  if (fails) return 2;
+
+  std::printf("AM ping-pong round trip:     %8.3f us\n", pingpong_us);
+  std::printf("RPC round trip (int echo):   %8.3f us\n", rpc_us);
+  std::printf("AM throughput (8B):          %8.2f Mmsg/s\n", thr_small);
+  std::printf("AM throughput (eager max):   %8.2f Mmsg/s\n", thr_eager_edge);
+
+  benchutil::ShapeChecks checks;
+  // The two loops stress slightly different paths (shared-counter
+  // ping-pong vs reply-map lookup), so allow generous noise margin.
+  checks.expect(rpc_us >= pingpong_us * 0.5,
+                "RPC cost is in the same regime as the raw AM round trip");
+  checks.expect(rpc_us < pingpong_us * 50,
+                "upcxx layer adds bounded overhead over raw AMs (<50x)");
+  checks.expect(thr_small > 0.1, "small-message rate above 100 Kmsg/s");
+  return checks.summary("micro_am");
+}

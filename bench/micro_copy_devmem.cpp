@@ -1,0 +1,168 @@
+// Micro — memory-kinds copy (paper §VI future work: transfers to and from
+// device memories). Measures upcxx::copy bandwidth for every endpoint-kind
+// pair on one rank and across two ranks, first on the raw shared-memory
+// substrate (cost model off) and then under an Aries+PCIe-like cost model to
+// show the staged-vs-direct shape the real memory-kinds feature targets:
+// a host-staged device-to-device path pays two DMA tolls where a direct
+// copy pays one.
+#include <cstdio>
+#include <numeric>
+#include <vector>
+
+#include "arch/timer.hpp"
+#include "bench_util.hpp"
+#include "upcxx/upcxx.hpp"
+
+namespace {
+
+using upcxx::memory_kind;
+using dev_alloc = upcxx::device_allocator<upcxx::sim_device>;
+template <typename T>
+using dev_ptr = upcxx::global_ptr<T, memory_kind::sim_device>;
+
+constexpr std::size_t kBufElems = 1 << 16;  // 512 KiB of doubles
+
+struct Row {
+  const char* label;
+  double gbps;
+};
+
+double time_copies_gbps(const std::function<upcxx::future<>()>& one,
+                        std::size_t bytes, int reps) {
+  // Warm up, then time `reps` blocking copies.
+  one().wait();
+  const double t0 = arch::now_s();
+  for (int i = 0; i < reps; ++i) one().wait();
+  const double dt = arch::now_s() - t0;
+  return static_cast<double>(bytes) * reps / dt / 1e9;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Micro — upcxx::copy across memory kinds (1-2 ranks)\n\n");
+  benchutil::ShapeChecks checks;
+  const int reps = benchutil::reps(200, 10);
+  const std::size_t bytes = kBufElems * sizeof(double);
+
+  // ---------------------------------------------- single rank, no cost model
+  upcxx::run(1, [&] {
+    upcxx::experimental::set_sim_device_params(0, 0.0);
+    dev_alloc dev(16 << 20);
+    auto d1 = dev.allocate<double>(kBufElems);
+    auto d2 = dev.allocate<double>(kBufElems);
+    auto h1 = upcxx::new_array<double>(kBufElems);
+    std::vector<double> priv(kBufElems);
+    std::iota(priv.begin(), priv.end(), 0.0);
+
+    std::vector<Row> rows = {
+        {"private->host   (rput path)",
+         time_copies_gbps([&] { return upcxx::copy(priv.data(), h1,
+                                                   kBufElems); },
+                          bytes, reps)},
+        {"private->device (h2d)",
+         time_copies_gbps([&] { return upcxx::copy(priv.data(), d1,
+                                                   kBufElems); },
+                          bytes, reps)},
+        {"device->private (d2h)",
+         time_copies_gbps([&] { return upcxx::copy(d1, priv.data(),
+                                                   kBufElems); },
+                          bytes, reps)},
+        {"device->device  (d2d)",
+         time_copies_gbps([&] { return upcxx::copy(d1, d2, kBufElems); },
+                          bytes, reps)},
+        {"host->device    (g2g mixed)",
+         time_copies_gbps([&] { return upcxx::copy(h1, d1, kBufElems); },
+                          bytes, reps)},
+    };
+    std::printf("-- one rank, cost model off (%s buffers) --\n",
+                benchutil::human_size(bytes).c_str());
+    for (const auto& r : rows) std::printf("  %-28s %8.2f GB/s\n", r.label,
+                                           r.gbps);
+    // On the raw substrate every kind pair is a memcpy: within 4x of each
+    // other (generous; covers cache effects).
+    double lo = rows[0].gbps, hi = rows[0].gbps;
+    for (const auto& r : rows) {
+      lo = std::min(lo, r.gbps);
+      hi = std::max(hi, r.gbps);
+    }
+    checks.expect(hi / lo < 4.0,
+                  "cost model off: all kind pairs within 4x (memcpy wire)");
+    upcxx::delete_array(h1, kBufElems);
+  });
+
+  // ----------------------------------- single rank, PCIe-like cost model on
+  upcxx::run(1, [&] {
+    // ~12 GB/s PCIe-gen3-ish, 2 us per-transfer latency.
+    upcxx::experimental::set_sim_device_params(2'000, 12.0);
+    dev_alloc dev(16 << 20);
+    auto d1 = dev.allocate<double>(kBufElems);
+    auto d2 = dev.allocate<double>(kBufElems);
+    std::vector<double> priv(kBufElems, 1.0);
+
+    const double h2d = time_copies_gbps(
+        [&] { return upcxx::copy(priv.data(), d1, kBufElems); }, bytes,
+        benchutil::reps(50, 12));
+    const double d2d_direct = time_copies_gbps(
+        [&] { return upcxx::copy(d1, d2, kBufElems); }, bytes,
+        benchutil::reps(50, 12));
+    // Staged d2d: device -> private host buffer -> device (two copies, the
+    // pattern applications use without direct device-device support).
+    const double d2d_staged = time_copies_gbps(
+        [&] {
+          return upcxx::copy(d1, priv.data(), kBufElems)
+              .then([&] { return upcxx::copy(priv.data(), d2, kBufElems); });
+        },
+        bytes, benchutil::reps(50, 12));
+
+    std::printf("\n-- one rank, PCIe-like cost model (12 GB/s, 2us) --\n");
+    std::printf("  %-28s %8.2f GB/s\n", "h2d", h2d);
+    std::printf("  %-28s %8.2f GB/s\n", "d2d direct", d2d_direct);
+    std::printf("  %-28s %8.2f GB/s\n", "d2d staged via host", d2d_staged);
+    checks.expect(h2d < 13.0, "h2d bandwidth capped by simulated PCIe");
+    checks.expect(d2d_direct > h2d * 0.6,
+                  "direct d2d is a single DMA (comparable to h2d)");
+    checks.expect(d2d_staged < d2d_direct * 0.7,
+                  "staging through host pays two DMAs (slower than direct)");
+    upcxx::experimental::set_sim_device_params(0, 0.0);
+  });
+
+  // ------------------------------------------------- two ranks, remote push
+  upcxx::run(2, [&] {
+    upcxx::experimental::set_sim_device_params(0, 0.0);
+    dev_alloc dev(16 << 20);
+    static dev_ptr<double> remote_d;
+    static upcxx::global_ptr<double> remote_h;
+    if (upcxx::rank_me() == 1) {
+      auto d = dev.allocate<double>(kBufElems);
+      auto h = upcxx::new_array<double>(kBufElems);
+      upcxx::rpc(0,
+                 [](dev_ptr<double> dp, upcxx::global_ptr<double> hp) {
+                   remote_d = dp;
+                   remote_h = hp;
+                 },
+                 d, h)
+          .wait();
+      upcxx::barrier();  // rank 0 measures
+      upcxx::barrier();
+    } else {
+      upcxx::barrier();
+      std::vector<double> priv(kBufElems, 2.0);
+      const double push_host = time_copies_gbps(
+          [&] { return upcxx::copy(priv.data(), remote_h, kBufElems); },
+          bytes, reps);
+      const double push_dev = time_copies_gbps(
+          [&] { return upcxx::copy(priv.data(), remote_d, kBufElems); },
+          bytes, reps);
+      std::printf("\n-- two ranks, cost model off --\n");
+      std::printf("  %-28s %8.2f GB/s\n", "push to remote host", push_host);
+      std::printf("  %-28s %8.2f GB/s\n", "push to remote device", push_dev);
+      checks.expect(push_dev > push_host / 4.0,
+                    "remote device push within 4x of remote host push");
+      upcxx::barrier();
+    }
+    upcxx::barrier();
+  });
+
+  return checks.summary("micro_copy_devmem");
+}

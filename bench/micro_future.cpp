@@ -1,0 +1,95 @@
+// Micro-benchmark A3: future/promise machinery costs (google-benchmark).
+//
+// The paper's premise is that futures are cheap enough to wrap every
+// communication operation. These micros quantify the costs: ready-future
+// creation, .then chaining (ready and deferred), when_all conjoining,
+// promise counting, and progress-engine LPC dispatch.
+#include <benchmark/benchmark.h>
+
+#include "upcxx/upcxx.hpp"
+
+namespace {
+
+void BM_MakeFuture(benchmark::State& state) {
+  for (auto _ : state) {
+    auto f = upcxx::make_future(42);
+    benchmark::DoNotOptimize(f.result());
+  }
+}
+BENCHMARK(BM_MakeFuture);
+
+void BM_ThenOnReady(benchmark::State& state) {
+  for (auto _ : state) {
+    auto f = upcxx::make_future(1).then([](int v) { return v + 1; });
+    benchmark::DoNotOptimize(f.result());
+  }
+}
+BENCHMARK(BM_ThenOnReady);
+
+void BM_ThenChainDeferred(benchmark::State& state) {
+  const int depth = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    upcxx::promise<int> pr;
+    upcxx::future<int> f = pr.get_future();
+    for (int i = 0; i < depth; ++i)
+      f = f.then([](int v) { return v + 1; });
+    pr.fulfill_result(0);
+    benchmark::DoNotOptimize(f.result());
+  }
+  state.SetItemsProcessed(state.iterations() * depth);
+}
+BENCHMARK(BM_ThenChainDeferred)->Arg(1)->Arg(8)->Arg(64)->Arg(512);
+
+void BM_WhenAllWidth(benchmark::State& state) {
+  const int width = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    std::vector<upcxx::promise<>> prs(width);
+    upcxx::future<> f = upcxx::make_future();
+    for (auto& p : prs) f = upcxx::when_all(f, p.get_future());
+    for (auto& p : prs) p.fulfill_anonymous(1);
+    benchmark::DoNotOptimize(f.is_ready());
+  }
+  state.SetItemsProcessed(state.iterations() * width);
+}
+BENCHMARK(BM_WhenAllWidth)->Arg(2)->Arg(16)->Arg(128);
+
+void BM_PromiseCounting(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    upcxx::promise<> p;
+    p.require_anonymous(n);
+    auto f = p.finalize();
+    for (int i = 0; i < n; ++i) p.fulfill_anonymous(1);
+    benchmark::DoNotOptimize(f.is_ready());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_PromiseCounting)->Arg(16)->Arg(256);
+
+void BM_LpcRoundTrip(benchmark::State& state) {
+  for (auto _ : state) {
+    upcxx::promise<> p;
+    p.require_anonymous(1);
+    upcxx::detail::push_compq([p]() mutable { p.fulfill_anonymous(1); });
+    p.finalize().wait();
+  }
+}
+BENCHMARK(BM_LpcRoundTrip);
+
+void BM_SelfRpc(benchmark::State& state) {
+  for (auto _ : state) {
+    upcxx::rpc(0, [](int v) { return v + 1; }, 1).wait();
+  }
+}
+BENCHMARK(BM_SelfRpc);
+
+}  // namespace
+
+// Futures require a persona; run the benchmark driver inside a 1-rank SPMD
+// region.
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  gex::Config cfg = gex::Config::from_env();
+  cfg.ranks = 1;
+  return upcxx::run(cfg, [] { benchmark::RunSpecifiedBenchmarks(); });
+}

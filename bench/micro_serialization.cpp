@@ -1,0 +1,103 @@
+// Micro-benchmark A4: serialization throughput (google-benchmark).
+//
+// RPC argument marshalling is on the critical path of every remote call;
+// these micros measure the trait-dispatched archive for the common cases:
+// trivially-copyable bulk (memcpy-bound), strings, element-wise containers,
+// and the zero-copy view path.
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "upcxx/serialization.hpp"
+
+namespace {
+
+using upcxx::detail::Reader;
+using upcxx::detail::SizeArchive;
+using upcxx::detail::WriteArchive;
+
+template <typename T>
+std::size_t wire_size(const T& v) {
+  SizeArchive sa;
+  upcxx::serialization<T>::serialize(sa, v);
+  return sa.size();
+}
+
+template <typename T>
+void roundtrip(const T& v, std::vector<std::byte>& buf) {
+  buf.resize(wire_size(v));
+  WriteArchive wa(buf.data());
+  upcxx::serialization<T>::serialize(wa, v);
+  Reader r(buf.data(), buf.size());
+  benchmark::DoNotOptimize(upcxx::serialization<T>::deserialize(r));
+}
+
+void BM_TrivialVector(benchmark::State& state) {
+  std::vector<double> v(state.range(0), 1.5);
+  std::vector<std::byte> buf;
+  for (auto _ : state) roundtrip(v, buf);
+  state.SetBytesProcessed(state.iterations() * v.size() * sizeof(double));
+}
+BENCHMARK(BM_TrivialVector)->Arg(16)->Arg(1024)->Arg(65536);
+
+void BM_String(benchmark::State& state) {
+  std::string s(state.range(0), 'x');
+  std::vector<std::byte> buf;
+  for (auto _ : state) roundtrip(s, buf);
+  state.SetBytesProcessed(state.iterations() * s.size());
+}
+BENCHMARK(BM_String)->Arg(16)->Arg(4096);
+
+void BM_VectorOfStrings(benchmark::State& state) {
+  std::vector<std::string> v(state.range(0), std::string(32, 'k'));
+  std::vector<std::byte> buf;
+  for (auto _ : state) roundtrip(v, buf);
+  state.SetItemsProcessed(state.iterations() * v.size());
+}
+BENCHMARK(BM_VectorOfStrings)->Arg(16)->Arg(512);
+
+void BM_UnorderedMap(benchmark::State& state) {
+  std::unordered_map<std::uint64_t, std::uint64_t> m;
+  for (int i = 0; i < state.range(0); ++i) m[i] = i * 3;
+  std::vector<std::byte> buf;
+  for (auto _ : state) roundtrip(m, buf);
+  state.SetItemsProcessed(state.iterations() * m.size());
+}
+BENCHMARK(BM_UnorderedMap)->Arg(64)->Arg(1024);
+
+void BM_ViewSerializeOnly(benchmark::State& state) {
+  // Sender side of the extend-add path: view over packed entries.
+  std::vector<double> v(state.range(0), 2.0);
+  auto view = upcxx::make_view(v.data(), v.data() + v.size());
+  std::vector<std::byte> buf(wire_size(view));
+  for (auto _ : state) {
+    WriteArchive wa(buf.data());
+    upcxx::serialization<decltype(view)>::serialize(wa, view);
+    benchmark::DoNotOptimize(wa.written());
+  }
+  state.SetBytesProcessed(state.iterations() * v.size() * sizeof(double));
+}
+BENCHMARK(BM_ViewSerializeOnly)->Arg(1024)->Arg(65536);
+
+void BM_ViewDeserializeZeroCopy(benchmark::State& state) {
+  // Target side: deserialization must be O(1) regardless of size.
+  std::vector<double> v(state.range(0), 2.0);
+  auto view = upcxx::make_view(v.data(), v.data() + v.size());
+  std::vector<std::byte> buf(wire_size(view));
+  WriteArchive wa(buf.data());
+  upcxx::serialization<decltype(view)>::serialize(wa, view);
+  for (auto _ : state) {
+    Reader r(buf.data(), buf.size());
+    auto out =
+        upcxx::serialization<decltype(view)>::deserialize(r);
+    benchmark::DoNotOptimize(out.begin());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ViewDeserializeZeroCopy)->Arg(1024)->Arg(1048576);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,59 @@
+// Monte-Carlo pi with remote atomics and collectives — the smallest
+// "lock-free distributed data structure" example (paper §II motivates
+// remote atomics for exactly this kind of shared counter).
+//
+// Every rank throws darts; hits are accumulated with offloaded fetch-adds
+// into rank 0's counters, and the final estimate is broadcast back.
+#include <cstdio>
+
+#include "arch/rng.hpp"
+#include "upcxx/upcxx.hpp"
+
+int main() {
+  return upcxx::run_env([] {
+    const int me = upcxx::rank_me();
+    constexpr long kDarts = 2'000'000;
+
+    upcxx::atomic_domain<std::int64_t> ad(
+        {upcxx::atomic_op::add, upcxx::atomic_op::load});
+
+    // Rank 0 owns the counters; everyone learns the pointer by broadcast.
+    upcxx::global_ptr<std::int64_t> counters;
+    if (me == 0) {
+      counters = upcxx::allocate<std::int64_t>(2);
+      counters.local()[0] = 0;  // hits
+      counters.local()[1] = 0;  // throws
+    }
+    counters = upcxx::broadcast(counters, 0).wait();
+
+    arch::Xoshiro256 rng(9000 + me);
+    long hits = 0;
+    for (long i = 0; i < kDarts; ++i) {
+      const double x = rng.next_double(), y = rng.next_double();
+      hits += (x * x + y * y <= 1.0);
+    }
+
+    // Batched atomic updates (add = pure update, no fetch needed).
+    upcxx::promise<> p;
+    p.require_anonymous(2);
+    ad.add(counters + 0, hits).then([p]() mutable {
+      p.fulfill_anonymous(1);
+    });
+    ad.add(counters + 1, kDarts).then([p]() mutable {
+      p.fulfill_anonymous(1);
+    });
+    p.finalize().wait();
+    upcxx::barrier();
+
+    if (me == 0) {
+      const auto h = ad.load(counters + 0).wait();
+      const auto t = ad.load(counters + 1).wait();
+      std::printf("pi ~= %.6f  (%lld hits / %lld throws on %d ranks)\n",
+                  4.0 * static_cast<double>(h) / static_cast<double>(t),
+                  static_cast<long long>(h), static_cast<long long>(t),
+                  upcxx::rank_n());
+      upcxx::deallocate(counters);
+    }
+    upcxx::barrier();
+  });
+}

@@ -1,0 +1,84 @@
+// Quickstart: a tour of the API surface from the paper's §II, in the order
+// the paper introduces it — SPMD ranks, shared-segment allocation, global
+// pointers, one-sided RMA, futures/promises, RPC, atomics, collectives.
+//
+// Run:   ./quickstart            (4 ranks by default)
+//        UPCXX_RANKS=8 ./quickstart
+//        UPCXX_BACKEND=process ./quickstart   (forked-process ranks)
+#include <cstdio>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "upcxx/upcxx.hpp"
+
+int main() {
+  return upcxx::run_env([] {
+    const int me = upcxx::rank_me();
+    const int P = upcxx::rank_n();
+    if (me == 0) std::printf("quickstart on %d ranks\n", P);
+
+    // --- global memory & global pointers -------------------------------
+    // Each rank allocates a slot in its shared segment and publishes the
+    // pointer through a dist_object directory (no symmetric heap needed).
+    upcxx::global_ptr<int> slot = upcxx::new_<int>(-1);
+    upcxx::dist_object<upcxx::global_ptr<int>> dir(slot);
+
+    // Fetching a remote global pointer is explicit communication:
+    upcxx::global_ptr<int> right = dir.fetch((me + 1) % P).wait();
+
+    // --- one-sided RMA ---------------------------------------------------
+    // Put my rank into my right neighbor's slot. Communication is
+    // asynchronous by default; wait() blocks on the returned future.
+    upcxx::rput(me, right).wait();
+    upcxx::barrier();
+    int from_left = upcxx::rget(slot).wait();
+    std::printf("rank %d: left neighbor is %d\n", me, from_left);
+
+    // --- futures: chaining and conjoining --------------------------------
+    // Chain a callback onto a get, conjoin two asynchronous reads.
+    auto f = upcxx::when_all(upcxx::rget(right), upcxx::rget(slot))
+                 .then([](int r, int l) { return r + l; });
+    std::printf("rank %d: sum of neighbors' slots = %d\n", me, f.wait());
+
+    // --- promises as completion counters ---------------------------------
+    upcxx::promise<> p;
+    for (int i = 0; i < 8; ++i)
+      upcxx::rput(me * 100 + i, right, upcxx::operation_cx::as_promise(p));
+    p.finalize().wait();  // all eight puts complete
+
+    // --- RPC: ship computation to the data -------------------------------
+    upcxx::barrier();
+    auto len = upcxx::rpc((me + 1) % P,
+                          [](const std::string& s) { return s.size(); },
+                          std::string("hello from rank ") +
+                              std::to_string(me))
+                   .wait();
+    std::printf("rank %d: RPC target measured %zu chars\n", me, len);
+
+    // --- remote atomics ---------------------------------------------------
+    upcxx::atomic_domain<std::int64_t> ad(
+        {upcxx::atomic_op::fetch_add, upcxx::atomic_op::load});
+    static thread_local upcxx::global_ptr<std::int64_t> counter;
+    if (me == 0) counter = upcxx::new_<std::int64_t>(0);
+    counter = upcxx::broadcast(counter, 0).wait();
+    ad.fetch_add(counter, 1).wait();
+    upcxx::barrier();
+    if (me == 0)
+      std::printf("atomic counter after all ranks incremented: %lld\n",
+                  static_cast<long long>(ad.load(counter).wait()));
+
+    // --- collectives -------------------------------------------------------
+    int total = upcxx::reduce_all(me, upcxx::op_fast_add{}).wait();
+    if (me == 0)
+      std::printf("reduce_all(rank ids) = %d (expected %d)\n", total,
+                  P * (P - 1) / 2);
+
+    upcxx::barrier();
+    if (me == 0) {
+      upcxx::delete_(counter);
+      std::printf("quickstart done\n");
+    }
+    upcxx::delete_(slot);
+  });
+}

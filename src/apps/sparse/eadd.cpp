@@ -1,0 +1,344 @@
+#include "apps/sparse/eadd.hpp"
+
+#include <cassert>
+#include <cstring>
+
+#include "arch/timer.hpp"
+#include "minimpi/minimpi.hpp"
+#include "upcxx/upcxx.hpp"
+
+namespace sparse {
+
+const char* variant_name(EaddVariant v) {
+  switch (v) {
+    case EaddVariant::kUpcxxRpc:
+      return "UPC++ RPC";
+    case EaddVariant::kMpiAlltoallv:
+      return "MPI Alltoallv";
+    case EaddVariant::kMpiP2p:
+      return "MPI P2P";
+  }
+  return "?";
+}
+
+namespace {
+// The RPC accumulate callback reaches the bench instance through rank-local
+// state (captureless lambdas ship as function pointers).
+thread_local EaddBench* tls_bench = nullptr;
+thread_local std::unordered_map<int, upcxx::promise<>>* tls_proms = nullptr;
+
+// Global indices (>= ncols) owned by this rank along each axis of a layout.
+void owned_axis(const Layout2D& l, int me, int lo_bound, bool rows,
+                std::vector<int>* out) {
+  out->clear();
+  int r, c;
+  l.coords(me, &r, &c);
+  const int coord = rows ? r : c;
+  const int nproc = rows ? l.pr : l.pc;
+  for (int b = coord; b * l.block < l.n; b += nproc) {
+    const int lo = b * l.block;
+    const int hi = std::min(l.n, lo + l.block);
+    for (int g = std::max(lo, lo_bound); g < hi; ++g) out->push_back(g);
+  }
+}
+}  // namespace
+
+EaddBench::EaddBench(const FrontalTree& tree, int block)
+    : tree_(tree), block_(block), me_(upcxx::rank_me()) {
+  layouts_.reserve(tree_.nodes.size());
+  for (const auto& n : tree_.nodes)
+    layouts_.push_back(Layout2D::make(n.nrows(), n.team_lo, n.team_np, block_));
+  local_.resize(tree_.nodes.size());
+}
+
+EaddBench::~EaddBench() {
+  if (tls_bench == this) tls_bench = nullptr;
+}
+
+void EaddBench::setup() {
+  tls_bench = this;
+  // Allocate local dense storage for every front I belong to.
+  for (const auto& n : tree_.nodes) {
+    const auto& l = layouts_[n.id];
+    if (!l.is_member(me_)) continue;
+    auto [ml, nl] = l.local_extent(me_);
+    local_[n.id].assign(static_cast<std::size_t>(ml) * nl, 0.0);
+  }
+
+  // Build per-parent plans in bottom-up order.
+  std::vector<int> my_rows, my_cols, pos;
+  for (const auto& lvl : tree_.levels_bottom_up()) {
+    for (int fid : lvl) {
+      const auto& par = tree_.nodes[fid];
+      if (par.lchild < 0) continue;
+      const auto& lp = layouts_[fid];
+      if (!lp.is_member(me_)) continue;  // child teams nest inside parent's
+      ParentPlan plan;
+      plan.parent = fid;
+      plan.team_members.resize(lp.nprocs());
+      for (int i = 0; i < lp.nprocs(); ++i)
+        plan.team_members[i] = lp.team_lo + i;
+      plan.recv_bytes_from.assign(upcxx::rank_n(), 0);
+      plan.a2a_send.assign(lp.nprocs(), 0);
+      plan.a2a_recv.assign(lp.nprocs(), 0);
+
+      std::vector<std::pair<int, std::size_t>> expected;  // (src, bytes)
+      for (int child : {par.lchild, par.rchild}) {
+        const auto& ch = tree_.nodes[child];
+        const auto& lc = layouts_[child];
+        // Child position -> parent position (both index lists sorted).
+        pos.assign(ch.nrows(), -1);
+        {
+          const auto& ci = ch.row_indices;
+          const auto& pi = par.row_indices;
+          std::size_t j = 0;
+          for (int i = ch.ncols; i < ch.nrows(); ++i) {
+            while (j < pi.size() && pi[j] < ci[i]) ++j;
+            assert(j < pi.size() && pi[j] == ci[i] &&
+                   "child border index missing from parent");
+            pos[i] = static_cast<int>(j);
+          }
+        }
+
+        // (a) entries I own in the child's F22: the packing lists.
+        if (lc.is_member(me_)) {
+          owned_axis(lc, me_, ch.ncols, /*rows=*/true, &my_rows);
+          owned_axis(lc, me_, ch.ncols, /*rows=*/false, &my_cols);
+          std::unordered_map<int, std::size_t> bin_of;
+          ChildPlan cp;
+          cp.child = child;
+          for (int j : my_cols) {
+            for (int i : my_rows) {
+              const int dest = lp.owner(pos[i], pos[j]);
+              auto [it, fresh] = bin_of.emplace(dest, cp.bins.size());
+              if (fresh) {
+                cp.bins.emplace_back();
+                cp.bins.back().dest = dest;
+              }
+              auto& bin = cp.bins[it->second];
+              bin.src_off.push_back(
+                  static_cast<std::uint32_t>(lc.local_offset(i, j, me_)));
+              bin.staged.push_back(Entry{pos[i], pos[j], 0.0});
+            }
+          }
+          if (!cp.bins.empty()) plan.children.push_back(std::move(cp));
+        }
+
+        // (b) entries destined for me: expected message table. One scan of
+        // the child's F22 coordinate space, counting (owner_child -> me).
+        {
+          std::unordered_map<int, std::size_t> from_counts;
+          for (int j = ch.ncols; j < ch.nrows(); ++j) {
+            // Only columns whose parent column I own can produce entries
+            // for me: quick reject via owner column coordinate.
+            for (int i = ch.ncols; i < ch.nrows(); ++i) {
+              if (lp.owner(pos[i], pos[j]) != me_) continue;
+              ++from_counts[lc.owner(i, j)];
+            }
+          }
+          // Deterministic order: ascending source rank (and this child
+          // before the next, preserving per-pair send order).
+          std::vector<std::pair<int, std::size_t>> sorted(from_counts.begin(),
+                                                          from_counts.end());
+          std::sort(sorted.begin(), sorted.end());
+          for (auto& [src, cnt] : sorted)
+            expected.emplace_back(src, cnt * sizeof(Entry));
+        }
+      }
+
+      plan.expected_rpcs = static_cast<int>(expected.size());
+      for (auto& [src, bytes] : expected) plan.recv_bytes_from[src] += bytes;
+
+      // alltoallv schedule over the parent team.
+      for (const auto& cp : plan.children)
+        for (const auto& bin : cp.bins)
+          plan.a2a_send[bin.dest - lp.team_lo] +=
+              bin.staged.size() * sizeof(Entry);
+      for (auto& [src, bytes] : expected)
+        plan.a2a_recv[src - lp.team_lo] += bytes;
+      plan.a2a_sdisp.assign(lp.nprocs(), 0);
+      plan.a2a_rdisp.assign(lp.nprocs(), 0);
+      for (int i = 1; i < lp.nprocs(); ++i) {
+        plan.a2a_sdisp[i] = plan.a2a_sdisp[i - 1] + plan.a2a_send[i - 1];
+        plan.a2a_rdisp[i] = plan.a2a_rdisp[i - 1] + plan.a2a_recv[i - 1];
+      }
+
+      // Stash exact per-message receive schedule for P2P in recv order.
+      plan.p2p_msgs = std::move(expected);
+
+      plans_.push_back(std::move(plan));
+    }
+  }
+  reset_values();
+  upcxx::barrier();
+}
+
+void EaddBench::fill_child_values(int fid) {
+  const auto& n = tree_.nodes[fid];
+  const auto& l = layouts_[fid];
+  if (!l.is_member(me_) || n.parent < 0) return;
+  std::vector<int> my_rows, my_cols;
+  owned_axis(l, me_, n.ncols, true, &my_rows);
+  owned_axis(l, me_, n.ncols, false, &my_cols);
+  auto& buf = local_[fid];
+  for (int j : my_cols)
+    for (int i : my_rows)
+      buf[l.local_offset(i, j, me_)] =
+          synth_value(fid, n.row_indices[i], n.row_indices[j]);
+}
+
+void EaddBench::reset_values() {
+  for (const auto& n : tree_.nodes) {
+    if (!layouts_[n.id].is_member(me_)) continue;
+    std::fill(local_[n.id].begin(), local_[n.id].end(), 0.0);
+  }
+  for (const auto& n : tree_.nodes) fill_child_values(n.id);
+  upcxx::barrier();
+}
+
+void EaddBench::accumulate(int fid, const Entry* entries, std::size_t n) {
+  const auto& l = layouts_[fid];
+  auto& buf = local_[fid];
+  for (std::size_t k = 0; k < n; ++k) {
+    buf[l.local_offset(entries[k].pi, entries[k].pj, me_)] += entries[k].v;
+  }
+}
+
+void EaddBench::gather_values(ChildPlan& cp) {
+  auto& src = local_[cp.child];
+  for (auto& bin : cp.bins) {
+    for (std::size_t k = 0; k < bin.src_off.size(); ++k)
+      bin.staged[k].v = src[bin.src_off[k]];
+  }
+}
+
+// ------------------------------------------------------------ RPC variant
+
+void EaddBench::do_eadd_rpc(ParentPlan& plan) {
+  // Paper Fig 7: e_add_prom pre-loaded with the expected RPC count (done for
+  // every plan at run() start, since contributions from fast peers can land
+  // before this rank reaches the plan), futures of issued RPCs conjoined,
+  // single wait on when_all of both.
+  upcxx::promise<>& prom = (*tls_proms)[plan.parent];
+  upcxx::future<> f_conj = upcxx::make_future();
+  for (auto& cp : plan.children) {
+    gather_values(cp);
+    for (auto& bin : cp.bins) {
+      auto v = upcxx::make_view(bin.staged.data(),
+                                bin.staged.data() + bin.staged.size());
+      auto fut = upcxx::rpc(
+          bin.dest,
+          [](int fid, upcxx::view<Entry> entries) {
+            tls_bench->accumulate(fid, entries.begin(), entries.size());
+            (*tls_proms)[fid].fulfill_anonymous(1);
+          },
+          plan.parent, v);
+      bytes_sent_ += bin.staged.size() * sizeof(Entry);
+      f_conj = upcxx::when_all(f_conj, fut);
+    }
+  }
+  upcxx::when_all(f_conj, prom.finalize()).wait();
+  tls_proms->erase(plan.parent);
+}
+
+// ------------------------------------------------------ Alltoallv variant
+
+void EaddBench::do_eadd_a2a(ParentPlan& plan) {
+  const auto& lp = layouts_[plan.parent];
+  const int G = lp.nprocs();
+  std::size_t send_total = plan.a2a_sdisp[G - 1] + plan.a2a_send[G - 1];
+  std::size_t recv_total = plan.a2a_rdisp[G - 1] + plan.a2a_recv[G - 1];
+  std::vector<std::byte> sendbuf(send_total), recvbuf(recv_total);
+  // Pack: per destination, child bins in (lchild, rchild) order.
+  std::vector<std::size_t> cursor = plan.a2a_sdisp;
+  for (auto& cp : plan.children) {
+    gather_values(cp);
+    for (auto& bin : cp.bins) {
+      const int g = bin.dest - lp.team_lo;
+      const std::size_t bytes = bin.staged.size() * sizeof(Entry);
+      std::memcpy(sendbuf.data() + cursor[g], bin.staged.data(), bytes);
+      cursor[g] += bytes;
+      bytes_sent_ += bytes;
+    }
+  }
+  minimpi::alltoallv_group(plan.team_members, sendbuf.data(),
+                           plan.a2a_send.data(), plan.a2a_sdisp.data(),
+                           recvbuf.data(), plan.a2a_recv.data(),
+                           plan.a2a_rdisp.data(),
+                           /*tag=*/0x40000 + plan.parent);
+  accumulate(plan.parent, reinterpret_cast<const Entry*>(recvbuf.data()),
+             recv_total / sizeof(Entry));
+}
+
+// ------------------------------------------------------------ P2P variant
+
+void EaddBench::do_eadd_p2p(ParentPlan& plan) {
+  const int tag = 0x80000 + plan.parent;
+  // Post exact-size receives first (sizes known from the symbolic phase,
+  // as in MUMPS), then fire nonblocking sends, then wait and accumulate.
+  std::vector<std::vector<std::byte>> rbufs(plan.p2p_msgs.size());
+  std::vector<minimpi::Request> reqs;
+  reqs.reserve(plan.p2p_msgs.size() * 2);
+  for (std::size_t m = 0; m < plan.p2p_msgs.size(); ++m) {
+    rbufs[m].resize(plan.p2p_msgs[m].second);
+    reqs.push_back(minimpi::irecv(rbufs[m].data(), rbufs[m].size(),
+                                  plan.p2p_msgs[m].first, tag));
+  }
+  for (auto& cp : plan.children) {
+    gather_values(cp);
+    for (auto& bin : cp.bins) {
+      const std::size_t bytes = bin.staged.size() * sizeof(Entry);
+      reqs.push_back(
+          minimpi::isend(bin.staged.data(), bytes, bin.dest, tag));
+      bytes_sent_ += bytes;
+    }
+  }
+  minimpi::waitall(reqs.data(), reqs.size());
+  for (std::size_t m = 0; m < plan.p2p_msgs.size(); ++m)
+    accumulate(plan.parent, reinterpret_cast<const Entry*>(rbufs[m].data()),
+               rbufs[m].size() / sizeof(Entry));
+}
+
+double EaddBench::run(EaddVariant v) {
+  tls_bench = this;
+  std::unordered_map<int, upcxx::promise<>> proms;
+  tls_proms = &proms;
+  if (v == EaddVariant::kUpcxxRpc) {
+    // e_add_prom registration must precede the barrier: once peers start,
+    // their RPCs may arrive for fronts this rank has not reached yet.
+    for (auto& plan : plans_)
+      proms[plan.parent].require_anonymous(plan.expected_rpcs);
+  }
+  bytes_sent_ = 0;
+  upcxx::barrier();
+  const double t0 = arch::now_s();
+  for (auto& plan : plans_) {
+    switch (v) {
+      case EaddVariant::kUpcxxRpc:
+        do_eadd_rpc(plan);
+        break;
+      case EaddVariant::kMpiAlltoallv:
+        do_eadd_a2a(plan);
+        break;
+      case EaddVariant::kMpiP2p:
+        do_eadd_p2p(plan);
+        break;
+    }
+  }
+  upcxx::barrier();
+  const double dt = arch::now_s() - t0;
+  tls_proms = nullptr;
+  return dt;
+}
+
+double EaddBench::local_checksum() const {
+  double sum = 0;
+  for (std::size_t f = 0; f < local_.size(); ++f) {
+    const auto& buf = local_[f];
+    for (std::size_t k = 0; k < buf.size(); ++k)
+      sum += buf[k] * (1.0 + static_cast<double>((k * 31 + f) % 101));
+  }
+  return sum;
+}
+
+}  // namespace sparse

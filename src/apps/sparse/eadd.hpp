@@ -1,0 +1,119 @@
+// Distributed extend-add (paper §IV-D-2, Figs 6-8).
+//
+// EaddBench owns the distributed frontal storage for one FrontalTree and
+// executes the full bottom-up extend-add traversal with any of the paper's
+// three communication strategies:
+//
+//   kUpcxxRpc      — the paper's Fig 7 code: pack per destination, one RPC
+//                    per (child, destination) carrying a upcxx::view of the
+//                    packed entries, futures conjoined with when_all, plus a
+//                    promise pre-loaded with the expected incoming-RPC count
+//                    (e_add_prom).
+//   kMpiAlltoallv  — STRUMPACK's strategy: one group alltoallv over the
+//                    parent front's team per extend-add.
+//   kMpiP2p        — MUMPS's strategy: nonblocking Isend/Irecv pairs with
+//                    exact sizes known from the symbolic phase.
+//
+// A symbolic phase (setup(), untimed — real solvers hoist this into symbolic
+// factorization) computes, per rank: packing item lists grouped by
+// destination and the expected incoming message/entry counts. The timed
+// phase is value packing + communication + accumulation only ("no
+// computation other than the accumulation of numerical values", §IV-D-3).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "apps/sparse/frontal.hpp"
+
+namespace sparse {
+
+enum class EaddVariant { kUpcxxRpc, kMpiAlltoallv, kMpiP2p };
+
+const char* variant_name(EaddVariant v);
+
+// One packed update entry: coordinates in the *parent's* local system plus
+// the value (the i1..i4 mapping of paper Fig 6).
+struct Entry {
+  std::int32_t pi;
+  std::int32_t pj;
+  double v;
+};
+static_assert(sizeof(Entry) == 16);
+
+class EaddBench {
+ public:
+  // Collective over all ranks. block: 2-D block-cyclic block size.
+  EaddBench(const FrontalTree& tree, int block = 32);
+  ~EaddBench();
+
+  // Symbolic phase: allocate local front storage, fill child F22 values,
+  // build packing lists and expected-receive tables. Collective.
+  void setup();
+
+  // Re-initializes numeric values (so repeated timed runs are identical).
+  // Collective.
+  void reset_values();
+
+  // One full bottom-up extend-add traversal. Collective; returns this
+  // rank's elapsed seconds (reduce to max for the reported figure).
+  double run(EaddVariant v);
+
+  // Local checksum of all front storage; combined with a reduction this
+  // verifies all variants produce identical numerics.
+  double local_checksum() const;
+
+  // Total bytes this rank sent during the last run (diagnostics).
+  std::uint64_t bytes_sent() const { return bytes_sent_; }
+
+  const FrontalTree& tree() const { return tree_; }
+  const Layout2D& layout(int fid) const { return layouts_[fid]; }
+
+  // Local dense storage of front fid (column-major; empty if not a member).
+  std::vector<double>& storage(int fid) { return local_[fid]; }
+
+  // Internal: RPC accumulate target (must be public for the dispatch).
+  void accumulate(int fid, const Entry* entries, std::size_t n);
+
+ private:
+  struct PackList {
+    int dest = -1;                    // world rank
+    std::vector<std::uint32_t> src_off;  // child-local offsets to gather
+    std::vector<Entry> staged;        // pi/pj prefilled; v gathered per run
+  };
+  struct ChildPlan {
+    int child = -1;
+    std::vector<PackList> bins;  // nonempty destinations only
+  };
+  struct ParentPlan {
+    int parent = -1;
+    std::vector<ChildPlan> children;   // plans where I own child data
+    // Receive expectations for me as a parent-team member:
+    int expected_rpcs = 0;                       // kUpcxxRpc
+    std::vector<std::size_t> recv_bytes_from;    // world-rank indexed
+    // alltoallv schedule (parent-team indexed):
+    std::vector<std::size_t> a2a_send, a2a_sdisp, a2a_recv, a2a_rdisp;
+    std::vector<int> team_members;
+    // Exact per-message receive schedule for P2P: (source world rank,
+    // bytes), in arrival order per source (lchild before rchild).
+    std::vector<std::pair<int, std::size_t>> p2p_msgs;
+  };
+
+  void fill_child_values(int fid);
+  void do_eadd_rpc(ParentPlan& plan);
+  void do_eadd_a2a(ParentPlan& plan);
+  void do_eadd_p2p(ParentPlan& plan);
+  void gather_values(ChildPlan& cp);
+
+  const FrontalTree& tree_;
+  int block_;
+  int me_ = -1;
+  std::vector<Layout2D> layouts_;
+  std::vector<std::vector<double>> local_;  // per front, my dense block
+  std::vector<ParentPlan> plans_;           // bottom-up order
+  std::uint64_t bytes_sent_ = 0;
+};
+
+}  // namespace sparse

@@ -1,0 +1,209 @@
+#include "apps/sparse/frontal.hpp"
+
+#include <numeric>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace sparse {
+namespace {
+
+// During structure generation, border entries are recorded as tokens
+// (pre-order node id, offset within that node's separator); global indices
+// are materialized afterwards so that separators can be numbered in
+// *postorder* — children eliminated before parents, giving every front a
+// sorted index list whose first ncols entries are its own separator (the
+// paper's F11-first convention) and a valid Cholesky elimination order.
+using Token = std::uint64_t;
+inline Token make_token(int pre_id, int k) {
+  return (static_cast<Token>(pre_id) << 32) | static_cast<std::uint32_t>(k);
+}
+inline int token_node(Token t) { return static_cast<int>(t >> 32); }
+inline int token_off(Token t) {
+  return static_cast<int>(t & 0xFFFFFFFFu);
+}
+
+struct ProtoNode {
+  int pre_id = -1;
+  int depth = 0;
+  int sep = 0;
+  std::vector<Token> border;
+  int lchild = -1, rchild = -1;  // postorder ids, filled on pop
+};
+
+struct Builder {
+  const TreeParams& p;
+  arch::Xoshiro256 rng;
+  std::vector<FrontNode>& nodes;            // postorder output
+  std::vector<int> pre_to_post;             // pre-order id -> postorder id
+  int next_pre = 0;
+
+  Builder(const TreeParams& p_, std::vector<FrontNode>& out)
+      : p(p_), rng(p_.seed), nodes(out) {}
+
+  // Returns the postorder id of the subtree root.
+  int build(double n_vertices, int depth, const std::vector<Token>& ancestors) {
+    const int pre_id = next_pre++;
+    pre_to_post.resize(next_pre, -1);
+
+    int sep = std::max(
+        p.min_sep,
+        static_cast<int>(p.sep_coeff * std::pow(n_vertices, 2.0 / 3.0)));
+    // Cap the separator so the border keeps its proportional share of the
+    // front-size budget (otherwise capped fronts would have empty borders
+    // and move no extend-add data).
+    const int sep_cap = std::max(
+        p.min_sep,
+        static_cast<int>(p.max_front / (1.0 + p.border_factor)));
+    sep = std::min(sep, sep_cap);
+
+    const int want_border = std::min(
+        static_cast<int>(ancestors.size()),
+        std::min(static_cast<int>(p.border_factor * sep), p.max_front - sep));
+
+    // Sample a subset of the ancestor tokens for the border, preserving
+    // order (biased sampling keeps nearer ancestors denser naturally since
+    // they dominate the candidate list).
+    std::vector<Token> border;
+    border.reserve(want_border);
+    if (want_border > 0) {
+      const double keep = static_cast<double>(want_border) /
+                          static_cast<double>(ancestors.size());
+      for (std::size_t i = 0; i < ancestors.size(); ++i) {
+        if (static_cast<int>(border.size()) >= want_border) break;
+        const std::size_t remaining = ancestors.size() - i;
+        const int need = want_border - static_cast<int>(border.size());
+        if (remaining <= static_cast<std::size_t>(need) ||
+            rng.next_double() < keep)
+          border.push_back(ancestors[i]);
+      }
+    }
+
+    int lpost = -1, rpost = -1;
+    if (depth + 1 < p.levels) {
+      // Children may reference this node's separator and its border.
+      std::vector<Token> child_anc;
+      child_anc.reserve(sep + border.size());
+      for (int k = 0; k < sep; ++k) child_anc.push_back(make_token(pre_id, k));
+      child_anc.insert(child_anc.end(), border.begin(), border.end());
+      lpost = build(n_vertices / 2.0, depth + 1, child_anc);
+      rpost = build(n_vertices / 2.0, depth + 1, child_anc);
+    }
+
+    FrontNode node;
+    node.depth = depth;
+    node.ncols = sep;
+    node.lchild = lpost;
+    node.rchild = rpost;
+    node.id = static_cast<int>(nodes.size());
+    if (lpost >= 0) nodes[lpost].parent = node.id;
+    if (rpost >= 0) nodes[rpost].parent = node.id;
+    // Stash the border tokens in row_indices temporarily (materialized in
+    // pass 2); encode as negative-free token values after separator count.
+    node.row_indices.assign(border.begin(), border.end());
+    nodes.push_back(std::move(node));
+    pre_to_post[pre_id] = nodes.back().id;
+    return nodes.back().id;
+  }
+};
+
+}  // namespace
+
+FrontalTree FrontalTree::synthetic(const TreeParams& p, int nranks) {
+  FrontalTree t;
+  t.nodes.reserve((std::size_t{1} << p.levels) - 1);
+  Builder b(p, t.nodes);
+  b.build(p.n_vertices, 0, {});
+
+  // Pass 2: number separators in postorder (== nodes order), then translate
+  // border tokens and sort. Children precede parents, so every border index
+  // (an ancestor separator entry) is numerically larger than the node's own
+  // separator — sorted row_indices put the separator first.
+  std::vector<std::int64_t> base(t.nodes.size());
+  std::int64_t counter = 0;
+  for (auto& n : t.nodes) {
+    base[n.id] = counter;
+    counter += n.ncols;
+  }
+  t.next_index_ = counter;
+  for (auto& n : t.nodes) {
+    std::vector<Token> tokens(n.row_indices.begin(), n.row_indices.end());
+    n.row_indices.clear();
+    n.row_indices.reserve(n.ncols + tokens.size());
+    for (int k = 0; k < n.ncols; ++k) n.row_indices.push_back(base[n.id] + k);
+    for (Token tok : tokens) {
+      const int post = b.pre_to_post[token_node(tok)];
+      n.row_indices.push_back(base[post] + token_off(tok));
+    }
+    std::sort(n.row_indices.begin(), n.row_indices.end());
+  }
+
+  t.proportional_map(t.root().id, 0, std::max(nranks, 1));
+  return t;
+}
+
+void FrontalTree::proportional_map(int node_id, int lo, int np) {
+  FrontNode& n = nodes[node_id];
+  n.team_lo = lo;
+  n.team_np = np;
+  if (n.lchild < 0) return;
+  if (np == 1) {
+    proportional_map(n.lchild, lo, 1);
+    proportional_map(n.rchild, lo, 1);
+    return;
+  }
+  // Split ranks proportionally to subtree cost (Pothen & Sun heuristic).
+  auto subtree_cost = [this](int id) {
+    double total = 0;
+    std::vector<int> stack{id};
+    while (!stack.empty()) {
+      int v = stack.back();
+      stack.pop_back();
+      total += nodes[v].cost();
+      if (nodes[v].lchild >= 0) {
+        stack.push_back(nodes[v].lchild);
+        stack.push_back(nodes[v].rchild);
+      }
+    }
+    return total;
+  };
+  const double cl = subtree_cost(n.lchild);
+  const double cr = subtree_cost(n.rchild);
+  int npl = static_cast<int>(std::round(np * cl / (cl + cr)));
+  npl = std::min(std::max(npl, 1), np - 1);
+  proportional_map(n.lchild, lo, npl);
+  proportional_map(n.rchild, lo + npl, np - npl);
+}
+
+bool FrontalTree::check_invariants() const {
+  std::unordered_set<std::int64_t> seps_seen;
+  for (const auto& n : nodes) {
+    if (n.ncols <= 0 || n.ncols > n.nrows()) return false;
+    // Sorted unique.
+    for (std::size_t i = 1; i < n.row_indices.size(); ++i)
+      if (n.row_indices[i - 1] >= n.row_indices[i]) return false;
+    // First ncols entries are this node's separator: globally unique.
+    for (int i = 0; i < n.ncols; ++i) {
+      if (!seps_seen.insert(n.row_indices[i]).second) return false;
+    }
+    // Border entries are strictly larger than the separator's last entry
+    // (ancestors are numbered after us in postorder).
+    for (int i = n.ncols; i < n.nrows(); ++i)
+      if (n.row_indices[i] <= n.row_indices[n.ncols - 1]) return false;
+    // Child borders contained in parent's index set.
+    if (n.parent >= 0) {
+      const auto& par = nodes[n.parent].row_indices;
+      for (int i = n.ncols; i < n.nrows(); ++i)
+        if (!std::binary_search(par.begin(), par.end(), n.row_indices[i]))
+          return false;
+      // Team containment.
+      const auto& p = nodes[n.parent];
+      if (n.team_lo < p.team_lo ||
+          n.team_lo + n.team_np > p.team_lo + p.team_np)
+        return false;
+    }
+    if (n.team_np < 1) return false;
+  }
+  return true;
+}
+
+}  // namespace sparse

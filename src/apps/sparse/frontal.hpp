@@ -1,0 +1,192 @@
+// Frontal-matrix tree model for the sparse-solver experiments (paper §IV-D).
+//
+// The paper uses the audikw_1 / Flan_1565 matrices with tree and distribution
+// data extracted from STRUMPACK. SuiteSparse is not redistributable offline,
+// so we generate a *synthetic nested-dissection model* with the same
+// governing structure (documented in DESIGN.md):
+//
+//   * a binary elimination tree; the separator of a subtree over N model
+//     vertices has |sep| ~ c * N^(2/3) (the 3-D nested-dissection law that
+//     audikw_1, an automotive FE mesh, follows);
+//   * each node's frontal matrix covers its separator columns plus a border
+//     of ancestor indices (so every child border index appears in its
+//     parent's index set — the invariant extend-add relies on);
+//   * fronts are assigned to contiguous rank ranges by *proportional
+//     mapping* [Pothen & Sun], splitting ranks between siblings by subtree
+//     cost, and distributed 2-D block-cyclic within each range (§IV-D-1).
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "arch/rng.hpp"
+
+namespace sparse {
+
+// One frontal matrix F partitioned as [F11 F12; F21 F22] (paper §IV-D-1):
+// the first `ncols` of row_indices are this front's (eliminated) separator
+// columns; the remainder is the border, updating ancestors via extend-add.
+struct FrontNode {
+  int id = -1;
+  int parent = -1;
+  int lchild = -1;
+  int rchild = -1;
+  int depth = 0;
+
+  // Sorted global indices; [0, ncols) = separator, [ncols, n) = border.
+  std::vector<std::int64_t> row_indices;
+  int ncols = 0;
+
+  // Proportional-mapping assignment: contiguous world ranks
+  // [team_lo, team_lo + team_np).
+  int team_lo = 0;
+  int team_np = 1;
+
+  int nrows() const { return static_cast<int>(row_indices.size()); }
+  int border() const { return nrows() - ncols; }
+  // Dense work estimate (partial factorization of this front).
+  double cost() const {
+    const double m = nrows(), k = ncols;
+    return k * k * k / 3.0 + k * k * (m - k) + k * (m - k) * (m - k);
+  }
+};
+
+struct TreeParams {
+  int levels = 8;            // tree depth; 2^levels - 1 nodes
+  double n_vertices = 1e6;   // model mesh size at the root (audikw_1 ~ 1e6)
+  double sep_coeff = 1.0;    // c in |sep| = c * N^(2/3)
+  int min_sep = 6;           // floor on separator size
+  double border_factor = 1.8;  // |border| ~ factor * |sep|
+  std::uint64_t seed = 12345;
+  int max_front = 4096;      // cap on front size (memory guard)
+};
+
+class FrontalTree {
+ public:
+  // Nodes are stored in postorder (children before parents; root last).
+  std::vector<FrontNode> nodes;
+
+  const FrontNode& root() const { return nodes.back(); }
+
+  // Postorder ids of nodes at each depth, deepest level first — the
+  // bottom-up traversal schedule of the numeric factorization.
+  std::vector<std::vector<int>> levels_bottom_up() const {
+    int maxd = 0;
+    for (const auto& n : nodes) maxd = std::max(maxd, n.depth);
+    std::vector<std::vector<int>> out(maxd + 1);
+    for (const auto& n : nodes) out[maxd - n.depth].push_back(n.id);
+    return out;
+  }
+
+  std::int64_t total_indices() const { return next_index_; }
+
+  // Generates the synthetic model and assigns ranks by proportional mapping
+  // over `nranks` ranks.
+  static FrontalTree synthetic(const TreeParams& p, int nranks);
+
+  // For tests: verify structural invariants (sorted unique indices; child
+  // borders contained in parent's index set; separators globally disjoint).
+  bool check_invariants() const;
+
+ private:
+  std::int64_t next_index_ = 0;
+
+  int build(const TreeParams& p, arch::Xoshiro256& rng, double n_vertices,
+            int depth, const std::vector<std::int64_t>& ancestors);
+  void proportional_map(int node, int lo, int np);
+};
+
+// ---------------------------------------------------------------- Layout2D
+
+// 2-D block-cyclic distribution of an nrows x nrows front over a pr x pc
+// process grid drawn from the contiguous world-rank range [team_lo, ..)
+// (paper: "distributed in a 2D block-cyclic manner with a fixed block size").
+struct Layout2D {
+  int n = 0;        // matrix dimension (front nrows)
+  int block = 32;   // block size
+  int pr = 1, pc = 1;
+  int team_lo = 0;
+
+  static Layout2D make(int n, int team_lo, int team_np, int block = 32) {
+    Layout2D l;
+    l.n = n;
+    l.block = block;
+    l.team_lo = team_lo;
+    // Squarish grid: pr * pc == team_np, pr <= pc.
+    int pr = static_cast<int>(std::sqrt(static_cast<double>(team_np)));
+    while (team_np % pr != 0) --pr;
+    l.pr = pr;
+    l.pc = team_np / pr;
+    return l;
+  }
+
+  int nprocs() const { return pr * pc; }
+
+  // World rank owning entry (i, j).
+  int owner(int i, int j) const {
+    const int bi = (i / block) % pr;
+    const int bj = (j / block) % pc;
+    return team_lo + bi * pc + bj;
+  }
+
+  // numroc: number of rows/cols of the global dimension owned by grid
+  // coordinate `coord` out of `nproc` along that axis.
+  int numroc(int coord, int nproc) const {
+    const int nblocks = (n + block - 1) / block;
+    int full = nblocks / nproc;
+    int extra = nblocks % nproc;
+    int mine = full + (coord < extra ? 1 : 0);
+    int len = mine * block;
+    // Trim the trailing partial block if I own the last block.
+    const int last_block_owner = (nblocks - 1) % nproc;
+    if (coord == last_block_owner) len -= nblocks * block - n;
+    return std::max(len, 0);
+  }
+
+  // Local row/col index of a global index for its owning coordinate.
+  int local_of(int g, int nproc) const {
+    const int b = g / block;
+    return (b / nproc) * block + g % block;
+  }
+
+  // Grid coordinates of a world rank in this layout.
+  void coords(int world_rank, int* row, int* col) const {
+    const int r = world_rank - team_lo;
+    *row = r / pc;
+    *col = r % pc;
+  }
+
+  // Local dense storage extent for a world rank (rows x cols).
+  std::pair<int, int> local_extent(int world_rank) const {
+    int r, c;
+    coords(world_rank, &r, &c);
+    return {numroc(r, pr), numroc(c, pc)};
+  }
+
+  // Local linear offset (column-major) of global (i, j) on its owner.
+  std::size_t local_offset(int i, int j, int world_rank) const {
+    int r, c;
+    coords(world_rank, &r, &c);
+    const int li = local_of(i, pr);
+    const int lj = local_of(j, pc);
+    return static_cast<std::size_t>(lj) * numroc(r, pr) + li;
+  }
+
+  bool is_member(int world_rank) const {
+    return world_rank >= team_lo && world_rank < team_lo + nprocs();
+  }
+};
+
+// Deterministic synthetic value of child contribution entry (gi, gj) from
+// front `fid` — lets every variant and the serial oracle agree exactly.
+inline double synth_value(int fid, std::int64_t gi, std::int64_t gj) {
+  std::uint64_t s = static_cast<std::uint64_t>(fid) * 0x9E3779B97F4A7C15ull ^
+                    static_cast<std::uint64_t>(gi) * 0xBF58476D1CE4E5B9ull ^
+                    static_cast<std::uint64_t>(gj) * 0x94D049BB133111EBull;
+  return static_cast<double>(arch::splitmix64(s) >> 11) * 0x1.0p-53 - 0.5;
+}
+
+}  // namespace sparse

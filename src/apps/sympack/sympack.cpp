@@ -1,0 +1,237 @@
+#include "apps/sympack/sympack.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <cstring>
+
+#include "arch/timer.hpp"
+#include "oldupcxx/oldupcxx.hpp"
+#include "upcxx/upcxx.hpp"
+
+namespace sympack {
+
+const char* api_name(Api a) {
+  return a == Api::kV10 ? "UPC++ v1.0 (futures)" : "UPC++ v0.1 (events)";
+}
+
+double matrix_entry(std::int64_t gi, std::int64_t gj) {
+  std::uint64_t s = static_cast<std::uint64_t>(gi) * 0x9E3779B97F4A7C15ull ^
+                    static_cast<std::uint64_t>(gj) * 0xD1B54A32D192ED03ull;
+  return static_cast<double>(arch::splitmix64(s) >> 11) * 0x1.0p-53 - 0.5;
+}
+
+namespace {
+thread_local Solver* tls_solver = nullptr;
+}
+
+Solver::Solver(const sparse::FrontalTree& tree)
+    : tree_(tree), me_(upcxx::rank_me()) {
+  fronts_.resize(tree_.nodes.size());
+  expected_.assign(tree_.nodes.size(), 0);
+  received_.assign(tree_.nodes.size(), 0);
+}
+
+Solver::~Solver() {
+  if (tls_solver == this) tls_solver = nullptr;
+}
+
+void Solver::setup() {
+  tls_solver = this;
+  // Row nonzero weights for the dominant diagonal: every rank computes the
+  // full vector (structure is global knowledge; values are deterministic).
+  row_weight_.assign(static_cast<std::size_t>(tree_.total_indices()), 0.0);
+  for (const auto& f : tree_.nodes) {
+    for (int j = 0; j < f.ncols; ++j) {
+      for (int i = j + 1; i < f.nrows(); ++i) {
+        row_weight_[f.row_indices[i]] += 1.0;
+        row_weight_[f.row_indices[j]] += 1.0;
+      }
+    }
+  }
+  for (const auto& f : tree_.nodes) {
+    if (owner(f.id) != me_) continue;
+    fronts_[f.id].assign(
+        static_cast<std::size_t>(f.nrows()) * f.nrows(), 0.0);
+    expected_[f.id] = (f.lchild >= 0) ? 2 : 0;
+  }
+  std::fill(received_.begin(), received_.end(), 0);
+  upcxx::barrier();
+}
+
+void Solver::assemble_original(int fid) {
+  const auto& f = tree_.nodes[fid];
+  auto& buf = fronts_[fid];
+  const int n = f.nrows();
+  for (int j = 0; j < f.ncols; ++j) {
+    const std::int64_t gj = f.row_indices[j];
+    buf[static_cast<std::size_t>(j) * n + j] +=
+        1.0 + 0.6 * row_weight_[gj];
+    for (int i = j + 1; i < n; ++i) {
+      buf[static_cast<std::size_t>(j) * n + i] +=
+          matrix_entry(f.row_indices[i], gj);
+    }
+  }
+}
+
+void Solver::partial_factor(int fid) {
+  // Right-looking dense partial Cholesky of the separator columns; the
+  // trailing (border x border) block becomes the Schur complement shipped to
+  // the parent. Lower triangle, column-major.
+  const auto& f = tree_.nodes[fid];
+  auto& a = fronts_[fid];
+  const int n = f.nrows();
+  for (int k = 0; k < f.ncols; ++k) {
+    double* ck = &a[static_cast<std::size_t>(k) * n];
+    assert(ck[k] > 0 && "front lost positive definiteness");
+    const double pivot = std::sqrt(ck[k]);
+    ck[k] = pivot;
+    for (int i = k + 1; i < n; ++i) ck[i] /= pivot;
+    for (int j = k + 1; j < n; ++j) {
+      const double ljk = ck[j];
+      if (ljk == 0.0) continue;
+      double* cj = &a[static_cast<std::size_t>(j) * n];
+      for (int i = j; i < n; ++i) cj[i] -= ck[i] * ljk;
+    }
+  }
+}
+
+void Solver::accum_contribution(int child_fid, const double* values,
+                                std::size_t n) {
+  const auto& ch = tree_.nodes[child_fid];
+  const auto& par = tree_.nodes[ch.parent];
+  const int b = ch.border();
+  assert(n == static_cast<std::size_t>(b) * b);
+  (void)n;
+  // Child border position -> parent position.
+  std::vector<int> pos(b);
+  {
+    std::size_t j = 0;
+    for (int i = 0; i < b; ++i) {
+      const std::int64_t g = ch.row_indices[ch.ncols + i];
+      while (j < par.row_indices.size() && par.row_indices[j] < g) ++j;
+      assert(j < par.row_indices.size() && par.row_indices[j] == g);
+      pos[i] = static_cast<int>(j);
+    }
+  }
+  auto& buf = fronts_[ch.parent];
+  const int pn = par.nrows();
+  for (int j = 0; j < b; ++j) {
+    for (int i = j; i < b; ++i) {  // lower triangle only
+      buf[static_cast<std::size_t>(pos[j]) * pn + pos[i]] +=
+          values[static_cast<std::size_t>(j) * b + i];
+    }
+  }
+}
+
+void Solver::note_contribution(int parent_fid) { ++received_[parent_fid]; }
+
+void Solver::send_contribution_v10(int fid) {
+  const auto& f = tree_.nodes[fid];
+  const int b = f.border();
+  const int n = f.nrows();
+  // Pack the (border x border) trailing block, column-major.
+  std::vector<double> f22(static_cast<std::size_t>(b) * b);
+  for (int j = 0; j < b; ++j)
+    std::memcpy(&f22[static_cast<std::size_t>(j) * b],
+                &fronts_[fid][static_cast<std::size_t>(f.ncols + j) * n +
+                              f.ncols],
+                static_cast<std::size_t>(b) * sizeof(double));
+  // v1.0: one RPC with a zero-copy view; the target accumulates and counts.
+  upcxx::rpc(
+      owner(f.parent),
+      [](int child, upcxx::view<double> vals) {
+        tls_solver->accum_contribution(child, vals.begin(), vals.size());
+        tls_solver->note_contribution(
+            tls_solver->tree().nodes[child].parent);
+      },
+      fid, upcxx::make_view(f22.data(), f22.data() + f22.size()))
+      .wait();
+}
+
+void Solver::send_contribution_v01(int fid) {
+  const auto& f = tree_.nodes[fid];
+  const int b = f.border();
+  const int n = f.nrows();
+  const std::size_t cnt = static_cast<std::size_t>(b) * b;
+  // v0.1: events carry no payloads, so data goes through a blocking remote
+  // allocation + copy, then an async installs and signals (§V-A's critique).
+  auto stage = upcxx::allocate<double>(cnt);
+  for (int j = 0; j < b; ++j)
+    std::memcpy(stage.local() + static_cast<std::size_t>(j) * b,
+                &fronts_[fid][static_cast<std::size_t>(f.ncols + j) * n +
+                              f.ncols],
+                static_cast<std::size_t>(b) * sizeof(double));
+  auto remote = oldupcxx::allocate<double>(owner(f.parent), cnt);
+  oldupcxx::copy(stage, remote, cnt);
+  upcxx::deallocate(stage);
+  oldupcxx::event done;
+  oldupcxx::async(owner(f.parent), &done)(
+      [](int child, upcxx::global_ptr<double> buf, std::uint64_t n) {
+        tls_solver->accum_contribution(child, buf.local(),
+                                       static_cast<std::size_t>(n));
+        tls_solver->note_contribution(
+            tls_solver->tree().nodes[child].parent);
+        upcxx::deallocate(buf);
+      },
+      fid, remote, static_cast<std::uint64_t>(cnt));
+  done.wait();
+}
+
+double Solver::factorize(Api api) {
+  tls_solver = this;
+  upcxx::barrier();
+  const double t0 = arch::now_s();
+  // Postorder = storage order; process my fronts, waiting for children.
+  for (const auto& f : tree_.nodes) {
+    if (owner(f.id) != me_) continue;
+    while (received_[f.id] < expected_[f.id]) upcxx::progress();
+    assemble_original(f.id);
+    partial_factor(f.id);
+    if (f.parent >= 0) {
+      if (api == Api::kV10)
+        send_contribution_v10(f.id);
+      else
+        send_contribution_v01(f.id);
+    }
+  }
+  upcxx::barrier();
+  return arch::now_s() - t0;
+}
+
+double Solver::factor_entry(int fid, int i, int j) const {
+  const auto& f = tree_.nodes[fid];
+  return fronts_[fid][static_cast<std::size_t>(j) * f.nrows() + i];
+}
+
+double Solver::local_checksum() const {
+  double sum = 0;
+  for (const auto& f : tree_.nodes) {
+    if (owner(f.id) != me_ || fronts_[f.id].empty()) continue;
+    const int n = f.nrows();
+    for (int j = 0; j < f.ncols; ++j)
+      for (int i = j; i < n; ++i)
+        sum += fronts_[f.id][static_cast<std::size_t>(j) * n + i] *
+               (1.0 + ((i * 131 + j * 17 + f.id) % 97));
+  }
+  return sum;
+}
+
+std::vector<double> Solver::assemble_dense() const {
+  const auto n = static_cast<std::size_t>(tree_.total_indices());
+  std::vector<double> a(n * n, 0.0);
+  for (const auto& f : tree_.nodes) {
+    for (int j = 0; j < f.ncols; ++j) {
+      const std::int64_t gj = f.row_indices[j];
+      a[static_cast<std::size_t>(gj) * n + gj] += 1.0 + 0.6 * row_weight_[gj];
+      for (int i = j + 1; i < f.nrows(); ++i) {
+        const std::int64_t gi = f.row_indices[i];
+        const double v = matrix_entry(gi, gj);
+        a[static_cast<std::size_t>(gj) * n + gi] += v;
+        a[static_cast<std::size_t>(gi) * n + gj] += v;
+      }
+    }
+  }
+  return a;
+}
+
+}  // namespace sympack

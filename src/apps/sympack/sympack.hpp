@@ -1,0 +1,91 @@
+// mini-symPACK: a multifrontal sparse Cholesky factorization (paper
+// §IV-D-4, Fig 9).
+//
+// symPACK is a direct solver for sparse symmetric matrices; the paper's
+// experiment ports it from UPC++ v0.1 (asyncs + events) to v1.0 (RPCs +
+// futures) and shows the two perform identically — i.e. the redesigned
+// asynchrony machinery adds no measurable overhead. We reproduce that with a
+// compact multifrontal right-looking Cholesky over the synthetic frontal
+// tree (frontal.hpp):
+//
+//   * fronts are mapped to owner ranks by proportional mapping (the leader
+//     of each front's rank group);
+//   * each front assembles its original-matrix entries plus both children's
+//     Schur complements (extend-add), then performs a dense partial
+//     factorization of its separator columns;
+//   * the F22 Schur complement travels to the parent's owner with either
+//     - kV10: one rpc carrying a upcxx::view of the values, completion
+//       tracked by a per-front promise (e_add_prom idiom), or
+//     - kV01: the v0.1 sequence — blocking remote allocation, blocking
+//       copy into it, then an async that accumulates and a polled counter
+//       (events cannot carry values, so data and signal travel separately).
+//
+// The synthetic matrix is symmetric positive definite by diagonal dominance
+// (diag = 1 + 0.6 * row nonzero count), and the factorization is exact w.r.t.
+// a dense reference Cholesky (tests/test_sympack.cpp).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "apps/sparse/frontal.hpp"
+
+namespace sympack {
+
+enum class Api { kV10, kV01 };
+const char* api_name(Api a);
+
+// Deterministic symmetric original-matrix entry for global (gi, gj), gi>gj.
+double matrix_entry(std::int64_t gi, std::int64_t gj);
+
+class Solver {
+ public:
+  // Collective. The tree provides structure and the owner map.
+  explicit Solver(const sparse::FrontalTree& tree);
+  ~Solver();
+
+  int owner(int fid) const { return tree_.nodes[fid].team_lo; }
+
+  // Collective: allocates owned fronts, computes row counts for the SPD
+  // diagonal, zeroes numerics.
+  void setup();
+
+  // Collective: full numeric factorization with the chosen API flavor.
+  // Returns this rank's elapsed seconds.
+  double factorize(Api api);
+
+  // After factorize: L(i, j) for a front's local coordinates (column j must
+  // be one of the front's separator columns). Used by tests.
+  double factor_entry(int fid, int i, int j) const;
+
+  // Deterministic checksum over owned factor columns (for cross-API
+  // equality checks).
+  double local_checksum() const;
+
+  // Dense assembled matrix (for the reference Cholesky in tests). Only
+  // sensible for small trees; n = tree.total_indices().
+  std::vector<double> assemble_dense() const;
+
+  const sparse::FrontalTree& tree() const { return tree_; }
+
+  // Internal (RPC/asynch targets).
+  void accum_contribution(int child_fid, const double* values, std::size_t n);
+  void note_contribution(int parent_fid);
+
+ private:
+  void assemble_original(int fid);
+  void partial_factor(int fid);
+  void send_contribution_v10(int fid);
+  void send_contribution_v01(int fid);
+
+  const sparse::FrontalTree& tree_;
+  int me_ = -1;
+  // Owned fronts: dense column-major nrows x nrows buffers.
+  std::vector<std::vector<double>> fronts_;
+  std::vector<int> expected_;              // contributions expected per front
+  std::vector<int> received_;              // arrived so far (v0.1 polling)
+  std::vector<double> row_weight_;         // nonzeros per global row (diag)
+};
+
+}  // namespace sympack

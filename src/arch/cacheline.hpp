@@ -1,0 +1,35 @@
+// Cache-line geometry and alignment helpers shared by all concurrent
+// data structures in the runtime.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace arch {
+
+// GCC 12 on x86-64 does not reliably expose
+// std::hardware_destructive_interference_size without -Winterference-size
+// noise, so we pin the conventional value for the platforms we support
+// (x86-64 and aarch64 both use 64-byte lines; aarch64 prefetchers pull pairs,
+// so 128 is the safe destructive distance).
+#if defined(__aarch64__)
+inline constexpr std::size_t cacheline_size = 128;
+#else
+inline constexpr std::size_t cacheline_size = 64;
+#endif
+
+// Rounds n up to the next multiple of a (a must be a power of two).
+constexpr std::size_t align_up(std::size_t n, std::size_t a) {
+  return (n + a - 1) & ~(a - 1);
+}
+
+constexpr bool is_pow2(std::size_t n) { return n != 0 && (n & (n - 1)) == 0; }
+
+// A value padded to its own cache line, preventing false sharing between
+// adjacent per-rank counters in the shared arena.
+template <typename T>
+struct alignas(cacheline_size) Padded {
+  T value{};
+};
+
+}  // namespace arch

@@ -1,0 +1,53 @@
+// Deterministic, fast PRNG for workload generators (splitmix64 seeding a
+// xoshiro256**). Workloads must be reproducible across runs and independent
+// of libstdc++'s distribution implementations, so we keep our own.
+#pragma once
+
+#include <cstdint>
+
+namespace arch {
+
+inline std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+class Xoshiro256 {
+ public:
+  explicit Xoshiro256(std::uint64_t seed = 0x853c49e6748fea9bULL) {
+    std::uint64_t sm = seed;
+    for (auto& w : s_) w = splitmix64(sm);
+  }
+
+  std::uint64_t next() {
+    auto rotl = [](std::uint64_t x, int k) {
+      return (x << k) | (x >> (64 - k));
+    };
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  // Uniform integer in [0, bound). Uses the widening-multiply trick; the tiny
+  // modulo bias is irrelevant for workload generation.
+  std::uint64_t next_below(std::uint64_t bound) {
+    return static_cast<std::uint64_t>(
+        (static_cast<__uint128_t>(next()) * bound) >> 64);
+  }
+
+  // Uniform double in [0, 1).
+  double next_double() { return static_cast<double>(next() >> 11) * 0x1.0p-53; }
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace arch

@@ -1,0 +1,120 @@
+// Move-only type-erased callable with small-buffer optimization.
+//
+// The futures layer queues large numbers of short-lived callbacks; using
+// std::function there would force copyability on captured move-only state
+// (promises, buffers) and adds an allocation for every lambda beyond two
+// words. UniqueFunction keeps the common callback (a couple of captured
+// pointers) inline.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace arch {
+
+template <typename Sig, std::size_t InlineSize = 48>
+class UniqueFunction;
+
+template <typename R, typename... A, std::size_t InlineSize>
+class UniqueFunction<R(A...), InlineSize> {
+ public:
+  UniqueFunction() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, UniqueFunction> &&
+                std::is_invocable_r_v<R, std::decay_t<F>&, A...>>>
+  UniqueFunction(F&& f) {  // NOLINT(google-explicit-constructor)
+    using D = std::decay_t<F>;
+    if constexpr (sizeof(D) <= InlineSize &&
+                  alignof(D) <= alignof(std::max_align_t) &&
+                  std::is_nothrow_move_constructible_v<D>) {
+      ::new (static_cast<void*>(buf_)) D(std::forward<F>(f));
+      inline_ = true;
+    } else {
+      heap_ = new D(std::forward<F>(f));
+    }
+    vt_ = &vtable_for<D>;
+  }
+
+  UniqueFunction(UniqueFunction&& o) noexcept { move_from(o); }
+
+  UniqueFunction& operator=(UniqueFunction&& o) noexcept {
+    if (this != &o) {
+      reset();
+      move_from(o);
+    }
+    return *this;
+  }
+
+  UniqueFunction(const UniqueFunction&) = delete;
+  UniqueFunction& operator=(const UniqueFunction&) = delete;
+
+  ~UniqueFunction() { reset(); }
+
+  explicit operator bool() const { return vt_ != nullptr; }
+
+  R operator()(A... args) {
+    return vt_->invoke(target(), std::forward<A>(args)...);
+  }
+
+  void reset() {
+    if (vt_) {
+      vt_->destroy(target(), inline_);
+      vt_ = nullptr;
+      inline_ = false;
+      heap_ = nullptr;
+    }
+  }
+
+ private:
+  struct VTable {
+    R (*invoke)(void*, A&&...);
+    void (*destroy)(void*, bool is_inline);
+    void (*relocate)(void* dst, void* src);  // move-construct + destroy src
+  };
+
+  template <typename D>
+  static constexpr VTable vtable_for = {
+      +[](void* p, A&&... args) -> R {
+        return (*static_cast<D*>(p))(std::forward<A>(args)...);
+      },
+      +[](void* p, bool is_inline) {
+        if (is_inline)
+          static_cast<D*>(p)->~D();
+        else
+          delete static_cast<D*>(p);
+      },
+      +[](void* dst, void* src) {
+        ::new (dst) D(std::move(*static_cast<D*>(src)));
+        static_cast<D*>(src)->~D();
+      },
+  };
+
+  void* target() { return inline_ ? static_cast<void*>(buf_) : heap_; }
+
+  void move_from(UniqueFunction& o) noexcept {
+    vt_ = o.vt_;
+    inline_ = o.inline_;
+    if (inline_) {
+      vt_->relocate(buf_, o.buf_);
+    } else {
+      heap_ = o.heap_;
+    }
+    o.vt_ = nullptr;
+    o.inline_ = false;
+    o.heap_ = nullptr;
+  }
+
+  const VTable* vt_ = nullptr;
+  bool inline_ = false;
+  union {
+    void* heap_ = nullptr;
+    alignas(std::max_align_t) unsigned char buf_[InlineSize];
+  };
+};
+
+}  // namespace arch

@@ -1,0 +1,73 @@
+// Test-and-test-and-set spinlock with exponential backoff.
+//
+// Used for the short critical sections in the shared arena (AM ring
+// reservation, shared-heap allocation). A futex-based mutex is not usable
+// there: the arena is shared across forked processes in the process backend,
+// and we want identical behaviour in both backends. Critical sections are a
+// few dozen instructions, so spinning is the right tool (see the concurrency
+// guidance in the C++ Core Guidelines: keep lock scopes minimal and visible).
+#pragma once
+
+#include <atomic>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#endif
+
+namespace arch {
+
+inline void cpu_relax() {
+#if defined(__x86_64__) || defined(__i386__)
+  _mm_pause();
+#elif defined(__aarch64__)
+  asm volatile("yield" ::: "memory");
+#else
+  std::atomic_signal_fence(std::memory_order_seq_cst);
+#endif
+}
+
+class Spinlock {
+ public:
+  Spinlock() = default;
+  Spinlock(const Spinlock&) = delete;
+  Spinlock& operator=(const Spinlock&) = delete;
+
+  void lock() noexcept {
+    // Fast path: uncontended acquire.
+    if (!flag_.exchange(true, std::memory_order_acquire)) return;
+    int backoff = 1;
+    for (;;) {
+      // Spin on a plain load to keep the line shared until it looks free.
+      while (flag_.load(std::memory_order_relaxed)) {
+        for (int i = 0; i < backoff; ++i) cpu_relax();
+        if (backoff < 64) backoff <<= 1;
+      }
+      if (!flag_.exchange(true, std::memory_order_acquire)) return;
+    }
+  }
+
+  bool try_lock() noexcept {
+    return !flag_.load(std::memory_order_relaxed) &&
+           !flag_.exchange(true, std::memory_order_acquire);
+  }
+
+  void unlock() noexcept { flag_.store(false, std::memory_order_release); }
+
+ private:
+  std::atomic<bool> flag_{false};
+};
+
+// RAII guard, analogous to std::lock_guard but usable with Spinlock in
+// shared (cross-process) memory.
+class SpinGuard {
+ public:
+  explicit SpinGuard(Spinlock& l) : l_(l) { l_.lock(); }
+  ~SpinGuard() { l_.unlock(); }
+  SpinGuard(const SpinGuard&) = delete;
+  SpinGuard& operator=(const SpinGuard&) = delete;
+
+ private:
+  Spinlock& l_;
+};
+
+}  // namespace arch

@@ -1,0 +1,118 @@
+#include "gex/am.hpp"
+
+#include <cassert>
+#include <cstring>
+
+#include "arch/timer.hpp"
+
+namespace gex {
+
+AmEngine::SendBuf AmEngine::prepare(int target, AmHandler h, std::size_t n) {
+  assert(target >= 0 && target < arena_->nranks());
+  SendBuf sb;
+  sb.size = n;
+  sb.target = target;
+  sb.handler = h;
+  auto& ring = arena_->inbox(target);
+  if (n <= eager_max_) {
+    for (;;) {
+      auto t = ring.try_reserve(sizeof(WireHeader) + n);
+      if (t.payload) {
+        sb.ticket = t;
+        sb.data = static_cast<std::byte*>(t.payload) + sizeof(WireHeader);
+        return sb;
+      }
+      // Target ring full: drain our own inbox so a cyclic backlog cannot
+      // deadlock, then retry.
+      ++stats_.send_stalls;
+      poll();
+      arch::cpu_relax();
+    }
+  }
+  // Rendezvous: payload goes to the shared heap; the ring only carries a
+  // descriptor.
+  sb.rendezvous = true;
+  for (;;) {
+    void* buf = arena_->heap().allocate(n);
+    if (buf) {
+      sb.data = buf;
+      return sb;
+    }
+    ++stats_.send_stalls;
+    poll();  // receivers free rendezvous buffers as they drain
+    arch::cpu_relax();
+  }
+}
+
+void AmEngine::commit(SendBuf& sb) {
+  if (!sb.rendezvous) {
+    auto* wh = reinterpret_cast<WireHeader*>(
+        static_cast<std::byte*>(sb.data) - sizeof(WireHeader));
+    wh->handler = sb.handler;
+    wh->src = me_;
+    wh->flags = 0;
+    wh->send_ns = arch::now_ns();
+    arch::MpscByteRing::commit(sb.ticket);
+    ++stats_.sent_eager;
+    return;
+  }
+  auto& ring = arena_->inbox(sb.target);
+  for (;;) {
+    auto t = ring.try_reserve(sizeof(WireHeader) + sizeof(RdzvDesc));
+    if (t.payload) {
+      auto* wh = static_cast<WireHeader*>(t.payload);
+      wh->handler = sb.handler;
+      wh->src = me_;
+      wh->flags = 1;
+      wh->send_ns = arch::now_ns();
+      auto* d = reinterpret_cast<RdzvDesc*>(wh + 1);
+      d->buf = sb.data;
+      d->size = sb.size;
+      arch::MpscByteRing::commit(t);
+      ++stats_.sent_rendezvous;
+      return;
+    }
+    ++stats_.send_stalls;
+    poll();
+    arch::cpu_relax();
+  }
+}
+
+void AmEngine::send(int target, AmHandler h, const void* data,
+                    std::size_t n) {
+  SendBuf sb = prepare(target, h, n);
+  if (n) std::memcpy(sb.data, data, n);
+  commit(sb);
+}
+
+int AmEngine::poll(int max_msgs) {
+  int handled = 0;
+  auto& ring = arena_->inbox(me_);
+  while (handled < max_msgs) {
+    bool got = ring.try_consume([&](void* rec, std::size_t rec_size) {
+      auto* wh = static_cast<WireHeader*>(rec);
+      AmContext cx;
+      cx.engine = this;
+      cx.src = wh->src;
+      cx.send_ns = wh->send_ns;
+      if (wh->flags & 1) {
+        auto* d = reinterpret_cast<RdzvDesc*>(wh + 1);
+        cx.data = d->buf;
+        cx.size = static_cast<std::size_t>(d->size);
+        cx.is_rendezvous = true;
+        wh->handler(cx);
+        if (!cx.adopted) arena_->heap().deallocate(d->buf);
+      } else {
+        cx.data = wh + 1;
+        cx.size = rec_size - sizeof(WireHeader);
+        wh->handler(cx);
+      }
+    });
+    if (!got) break;
+    ++handled;
+    ++stats_.received;
+  }
+  return handled;
+}
+
+}  // namespace gex

@@ -1,0 +1,112 @@
+// Active-message engine: the substrate's counterpart of GASNet-EX AMs.
+//
+// Messages carry a handler function pointer plus an opaque payload. Payloads
+// up to Config::eager_max travel inline through the target's inbox ring
+// ("eager"); larger payloads are written to the global shared heap and only a
+// descriptor goes through the ring ("rendezvous") — the same two-protocol
+// split real conduits use, and the subject of the abl_am_protocol bench.
+//
+// Handler rules (same as GASNet): handlers run inside poll() on the target
+// rank, must not block and must not initiate communication. For eager
+// messages the payload lives in ring memory and must be consumed before the
+// handler returns; rendezvous handlers may adopt() the heap buffer and free
+// it later with release_rendezvous().
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "arch/ring.hpp"
+#include "gex/arena.hpp"
+
+namespace gex {
+
+class AmEngine;
+
+struct AmContext {
+  AmEngine* engine = nullptr;
+  int src = -1;             // sender world rank
+  void* data = nullptr;     // payload bytes
+  std::size_t size = 0;     // payload byte count
+  std::uint64_t send_ns = 0;  // send timestamp (drives simulated latency)
+  bool is_rendezvous = false;
+
+  // Takes ownership of a rendezvous buffer; the engine will not free it.
+  // Invalid for eager messages (their storage is the ring).
+  void* adopt() {
+    adopted = true;
+    return data;
+  }
+  bool adopted = false;
+};
+
+using AmHandler = void (*)(AmContext&);
+
+class AmEngine {
+ public:
+  AmEngine(Arena* arena, int my_rank)
+      : arena_(arena),
+        me_(my_rank),
+        eager_max_(arena->config().eager_max) {}
+
+  int rank() const { return me_; }
+  Arena& arena() { return *arena_; }
+  std::size_t eager_max() const { return eager_max_; }
+
+  // Two-phase zero-copy send: reserve space for `n` payload bytes addressed
+  // to `target`, serialize into .data, then commit(). Never fails; if the
+  // target ring is full the call polls its own inbox while spinning, which
+  // guarantees progress (every rank stuck sending still drains its inbox, so
+  // some ring in the cycle eventually empties).
+  struct SendBuf {
+    void* data = nullptr;
+    std::size_t size = 0;
+
+   private:
+    friend class AmEngine;
+    arch::MpscByteRing::Ticket ticket;  // eager path
+    int target = -1;
+    AmHandler handler = nullptr;
+    bool rendezvous = false;
+  };
+  SendBuf prepare(int target, AmHandler h, std::size_t n);
+  void commit(SendBuf& sb);
+
+  // Convenience single-shot send.
+  void send(int target, AmHandler h, const void* data, std::size_t n);
+
+  // Drains up to max_msgs from this rank's inbox, invoking handlers.
+  // Returns the number of messages handled.
+  int poll(int max_msgs = 64);
+
+  // Frees a rendezvous buffer previously adopt()ed by a handler.
+  void release_rendezvous(void* buf) { arena_->heap().deallocate(buf); }
+
+  // Counters (per rank, for tests and the micro_am bench).
+  struct Stats {
+    std::uint64_t sent_eager = 0;
+    std::uint64_t sent_rendezvous = 0;
+    std::uint64_t received = 0;
+    std::uint64_t send_stalls = 0;  // times a reserve had to spin
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  struct WireHeader {
+    AmHandler handler;
+    std::int32_t src;
+    std::uint32_t flags;  // bit 0: rendezvous
+    std::uint64_t send_ns;
+  };
+  struct RdzvDesc {
+    void* buf;
+    std::uint64_t size;
+  };
+
+  Arena* arena_;
+  int me_;
+  std::size_t eager_max_;
+  Stats stats_;
+};
+
+}  // namespace gex

@@ -1,0 +1,100 @@
+#include "gex/arena.hpp"
+
+#include <sys/mman.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <new>
+
+namespace gex {
+
+Arena* Arena::create(const Config& cfg) {
+  const int P = cfg.ranks;
+  const std::size_t ring_fp = arch::MpscByteRing::footprint(cfg.ring_bytes);
+
+  std::size_t off = 0;
+  auto reserve = [&off](std::size_t bytes) {
+    std::size_t at = off;
+    off += arch::align_up(bytes, arch::cacheline_size);
+    return at;
+  };
+  const std::size_t ctrl_off = reserve(sizeof(ControlBlock));
+  const std::size_t scratch_off = reserve(kScratchSlot * P);
+  std::size_t ring_off0 = off;
+  for (int r = 0; r < P; ++r) reserve(ring_fp);
+  const std::size_t heap_off = reserve(cfg.heap_bytes);
+  // Segments are page-aligned for tidy NUMA behaviour.
+  off = arch::align_up(off, 4096);
+  const std::size_t seg_off = off;
+  off += static_cast<std::size_t>(P) * cfg.segment_bytes;
+
+  void* mem = ::mmap(nullptr, off, PROT_READ | PROT_WRITE,
+                     MAP_SHARED | MAP_ANONYMOUS, -1, 0);
+  if (mem == MAP_FAILED) {
+    std::fprintf(stderr,
+                 "gex: failed to map %zu MiB arena (ranks=%d seg=%zu MiB)\n",
+                 off >> 20, P, cfg.segment_bytes >> 20);
+    std::abort();
+  }
+
+  auto* a = new Arena();
+  a->cfg_ = cfg;
+  a->map_base_ = mem;
+  a->map_bytes_ = off;
+  auto* base = static_cast<std::byte*>(mem);
+
+  a->ctrl_ = ::new (base + ctrl_off) ControlBlock();
+  a->ctrl_->nranks = static_cast<std::uint32_t>(P);
+  a->ctrl_->segment_bytes = cfg.segment_bytes;
+
+  a->scratch_ = base + scratch_off;
+
+  a->rings_ = new arch::MpscByteRing*[P];
+  for (int r = 0; r < P; ++r) {
+    a->rings_[r] = arch::MpscByteRing::create(
+        base + ring_off0 + static_cast<std::size_t>(r) *
+                               arch::align_up(ring_fp, arch::cacheline_size),
+        cfg.ring_bytes);
+  }
+
+  a->heap_ = SharedHeap::create(base + heap_off, cfg.heap_bytes);
+
+  a->seg_base_ = base + seg_off;
+  a->seg_heaps_ = new SharedHeap*[P];
+  for (int r = 0; r < P; ++r) {
+    a->seg_heaps_[r] =
+        SharedHeap::create(a->segment_base(r), cfg.segment_bytes);
+  }
+  return a;
+}
+
+void Arena::destroy(Arena* a) {
+  if (!a) return;
+  ::munmap(a->map_base_, a->map_bytes_);
+  delete[] a->rings_;
+  delete[] a->seg_heaps_;
+  delete a;
+}
+
+void Arena::world_barrier() {
+  auto& arrived = ctrl_->barrier_arrived.value;
+  auto& epoch = ctrl_->barrier_epoch.value;
+  auto& err = ctrl_->error_flag.value;
+  // A failed rank never arrives; bail out so survivors can tear down
+  // instead of spinning forever (the barrier state is then meaningless, but
+  // the launcher destroys the arena right after).
+  if (err.load(std::memory_order_acquire) != 0) return;
+  const std::uint32_t my_epoch = epoch.load(std::memory_order_acquire);
+  if (arrived.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+      ctrl_->nranks) {
+    arrived.store(0, std::memory_order_relaxed);
+    epoch.store(my_epoch + 1, std::memory_order_release);
+  } else {
+    while (epoch.load(std::memory_order_acquire) == my_epoch) {
+      if (err.load(std::memory_order_acquire) != 0) return;
+      arch::cpu_relax();
+    }
+  }
+}
+
+}  // namespace gex

@@ -1,0 +1,100 @@
+// The arena is the "network": one shared mapping created before the ranks
+// start, containing everything ranks use to communicate.
+//
+// Layout (all offsets fixed at creation):
+//
+//   [ControlBlock][scratch: nranks slots][inbox rings: nranks]
+//   [global shared heap][per-rank shared segments: nranks]
+//
+// The mapping is MAP_SHARED|MAP_ANONYMOUS and is created by the launcher
+// before threads are spawned or processes forked, so every rank sees it at
+// the same virtual address. That is the property that lets global_ptr carry
+// raw addresses (the moral equivalent of GASNet's PSHM cross-mapping).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "arch/cacheline.hpp"
+#include "arch/ring.hpp"
+#include "gex/config.hpp"
+#include "gex/shared_heap.hpp"
+
+namespace gex {
+
+// Per-arena bootstrap state. Also hosts the world barrier used by the
+// launcher and by upcxx::barrier's fallback path.
+struct ControlBlock {
+  std::uint32_t nranks = 0;
+  std::size_t segment_bytes = 0;
+
+  // Sense-reversing centralized barrier over all world ranks.
+  arch::Padded<std::atomic<std::uint32_t>> barrier_arrived;
+  arch::Padded<std::atomic<std::uint32_t>> barrier_epoch;
+
+  // Set non-zero by any rank that fails; the launcher reports it.
+  arch::Padded<std::atomic<std::int32_t>> error_flag;
+};
+
+// Fixed-size per-rank scratch slot used by bootstrap collectives
+// (team split exchange, allgather of small values).
+inline constexpr std::size_t kScratchSlot = 256;
+
+class Arena {
+ public:
+  // Maps and initializes an arena for `cfg`. Aborts on OOM.
+  static Arena* create(const Config& cfg);
+  // Unmaps. Only the launcher calls this, after all ranks are done.
+  static void destroy(Arena* a);
+
+  const Config& config() const { return cfg_; }
+  int nranks() const { return cfg_.ranks; }
+
+  ControlBlock& control() { return *ctrl_; }
+  arch::MpscByteRing& inbox(int rank) { return *rings_[rank]; }
+  SharedHeap& heap() { return *heap_; }
+  SharedHeap& segment_heap(int rank) { return *seg_heaps_[rank]; }
+  std::byte* scratch(int rank) { return scratch_ + rank * kScratchSlot; }
+
+  std::byte* segment_base(int rank) const {
+    return seg_base_ + static_cast<std::size_t>(rank) * cfg_.segment_bytes;
+  }
+
+  // True if p points anywhere inside some rank's shared segment.
+  bool in_segments(const void* p) const {
+    auto u = reinterpret_cast<std::uintptr_t>(p);
+    auto b = reinterpret_cast<std::uintptr_t>(seg_base_);
+    return u >= b && u < b + static_cast<std::size_t>(cfg_.ranks) *
+                                 cfg_.segment_bytes;
+  }
+
+  // Owning rank of a shared-segment address; -1 if outside all segments.
+  int rank_of(const void* p) const {
+    if (!in_segments(p)) return -1;
+    auto u = reinterpret_cast<std::uintptr_t>(p);
+    auto b = reinterpret_cast<std::uintptr_t>(seg_base_);
+    return static_cast<int>((u - b) / cfg_.segment_bytes);
+  }
+
+  // Blocks until all world ranks arrive. Spins; used at startup/teardown and
+  // by tests. Application barriers go through the AM-based collectives.
+  void world_barrier();
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+ private:
+  Arena() = default;
+
+  Config cfg_;
+  void* map_base_ = nullptr;
+  std::size_t map_bytes_ = 0;
+  ControlBlock* ctrl_ = nullptr;
+  std::byte* scratch_ = nullptr;
+  arch::MpscByteRing** rings_ = nullptr;  // process-local pointer table
+  SharedHeap* heap_ = nullptr;
+  SharedHeap** seg_heaps_ = nullptr;
+  std::byte* seg_base_ = nullptr;
+};
+
+}  // namespace gex

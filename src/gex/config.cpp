@@ -1,0 +1,56 @@
+#include "gex/config.hpp"
+
+#include <cstdlib>
+#include <cstring>
+
+#include "arch/cacheline.hpp"
+
+namespace gex {
+namespace {
+
+long env_long(const char* name, long dflt) {
+  const char* v = std::getenv(name);
+  if (!v || !*v) return dflt;
+  char* end = nullptr;
+  long r = std::strtol(v, &end, 10);
+  return (end && *end == '\0') ? r : dflt;
+}
+
+}  // namespace
+
+Config Config::from_env() {
+  Config c;
+  c.ranks = static_cast<int>(env_long("UPCXX_RANKS", c.ranks));
+  if (c.ranks < 1) c.ranks = 1;
+  if (const char* b = std::getenv("UPCXX_BACKEND")) {
+    if (std::strcmp(b, "process") == 0) c.backend = Backend::kProcess;
+  }
+  c.segment_bytes = static_cast<std::size_t>(
+                        env_long("UPCXX_SEGMENT_MB",
+                                 static_cast<long>(c.segment_bytes >> 20)))
+                    << 20;
+  c.ring_bytes = static_cast<std::size_t>(
+                     env_long("UPCXX_RING_KB",
+                              static_cast<long>(c.ring_bytes >> 10)))
+                 << 10;
+  // The ring must be a power of two; round up if the user gave an odd size.
+  std::size_t p2 = 1;
+  while (p2 < c.ring_bytes) p2 <<= 1;
+  c.ring_bytes = p2;
+  c.eager_max = static_cast<std::size_t>(
+      env_long("UPCXX_EAGER_MAX", static_cast<long>(c.eager_max)));
+  c.heap_bytes = static_cast<std::size_t>(
+                     env_long("UPCXX_HEAP_MB",
+                              static_cast<long>(c.heap_bytes >> 20)))
+                 << 20;
+  c.sim_latency_ns = static_cast<std::uint64_t>(
+      env_long("UPCXX_SIM_LATENCY_NS", 0));
+  if (const char* a = std::getenv("UPCXX_ATOMICS")) {
+    c.atomics_use_am = (std::strcmp(a, "am") == 0);
+  }
+  // Keep eager payloads safely inside a quarter ring (see MpscByteRing).
+  if (c.eager_max > c.ring_bytes / 4 - 64) c.eager_max = c.ring_bytes / 4 - 64;
+  return c;
+}
+
+}  // namespace gex

@@ -1,0 +1,30 @@
+// Runtime configuration of the substrate, settable via environment variables
+// (mirroring GASNet's GASNET_* knobs). Read once at launch.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace gex {
+
+enum class Backend {
+  kThread,   // ranks are threads of one process (default; used by tests)
+  kProcess,  // ranks are forked processes sharing the arena (smp-conduit-like)
+};
+
+struct Config {
+  int ranks = 4;                          // UPCXX_RANKS
+  Backend backend = Backend::kThread;     // UPCXX_BACKEND=thread|process
+  std::size_t segment_bytes = 32 << 20;   // UPCXX_SEGMENT_MB
+  std::size_t ring_bytes = 1 << 20;       // UPCXX_RING_KB (power of two)
+  std::size_t eager_max = 8 << 10;        // UPCXX_EAGER_MAX (bytes)
+  std::size_t heap_bytes = 64 << 20;      // UPCXX_HEAP_MB (shared heap)
+  std::uint64_t sim_latency_ns = 0;       // UPCXX_SIM_LATENCY_NS
+  bool atomics_use_am = false;            // UPCXX_ATOMICS=am|direct
+
+  // Loads defaults overridden by environment variables.
+  static Config from_env();
+};
+
+}  // namespace gex

@@ -1,0 +1,128 @@
+#include "gex/runtime.hpp"
+
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cassert>
+#include <cstdio>
+#include <exception>
+#include <thread>
+#include <vector>
+
+namespace gex {
+
+namespace {
+thread_local Rank* tls_rank = nullptr;
+
+// Runs the SPMD body on one rank with enter/exit barriers so that no rank
+// communicates before every inbox ring exists and none tears down while
+// peers may still send to it.
+int run_rank(Arena* arena, int r, const std::function<void()>& fn) {
+  Rank rank;
+  rank.me = r;
+  rank.arena = arena;
+  AmEngine engine(arena, r);
+  rank.am = &engine;
+  tls_rank = &rank;
+  arena->world_barrier();
+  int rc = 0;
+  try {
+    fn();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "gex: rank %d terminated with exception: %s\n", r,
+                 e.what());
+    arena->control().error_flag.value.store(1, std::memory_order_release);
+    rc = 1;
+  } catch (...) {
+    std::fprintf(stderr, "gex: rank %d terminated with unknown exception\n",
+                 r);
+    arena->control().error_flag.value.store(1, std::memory_order_release);
+    rc = 1;
+  }
+  // Drain any stragglers so peers blocked on a full ring can finish, then
+  // synchronize teardown. If some rank failed we skip the barrier to avoid
+  // hanging on a rank that never arrives.
+  for (int i = 0; i < 64; ++i) engine.poll();
+  if (arena->control().error_flag.value.load(std::memory_order_acquire) == 0)
+    arena->world_barrier();
+  tls_rank = nullptr;
+  return rc;
+}
+
+}  // namespace
+
+Rank* self() { return tls_rank; }
+
+void bind_self(Rank* r) { tls_rank = r; }
+
+int rank_me() {
+  assert(tls_rank && "called outside an SPMD region");
+  return tls_rank->me;
+}
+
+int rank_n() {
+  assert(tls_rank && "called outside an SPMD region");
+  return tls_rank->arena->nranks();
+}
+
+Arena& arena() {
+  assert(tls_rank);
+  return *tls_rank->arena;
+}
+
+AmEngine& am() {
+  assert(tls_rank);
+  return *tls_rank->am;
+}
+
+int launch(const Config& cfg, const std::function<void()>& fn) {
+  Arena* arena = Arena::create(cfg);
+  int failures = 0;
+
+  if (cfg.backend == Backend::kThread) {
+    std::atomic<int> fail_count{0};
+    std::vector<std::thread> threads;
+    threads.reserve(cfg.ranks);
+    for (int r = 0; r < cfg.ranks; ++r) {
+      threads.emplace_back([&, r] {
+        if (run_rank(arena, r, fn) != 0)
+          fail_count.fetch_add(1, std::memory_order_relaxed);
+      });
+    }
+    for (auto& t : threads) t.join();
+    failures = fail_count.load();
+  } else {
+    std::vector<pid_t> kids;
+    kids.reserve(cfg.ranks);
+    for (int r = 0; r < cfg.ranks; ++r) {
+      pid_t pid = ::fork();
+      if (pid == 0) {
+        int rc = run_rank(arena, r, fn);
+        ::_exit(rc == 0 ? 0 : 1);
+      }
+      if (pid < 0) {
+        std::perror("gex: fork");
+        std::abort();
+      }
+      kids.push_back(pid);
+    }
+    for (pid_t pid : kids) {
+      int status = 0;
+      ::waitpid(pid, &status, 0);
+      if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) ++failures;
+    }
+  }
+
+  if (arena->control().error_flag.value.load() != 0 && failures == 0)
+    failures = 1;
+  Arena::destroy(arena);
+  return failures;
+}
+
+int launch_env(const std::function<void()>& fn) {
+  return launch(Config::from_env(), fn);
+}
+
+}  // namespace gex

@@ -1,0 +1,138 @@
+#include "gex/shared_heap.hpp"
+
+#include <cassert>
+#include <cstring>
+#include <new>
+
+#include "arch/cacheline.hpp"
+
+namespace gex {
+
+namespace {
+constexpr std::size_t kMinBlock = 64;  // header + smallest useful payload
+}
+
+SharedHeap* SharedHeap::create(void* region, std::size_t bytes) {
+  assert(bytes > sizeof(SharedHeap) + kMinBlock);
+  auto* h = ::new (region) SharedHeap();
+  h->total_ = bytes;
+  h->first_block_ = arch::align_up(sizeof(SharedHeap), 16);
+  auto* b = h->at(h->first_block_);
+  b->size = bytes - h->first_block_;
+  b->next_free = kNull;
+  h->free_head_ = h->first_block_;
+  return h;
+}
+
+void* SharedHeap::allocate(std::size_t bytes, std::size_t align) {
+  if (align < 16) align = 16;
+  // Payload begins right after the header; the header is 16 bytes and blocks
+  // are 16-aligned, so alignments above 16 need slack we carve off the front.
+  const std::size_t want =
+      arch::align_up(sizeof(Block) + bytes + (align > 16 ? align : 0), 16);
+  arch::SpinGuard g(lock_);
+  std::uint64_t prev = kNull;
+  std::uint64_t cur = free_head_;
+  while (cur != kNull) {
+    Block* b = at(cur);
+    if (b->size >= want) {
+      // Split if the remainder is big enough to be a block.
+      if (b->size - want >= kMinBlock) {
+        const std::uint64_t rest_off = cur + want;
+        Block* rest = at(rest_off);
+        rest->size = b->size - want;
+        rest->next_free = b->next_free;
+        b->size = want;
+        if (prev == kNull)
+          free_head_ = rest_off;
+        else
+          at(prev)->next_free = rest_off;
+      } else {
+        if (prev == kNull)
+          free_head_ = b->next_free;
+        else
+          at(prev)->next_free = b->next_free;
+      }
+      b->next_free = kUsed;
+      std::byte* payload = base() + cur + sizeof(Block);
+      if (align > 16) {
+        auto up = reinterpret_cast<std::uintptr_t>(payload);
+        auto aligned = arch::align_up(up, align);
+        if (aligned != up) {
+          // Stash the real block offset just before the aligned payload so
+          // deallocate can find the header. (When aligned == up the word
+          // before the payload is the header's next_free field — leave it.)
+          auto* back = reinterpret_cast<std::uint64_t*>(aligned) - 1;
+          *back = cur | 1ull;  // tag: low bit marks "offset redirect"
+        }
+        return reinterpret_cast<void*>(aligned);
+      }
+      return payload;
+    }
+    prev = cur;
+    cur = b->next_free;
+  }
+  return nullptr;
+}
+
+void SharedHeap::deallocate(void* p) {
+  if (!p) return;
+  assert(contains(p));
+  auto addr = reinterpret_cast<std::uintptr_t>(p);
+  std::uint64_t off;
+  // Detect redirected (over-aligned) payloads: the word before carries the
+  // tagged block offset. Regular payloads sit exactly sizeof(Block) past a
+  // 16-aligned header, so their preceding word is the header's next_free
+  // field, which is kUsed for live blocks and never has the low tag bit set.
+  const std::uint64_t marker = *(reinterpret_cast<std::uint64_t*>(addr) - 1);
+  if ((marker & 1ull) && marker != kUsed) {
+    off = marker & ~1ull;
+  } else {
+    off = static_cast<std::uint64_t>(addr -
+                                     reinterpret_cast<std::uintptr_t>(base())) -
+          sizeof(Block);
+  }
+  arch::SpinGuard g(lock_);
+  Block* b = at(off);
+  assert(b->next_free == kUsed && "double free or invalid pointer");
+  // Address-ordered insert, then coalesce with successor and predecessor.
+  std::uint64_t prev = kNull;
+  std::uint64_t cur = free_head_;
+  while (cur != kNull && cur < off) {
+    prev = cur;
+    cur = at(cur)->next_free;
+  }
+  b->next_free = cur;
+  if (prev == kNull)
+    free_head_ = off;
+  else
+    at(prev)->next_free = off;
+  // Coalesce forward.
+  if (cur != kNull && off + b->size == cur) {
+    b->size += at(cur)->size;
+    b->next_free = at(cur)->next_free;
+  }
+  // Coalesce backward.
+  if (prev != kNull && prev + at(prev)->size == off) {
+    at(prev)->size += b->size;
+    at(prev)->next_free = b->next_free;
+  }
+}
+
+std::size_t SharedHeap::bytes_free() const {
+  arch::SpinGuard g(lock_);
+  std::size_t total = 0;
+  for (std::uint64_t cur = free_head_; cur != kNull; cur = at(cur)->next_free)
+    total += at(cur)->size;
+  return total;
+}
+
+std::size_t SharedHeap::largest_free_block() const {
+  arch::SpinGuard g(lock_);
+  std::size_t best = 0;
+  for (std::uint64_t cur = free_head_; cur != kNull; cur = at(cur)->next_free)
+    if (at(cur)->size > best) best = at(cur)->size;
+  return best;
+}
+
+}  // namespace gex

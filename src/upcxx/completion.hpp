@@ -1,0 +1,143 @@
+// Completion objects (paper §II and §IV-B: operation_cx::as_promise(p)).
+//
+// UPC++ communication calls accept a *completions* value describing how each
+// completion event should be signaled:
+//   operation_cx — the whole operation is complete (remotely visible);
+//   source_cx   — the source buffer is reusable (local completion);
+//   remote_cx   — execute an RPC at the target once the data has landed.
+// Variants: as_future() (the default; the call returns a future),
+// as_promise(p) (register a dependency on an existing promise — the flood
+// bandwidth benchmark's mechanism), as_lpc(fn) (run a local callback), and
+// remote_cx::as_rpc(fn, args...).
+//
+// Completions combine with operator|, e.g.
+//   rput(src, dst, n, operation_cx::as_promise(p) | remote_cx::as_rpc(f, a));
+#pragma once
+
+#include <tuple>
+#include <type_traits>
+#include <utility>
+
+#include "arch/small_fn.hpp"
+#include "upcxx/future.hpp"
+
+namespace upcxx {
+
+namespace detail {
+
+struct op_future_cx {};
+struct src_future_cx {};
+
+struct op_promise_cx {
+  promise<> pr;
+};
+struct src_promise_cx {
+  promise<> pr;
+};
+
+struct op_lpc_cx {
+  arch::UniqueFunction<void()> fn;
+};
+
+template <typename F, typename... Args>
+struct remote_rpc_cx {
+  F fn;
+  std::tuple<std::decay_t<Args>...> args;
+};
+
+template <typename... Cx>
+struct completions {
+  std::tuple<Cx...> items;
+
+  // Does this completion list contain an element matching predicate Trait?
+  template <template <typename> class Trait>
+  static constexpr bool has() {
+    return (Trait<Cx>::value || ...);
+  }
+};
+
+template <>
+struct completions<> {
+  std::tuple<> items;
+  template <template <typename> class Trait>
+  static constexpr bool has() {
+    return false;
+  }
+};
+
+template <typename... A, typename... B>
+completions<A..., B...> operator|(completions<A...> a, completions<B...> b) {
+  return {std::tuple_cat(std::move(a.items), std::move(b.items))};
+}
+
+// Trait predicates used by rput/rget/rpc to decide their return type.
+template <typename T>
+struct is_op_future : std::is_same<T, op_future_cx> {};
+template <typename T>
+struct is_src_future : std::is_same<T, src_future_cx> {};
+template <typename T>
+struct is_op_promise : std::is_same<T, op_promise_cx> {};
+template <typename T>
+struct is_op_lpc : std::is_same<T, op_lpc_cx> {};
+template <typename T>
+struct is_remote_rpc : std::false_type {};
+template <typename F, typename... A>
+struct is_remote_rpc<remote_rpc_cx<F, A...>> : std::true_type {};
+
+// Is T a completions<...> pack? Used to disambiguate the rpc overload that
+// takes explicit completions from the plain rpc(target, fn, args...) form.
+template <typename T>
+struct is_completions : std::false_type {};
+template <typename... Cx>
+struct is_completions<completions<Cx...>> : std::true_type {};
+
+}  // namespace detail
+
+// Public completion factories, named as in UPC++.
+struct operation_cx {
+  static detail::completions<detail::op_future_cx> as_future() {
+    return {};
+  }
+  static detail::completions<detail::op_promise_cx> as_promise(
+      const promise<>& p) {
+    // Each registration adds one dependency, retired on completion.
+    detail::completions<detail::op_promise_cx> c{std::tuple<detail::op_promise_cx>{
+        detail::op_promise_cx{p}}};
+    std::get<0>(c.items).pr.require_anonymous(1);
+    return c;
+  }
+  template <typename Fn>
+  static detail::completions<detail::op_lpc_cx> as_lpc(Fn&& fn) {
+    return {std::tuple<detail::op_lpc_cx>{
+        detail::op_lpc_cx{std::forward<Fn>(fn)}}};
+  }
+};
+
+struct source_cx {
+  static detail::completions<detail::src_future_cx> as_future() {
+    return {};
+  }
+  static detail::completions<detail::src_promise_cx> as_promise(
+      const promise<>& p) {
+    detail::completions<detail::src_promise_cx> c{
+        std::tuple<detail::src_promise_cx>{detail::src_promise_cx{p}}};
+    std::get<0>(c.items).pr.require_anonymous(1);
+    return c;
+  }
+};
+
+struct remote_cx {
+  // Executes fn(args...) at the target rank once the transferred data is
+  // visible there (the v1.0 feature §V-A credits for streamlined DHT
+  // insertion).
+  template <typename F, typename... Args>
+  static detail::completions<detail::remote_rpc_cx<F, Args...>> as_rpc(
+      F fn, Args&&... args) {
+    return {std::tuple<detail::remote_rpc_cx<F, Args...>>{
+        detail::remote_rpc_cx<F, Args...>{
+            std::move(fn), std::tuple<std::decay_t<Args>...>(
+                               std::forward<Args>(args)...)}}};
+  }
+};
+
+}  // namespace upcxx

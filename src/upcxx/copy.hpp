@@ -1,0 +1,76 @@
+// Generalized asynchronous copy between any pair of global/local memory
+// locations and memory *kinds* — the direction-agnostic upcxx::copy the
+// paper's future-work section (§VI) points toward. Host and simulated-device
+// endpoints use one spelling; the completion cost model charges the wire for
+// remote endpoints and the simulated PCIe for each device endpoint
+// (device_allocator.hpp).
+#pragma once
+
+#include "upcxx/device_allocator.hpp"
+#include "upcxx/rma.hpp"
+
+namespace upcxx {
+
+namespace detail {
+
+// Simulated completion delay for a copy: a round trip on the wire when any
+// endpoint is remote, plus the device-transfer cost per device endpoint.
+inline std::uint64_t copy_delay_ns(intrank_t src_rank, intrank_t dst_rank,
+                                   std::size_t bytes, int device_ends) {
+  const intrank_t me = gex::rank_me();
+  const std::uint64_t wire =
+      (src_rank != me || dst_rank != me) ? 2 * persona().sim_latency_ns : 0;
+  return wire + device_transfer_cost_ns(bytes, device_ends);
+}
+
+}  // namespace detail
+
+// global -> global, any memory kinds (either side may be owned by any rank;
+// on the shared arena the initiator performs the move, which is exactly
+// GASNet PSHM — and the simulated device is host-backed, so the same holds).
+template <typename T, memory_kind KS, memory_kind KD,
+          typename Cxs = default_cx_t>
+auto copy(global_ptr<T, KS> src, global_ptr<T, KD> dest, std::size_t n,
+          Cxs cxs = Cxs{}) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  assert(!src.is_null() && !dest.is_null());
+  ++detail::persona().stats.rputs;
+  std::memcpy(dest.raw_address(), src.raw_address(), n * sizeof(T));
+  constexpr int dev_ends = (KS == memory_kind::sim_device ? 1 : 0) +
+                           (KD == memory_kind::sim_device ? 1 : 0);
+  return detail::finish_rma_ns(
+      std::move(cxs), dest.where(),
+      detail::copy_delay_ns(src.where(), dest.where(), n * sizeof(T),
+                            dev_ends));
+}
+
+// local host -> global (host or device).
+template <typename T, memory_kind KD, typename Cxs = default_cx_t>
+auto copy(const T* src, global_ptr<T, KD> dest, std::size_t n,
+          Cxs cxs = Cxs{}) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  assert(!dest.is_null());
+  ++detail::persona().stats.rputs;
+  std::memcpy(dest.raw_address(), src, n * sizeof(T));
+  constexpr int dev_ends = KD == memory_kind::sim_device ? 1 : 0;
+  return detail::finish_rma_ns(
+      std::move(cxs), dest.where(),
+      detail::copy_delay_ns(gex::rank_me(), dest.where(), n * sizeof(T),
+                            dev_ends));
+}
+
+// global (host or device) -> local host.
+template <typename T, memory_kind KS, typename Cxs = default_cx_t>
+auto copy(global_ptr<T, KS> src, T* dest, std::size_t n, Cxs cxs = Cxs{}) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  assert(!src.is_null());
+  ++detail::persona().stats.rgets;
+  std::memcpy(dest, src.raw_address(), n * sizeof(T));
+  constexpr int dev_ends = KS == memory_kind::sim_device ? 1 : 0;
+  return detail::finish_rma_ns(
+      std::move(cxs), src.where(),
+      detail::copy_delay_ns(src.where(), gex::rank_me(), n * sizeof(T),
+                            dev_ends));
+}
+
+}  // namespace upcxx

@@ -1,0 +1,97 @@
+// dist_object<T>: scalable distributed objects (paper §II).
+//
+// The paper motivates dist_object as the scalable alternative to symmetric
+// heaps / shared arrays: a distributed object is a *collective* object with
+// one local representative per team rank, identified by a team-wide id that
+// costs O(1) storage per rank. RPCs translate dist_object& arguments to the
+// target's local representative automatically; fetching a remote
+// representative requires explicit communication (fetch), in keeping with
+// "no implicit communication".
+//
+// Id agreement uses the same mechanism as real UPC++: members create their
+// dist_objects in the same collective order, so a per-team counter yields
+// matching ids without communication. An RPC may arrive before the target
+// has constructed its representative; the runtime requeues the RPC until the
+// object exists (UPC++'s "wait for the dist_object" semantics).
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <utility>
+
+#include "upcxx/rpc.hpp"
+#include "upcxx/team.hpp"
+
+namespace upcxx {
+
+template <typename T>
+class dist_object {
+ public:
+  // Collective over tm: every member constructs its local representative.
+  explicit dist_object(T value, const team& tm = world())
+      : value_(std::move(value)), team_(&tm) {
+    auto& p = detail::persona();
+    const std::uint64_t seq = p.dist_counters[tm.id()]++;
+    id_ = (tm.id() << 32) ^ (seq + 1);
+    p.dist_registry[id_] = this;
+  }
+
+  ~dist_object() {
+    if (id_) detail::persona().dist_registry.erase(id_);
+  }
+
+  dist_object(dist_object&& o) noexcept
+      : value_(std::move(o.value_)), team_(o.team_), id_(o.id_) {
+    if (id_) detail::persona().dist_registry[id_] = this;
+    o.id_ = 0;
+  }
+  dist_object(const dist_object&) = delete;
+  dist_object& operator=(const dist_object&) = delete;
+
+  T& operator*() { return value_; }
+  const T& operator*() const { return value_; }
+  T* operator->() { return &value_; }
+  const T* operator->() const { return &value_; }
+
+  const team& get_team() const { return *team_; }
+  std::uint64_t id() const { return id_; }
+
+  // Fetches the remote representative's value (explicit communication).
+  future<T> fetch(intrank_t team_rank) const {
+    return rpc((*team_)[team_rank],
+               [](const dist_object<T>& o) { return *o; }, *this);
+  }
+
+ private:
+  T value_;
+  const team* team_;
+  std::uint64_t id_ = 0;
+};
+
+// Serialization hook: a dist_object argument travels as its id and
+// rehydrates as a reference to the target's local representative.
+template <typename T>
+struct serialization<dist_object<T>> {
+  using deserialized_type = dist_object<T>&;
+
+  template <typename Ar>
+  static void serialize(Ar& ar, const dist_object<T>& o) {
+    std::uint64_t id = o.id();
+    ar.align(8);
+    ar.bytes(&id, sizeof id);
+  }
+
+  static dist_object<T>& deserialize(detail::Reader& r) {
+    const auto id = r.pod<std::uint64_t>();
+    auto& reg = detail::persona().dist_registry;
+    auto it = reg.find(id);
+    // The sender constructed its representative before injecting the RPC,
+    // but this rank may not have reached its own construction yet. Requeue
+    // the whole message until it has (matching UPC++, where the RPC waits
+    // for the dist_object to come into existence).
+    if (it == reg.end()) throw detail::dist_object_unready{};
+    return *static_cast<dist_object<T>*>(it->second);
+  }
+};
+
+}  // namespace upcxx

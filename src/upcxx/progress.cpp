@@ -1,0 +1,199 @@
+#include "upcxx/progress.hpp"
+
+#include <cassert>
+#include <cstdlib>
+#include <cstring>
+
+#include "arch/timer.hpp"
+#include "upcxx/collectives.hpp"
+#include "upcxx/team.hpp"
+
+namespace upcxx {
+namespace detail {
+
+namespace {
+thread_local PersonaState* tls_persona = nullptr;
+}
+
+PersonaState& persona() {
+  assert(tls_persona &&
+         "no rank context: call inside upcxx::run(), from the thread "
+         "holding the master persona");
+  return *tls_persona;
+}
+
+bool has_persona() { return tls_persona != nullptr; }
+
+void bind_rank_context(PersonaState* st) {
+  tls_persona = st;
+  gex::bind_self(st ? st->rank : nullptr);
+}
+
+PersonaState* rank_context() { return tls_persona; }
+
+void push_compq(Lpc fn) { persona().compq.push_back(std::move(fn)); }
+
+void push_completion_after(std::uint64_t wire_hops, Lpc fn) {
+  push_completion_after_ns(wire_hops * persona().sim_latency_ns,
+                           std::move(fn));
+}
+
+void push_completion_after_ns(std::uint64_t delay_ns, Lpc fn) {
+  auto& p = persona();
+  if (delay_ns == 0) {
+    p.compq.push_back(std::move(fn));
+    return;
+  }
+  p.timed.push(
+      TimedEntry{arch::now_ns() + delay_ns, p.timed_seq++, std::move(fn)});
+}
+
+std::uint64_t register_reply(arch::UniqueFunction<void(Reader&)> fn) {
+  auto& p = persona();
+  std::uint64_t id = p.next_op_id++;
+  p.pending_replies.emplace(id, std::move(fn));
+  return id;
+}
+
+// Receives one upcxx wire message: stages the payload locally and schedules
+// its dispatch for user-level progress (the paper's "insert into the
+// target's compQ", Fig 2). Eager payloads must be copied out of the ring
+// before the handler returns; rendezvous payloads are adopted in place.
+void am_delivery(gex::AmContext& cx) {
+  auto& p = persona();
+  const int src = cx.src;
+  const std::size_t n = cx.size;
+  std::byte* buf;
+  bool rendezvous = cx.is_rendezvous;
+  if (rendezvous) {
+    buf = static_cast<std::byte*>(cx.adopt());
+  } else {
+    buf = static_cast<std::byte*>(std::malloc(n));
+    std::memcpy(buf, cx.data, n);
+  }
+  gex::AmEngine* eng = cx.engine;
+  auto run = [src, n, buf, rendezvous, eng] {
+    DispatchFn dispatch;
+    std::memcpy(&dispatch, buf, sizeof(DispatchFn));
+    Reader r(buf + sizeof(DispatchFn), n - sizeof(DispatchFn));
+    dispatch(src, r);
+    if (rendezvous)
+      eng->release_rendezvous(buf);
+    else
+      std::free(buf);
+  };
+  if (p.sim_latency_ns == 0) {
+    p.compq.push_back(std::move(run));
+  } else {
+    // Deliver no earlier than send time + one wire hop.
+    p.timed.push(TimedEntry{cx.send_ns + p.sim_latency_ns, p.timed_seq++,
+                            std::move(run)});
+  }
+}
+
+}  // namespace detail
+
+void progress(progress_level lvl) {
+  // A thread without a rank context (a worker that does not hold the master
+  // persona) still progresses the personas it does hold: user-level progress
+  // drains their LPC inboxes. The rank-level queues and the wire belong to
+  // the master persona's holder alone.
+  if (lvl == progress_level::user) detail::drain_persona_inboxes();
+  if (!detail::has_persona()) return;
+  auto& p = detail::persona();
+  // Internal progress: poll the wire (stages incoming messages) and retire
+  // timed active operations whose completion time has passed.
+  p.rank->am->poll();
+  if (!p.timed.empty()) {
+    const std::uint64_t now = arch::now_ns();
+    while (!p.timed.empty() && p.timed.top().due_ns <= now) {
+      p.compq.push_back(std::move(p.timed.top().fn));
+      p.timed.pop();
+    }
+  }
+  if (lvl == progress_level::internal) return;
+
+  // User progress: drain compQ. Entries may enqueue more work (an RPC that
+  // issues further communication); we drain only what was present at entry
+  // to keep one progress call bounded.
+  std::size_t budget = p.compq.size();
+  while (budget-- > 0 && !p.compq.empty()) {
+    auto fn = std::move(p.compq.front());
+    p.compq.pop_front();
+    try {
+      fn();
+    } catch (const detail::dist_object_unready&) {
+      // RPC referencing a dist_object this rank has not constructed yet:
+      // park it at the back of compQ and retry on a later progress call.
+      // (Message staging buffers are owned by the closure, so requeueing is
+      // safe and idempotent.)
+      p.compq.push_back(std::move(fn));
+      continue;
+    }
+    ++p.stats.lpcs_run;
+  }
+}
+
+void init_persona() {
+  auto* r = gex::self();
+  assert(r && "init_persona outside SPMD region");
+  auto* st = new detail::PersonaState();
+  st->rank = r;
+  st->sim_latency_ns = r->arena->config().sim_latency_ns;
+  r->upcxx_state = st;
+  detail::tls_persona = st;
+  // The primordial thread holds the master persona from init (spec: the
+  // thread calling init receives the master persona).
+  detail::adopt_master(st->master, st);
+  detail::init_world_team();
+}
+
+void fini_persona() {
+  auto* r = gex::self();
+  assert(r);
+  // Final drain so peers' teardown traffic (e.g. late rpc_ff acks) does not
+  // sit in malloc'd staging buffers.
+  for (int i = 0; i < 16; ++i) progress();
+  detail::fini_world_team();
+  auto* st = static_cast<detail::PersonaState*>(r->upcxx_state);
+  detail::drop_master(st->master);
+  detail::tls_persona = nullptr;
+  r->upcxx_state = nullptr;
+  delete st;
+}
+
+int run(const gex::Config& cfg, const std::function<void()>& fn) {
+  return gex::launch(cfg, [&fn] {
+    init_persona();
+    // All personas exist before any user communication (init_world_team
+    // performs a world barrier).
+    try {
+      fn();
+    } catch (...) {
+      fini_persona();
+      throw;
+    }
+    // Quiesce: make sure every rank is done sending before teardown. A
+    // failed peer never joins the barrier; poll the substrate error flag so
+    // survivors tear down instead of spinning forever (failure-injection
+    // tests rely on this).
+    auto barrier_done = barrier_async();
+    auto& err = gex::arena().control().error_flag.value;
+    while (!barrier_done.is_ready() &&
+           err.load(std::memory_order_acquire) == 0)
+      progress();
+    fini_persona();
+  });
+}
+
+int run(int ranks, const std::function<void()>& fn) {
+  gex::Config cfg = gex::Config::from_env();
+  cfg.ranks = ranks;
+  return run(cfg, fn);
+}
+
+int run_env(const std::function<void()>& fn) {
+  return run(gex::Config::from_env(), fn);
+}
+
+}  // namespace upcxx

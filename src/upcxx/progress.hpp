@@ -1,0 +1,231 @@
+// The UPC++ progress engine (paper §III).
+//
+// Each rank owns a persona: the per-thread runtime state through which all
+// asynchronous operations progress. The paper's three queues map as follows:
+//
+//   defQ  — operations not yet handed to the substrate. On the shared-memory
+//           wire, RMA injection is a memcpy and never back-pressures, and AM
+//           sends spin internally, so ops pass through the deferred state
+//           instantaneously; the state exists but is degenerate (documented
+//           in DESIGN.md).
+//   actQ  — operations handed to the substrate and awaiting completion.
+//           With simulated wire latency enabled these sit in a time-ordered
+//           queue (`timed_`); with zero latency they complete at injection.
+//   compQ — completed operations and incoming RPCs awaiting *user-level*
+//           progress: promise fulfillments, `.then` callbacks, RPC bodies.
+//
+// Progress levels match the paper: *internal* progress (performed by every
+// communication call) polls the substrate and retires active operations;
+// *user* progress (upcxx::progress(), wait()) additionally drains compQ and
+// thus executes RPCs and callbacks. A rank that computes without calling
+// into the library executes no RPCs — the attentiveness property §III
+// describes, which tests/test_progress.cpp verifies.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "arch/small_fn.hpp"
+#include "gex/runtime.hpp"
+#include "upcxx/future.hpp"
+#include "upcxx/persona.hpp"
+#include "upcxx/serialization.hpp"
+
+namespace upcxx {
+
+class team;
+
+enum class progress_level { internal, user };
+
+// One round of progress. Never blocks.
+void progress(progress_level lvl);
+inline void progress() { progress(progress_level::user); }
+
+// Rank identity (world).
+inline intrank_t rank_me() { return gex::rank_me(); }
+inline intrank_t rank_n() { return gex::rank_n(); }
+
+namespace detail {
+
+using Lpc = arch::UniqueFunction<void()>;
+
+struct TimedEntry {
+  std::uint64_t due_ns;
+  std::uint64_t seq;  // FIFO tiebreak
+  mutable Lpc fn;     // priority_queue only exposes const refs; fn is moved
+                      // out exactly once when the entry fires
+  bool operator<(const TimedEntry& o) const {
+    // priority_queue is a max-heap; invert for earliest-first.
+    return due_ns != o.due_ns ? due_ns > o.due_ns : seq > o.seq;
+  }
+};
+
+struct PersonaState {
+  gex::Rank* rank = nullptr;
+  std::uint64_t sim_latency_ns = 0;
+
+  // The rank's master persona: holding it carries the right to initiate
+  // communication and the obligation to progress the queues below. Created
+  // held by the rank's primordial thread; may migrate via
+  // liberate_master_persona() + persona_scope (persona.hpp).
+  ::upcxx::persona master;
+
+  // The world team lives in the rank state (not a thread_local) so that
+  // world() keeps working after the master persona migrates to another
+  // thread. Destroyed in fini_persona (team is complete in progress.cpp).
+  std::unique_ptr<::upcxx::team> world_team;
+
+  // compQ: ready work executed only at user-level progress.
+  std::deque<Lpc> compq;
+  // actQ under simulated latency: completions ordered by due time.
+  std::priority_queue<TimedEntry> timed;
+  std::uint64_t timed_seq = 0;
+
+  // Outstanding RPC replies: op id -> deserialize-and-fulfill action.
+  std::unordered_map<std::uint64_t, arch::UniqueFunction<void(Reader&)>>
+      pending_replies;
+  std::uint64_t next_op_id = 1;
+
+  // dist_object registry: id -> object address, plus per-team id counters.
+  std::unordered_map<std::uint64_t, void*> dist_registry;
+  std::unordered_map<std::uint64_t, std::uint64_t> dist_counters;
+
+  // Collective engine instances keyed by (team id, sequence). Type-erased
+  // (the instance type lives in team.cpp); shared_ptr carries the deleter.
+  struct CollInstance;
+  std::unordered_map<std::uint64_t, std::shared_ptr<CollInstance>> colls;
+  std::unordered_map<std::uint64_t, std::uint64_t> coll_seq;  // per team
+
+  // Counters surfaced by tests and benches.
+  struct Stats {
+    std::uint64_t rpcs_executed = 0;
+    std::uint64_t rpcs_sent = 0;
+    std::uint64_t rputs = 0;
+    std::uint64_t rgets = 0;
+    std::uint64_t lpcs_run = 0;
+  } stats;
+};
+
+// The calling rank's runtime state. Asserts the calling thread holds a rank
+// context (it is the rank's primordial thread or holds the master persona).
+PersonaState& persona();
+
+// True if the calling thread currently has a rank context.
+bool has_persona();
+
+// The master persona object of a rank state (used by upcxx::master_persona).
+inline ::upcxx::persona& master_of(PersonaState& st) { return st.master; }
+
+// Schedules fn for the next user-level progress on this rank.
+void push_compq(Lpc fn);
+
+// Schedules fn to "complete on the wire" after the simulated latency
+// (immediately into compQ when latency is zero).
+void push_completion_after(std::uint64_t wire_hops, Lpc fn);
+
+// Same, with an explicit delay in nanoseconds (used by simulated-device
+// transfers whose cost is not a multiple of the wire hop latency).
+void push_completion_after_ns(std::uint64_t delay_ns, Lpc fn);
+
+// Registers a reply continuation; returns the op id to embed in the request.
+std::uint64_t register_reply(arch::UniqueFunction<void(Reader&)> fn);
+
+// Upcxx-level message dispatch type: reads the body and acts. Runs during
+// user progress on the target.
+using DispatchFn = void (*)(int src, Reader& r);
+
+// Sends [dispatch][body] to target. `body_size` must equal what
+// `write_body(WriteArchive&)` produces.
+template <typename WriteBody>
+void send_msg(int target, DispatchFn dispatch, std::size_t body_size,
+              WriteBody&& write_body);
+
+// The gex AM handler that receives all upcxx-level traffic (defined in
+// progress.cpp).
+void am_delivery(gex::AmContext& cx);
+
+template <typename WriteBody>
+void send_msg(int target, DispatchFn dispatch, std::size_t body_size,
+              WriteBody&& write_body) {
+  auto& eng = gex::am();
+  auto sb = eng.prepare(target, &am_delivery,
+                        sizeof(DispatchFn) + body_size);
+  auto* p = static_cast<std::byte*>(sb.data);
+  std::memcpy(p, &dispatch, sizeof(DispatchFn));
+  WriteArchive wa(p + sizeof(DispatchFn));
+  write_body(wa);
+  assert(wa.written() == body_size);
+  eng.commit(sb);
+}
+
+}  // namespace detail
+
+// Schedules fn to run on this rank during a later *user-level* progress
+// call and returns a future for its result — the persona LPC ("local
+// procedure call") building block the completion system uses internally.
+template <typename Fn>
+auto lpc(Fn&& fn)
+    -> detail::future_from_result_t<std::invoke_result_t<Fn>> {
+  using R = std::invoke_result_t<Fn>;
+  using Fut = detail::future_from_result_t<R>;
+  auto st = std::make_shared<typename Fut::state_t>();
+  detail::push_compq([st, f = std::forward<Fn>(fn)]() mutable {
+    if constexpr (std::is_void_v<R>) {
+      f();
+      st->value.emplace();
+      st->retire_deps(1);
+    } else if constexpr (detail::is_future_v<R>) {
+      f().then_raw([st](auto&... vals) {
+        st->value.emplace(vals...);
+        st->retire_deps(1);
+      });
+    } else {
+      st->value.emplace(f());
+      st->retire_deps(1);
+    }
+  });
+  return Fut(st);
+}
+
+// Initializes/tears down the calling rank's persona. Wrapped by upcxx::run;
+// exposed for harnesses that drive gex::launch directly.
+void init_persona();
+void fini_persona();
+
+// Runs fn as an SPMD program over `ranks` ranks with personas initialized
+// (the moral equivalent of upcxx::init()/finalize() bracketing main in a
+// real UPC++ program). Returns the number of failed ranks.
+int run(int ranks, const std::function<void()>& fn);
+int run(const gex::Config& cfg, const std::function<void()>& fn);
+// Ranks/backend taken from UPCXX_* environment variables.
+int run_env(const std::function<void()>& fn);
+
+// Barrier over all world ranks (collectives.hpp provides team barriers; this
+// forwarding declaration lets low-level code use it without the header).
+void barrier();
+
+namespace experimental {
+
+// Snapshot of the calling rank's operation counters — the paper-era
+// UPCXX_ENABLE_STATS facility reduced to the counters the benches and tests
+// use. Counters are monotonic within one SPMD region.
+struct op_stats {
+  std::uint64_t rputs = 0;
+  std::uint64_t rgets = 0;
+  std::uint64_t rpcs_sent = 0;
+  std::uint64_t rpcs_executed = 0;
+  std::uint64_t lpcs_run = 0;
+};
+
+inline op_stats stats() {
+  const auto& s = detail::persona().stats;
+  return {s.rputs, s.rgets, s.rpcs_sent, s.rpcs_executed, s.lpcs_run};
+}
+
+}  // namespace experimental
+
+}  // namespace upcxx

@@ -1,0 +1,333 @@
+// One-sided RMA: rput/rget plus the non-contiguous variants (paper §II).
+//
+// On the shared-memory wire the data motion itself is a memcpy performed by
+// the initiator (exactly what GASNet does over PSHM). Completion semantics
+// follow the paper's model:
+//   * source completion — the source buffer is reusable: synchronous here,
+//     since the copy happens at injection;
+//   * operation completion — remotely complete, including the network-level
+//     acknowledgment a blocking rput waits for (§IV-B); under simulated
+//     latency this costs a full round trip (2 hops);
+//   * remote completion — fires an RPC at the target after the data lands
+//     (1 hop).
+// All completion signals are delivered through the progress engine's compQ,
+// never synchronously inside the injection call (except source_cx, whose
+// meaning is inherently synchronous here), matching §III.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <cassert>
+#include <cstring>
+#include <vector>
+
+#include "upcxx/completion.hpp"
+#include "upcxx/global_ptr.hpp"
+#include "upcxx/progress.hpp"
+#include "upcxx/rpc.hpp"
+
+namespace upcxx {
+
+namespace detail {
+
+// On the shared-memory wire (sim latency 0) an RMA is remotely complete
+// when the injection memcpy returns — the GASNet PSHM fast path, where
+// upcxx returns an immediately-ready future (detail::ready_future, no
+// per-op allocation).
+
+// Applies every non-future completion in `cxs`; returns the future for the
+// op_future completion if present (void otherwise). `delay_ns` is the
+// simulated time to operation completion (0 = complete at injection).
+template <typename Cxs>
+auto finish_rma_ns(Cxs&& cxs, intrank_t target, std::uint64_t delay_ns) {
+  using CxsD = std::decay_t<Cxs>;
+  constexpr bool want_future = CxsD::template has<is_op_future>();
+  // Synchronous completion (the common case): signal everything now.
+  const bool instant = delay_ns == 0;
+
+  if (instant) {
+    // Zero-allocation fast path: no operation promise is materialized; a
+    // requested future is the rank's cached ready future. This is the path
+    // every blocking rput on the memcpy wire takes, so it must not touch
+    // the allocator (E1 is sensitive to a single malloc here).
+    std::apply(
+        [&](auto&... item) {
+          auto handle = [&](auto& cx) {
+            using C = std::decay_t<decltype(cx)>;
+            if constexpr (std::is_same_v<C, op_promise_cx> ||
+                          std::is_same_v<C, src_promise_cx>) {
+              cx.pr.fulfill_anonymous(1);
+            } else if constexpr (std::is_same_v<C, op_lpc_cx>) {
+              // LPCs always run from the progress engine, never
+              // synchronously inside the injection call.
+              push_compq(std::move(cx.fn));
+            } else if constexpr (is_remote_rpc<C>::value) {
+              std::apply(
+                  [&](auto&... args) { rpc_ff(target, cx.fn, args...); },
+                  cx.args);
+            }
+          };
+          (handle(item), ...);
+        },
+        cxs.items);
+    if constexpr (want_future) {
+      return ready_future();
+    } else if constexpr (CxsD::template has<is_src_future>()) {
+      return make_future();
+    } else {
+      return;
+    }
+  }
+
+  // Simulated-delay path: completions are deferred by delay_ns.
+  promise<> op_pr;  // backs the returned future
+  if constexpr (want_future) op_pr.require_anonymous(1);
+
+  std::apply(
+      [&](auto&... item) {
+        auto handle = [&](auto& cx) {
+          using C = std::decay_t<decltype(cx)>;
+          if constexpr (std::is_same_v<C, op_future_cx>) {
+            push_completion_after_ns(delay_ns, [pr = op_pr]() mutable {
+              pr.fulfill_anonymous(1);
+            });
+          } else if constexpr (std::is_same_v<C, op_promise_cx>) {
+            push_completion_after_ns(delay_ns, [pr = cx.pr]() mutable {
+              pr.fulfill_anonymous(1);
+            });
+          } else if constexpr (std::is_same_v<C, op_lpc_cx>) {
+            push_completion_after_ns(delay_ns, std::move(cx.fn));
+          } else if constexpr (std::is_same_v<C, src_future_cx> ||
+                               std::is_same_v<C, src_promise_cx>) {
+            // Source completion: the copy already happened at injection.
+            if constexpr (std::is_same_v<C, src_promise_cx>)
+              cx.pr.fulfill_anonymous(1);
+          } else if constexpr (is_remote_rpc<C>::value) {
+            // Ship fn+args to the target; executes in its user progress
+            // after one wire hop (the AM carries the send timestamp).
+            std::apply(
+                [&](auto&... args) { rpc_ff(target, cx.fn, args...); },
+                cx.args);
+          }
+        };
+        (handle(item), ...);
+      },
+      cxs.items);
+
+  if constexpr (want_future) {
+    return op_pr.finalize();
+  } else {
+    // Fulfill the src_future case: with synchronous source completion a
+    // requested source future would be immediately ready; omit support for
+    // returning *two* futures at once to keep the API surface honest.
+    static_assert(!CxsD::template has<is_src_future>() ||
+                      !CxsD::template has<is_op_future>(),
+                  "requesting both source and operation futures from one "
+                  "call is not supported in this reproduction");
+    if constexpr (CxsD::template has<is_src_future>()) {
+      return make_future();
+    } else {
+      return;
+    }
+  }
+}
+
+// Hop-based wrapper: the simulated wire distance to operation completion in
+// units of the configured per-hop latency.
+template <typename Cxs>
+auto finish_rma(Cxs&& cxs, intrank_t target, std::uint64_t hops) {
+  return finish_rma_ns(std::forward<Cxs>(cxs), target,
+                       hops * persona().sim_latency_ns);
+}
+
+}  // namespace detail
+
+// Default completion: operation future.
+using default_cx_t = detail::completions<detail::op_future_cx>;
+inline default_cx_t default_cx() { return operation_cx::as_future(); }
+
+// ------------------------------------------------------------------- rput
+
+// Bulk put: copies n elements from local src to remote dest.
+template <typename T, typename Cxs = default_cx_t>
+auto rput(const T* src, global_ptr<T> dest, std::size_t n,
+          Cxs cxs = Cxs{}) {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "RMA requires trivially copyable element types");
+  assert(!dest.is_null());
+  ++detail::persona().stats.rputs;
+  std::memcpy(dest.local(), src, n * sizeof(T));
+  return detail::finish_rma(std::move(cxs), dest.where(), /*hops=*/2);
+}
+
+// Scalar value put.
+template <typename T, typename Cxs = default_cx_t>
+auto rput(T value, global_ptr<T> dest, Cxs cxs = Cxs{}) {
+  return rput(&value, dest, 1, std::move(cxs));
+}
+
+// ------------------------------------------------------------------- rget
+
+// Bulk get: copies n elements from remote src into local dest.
+template <typename T, typename Cxs = default_cx_t>
+auto rget(global_ptr<T> src, T* dest, std::size_t n, Cxs cxs = Cxs{}) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  assert(!src.is_null());
+  ++detail::persona().stats.rgets;
+  std::memcpy(dest, src.local(), n * sizeof(T));
+  return detail::finish_rma(std::move(cxs), src.where(), /*hops=*/2);
+}
+
+// Scalar get: future carries the fetched value. The read happens at
+// completion time (after the simulated round trip), matching a real get.
+template <typename T>
+future<T> rget(global_ptr<T> src) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  assert(!src.is_null());
+  ++detail::persona().stats.rgets;
+  if (detail::persona().sim_latency_ns == 0) {
+    // PSHM fast path: the load is the transfer.
+    return make_future(*src.local());
+  }
+  promise<T> pr;
+  detail::push_completion_after(2, [pr, src]() mutable {
+    pr.fulfill_result(*src.local());
+  });
+  return pr.get_future();
+}
+
+// --------------------------------------------------- non-contiguous RMA
+//
+// The paper highlights vector/indexed/strided transfers as productivity
+// features for multidimensional data. Fragment lists use (pointer, element
+// count) pairs, as in upcxx::rput_irregular.
+
+template <typename T>
+struct src_fragment {
+  const T* ptr;
+  std::size_t n;
+};
+template <typename T>
+struct dst_fragment {
+  global_ptr<T> ptr;
+  std::size_t n;
+};
+
+// Irregular put: total source elements must equal total destination
+// elements; fragments may differ in shape (gather locally / scatter
+// remotely).
+template <typename T, typename Cxs = default_cx_t>
+auto rput_irregular(const std::vector<src_fragment<T>>& srcs,
+                    const std::vector<dst_fragment<T>>& dsts,
+                    Cxs cxs = Cxs{}) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  ++detail::persona().stats.rputs;
+  std::size_t si = 0, so = 0;  // source fragment index/offset
+  intrank_t target = 0;
+  for (const auto& d : dsts) {
+    assert(!d.ptr.is_null());
+    target = d.ptr.where();
+    T* out = d.ptr.local();
+    std::size_t need = d.n;
+    while (need) {
+      assert(si < srcs.size() && "source shorter than destination");
+      std::size_t take = std::min(need, srcs[si].n - so);
+      std::memcpy(out, srcs[si].ptr + so, take * sizeof(T));
+      out += take;
+      so += take;
+      need -= take;
+      if (so == srcs[si].n) {
+        ++si;
+        so = 0;
+      }
+    }
+  }
+  assert(si == srcs.size() && so == 0 && "destination shorter than source");
+  return detail::finish_rma(std::move(cxs), target, 2);
+}
+
+// Irregular get (mirror of rput_irregular).
+template <typename T, typename Cxs = default_cx_t>
+auto rget_irregular(const std::vector<dst_fragment<T>>& srcs,
+                    const std::vector<src_fragment<T>>& dsts_local,
+                    Cxs cxs = Cxs{}) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  ++detail::persona().stats.rgets;
+  std::size_t si = 0, so = 0;
+  intrank_t target = 0;
+  for (const auto& d : dsts_local) {
+    T* out = const_cast<T*>(d.ptr);
+    std::size_t need = d.n;
+    while (need) {
+      assert(si < srcs.size());
+      target = srcs[si].ptr.where();
+      std::size_t take = std::min(need, srcs[si].n - so);
+      std::memcpy(out, srcs[si].ptr.local() + so, take * sizeof(T));
+      out += take;
+      so += take;
+      need -= take;
+      if (so == srcs[si].n) {
+        ++si;
+        so = 0;
+      }
+    }
+  }
+  return detail::finish_rma(std::move(cxs), target, 2);
+}
+
+// Strided put/get over Dim-dimensional blocks. Strides are in *bytes*
+// (matching upcxx::rput_strided); extents count elements per dimension with
+// extent[Dim-1] iterating contiguously element-by-element.
+namespace detail {
+template <typename T, int Dim>
+void strided_copy(const std::byte* src, const std::ptrdiff_t* sstride,
+                  std::byte* dst, const std::ptrdiff_t* dstride,
+                  const std::size_t* extent, int dim) {
+  if (dim == Dim - 1) {
+    for (std::size_t i = 0; i < extent[dim]; ++i)
+      std::memcpy(dst + static_cast<std::ptrdiff_t>(i) * dstride[dim],
+                  src + static_cast<std::ptrdiff_t>(i) * sstride[dim],
+                  sizeof(T));
+    return;
+  }
+  for (std::size_t i = 0; i < extent[dim]; ++i)
+    strided_copy<T, Dim>(src + static_cast<std::ptrdiff_t>(i) * sstride[dim],
+                         sstride,
+                         dst + static_cast<std::ptrdiff_t>(i) * dstride[dim],
+                         dstride, extent, dim + 1);
+}
+}  // namespace detail
+
+template <int Dim, typename T, typename Cxs = default_cx_t>
+auto rput_strided(const T* src_base,
+                  const std::array<std::ptrdiff_t, Dim>& src_strides,
+                  global_ptr<T> dst_base,
+                  const std::array<std::ptrdiff_t, Dim>& dst_strides,
+                  const std::array<std::size_t, Dim>& extents,
+                  Cxs cxs = Cxs{}) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  ++detail::persona().stats.rputs;
+  detail::strided_copy<T, Dim>(
+      reinterpret_cast<const std::byte*>(src_base), src_strides.data(),
+      reinterpret_cast<std::byte*>(dst_base.local()), dst_strides.data(),
+      extents.data(), 0);
+  return detail::finish_rma(std::move(cxs), dst_base.where(), 2);
+}
+
+template <int Dim, typename T, typename Cxs = default_cx_t>
+auto rget_strided(global_ptr<T> src_base,
+                  const std::array<std::ptrdiff_t, Dim>& src_strides,
+                  T* dst_base,
+                  const std::array<std::ptrdiff_t, Dim>& dst_strides,
+                  const std::array<std::size_t, Dim>& extents,
+                  Cxs cxs = Cxs{}) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  ++detail::persona().stats.rgets;
+  detail::strided_copy<T, Dim>(
+      reinterpret_cast<const std::byte*>(src_base.local()),
+      src_strides.data(), reinterpret_cast<std::byte*>(dst_base),
+      dst_strides.data(), extents.data(), 0);
+  return detail::finish_rma(std::move(cxs), src_base.where(), 2);
+}
+
+}  // namespace upcxx

@@ -1,0 +1,130 @@
+// Teams: ordered subsets of ranks (paper §IV-D, "front_team: a upcxx::team
+// object (similar in functionality to an MPI communicator)").
+//
+// Scalability note reproduced from the paper: a team stores only its member
+// list and the local rank's index — there are no per-team symmetric heaps or
+// O(world) tables beyond the member vector itself, and teams compose with
+// subset collectives (the reason the paper rejects symmetric-heap designs).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "upcxx/future.hpp"
+#include "upcxx/progress.hpp"
+
+namespace upcxx {
+
+class team;
+team& world();
+
+// The team of ranks co-located in shared memory with the caller. On this
+// single-node substrate every rank shares the arena (the situation GASNet
+// PSHM creates within a node), so local_team() is the world team — exactly
+// what real UPC++ reports on one node.
+inline team& local_team() { return world(); }
+
+// True when addr's memory is directly load/store reachable — everywhere on
+// this substrate, matching upcxx::local_team_contains on one node.
+inline bool local_team_contains(intrank_t /*world_rank*/) { return true; }
+
+namespace detail {
+void init_world_team();
+void fini_world_team();
+class TeamAccess;
+}  // namespace detail
+
+class team {
+ public:
+  // Index of the calling rank within this team; asserts membership.
+  intrank_t rank_me() const { return me_idx_; }
+  intrank_t rank_n() const { return static_cast<intrank_t>(members_.size()); }
+
+  // Team index -> world rank (paper: front_team[p_dest]).
+  intrank_t operator[](intrank_t i) const { return members_[i]; }
+
+  // World rank -> team index, or `otherwise` when not a member.
+  intrank_t from_world(intrank_t world_rank, intrank_t otherwise = -1) const {
+    for (std::size_t i = 0; i < members_.size(); ++i)
+      if (members_[i] == world_rank) return static_cast<intrank_t>(i);
+    return otherwise;
+  }
+
+  const std::vector<intrank_t>& members() const { return members_; }
+  std::uint64_t id() const { return id_; }
+
+  // Collectively splits this team: ranks passing the same color form a new
+  // team, ordered by (key, world rank). Every member must call split.
+  // color < 0 means "do not join any team" and yields an empty team handle.
+  team split(int color, int key) const;
+
+  team(const team&) = delete;
+  team& operator=(const team&) = delete;
+  team(team&&) = default;
+  team& operator=(team&&) = default;
+
+ private:
+  team() = default;
+  friend team& world();
+  friend void detail::init_world_team();
+  friend class detail::TeamAccess;
+
+  std::vector<intrank_t> members_;
+  intrank_t me_idx_ = -1;
+  std::uint64_t id_ = 0;
+  mutable std::uint64_t split_count_ = 0;
+};
+
+namespace detail {
+
+// Internal constructor access for split()/tests.
+class TeamAccess {
+ public:
+  static team make(std::vector<intrank_t> members, intrank_t me_idx,
+                   std::uint64_t id) {
+    team t;
+    t.members_ = std::move(members);
+    t.me_idx_ = me_idx;
+    t.id_ = id;
+    return t;
+  }
+};
+
+// ------------------------- generic collective engine (team.cpp) ----------
+//
+// One reduce-then-broadcast pass over a binomial tree rooted at team index
+// `root`. Contributions and results travel as serialized bytes; typed
+// wrappers live in collectives.hpp. With up=false the engine degenerates to
+// a pure broadcast; with down=false to a rooted reduction.
+struct CollOps {
+  bool up = true;
+  bool down = true;
+  // Folds one incoming serialized contribution into the accumulator.
+  arch::UniqueFunction<void(std::vector<std::byte>& accum, Reader& r)>
+      combine;
+  // Receives the final serialized result on every rank (down=true) or on the
+  // root only (down=false; other ranks get an empty reader).
+  arch::UniqueFunction<void(Reader& r)> deliver;
+};
+
+void coll_enter(const team& tm, intrank_t root, std::vector<std::byte> contrib,
+                CollOps ops);
+
+// Topology the engine builds per collective (ablation knob; every member
+// must use the same setting for a given collective). The default binary
+// tree bounds any rank's message count by O(1); the flat star funnels all
+// P-1 contributions through the root — cheap in hops, serial at the root.
+enum class CollTopology { tree, flat };
+CollTopology& coll_topology();
+
+}  // namespace detail
+
+namespace experimental {
+// Selects the collective topology for subsequent collectives on this rank
+// (must be called symmetrically on every team member). Used by the
+// abl_collectives bench to reproduce the tree-vs-flat design tradeoff.
+inline void set_coll_topology(detail::CollTopology t) {
+  detail::coll_topology() = t;
+}
+}  // namespace experimental
+}  // namespace upcxx

@@ -1,0 +1,25 @@
+// Umbrella header: the public API of the UPC++ reproduction.
+//
+// A downstream user includes this and gets the feature set the paper
+// describes in §II: futures/promises, global pointers and shared-segment
+// allocation, one-sided RMA with completions, RPC, distributed objects,
+// view-based serialization, remote atomics, teams and collectives.
+//
+// Program structure: wrap your SPMD main in upcxx::run(ranks, fn) (the
+// moral equivalent of upcxx::init()/finalize() around main()); inside fn use
+// the API exactly as in the paper's code listings.
+#pragma once
+
+#include "upcxx/atomic.hpp"          // IWYU pragma: export
+#include "upcxx/collectives.hpp"     // IWYU pragma: export
+#include "upcxx/completion.hpp"      // IWYU pragma: export
+#include "upcxx/dist_object.hpp"     // IWYU pragma: export
+#include "upcxx/future.hpp"          // IWYU pragma: export
+#include "upcxx/global_ptr.hpp"      // IWYU pragma: export
+#include "upcxx/persona.hpp"         // IWYU pragma: export
+#include "upcxx/progress.hpp"        // IWYU pragma: export
+#include "upcxx/copy.hpp"            // IWYU pragma: export
+#include "upcxx/rma.hpp"             // IWYU pragma: export
+#include "upcxx/rpc.hpp"             // IWYU pragma: export
+#include "upcxx/serialization.hpp"   // IWYU pragma: export
+#include "upcxx/team.hpp"            // IWYU pragma: export

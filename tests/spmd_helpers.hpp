@@ -1,0 +1,36 @@
+// Helpers for running SPMD test bodies under gtest.
+//
+// Thread-backend ranks run inside the test process, so gtest EXPECT/ASSERT
+// macros work directly in rank code (googletest failure recording is
+// thread-safe on pthread platforms).
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "upcxx/upcxx.hpp"
+
+namespace testutil {
+
+// Default substrate config for tests: small arena, fast to create.
+inline gex::Config test_cfg(int ranks) {
+  gex::Config c;
+  c.ranks = ranks;
+  c.segment_bytes = 8 << 20;
+  c.ring_bytes = 256 << 10;
+  c.eager_max = 8 << 10;
+  c.heap_bytes = 32 << 20;
+  return c;
+}
+
+// Runs fn on `ranks` ranks; fails the test if any rank fails.
+inline void spmd(int ranks, const std::function<void()>& fn) {
+  int fails = upcxx::run(test_cfg(ranks), fn);
+  EXPECT_EQ(fails, 0) << "SPMD body failed on " << fails << " rank(s)";
+}
+
+// Single-rank convenience (futures, serialization, local semantics).
+inline void solo(const std::function<void()>& fn) { spmd(1, fn); }
+
+}  // namespace testutil

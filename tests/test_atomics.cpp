@@ -1,0 +1,194 @@
+// atomic_domain tests: every operation, both backends (direct = NIC-offload
+// analog, AM = software path), and cross-rank contention correctness.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "spmd_helpers.hpp"
+
+using testutil::spmd;
+
+namespace {
+
+using upcxx::atomic_backend;
+using upcxx::atomic_op;
+
+class AtomicsBothBackends
+    : public ::testing::TestWithParam<atomic_backend> {};
+
+TEST_P(AtomicsBothBackends, FetchAddSingleOwner) {
+  const auto backend = GetParam();
+  spmd(2, [backend] {
+    upcxx::atomic_domain<std::int64_t> ad(
+        {atomic_op::load, atomic_op::fetch_add, atomic_op::store},
+        upcxx::world(), backend);
+    auto slot = upcxx::allocate<std::int64_t>(1);
+    *slot.local() = 0;
+    upcxx::dist_object<upcxx::global_ptr<std::int64_t>> dir(slot);
+    auto target = dir.fetch(0).wait();  // everyone hits rank 0's slot
+    upcxx::barrier();
+    if (upcxx::rank_me() == 1) {
+      EXPECT_EQ(ad.fetch_add(target, 5).wait(), 0);
+      EXPECT_EQ(ad.fetch_add(target, 7).wait(), 5);
+      EXPECT_EQ(ad.load(target).wait(), 12);
+    }
+    upcxx::barrier();
+    if (upcxx::rank_me() == 0) { EXPECT_EQ(*slot.local(), 12); }
+    upcxx::barrier();
+    upcxx::deallocate(slot);
+  });
+}
+
+TEST_P(AtomicsBothBackends, ConcurrentFetchAddIsLinearizable) {
+  const auto backend = GetParam();
+  spmd(8, [backend] {
+    constexpr int kPer = 500;
+    upcxx::atomic_domain<std::uint64_t> ad(
+        {atomic_op::load, atomic_op::fetch_add}, upcxx::world(), backend);
+    auto slot = upcxx::allocate<std::uint64_t>(1);
+    *slot.local() = 0;
+    upcxx::dist_object<upcxx::global_ptr<std::uint64_t>> dir(slot);
+    auto target = dir.fetch(0).wait();
+    upcxx::barrier();
+    // Every rank increments; fetched values must all be distinct.
+    std::vector<std::uint64_t> seen;
+    seen.reserve(kPer);
+    upcxx::promise<> done;
+    for (int i = 0; i < kPer; ++i) {
+      done.require_anonymous(1);
+      ad.fetch_add(target, 1).then([&seen, done](std::uint64_t prev) mutable {
+        seen.push_back(prev);
+        done.fulfill_anonymous(1);
+      });
+      if (i % 16 == 0) upcxx::progress();
+    }
+    done.finalize().wait();
+    upcxx::barrier();
+    if (upcxx::rank_me() == 0) {
+      EXPECT_EQ(*slot.local(), 8ull * kPer);
+    }
+    // Local monotonicity of my own observed values is not guaranteed, but
+    // uniqueness across ranks is; check local uniqueness cheaply.
+    std::sort(seen.begin(), seen.end());
+    EXPECT_TRUE(std::adjacent_find(seen.begin(), seen.end()) == seen.end());
+    upcxx::barrier();
+    upcxx::deallocate(slot);
+  });
+}
+
+TEST_P(AtomicsBothBackends, MinMax) {
+  const auto backend = GetParam();
+  spmd(4, [backend] {
+    upcxx::atomic_domain<std::int64_t> ad(
+        {atomic_op::load, atomic_op::min, atomic_op::max,
+         atomic_op::fetch_min, atomic_op::fetch_max},
+        upcxx::world(), backend);
+    auto slot = upcxx::allocate<std::int64_t>(2);
+    slot.local()[0] = 1000;   // min target
+    slot.local()[1] = -1000;  // max target
+    upcxx::dist_object<upcxx::global_ptr<std::int64_t>> dir(slot);
+    auto t = dir.fetch(0).wait();
+    upcxx::barrier();
+    ad.min(t, upcxx::rank_me() * 10 + 1).wait();
+    ad.max(t + 1, upcxx::rank_me() * 10 + 1).wait();
+    upcxx::barrier();
+    EXPECT_EQ(ad.load(t).wait(), 1);     // rank 0's 1 is smallest
+    EXPECT_EQ(ad.load(t + 1).wait(), 31);  // rank 3's 31 is largest
+    upcxx::barrier();
+    upcxx::deallocate(slot);
+  });
+}
+
+TEST_P(AtomicsBothBackends, CompareExchange) {
+  const auto backend = GetParam();
+  spmd(4, [backend] {
+    upcxx::atomic_domain<std::uint64_t> ad(
+        {atomic_op::load, atomic_op::compare_exchange}, upcxx::world(),
+        backend);
+    auto slot = upcxx::allocate<std::uint64_t>(1);
+    *slot.local() = 0;
+    upcxx::dist_object<upcxx::global_ptr<std::uint64_t>> dir(slot);
+    auto t = dir.fetch(0).wait();
+    upcxx::barrier();
+    // Exactly one rank wins the CAS from 0 to its id+1.
+    auto prev =
+        ad.compare_exchange(t, 0, upcxx::rank_me() + 1).wait();
+    const bool won = (prev == 0);
+    auto winners = upcxx::reduce_all(won ? 1 : 0, upcxx::op_fast_add{}).wait();
+    EXPECT_EQ(winners, 1);
+    upcxx::barrier();
+    upcxx::deallocate(slot);
+  });
+}
+
+TEST_P(AtomicsBothBackends, IncDecSubStore) {
+  const auto backend = GetParam();
+  spmd(2, [backend] {
+    upcxx::atomic_domain<std::int32_t> ad(
+        {atomic_op::load, atomic_op::store, atomic_op::inc, atomic_op::dec,
+         atomic_op::sub, atomic_op::fetch_sub, atomic_op::fetch_inc,
+         atomic_op::fetch_dec},
+        upcxx::world(), backend);
+    auto slot = upcxx::allocate<std::int32_t>(1);
+    upcxx::dist_object<upcxx::global_ptr<std::int32_t>> dir(slot);
+    auto t = dir.fetch(1 - upcxx::rank_me()).wait();
+    ad.store(t, 100).wait();
+    upcxx::barrier();
+    // Both ranks mutate each other's slot symmetric ops; net effect known.
+    ad.inc(t).wait();
+    ad.inc(t).wait();
+    ad.dec(t).wait();
+    ad.sub(t, 10).wait();
+    upcxx::barrier();
+    EXPECT_EQ(ad.load(upcxx::to_global_ptr(slot.local())).wait(), 91);
+    upcxx::barrier();  // my-slot check done before the peer mutates it again
+    EXPECT_EQ(ad.fetch_inc(t).wait(), 91);
+    EXPECT_EQ(ad.fetch_dec(t).wait(), 92);
+    EXPECT_EQ(ad.fetch_sub(t, 41).wait(), 91);
+    upcxx::barrier();
+    EXPECT_EQ(ad.load(t).wait(), 50);
+    upcxx::barrier();
+    upcxx::deallocate(slot);
+  });
+}
+
+TEST_P(AtomicsBothBackends, DoubleType) {
+  const auto backend = GetParam();
+  spmd(4, [backend] {
+    upcxx::atomic_domain<double> ad({atomic_op::load, atomic_op::add},
+                                    upcxx::world(), backend);
+    auto slot = upcxx::allocate<double>(1);
+    *slot.local() = 0.0;
+    upcxx::dist_object<upcxx::global_ptr<double>> dir(slot);
+    auto t = dir.fetch(0).wait();
+    upcxx::barrier();
+    ad.add(t, 0.25 * (upcxx::rank_me() + 1)).wait();
+    upcxx::barrier();
+    EXPECT_DOUBLE_EQ(ad.load(t).wait(), 0.25 * 10);
+    upcxx::barrier();
+    upcxx::deallocate(slot);
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, AtomicsBothBackends,
+                         ::testing::Values(atomic_backend::kDirect,
+                                           atomic_backend::kAm),
+                         [](const auto& info) {
+                           return info.param == atomic_backend::kDirect
+                                      ? "Direct"
+                                      : "Am";
+                         });
+
+TEST(Atomics, BackendSelectionReported) {
+  spmd(1, [] {
+    upcxx::atomic_domain<std::int64_t> d({atomic_op::load}, upcxx::world(),
+                                         atomic_backend::kDirect);
+    upcxx::atomic_domain<std::int64_t> a({atomic_op::load}, upcxx::world(),
+                                         atomic_backend::kAm);
+    EXPECT_TRUE(d.uses_direct_backend());
+    EXPECT_FALSE(a.uses_direct_backend());
+  });
+}
+
+}  // namespace

@@ -1,0 +1,179 @@
+// Extended remote atomics: bitwise operations, floating-point domains, and
+// the per-type op-validity tables (paper §II: remote atomics enable
+// lock-free data structures; [8] covers the offloaded backend).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "arch/rng.hpp"
+#include "spmd_helpers.hpp"
+
+using testutil::spmd;
+
+namespace {
+
+using upcxx::atomic_backend;
+using upcxx::atomic_op;
+
+// ------------------------------------------------------------ op validity
+
+TEST(AtomicsExt, OpValidityTables) {
+  // Integral: everything allowed.
+  EXPECT_TRUE(upcxx::atomic_op_allowed<std::int64_t>(atomic_op::fetch_bit_xor));
+  EXPECT_TRUE(upcxx::atomic_op_allowed<std::uint32_t>(atomic_op::compare_exchange));
+  EXPECT_TRUE(upcxx::atomic_op_allowed<int>(atomic_op::fetch_inc));
+  // Floating point: arithmetic and min/max only.
+  EXPECT_TRUE(upcxx::atomic_op_allowed<double>(atomic_op::fetch_add));
+  EXPECT_TRUE(upcxx::atomic_op_allowed<float>(atomic_op::max));
+  EXPECT_FALSE(upcxx::atomic_op_allowed<double>(atomic_op::bit_or));
+  EXPECT_FALSE(upcxx::atomic_op_allowed<double>(atomic_op::fetch_inc));
+  EXPECT_FALSE(upcxx::atomic_op_allowed<float>(atomic_op::compare_exchange));
+}
+
+// ------------------------------------------------------------ bitwise ops
+
+void bitwise_roundtrip(atomic_backend be) {
+  spmd(4, [be] {
+    upcxx::atomic_domain<std::uint64_t> ad(
+        {atomic_op::load, atomic_op::store, atomic_op::bit_or,
+         atomic_op::fetch_bit_or, atomic_op::bit_and,
+         atomic_op::fetch_bit_and, atomic_op::bit_xor,
+         atomic_op::fetch_bit_xor},
+        upcxx::world(), be);
+    static upcxx::global_ptr<std::uint64_t> loc;
+    if (upcxx::rank_me() == 0) {
+      loc = upcxx::new_<std::uint64_t>(0);
+    }
+    upcxx::barrier();
+    // Every rank sets its own bit.
+    ad.bit_or(loc, std::uint64_t{1} << upcxx::rank_me()).wait();
+    upcxx::barrier();
+    std::uint64_t v = ad.load(loc).wait();
+    EXPECT_EQ(v, 0b1111u) << "every rank's bit must be set";
+    upcxx::barrier();
+    // XOR clears own bit (each bit flipped exactly once).
+    ad.bit_xor(loc, std::uint64_t{1} << upcxx::rank_me()).wait();
+    upcxx::barrier();
+    EXPECT_EQ(ad.load(loc).wait(), 0u);
+    upcxx::barrier();
+    // fetch_ variants return the previous value.
+    if (upcxx::rank_me() == 1) {
+      ad.store(loc, std::uint64_t{0xF0}).wait();
+      EXPECT_EQ(ad.fetch_bit_and(loc, std::uint64_t{0x3C}).wait(), 0xF0u);
+      EXPECT_EQ(ad.load(loc).wait(), 0x30u);
+      EXPECT_EQ(ad.fetch_bit_or(loc, std::uint64_t{0x0F}).wait(), 0x30u);
+      EXPECT_EQ(ad.fetch_bit_xor(loc, std::uint64_t{0xFF}).wait(), 0x3Fu);
+      EXPECT_EQ(ad.load(loc).wait(), 0xC0u);
+    }
+    upcxx::barrier();
+    if (upcxx::rank_me() == 0) upcxx::delete_(loc);
+    upcxx::barrier();
+  });
+}
+
+TEST(AtomicsExt, BitwiseDirectBackend) {
+  bitwise_roundtrip(atomic_backend::kDirect);
+}
+TEST(AtomicsExt, BitwiseAmBackend) { bitwise_roundtrip(atomic_backend::kAm); }
+
+// ----------------------------------------------------- floating point
+
+void float_domain(atomic_backend be) {
+  spmd(8, [be] {
+    upcxx::atomic_domain<double> ad(
+        {atomic_op::load, atomic_op::store, atomic_op::add,
+         atomic_op::fetch_add, atomic_op::sub, atomic_op::min,
+         atomic_op::fetch_max, atomic_op::max},
+        upcxx::world(), be);
+    static upcxx::global_ptr<double> sum, lo, hi;
+    if (upcxx::rank_me() == 0) {
+      sum = upcxx::new_<double>(0.0);
+      lo = upcxx::new_<double>(1e300);
+      hi = upcxx::new_<double>(-1e300);
+    }
+    upcxx::barrier();
+    const double mine = 0.25 * (upcxx::rank_me() + 1);
+    ad.add(sum, mine).wait();
+    ad.min(lo, mine).wait();
+    ad.max(hi, mine).wait();
+    upcxx::barrier();
+    const int P = upcxx::rank_n();
+    EXPECT_DOUBLE_EQ(ad.load(sum).wait(), 0.25 * P * (P + 1) / 2);
+    EXPECT_DOUBLE_EQ(ad.load(lo).wait(), 0.25);
+    EXPECT_DOUBLE_EQ(ad.load(hi).wait(), 0.25 * P);
+    upcxx::barrier();
+    if (upcxx::rank_me() == 0) {
+      upcxx::delete_(sum);
+      upcxx::delete_(lo);
+      upcxx::delete_(hi);
+    }
+    upcxx::barrier();
+  });
+}
+
+TEST(AtomicsExt, FloatingPointDirectBackend) {
+  float_domain(atomic_backend::kDirect);
+}
+TEST(AtomicsExt, FloatingPointAmBackend) {
+  float_domain(atomic_backend::kAm);
+}
+
+// ---------------------------------------------------- mixed-op hammering
+
+// Property: concurrent fetch_add on doubles from all ranks loses no update
+// (the CAS loop in apply_atomic must be correct under contention).
+TEST(AtomicsExt, ConcurrentDoubleFetchAddLosesNothing) {
+  spmd(8, [] {
+    upcxx::atomic_domain<double> ad(
+        {atomic_op::load, atomic_op::fetch_add}, upcxx::world(),
+        atomic_backend::kDirect);
+    static upcxx::global_ptr<double> acc;
+    if (upcxx::rank_me() == 0) acc = upcxx::new_<double>(0.0);
+    upcxx::barrier();
+    constexpr int kIters = 2000;
+    for (int i = 0; i < kIters; ++i) ad.fetch_add(acc, 1.0);
+    upcxx::barrier();
+    EXPECT_DOUBLE_EQ(ad.load(acc).wait(),
+                     static_cast<double>(kIters) * upcxx::rank_n());
+    upcxx::barrier();
+    if (upcxx::rank_me() == 0) upcxx::delete_(acc);
+    upcxx::barrier();
+  });
+}
+
+// Bit-set race: ranks set random bits; OR of everything must equal the
+// union (checks fetch_or atomicity under contention, both backends).
+TEST(AtomicsExt, ContendedBitOrUnion) {
+  for (auto be : {atomic_backend::kDirect, atomic_backend::kAm}) {
+    spmd(4, [be] {
+      upcxx::atomic_domain<std::uint64_t> ad(
+          {atomic_op::load, atomic_op::bit_or}, upcxx::world(), be);
+      static upcxx::global_ptr<std::uint64_t> bits;
+      static std::atomic<std::uint64_t> oracle{0};
+      if (upcxx::rank_me() == 0) {
+        bits = upcxx::new_<std::uint64_t>(0);
+        oracle = 0;
+      }
+      upcxx::barrier();
+      arch::Xoshiro256 rng(991 * (upcxx::rank_me() + 1));
+      std::vector<upcxx::future<>> pending;
+      for (int i = 0; i < 500; ++i) {
+        const std::uint64_t bit = std::uint64_t{1} << (rng.next() % 64);
+        oracle.fetch_or(bit);
+        pending.push_back(ad.bit_or(bits, bit));
+        if (i % 50 == 0) upcxx::progress();
+      }
+      // AM-backend updates are only remotely complete once acknowledged;
+      // conjoin before the barrier so the load observes every bit.
+      upcxx::when_all_range(pending).wait();
+      upcxx::barrier();
+      EXPECT_EQ(ad.load(bits).wait(), oracle.load());
+      upcxx::barrier();
+      if (upcxx::rank_me() == 0) upcxx::delete_(bits);
+      upcxx::barrier();
+    });
+  }
+}
+
+}  // namespace

@@ -1,0 +1,298 @@
+// Completion-system combinations and view lifetime semantics: the corners
+// of §II's completion taxonomy that the RMA/RPC suites don't isolate.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+#include "spmd_helpers.hpp"
+
+using testutil::spmd;
+
+namespace {
+
+TEST(Completions, PromisePlusRemoteRpcCombined) {
+  static std::atomic<int> remote_hits{0};
+  remote_hits = 0;
+  spmd(2, [] {
+    auto mine = upcxx::allocate<int>(1);
+    *mine.local() = 0;
+    upcxx::dist_object<upcxx::global_ptr<int>> dir(mine);
+    auto peer = dir.fetch(1 - upcxx::rank_me()).wait();
+    if (upcxx::rank_me() == 0) {
+      upcxx::promise<> done;
+      // operator| combination: promise completion on the initiator AND an
+      // RPC at the target, from a single rput.
+      upcxx::rput(55, peer,
+                  upcxx::operation_cx::as_promise(done) |
+                      upcxx::remote_cx::as_rpc(
+                          [](upcxx::global_ptr<int> p) {
+                            EXPECT_EQ(*p.local(), 55);
+                            remote_hits.fetch_add(1);
+                          },
+                          peer));
+      done.finalize().wait();
+      while (remote_hits.load() == 0) upcxx::progress();
+    } else {
+      while (remote_hits.load() == 0) upcxx::progress();
+    }
+    upcxx::barrier();
+    EXPECT_EQ(remote_hits.load(), 1);
+    upcxx::deallocate(mine);
+  });
+}
+
+TEST(Completions, LpcOrderingFifo) {
+  spmd(1, [] {
+    auto g = upcxx::allocate<int>(4);
+    std::vector<int> order;
+    for (int i = 0; i < 4; ++i)
+      upcxx::rput(i, g + i, upcxx::operation_cx::as_lpc([&order, i] {
+        order.push_back(i);
+      }));
+    while (order.size() < 4) upcxx::progress();
+    for (int i = 0; i < 4; ++i) EXPECT_EQ(order[i], i);
+    upcxx::deallocate(g);
+  });
+}
+
+TEST(Completions, OnePromiseManyMixedOps) {
+  spmd(2, [] {
+    auto mine = upcxx::allocate<double>(32);
+    upcxx::dist_object<upcxx::global_ptr<double>> dir(mine);
+    auto peer = dir.fetch(1 - upcxx::rank_me()).wait();
+    upcxx::promise<> p;
+    double src[8] = {1, 2, 3, 4, 5, 6, 7, 8};
+    // Mix scalar puts, bulk puts and gets on one promise.
+    upcxx::rput(1.5, peer, upcxx::operation_cx::as_promise(p));
+    upcxx::rput(src, peer + 8, 8, upcxx::operation_cx::as_promise(p));
+    double sink[8];
+    upcxx::rget(peer + 8, sink, 8, upcxx::operation_cx::as_promise(p));
+    p.finalize().wait();
+    upcxx::barrier();
+    EXPECT_DOUBLE_EQ(*mine.local(), 1.5);
+    upcxx::barrier();
+    upcxx::deallocate(mine);
+  });
+}
+
+TEST(Completions, SourceFutureAloneReturnsReady) {
+  spmd(2, [] {
+    auto mine = upcxx::allocate<int>(1);
+    upcxx::dist_object<upcxx::global_ptr<int>> dir(mine);
+    auto peer = dir.fetch(1 - upcxx::rank_me()).wait();
+    // Requesting only source completion: the buffer was copied at
+    // injection, so the returned future is ready immediately.
+    auto f = upcxx::rput(3, peer, upcxx::source_cx::as_future());
+    EXPECT_TRUE(f.is_ready());
+    upcxx::barrier();
+    EXPECT_EQ(*mine.local(), 3);
+    upcxx::barrier();
+    upcxx::deallocate(mine);
+  });
+}
+
+TEST(Completions, RemoteRpcCarriesSerializedArgs) {
+  static std::atomic<long> seen{0};
+  seen = 0;
+  spmd(2, [] {
+    auto mine = upcxx::allocate<int>(4);
+    upcxx::dist_object<upcxx::global_ptr<int>> dir(mine);
+    auto peer = dir.fetch(1 - upcxx::rank_me()).wait();
+    if (upcxx::rank_me() == 0) {
+      std::vector<long> meta{10, 20, 30};
+      upcxx::rput(9, peer,
+                  upcxx::operation_cx::as_future() |
+                      upcxx::remote_cx::as_rpc(
+                          [](const std::vector<long>& m) {
+                            long s = 0;
+                            for (long v : m) s += v;
+                            seen.store(s);
+                          },
+                          meta))
+          .wait();
+    }
+    while (seen.load() == 0) upcxx::progress();
+    EXPECT_EQ(seen.load(), 60);
+    upcxx::barrier();
+    upcxx::deallocate(mine);
+  });
+}
+
+// ------------------------------------------------------ view lifetime
+
+TEST(ViewLifetime, SenderBufferReusableAfterInjection) {
+  // rpc serializes at injection, so the caller may overwrite the container
+  // immediately afterwards (source completion semantics of RPC args).
+  spmd(2, [] {
+    if (upcxx::rank_me() == 0) {
+      std::vector<int> buf{1, 2, 3, 4};
+      auto f = upcxx::rpc(1, [](upcxx::view<int> v) {
+        int s = 0;
+        for (int x : v) s += x;
+        return s;
+      }, upcxx::make_view(buf.data(), buf.data() + buf.size()));
+      std::fill(buf.begin(), buf.end(), -999);  // overwrite immediately
+      EXPECT_EQ(f.wait(), 10);
+    }
+    upcxx::barrier();
+  });
+}
+
+TEST(ViewLifetime, ViewValidForFutureReturningRpcBody) {
+  // The view must remain valid while the RPC body runs, including when the
+  // body returns a future computed from the view's contents synchronously.
+  spmd(2, [] {
+    if (upcxx::rank_me() == 0) {
+      std::vector<double> data(1000, 0.5);
+      auto f = upcxx::rpc(1, [](upcxx::view<double> v) {
+        double s = 0;
+        for (double d : v) s += d;
+        return upcxx::make_future(s);
+      }, upcxx::make_view(data.data(), data.data() + data.size()));
+      EXPECT_DOUBLE_EQ(f.wait(), 500.0);
+    }
+    upcxx::barrier();
+  });
+}
+
+TEST(ViewLifetime, NestedContainersInsideView) {
+  spmd(2, [] {
+    if (upcxx::rank_me() == 0) {
+      std::vector<std::string> items{"aa", "bbb", "c"};
+      auto f = upcxx::rpc(1, [](upcxx::view<std::string> v) {
+        std::size_t total = 0;
+        for (const auto& s : v) total += s.size();
+        return total;
+      }, upcxx::make_view(items));
+      EXPECT_EQ(f.wait(), 6u);
+    }
+    upcxx::barrier();
+  });
+}
+
+// ------------------------------------------------- RPC edge conditions
+
+TEST(RpcEdge, ZeroArgumentAndEmptyPayload) {
+  spmd(2, [] {
+    auto f = upcxx::rpc((upcxx::rank_me() + 1) % 2, [] { return 0; });
+    EXPECT_EQ(f.wait(), 0);
+    upcxx::barrier();
+  });
+}
+
+TEST(RpcEdge, LargeCaptureStillTriviallyCopyable) {
+  spmd(2, [] {
+    if (upcxx::rank_me() == 0) {
+      struct Big {
+        double vals[32];
+      } big{};
+      big.vals[7] = 4.25;
+      auto f = upcxx::rpc(1, [big] { return big.vals[7]; });
+      EXPECT_DOUBLE_EQ(f.wait(), 4.25);
+    }
+    upcxx::barrier();
+  });
+}
+
+TEST(RpcEdge, ReplyOrderingNotRequiredButAllArrive) {
+  spmd(2, [] {
+    if (upcxx::rank_me() == 0) {
+      constexpr int kN = 64;
+      std::vector<upcxx::future<int>> fs;
+      for (int i = 0; i < kN; ++i)
+        fs.push_back(upcxx::rpc(1, [](int v) { return v * v; }, i));
+      auto all = upcxx::when_all_range(fs).wait();
+      for (int i = 0; i < kN; ++i) EXPECT_EQ(all[i], i * i);
+    }
+    upcxx::barrier();
+  });
+}
+
+TEST(RpcEdge, DeeplyNestedRpcChain) {
+  // rank 0 -> 1 -> 0 -> 1 chained through future-returning bodies.
+  spmd(2, [] {
+    if (upcxx::rank_me() == 0) {
+      auto f = upcxx::rpc(1, [](int x) {
+        return upcxx::rpc(0, [](int y) {
+          return upcxx::rpc(1, [](int z) { return z + 100; }, y + 10);
+        }, x + 1);
+      }, 0);
+      EXPECT_EQ(f.wait(), 111);
+    } else {
+      // Stay attentive while the chain bounces.
+      upcxx::barrier();
+      return;
+    }
+    upcxx::barrier();
+  });
+}
+
+}  // namespace
+
+// ----------------------------------------------- rpc with completions
+
+TEST(RpcCompletions, AsPromiseCountsRpcFlood) {
+  // The SIV-B flood pattern applied to RPCs: many in flight, one promise.
+  static std::atomic<int> executed{0};
+  executed = 0;
+  testutil::spmd(2, [] {
+    if (upcxx::rank_me() == 0) {
+      upcxx::promise<> pr;
+      constexpr int kN = 64;
+      for (int i = 0; i < kN; ++i)
+        upcxx::rpc(1, upcxx::operation_cx::as_promise(pr),
+                   [] { executed.fetch_add(1); });
+      pr.finalize().wait();
+      EXPECT_EQ(executed.load(), kN);
+      upcxx::barrier();
+    } else {
+      while (executed.load() < 64) upcxx::progress();
+      upcxx::barrier();
+    }
+    upcxx::barrier();
+  });
+}
+
+TEST(RpcCompletions, AsLpcRunsOnInitiator) {
+  testutil::spmd(2, [] {
+    if (upcxx::rank_me() == 0) {
+      bool lpc_ran = false;
+      upcxx::rpc(1, upcxx::operation_cx::as_lpc([&lpc_ran] { lpc_ran = true; }),
+                 [] { return upcxx::rank_me(); });
+      while (!lpc_ran) upcxx::progress();
+      EXPECT_TRUE(lpc_ran);
+    }
+    upcxx::barrier();
+  });
+}
+
+TEST(RpcCompletions, FutureAndPromiseCombined) {
+  testutil::spmd(2, [] {
+    if (upcxx::rank_me() == 0) {
+      upcxx::promise<> pr;
+      auto f = upcxx::rpc(
+          1,
+          upcxx::operation_cx::as_future() |
+              upcxx::operation_cx::as_promise(pr),
+          [](int x) { return x * 3; }, 14);
+      EXPECT_EQ(f.wait(), 42);
+      pr.finalize().wait();  // promise was also fulfilled
+    }
+    upcxx::barrier();
+  });
+}
+
+TEST(RpcCompletions, PromiseWithValueReturningFn) {
+  // Result values are discarded when only a promise is requested; the
+  // promise still counts completion.
+  testutil::spmd(2, [] {
+    if (upcxx::rank_me() == 0) {
+      upcxx::promise<> pr;
+      upcxx::rpc(1, upcxx::operation_cx::as_promise(pr),
+                 [] { return std::string("discarded"); });
+      pr.finalize().wait();
+    }
+    upcxx::barrier();
+  });
+}

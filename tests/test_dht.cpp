@@ -1,0 +1,312 @@
+// Distributed hash table tests: all three variants vs a std::unordered_map
+// oracle, value-size sweeps across the eager/rendezvous boundary, and the
+// paper's asynchronous-chaining idioms.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "apps/dht/dht.hpp"
+#include "arch/rng.hpp"
+#include "spmd_helpers.hpp"
+
+using testutil::spmd;
+
+namespace {
+
+std::string make_key(arch::Xoshiro256& rng) {
+  // 8-byte random keys rendered as hex, as in the paper's benchmark setup.
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(rng.next()));
+  return std::string(buf, 16);
+}
+
+std::string make_value(arch::Xoshiro256& rng, std::size_t len) {
+  std::string v(len, '\0');
+  for (auto& c : v) c = static_cast<char>('A' + rng.next_below(26));
+  return v;
+}
+
+TEST(DhtRpcOnly, InsertFindRoundTrip) {
+  spmd(4, [] {
+    dht::RpcOnlyMap map;
+    upcxx::barrier();
+    // The paper's example.
+    upcxx::future<> f = map.insert("Germany", "Bonn");
+    f.wait();
+    upcxx::barrier();
+    auto found = map.find("Germany").wait();
+    ASSERT_TRUE(found.has_value());
+    EXPECT_EQ(*found, "Bonn");
+    EXPECT_FALSE(map.find("France").wait().has_value());
+    upcxx::barrier();
+  });
+}
+
+TEST(DhtRpcOnly, MatchesOracle) {
+  spmd(4, [] {
+    dht::RpcOnlyMap map;
+    upcxx::barrier();
+    arch::Xoshiro256 rng(100 + upcxx::rank_me());
+    std::unordered_map<std::string, std::string> oracle;
+    for (int i = 0; i < 200; ++i) {
+      auto k = make_key(rng);
+      auto v = make_value(rng, 8 + rng.next_below(64));
+      oracle[k] = v;
+      map.insert(k, v).wait();
+    }
+    upcxx::barrier();
+    for (const auto& [k, v] : oracle) {
+      auto got = map.find(k).wait();
+      ASSERT_TRUE(got.has_value()) << k;
+      EXPECT_EQ(*got, v);
+    }
+    upcxx::barrier();
+  });
+}
+
+TEST(DhtRpcOnly, OverwriteKey) {
+  spmd(2, [] {
+    dht::RpcOnlyMap map;
+    upcxx::barrier();
+    if (upcxx::rank_me() == 0) {
+      map.insert("k", "v1").wait();
+      map.insert("k", "v2").wait();
+      EXPECT_EQ(*map.find("k").wait(), "v2");
+    }
+    upcxx::barrier();
+  });
+}
+
+TEST(DhtRpcOnly, PipelinedInsertsWithPromise) {
+  // Non-blocking insert storm tracked by conjoined futures.
+  spmd(4, [] {
+    dht::RpcOnlyMap map;
+    upcxx::barrier();
+    arch::Xoshiro256 rng(7 + upcxx::rank_me());
+    std::vector<std::string> keys;
+    upcxx::future<> all = upcxx::make_future();
+    for (int i = 0; i < 100; ++i) {
+      keys.push_back(make_key(rng));
+      all = upcxx::when_all(all, map.insert(keys.back(), "v"));
+      if (i % 10 == 0) upcxx::progress();
+    }
+    all.wait();
+    upcxx::barrier();
+    for (const auto& k : keys) EXPECT_TRUE(map.find(k).wait().has_value());
+    upcxx::barrier();
+  });
+}
+
+class DhtRmaSizes : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(DhtRmaSizes, RpcRmaMatchesOracleAcrossValueSizes) {
+  const std::size_t value_len = GetParam();
+  spmd(4, [value_len] {
+    dht::RpcRmaMap map;
+    upcxx::barrier();
+    arch::Xoshiro256 rng(900 + upcxx::rank_me());
+    std::unordered_map<std::string, std::string> oracle;
+    const int n = value_len > 4096 ? 20 : 60;
+    for (int i = 0; i < n; ++i) {
+      auto k = make_key(rng);
+      auto v = make_value(rng, value_len);
+      oracle[k] = v;
+      map.insert(k, v).wait();
+    }
+    upcxx::barrier();
+    for (const auto& [k, v] : oracle) {
+      auto got = map.find(k).wait();
+      ASSERT_TRUE(got.has_value());
+      EXPECT_EQ(*got, v);
+    }
+    EXPECT_FALSE(map.find("absent-key-123").wait().has_value());
+    upcxx::barrier();
+  });
+}
+
+// Sweep across the eager/rendezvous boundary (test cfg eager_max = 8 KiB).
+INSTANTIATE_TEST_SUITE_P(ValueSizes, DhtRmaSizes,
+                         ::testing::Values(1, 64, 1024, 8192, 32768));
+
+TEST(DhtRpcRma, InsertIsFullyAsynchronous) {
+  // The paper's chained insert: the returned future covers RPC + rput.
+  spmd(2, [] {
+    dht::RpcRmaMap map;
+    upcxx::barrier();
+    std::vector<upcxx::future<>> futs;
+    for (int i = 0; i < 32; ++i)
+      futs.push_back(map.insert("key" + std::to_string(i),
+                                std::string(1024, 'x')));
+    for (auto& f : futs) f.wait();
+    upcxx::barrier();
+    for (int i = 0; i < 32; ++i) {
+      auto got = map.find("key" + std::to_string(i)).wait();
+      ASSERT_TRUE(got.has_value());
+      EXPECT_EQ(got->size(), 1024u);
+    }
+    upcxx::barrier();
+  });
+}
+
+TEST(DhtOldApi, MatchesOracle) {
+  spmd(4, [] {
+    dht::OldApiMap map;
+    upcxx::barrier();
+    arch::Xoshiro256 rng(55 + upcxx::rank_me());
+    std::unordered_map<std::string, std::string> oracle;
+    for (int i = 0; i < 50; ++i) {
+      auto k = make_key(rng);
+      auto v = make_value(rng, 256);
+      oracle[k] = v;
+      map.insert(k, v);  // blocking, v0.1 style
+    }
+    upcxx::barrier();
+    for (const auto& [k, v] : oracle) {
+      auto got = map.find(k);
+      ASSERT_TRUE(got.has_value());
+      EXPECT_EQ(*got, v);
+    }
+    EXPECT_FALSE(map.find("nope").has_value());
+    upcxx::barrier();
+  });
+}
+
+TEST(Dht, VariantsSeeSameDistribution) {
+  // get_target must agree across variants (same hash), so the same key maps
+  // to the same rank in each implementation.
+  spmd(4, [] {
+    dht::RpcOnlyMap a;
+    dht::RpcRmaMap b;
+    dht::OldApiMap c;
+    upcxx::barrier();
+    arch::Xoshiro256 rng(1);
+    for (int i = 0; i < 100; ++i) {
+      auto k = make_key(rng);
+      EXPECT_EQ(a.get_target(k), b.get_target(k));
+      EXPECT_EQ(a.get_target(k), c.get_target(k));
+    }
+    upcxx::barrier();
+  });
+}
+
+TEST(Dht, LoadBalanceRoughlyUniform) {
+  spmd(4, [] {
+    dht::RpcOnlyMap map;
+    upcxx::barrier();
+    arch::Xoshiro256 rng(2);
+    std::vector<int> counts(upcxx::rank_n(), 0);
+    constexpr int kN = 20000;
+    for (int i = 0; i < kN; ++i) ++counts[map.get_target(make_key(rng))];
+    for (int c : counts) {
+      EXPECT_GT(c, kN / 4 - kN / 16);
+      EXPECT_LT(c, kN / 4 + kN / 16);
+    }
+    upcxx::barrier();
+  });
+}
+
+TEST(Dht, GraphVertexUpdateIdiom) {
+  // The paper's Vertex-neighbor update example (§IV-C).
+  struct Vertex {
+    std::vector<std::string> nbs;
+  };
+  using Graph = std::unordered_map<std::string, Vertex>;
+  spmd(2, [] {
+    upcxx::dist_object<Graph> graph(Graph{});
+    // Rank 1 owns vertex "v7".
+    if (upcxx::rank_me() == 1) (*graph)["v7"] = Vertex{};
+    upcxx::barrier();
+    if (upcxx::rank_me() == 0) {
+      upcxx::rpc(1,
+                 [](upcxx::dist_object<Graph>& g, const std::string& key,
+                    const std::string& val) {
+                   auto it = g->find(key);
+                   ASSERT_NE(it, g->end());
+                   it->second.nbs.push_back(val);
+                 },
+                 graph, std::string("v7"), std::string("v9"))
+          .wait();
+    }
+    upcxx::barrier();
+    if (upcxx::rank_me() == 1) {
+      ASSERT_EQ((*graph)["v7"].nbs.size(), 1u);
+      EXPECT_EQ((*graph)["v7"].nbs[0], "v9");
+    }
+    upcxx::barrier();
+  });
+}
+
+}  // namespace
+
+TEST(DhtRpcOnly, EraseRemovesMapping) {
+  spmd(4, [] {
+    dht::RpcOnlyMap map;
+    upcxx::barrier();
+    if (upcxx::rank_me() == 0) {
+      map.insert("k1", "v1").wait();
+      map.insert("k2", "v2").wait();
+      EXPECT_TRUE(map.erase("k1").wait());
+      EXPECT_FALSE(map.erase("k1").wait()) << "second erase finds nothing";
+      EXPECT_FALSE(map.find("k1").wait().has_value());
+      EXPECT_EQ(map.find("k2").wait().value(), "v2");
+    }
+    upcxx::barrier();
+  });
+}
+
+TEST(DhtRpcOnly, UpdateAppliesAtOwner) {
+  // The paper's Vertex motif: update a complex entry in place with one RPC
+  // instead of lock + rget + modify + rput + unlock.
+  spmd(4, [] {
+    dht::RpcOnlyMap map;
+    upcxx::barrier();
+    if (upcxx::rank_me() == 0) map.insert("vertex", "a").wait();
+    upcxx::barrier();
+    // Every rank appends its digit; all updates run at the owner, so none
+    // are lost (the RMA alternative would race).
+    map.update("vertex", [](std::string& v) { v += '+'; }).wait();
+    upcxx::barrier();
+    if (upcxx::rank_me() == 0) {
+      auto v = map.find("vertex").wait();
+      ASSERT_TRUE(v.has_value());
+      EXPECT_EQ(*v, "a++++") << "one '+' per rank, none lost";
+    }
+    upcxx::barrier();
+  });
+}
+
+TEST(DhtRpcOnly, UpdateDefaultInsertsMissingKey) {
+  spmd(2, [] {
+    dht::RpcOnlyMap map;
+    upcxx::barrier();
+    if (upcxx::rank_me() == 1) {
+      map.update("fresh", [](std::string& v) { v = "born"; }).wait();
+      EXPECT_EQ(map.find("fresh").wait().value(), "born");
+    }
+    upcxx::barrier();
+  });
+}
+
+TEST(DhtRpcRma, EraseFreesLandingZone) {
+  spmd(4, [] {
+    dht::RpcRmaMap map;
+    upcxx::barrier();
+    if (upcxx::rank_me() == 0) {
+      const std::string big(4096, 'z');
+      map.insert("blob", big).wait();
+      EXPECT_EQ(map.find("blob").wait().value(), big);
+      EXPECT_TRUE(map.erase("blob").wait());
+      EXPECT_FALSE(map.find("blob").wait().has_value());
+      // The landing zone was deallocated at the owner: inserting again
+      // reuses segment space rather than leaking it.
+      for (int i = 0; i < 64; ++i) {
+        map.insert("blob", big).wait();
+        EXPECT_TRUE(map.erase("blob").wait());
+      }
+    }
+    upcxx::barrier();
+  });
+}

@@ -1,0 +1,224 @@
+// Tests for the extension surface: upcxx::copy, gather/allgather/scan,
+// lpc, when_all_range, and the additional serializable containers.
+#include <gtest/gtest.h>
+
+#include <deque>
+#include <list>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "spmd_helpers.hpp"
+
+using testutil::solo;
+using testutil::spmd;
+
+namespace {
+
+// roundtrip helper over the wire archives.
+template <typename T>
+T roundtrip(const T& v) {
+  upcxx::detail::SizeArchive sa;
+  upcxx::serialization<T>::serialize(sa, v);
+  std::vector<std::byte> buf(sa.size());
+  upcxx::detail::WriteArchive wa(buf.data());
+  upcxx::serialization<T>::serialize(wa, v);
+  EXPECT_EQ(wa.written(), buf.size());
+  upcxx::detail::Reader r(buf.data(), buf.size());
+  return upcxx::serialization<T>::deserialize(r);
+}
+
+TEST(SerializationExt, SetDequeList) {
+  std::set<std::string> s{"a", "bb", "ccc"};
+  EXPECT_EQ(roundtrip(s), s);
+  std::deque<int> d{1, 2, 3};
+  EXPECT_EQ(roundtrip(d), d);
+  std::list<std::pair<int, std::string>> l{{1, "x"}, {2, "y"}};
+  EXPECT_EQ(roundtrip(l), l);
+  std::set<int> empty;
+  EXPECT_EQ(roundtrip(empty), empty);
+}
+
+TEST(SerializationExt, ArrayOfStrings) {
+  std::array<std::string, 3> a{"one", "", std::string(5000, 'z')};
+  EXPECT_EQ(roundtrip(a), a);
+}
+
+TEST(SerializationExt, SetAsRpcArgument) {
+  spmd(2, [] {
+    if (upcxx::rank_me() == 0) {
+      std::set<int> s{5, 1, 9};
+      auto f = upcxx::rpc(1, [](const std::set<int>& x) {
+        return *x.rbegin();
+      }, s);
+      EXPECT_EQ(f.wait(), 9);
+    }
+    upcxx::barrier();
+  });
+}
+
+TEST(Copy, GlobalToGlobalThirdParty) {
+  // Rank 0 copies data from rank 1's segment into rank 2's segment.
+  spmd(3, [] {
+    auto mine = upcxx::allocate<int>(16);
+    for (int i = 0; i < 16; ++i)
+      mine.local()[i] = upcxx::rank_me() * 100 + i;
+    upcxx::dist_object<upcxx::global_ptr<int>> dir(mine);
+    auto src = dir.fetch(1).wait();
+    auto dst = dir.fetch(2).wait();
+    upcxx::barrier();
+    if (upcxx::rank_me() == 0) upcxx::copy(src, dst, 16).wait();
+    upcxx::barrier();
+    if (upcxx::rank_me() == 2) {
+      for (int i = 0; i < 16; ++i) EXPECT_EQ(mine.local()[i], 100 + i);
+    }
+    upcxx::barrier();
+    upcxx::deallocate(mine);
+  });
+}
+
+TEST(Copy, LocalGlobalForwarding) {
+  spmd(2, [] {
+    auto mine = upcxx::allocate<double>(4);
+    upcxx::dist_object<upcxx::global_ptr<double>> dir(mine);
+    auto peer = dir.fetch(1 - upcxx::rank_me()).wait();
+    double out[4] = {1.5, 2.5, 3.5, 4.5};
+    upcxx::copy(out, peer, 4).wait();
+    upcxx::barrier();
+    double back[4] = {};
+    upcxx::copy(mine, back, 4).wait();
+    EXPECT_DOUBLE_EQ(back[2], 3.5);
+    upcxx::barrier();
+    upcxx::deallocate(mine);
+  });
+}
+
+TEST(Coll, AllgatherOrderedByTeamRank) {
+  spmd(6, [] {
+    auto f = upcxx::allgather(std::string(1, 'a' + upcxx::rank_me()));
+    auto all = f.wait();
+    ASSERT_EQ(all.size(), 6u);
+    for (int i = 0; i < 6; ++i)
+      EXPECT_EQ(all[i], std::string(1, 'a' + i));
+    upcxx::barrier();
+  });
+}
+
+TEST(Coll, AllgatherTrivialValues) {
+  spmd(5, [] {
+    auto all = upcxx::allgather(upcxx::rank_me() * 7).wait();
+    for (int i = 0; i < 5; ++i) EXPECT_EQ(all[i], i * 7);
+    upcxx::barrier();
+  });
+}
+
+TEST(Coll, GatherDeliversAtRoot) {
+  spmd(4, [] {
+    auto v = upcxx::gather(upcxx::rank_me() + 10, 2).wait();
+    if (upcxx::rank_me() == 2) {
+      ASSERT_EQ(v.size(), 4u);
+      for (int i = 0; i < 4; ++i) EXPECT_EQ(v[i], i + 10);
+    } else {
+      EXPECT_TRUE(v.empty());
+    }
+    upcxx::barrier();
+  });
+}
+
+TEST(Coll, AllgatherOnSubTeam) {
+  spmd(8, [] {
+    const int me = upcxx::rank_me();
+    upcxx::team sub = upcxx::world().split(me % 2, me);
+    auto all = upcxx::allgather(me, sub).wait();
+    ASSERT_EQ(all.size(), 4u);
+    for (int i = 0; i < 4; ++i) EXPECT_EQ(all[i], 2 * i + (me % 2));
+    upcxx::barrier();
+  });
+}
+
+TEST(Coll, InclusiveScan) {
+  spmd(7, [] {
+    const int me = upcxx::rank_me();
+    auto f = upcxx::scan_inclusive(me + 1, upcxx::op_fast_add{});
+    EXPECT_EQ(f.wait(), (me + 1) * (me + 2) / 2);
+    upcxx::barrier();
+  });
+}
+
+TEST(Coll, ScanWithMax) {
+  spmd(5, [] {
+    // Values 4,0,3,1,2 by rank; running max: 4,4,4,4,4 except rank order.
+    const int vals[5] = {4, 0, 3, 1, 2};
+    const int me = upcxx::rank_me();
+    auto got = upcxx::scan_inclusive(vals[me], upcxx::op_fast_max{}).wait();
+    int expect = 0;
+    for (int i = 0; i <= me; ++i) expect = std::max(expect, vals[i]);
+    EXPECT_EQ(got, expect);
+    upcxx::barrier();
+  });
+}
+
+TEST(Lpc, RunsDeferredAndReturnsValue) {
+  solo([] {
+    bool ran = false;
+    auto f = upcxx::lpc([&] {
+      ran = true;
+      return 42;
+    });
+    EXPECT_FALSE(ran) << "lpc must not run synchronously";
+    EXPECT_EQ(f.wait(), 42);
+    EXPECT_TRUE(ran);
+  });
+}
+
+TEST(Lpc, VoidAndFutureReturning) {
+  solo([] {
+    int hits = 0;
+    upcxx::lpc([&] { ++hits; }).wait();
+    EXPECT_EQ(hits, 1);
+    auto f = upcxx::lpc([] { return upcxx::make_future(std::string("in")); });
+    EXPECT_EQ(f.wait(), "in");
+  });
+}
+
+TEST(WhenAllRange, ValuesInInputOrder) {
+  solo([] {
+    std::vector<upcxx::promise<int>> prs(5);
+    std::vector<upcxx::future<int>> fs;
+    for (auto& p : prs) fs.push_back(p.get_future());
+    auto f = upcxx::when_all_range(fs);
+    // Fulfill out of order.
+    for (int i : {3, 0, 4, 1, 2}) prs[i].fulfill_result(i * 11);
+    ASSERT_TRUE(f.is_ready());
+    auto vals = f.result();
+    for (int i = 0; i < 5; ++i) EXPECT_EQ(vals[i], i * 11);
+  });
+}
+
+TEST(WhenAllRange, EmptyAndVoidForms) {
+  solo([] {
+    auto fe = upcxx::when_all_range(std::vector<upcxx::future<int>>{});
+    ASSERT_TRUE(fe.is_ready());
+    EXPECT_TRUE(fe.result().empty());
+    std::vector<upcxx::promise<>> prs(3);
+    std::vector<upcxx::future<>> fs;
+    for (auto& p : prs) fs.push_back(p.get_future());
+    auto f = upcxx::when_all_range(fs);
+    EXPECT_FALSE(f.is_ready());
+    for (auto& p : prs) p.fulfill_anonymous(1);
+    EXPECT_TRUE(f.is_ready());
+  });
+}
+
+TEST(WhenAllRange, WithRpcFutures) {
+  spmd(4, [] {
+    std::vector<upcxx::future<int>> fs;
+    for (int r = 0; r < upcxx::rank_n(); ++r)
+      fs.push_back(upcxx::rpc(r, [] { return upcxx::rank_me() * 2; }));
+    auto vals = upcxx::when_all_range(fs).wait();
+    for (int r = 0; r < upcxx::rank_n(); ++r) EXPECT_EQ(vals[r], r * 2);
+    upcxx::barrier();
+  });
+}
+
+}  // namespace

@@ -1,0 +1,282 @@
+// Futures/promises unit tests: readiness, chaining, unwrapping, conjoining,
+// promise dependency counting — the §II semantics of the paper.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "spmd_helpers.hpp"
+
+using testutil::solo;
+
+namespace {
+
+TEST(Future, MakeFutureIsReady) {
+  solo([] {
+    auto f = upcxx::make_future(42);
+    ASSERT_TRUE(f.is_ready());
+    EXPECT_EQ(f.result(), 42);
+  });
+}
+
+TEST(Future, MakeFutureEmpty) {
+  solo([] {
+    auto f = upcxx::make_future();
+    ASSERT_TRUE(f.is_ready());
+    f.wait();  // trivially returns
+  });
+}
+
+TEST(Future, MakeFutureMultiValue) {
+  solo([] {
+    auto f = upcxx::make_future(1, std::string("two"), 3.0);
+    ASSERT_TRUE(f.is_ready());
+    auto [a, b, c] = f.result();
+    EXPECT_EQ(a, 1);
+    EXPECT_EQ(b, "two");
+    EXPECT_DOUBLE_EQ(c, 3.0);
+  });
+}
+
+TEST(Future, PromiseFulfillResult) {
+  solo([] {
+    upcxx::promise<int> pr;
+    auto f = pr.get_future();
+    EXPECT_FALSE(f.is_ready());
+    pr.fulfill_result(7);
+    ASSERT_TRUE(f.is_ready());
+    EXPECT_EQ(f.result(), 7);
+  });
+}
+
+TEST(Future, PromiseAnonymousCounting) {
+  solo([] {
+    upcxx::promise<> pr;
+    pr.require_anonymous(3);
+    auto f = pr.finalize();  // retires the initial dependency
+    EXPECT_FALSE(f.is_ready());
+    pr.fulfill_anonymous(1);
+    EXPECT_FALSE(f.is_ready());
+    pr.fulfill_anonymous(1);
+    EXPECT_FALSE(f.is_ready());
+    pr.fulfill_anonymous(1);
+    EXPECT_TRUE(f.is_ready());
+  });
+}
+
+TEST(Future, PromiseBatchFulfill) {
+  solo([] {
+    upcxx::promise<> pr;
+    pr.require_anonymous(10);
+    auto f = pr.finalize();
+    pr.fulfill_anonymous(10);
+    EXPECT_TRUE(f.is_ready());
+  });
+}
+
+TEST(Future, MultipleFuturesShareOnePromise) {
+  solo([] {
+    upcxx::promise<int> pr;
+    auto f1 = pr.get_future();
+    auto f2 = pr.get_future();
+    pr.fulfill_result(5);
+    EXPECT_TRUE(f1.is_ready());
+    EXPECT_TRUE(f2.is_ready());
+    EXPECT_EQ(f1.result() + f2.result(), 10);
+  });
+}
+
+TEST(Future, ThenOnReadyRunsImmediately) {
+  solo([] {
+    int ran = 0;
+    auto f = upcxx::make_future(3).then([&](int v) {
+      ran = v;
+      return v * 2;
+    });
+    EXPECT_EQ(ran, 3);
+    ASSERT_TRUE(f.is_ready());
+    EXPECT_EQ(f.result(), 6);
+  });
+}
+
+TEST(Future, ThenDeferredRunsOnFulfill) {
+  solo([] {
+    upcxx::promise<int> pr;
+    int seen = -1;
+    auto f = pr.get_future().then([&](int v) { seen = v; });
+    EXPECT_EQ(seen, -1);
+    pr.fulfill_result(9);
+    EXPECT_EQ(seen, 9);
+    EXPECT_TRUE(f.is_ready());
+  });
+}
+
+TEST(Future, ThenChainPropagatesValues) {
+  solo([] {
+    upcxx::promise<int> pr;
+    auto f = pr.get_future()
+                 .then([](int v) { return v + 1; })
+                 .then([](int v) { return v * 10; })
+                 .then([](int v) { return std::to_string(v); });
+    pr.fulfill_result(4);
+    ASSERT_TRUE(f.is_ready());
+    EXPECT_EQ(f.result(), "50");
+  });
+}
+
+TEST(Future, ThenUnwrapsFutureResult) {
+  solo([] {
+    upcxx::promise<int> outer, inner;
+    auto inner_f = inner.get_future();
+    auto f = outer.get_future().then(
+        [inner_f](int) { return inner_f; });  // callback returns a future
+    outer.fulfill_result(1);
+    EXPECT_FALSE(f.is_ready()) << "must wait for the inner future";
+    inner.fulfill_result(99);
+    ASSERT_TRUE(f.is_ready());
+    EXPECT_EQ(f.result(), 99);
+  });
+}
+
+TEST(Future, ThenVoidCallbackYieldsEmptyFuture) {
+  solo([] {
+    auto f = upcxx::make_future(1).then([](int) {});
+    static_assert(std::is_same_v<decltype(f), upcxx::future<>>);
+    EXPECT_TRUE(f.is_ready());
+  });
+}
+
+TEST(Future, MultipleCallbacksOnOneFuture) {
+  solo([] {
+    upcxx::promise<int> pr;
+    auto f = pr.get_future();
+    int a = 0, b = 0;
+    f.then([&](int v) { a = v; });
+    f.then([&](int v) { b = v * 2; });
+    pr.fulfill_result(21);
+    EXPECT_EQ(a, 21);
+    EXPECT_EQ(b, 42);
+  });
+}
+
+TEST(Future, WhenAllConcatenatesValues) {
+  solo([] {
+    auto f = upcxx::when_all(upcxx::make_future(1),
+                             upcxx::make_future(std::string("x")),
+                             upcxx::make_future(2.5));
+    ASSERT_TRUE(f.is_ready());
+    auto [i, s, d] = f.result();
+    EXPECT_EQ(i, 1);
+    EXPECT_EQ(s, "x");
+    EXPECT_DOUBLE_EQ(d, 2.5);
+  });
+}
+
+TEST(Future, WhenAllWaitsForAll) {
+  solo([] {
+    upcxx::promise<int> p1, p2;
+    auto f = upcxx::when_all(p1.get_future(), p2.get_future());
+    EXPECT_FALSE(f.is_ready());
+    p1.fulfill_result(1);
+    EXPECT_FALSE(f.is_ready());
+    p2.fulfill_result(2);
+    ASSERT_TRUE(f.is_ready());
+    auto [a, b] = f.result();
+    EXPECT_EQ(a + b, 3);
+  });
+}
+
+TEST(Future, WhenAllOfEmptyFutures) {
+  solo([] {
+    upcxx::promise<> p1, p2;
+    auto f = upcxx::when_all(p1.finalize(), p2.finalize());
+    static_assert(std::is_same_v<decltype(f), upcxx::future<>>);
+    EXPECT_TRUE(f.is_ready());
+  });
+}
+
+TEST(Future, WhenAllMixedEmptyAndValued) {
+  solo([] {
+    upcxx::promise<> pe;
+    upcxx::promise<int> pv;
+    auto f = upcxx::when_all(pe.get_future(), pv.get_future());
+    static_assert(std::is_same_v<decltype(f), upcxx::future<int>>);
+    pv.fulfill_result(5);
+    EXPECT_FALSE(f.is_ready());
+    pe.fulfill_anonymous(1);
+    ASSERT_TRUE(f.is_ready());
+    EXPECT_EQ(f.result(), 5);
+  });
+}
+
+TEST(Future, WhenAllIncrementalConjoin) {
+  // The extend-add pattern (paper Fig 7): start from an empty future and
+  // conjoin a dynamic number of futures in a loop.
+  solo([] {
+    upcxx::future<> f_conj = upcxx::make_future();
+    std::vector<upcxx::promise<>> prs(8);
+    for (auto& p : prs) f_conj = upcxx::when_all(f_conj, p.get_future());
+    EXPECT_FALSE(f_conj.is_ready());
+    for (std::size_t i = 0; i < prs.size(); ++i) {
+      EXPECT_FALSE(f_conj.is_ready());
+      prs[i].fulfill_anonymous(1);
+    }
+    EXPECT_TRUE(f_conj.is_ready());
+  });
+}
+
+TEST(Future, WaitSpinsProgressUntilReady) {
+  solo([] {
+    upcxx::promise<int> pr;
+    // Fulfill through the progress engine (as a communication op would).
+    upcxx::detail::push_compq([pr]() mutable { pr.fulfill_result(17); });
+    EXPECT_FALSE(pr.get_future().is_ready());
+    EXPECT_EQ(pr.get_future().wait(), 17);
+  });
+}
+
+TEST(Future, MoveOnlyValueThroughThen) {
+  solo([] {
+    upcxx::promise<std::unique_ptr<int>> pr;
+    auto f = pr.get_future().then(
+        [](std::unique_ptr<int>& p) { return *p + 1; });
+    pr.fulfill_result(std::make_unique<int>(41));
+    ASSERT_TRUE(f.is_ready());
+    EXPECT_EQ(f.result(), 42);
+  });
+}
+
+TEST(Future, ToFutureWrapsValuesAndPassesFutures) {
+  solo([] {
+    auto f1 = upcxx::to_future(5);
+    static_assert(std::is_same_v<decltype(f1), upcxx::future<int>>);
+    EXPECT_EQ(f1.result(), 5);
+    auto f2 = upcxx::to_future(upcxx::make_future(std::string("y")));
+    EXPECT_EQ(f2.result(), "y");
+  });
+}
+
+TEST(Future, DeepThenChainStress) {
+  solo([] {
+    upcxx::promise<int> pr;
+    upcxx::future<int> f = pr.get_future();
+    constexpr int kDepth = 1000;
+    for (int i = 0; i < kDepth; ++i) f = f.then([](int v) { return v + 1; });
+    pr.fulfill_result(0);
+    ASSERT_TRUE(f.is_ready());
+    EXPECT_EQ(f.result(), kDepth);
+  });
+}
+
+TEST(Future, WideWhenAllStress) {
+  solo([] {
+    std::vector<upcxx::promise<>> prs(256);
+    upcxx::future<> f = upcxx::make_future();
+    for (auto& p : prs) f = upcxx::when_all(f, p.get_future());
+    for (auto& p : prs) p.fulfill_anonymous(1);
+    EXPECT_TRUE(f.is_ready());
+  });
+}
+
+}  // namespace

@@ -1,0 +1,359 @@
+// Substrate tests: shared heap, arena layout, AM engine (eager + rendezvous
+// + backpressure), launcher (thread and process backends).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <numeric>
+#include <vector>
+
+#include "arch/rng.hpp"
+#include "arch/timer.hpp"
+#include "gex/am.hpp"
+#include "gex/arena.hpp"
+#include "gex/config.hpp"
+#include "gex/runtime.hpp"
+#include "gex/shared_heap.hpp"
+
+namespace {
+
+gex::Config small_cfg(int ranks) {
+  gex::Config c;
+  c.ranks = ranks;
+  c.segment_bytes = 4 << 20;
+  c.ring_bytes = 64 << 10;
+  c.eager_max = 4 << 10;
+  c.heap_bytes = 16 << 20;
+  return c;
+}
+
+// ---------------------------------------------------------------- SharedHeap
+
+class HeapTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    region_.resize(1 << 20);
+    heap_ = gex::SharedHeap::create(region_.data(), region_.size());
+  }
+  std::vector<std::byte> region_;
+  gex::SharedHeap* heap_ = nullptr;
+};
+
+TEST_F(HeapTest, AllocateAndFree) {
+  void* a = heap_->allocate(100);
+  ASSERT_NE(a, nullptr);
+  EXPECT_TRUE(heap_->contains(a));
+  std::memset(a, 0xCD, 100);
+  heap_->deallocate(a);
+}
+
+TEST_F(HeapTest, DistinctNonOverlapping) {
+  void* a = heap_->allocate(256);
+  void* b = heap_->allocate(256);
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  auto ua = reinterpret_cast<std::uintptr_t>(a);
+  auto ub = reinterpret_cast<std::uintptr_t>(b);
+  EXPECT_TRUE(ua + 256 <= ub || ub + 256 <= ua);
+}
+
+TEST_F(HeapTest, ExhaustionReturnsNull) {
+  std::vector<void*> blocks;
+  for (;;) {
+    void* p = heap_->allocate(64 << 10);
+    if (!p) break;
+    blocks.push_back(p);
+  }
+  EXPECT_GT(blocks.size(), 4u);
+  EXPECT_EQ(heap_->allocate(64 << 10), nullptr);
+  for (void* p : blocks) heap_->deallocate(p);
+  EXPECT_NE(heap_->allocate(64 << 10), nullptr);
+}
+
+TEST_F(HeapTest, CoalescingRestoresLargeBlock) {
+  const std::size_t big = heap_->largest_free_block();
+  void* a = heap_->allocate(1000);
+  void* b = heap_->allocate(1000);
+  void* c = heap_->allocate(1000);
+  heap_->deallocate(b);
+  heap_->deallocate(a);
+  heap_->deallocate(c);
+  EXPECT_EQ(heap_->largest_free_block(), big);
+}
+
+TEST_F(HeapTest, FreeSpaceAccounting) {
+  const std::size_t before = heap_->bytes_free();
+  void* a = heap_->allocate(4096);
+  EXPECT_LT(heap_->bytes_free(), before);
+  heap_->deallocate(a);
+  EXPECT_EQ(heap_->bytes_free(), before);
+}
+
+TEST_F(HeapTest, OverAlignedAllocation) {
+  for (std::size_t align : {32u, 64u, 128u, 4096u}) {
+    void* p = heap_->allocate(100, align);
+    ASSERT_NE(p, nullptr);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p) % align, 0u);
+    std::memset(p, 1, 100);
+    heap_->deallocate(p);
+  }
+}
+
+TEST_F(HeapTest, StressRandomAllocFree) {
+  arch::Xoshiro256 rng(5);
+  std::vector<std::pair<void*, std::size_t>> live;
+  for (int i = 0; i < 5000; ++i) {
+    if (live.empty() || rng.next_below(2) == 0) {
+      std::size_t n = 16 + rng.next_below(2048);
+      void* p = heap_->allocate(n);
+      if (p) {
+        std::memset(p, static_cast<int>(n & 0xFF), n);
+        live.emplace_back(p, n);
+      }
+    } else {
+      std::size_t idx = rng.next_below(live.size());
+      heap_->deallocate(live[idx].first);
+      live[idx] = live.back();
+      live.pop_back();
+    }
+  }
+  for (auto& [p, n] : live) heap_->deallocate(p);
+}
+
+// -------------------------------------------------------------------- Arena
+
+TEST(Arena, LayoutAndOwnership) {
+  auto cfg = small_cfg(4);
+  gex::Arena* a = gex::Arena::create(cfg);
+  EXPECT_EQ(a->nranks(), 4);
+  for (int r = 0; r < 4; ++r) {
+    std::byte* base = a->segment_base(r);
+    EXPECT_TRUE(a->in_segments(base));
+    EXPECT_EQ(a->rank_of(base), r);
+    EXPECT_EQ(a->rank_of(base + cfg.segment_bytes - 1), r);
+  }
+  int x = 0;
+  EXPECT_FALSE(a->in_segments(&x));
+  EXPECT_EQ(a->rank_of(&x), -1);
+  gex::Arena::destroy(a);
+}
+
+TEST(Arena, SegmentHeapsIndependent) {
+  auto cfg = small_cfg(2);
+  gex::Arena* a = gex::Arena::create(cfg);
+  void* p0 = a->segment_heap(0).allocate(128);
+  void* p1 = a->segment_heap(1).allocate(128);
+  ASSERT_NE(p0, nullptr);
+  ASSERT_NE(p1, nullptr);
+  EXPECT_EQ(a->rank_of(p0), 0);
+  EXPECT_EQ(a->rank_of(p1), 1);
+  gex::Arena::destroy(a);
+}
+
+// ---------------------------------------------------------------- AM engine
+
+std::atomic<long> g_am_sum{0};
+std::atomic<int> g_am_count{0};
+
+void sum_handler(gex::AmContext& cx) {
+  long v = 0;
+  std::memcpy(&v, cx.data, sizeof v);
+  g_am_sum.fetch_add(v, std::memory_order_relaxed);
+  g_am_count.fetch_add(1, std::memory_order_relaxed);
+}
+
+TEST(AmEngine, EagerRoundTrip) {
+  g_am_sum = 0;
+  g_am_count = 0;
+  auto cfg = small_cfg(2);
+  int fails = gex::launch(cfg, [] {
+    if (gex::rank_me() == 0) {
+      for (long i = 1; i <= 100; ++i)
+        gex::am().send(1, &sum_handler, &i, sizeof i);
+    } else {
+      while (g_am_count.load() < 100) gex::am().poll();
+    }
+  });
+  EXPECT_EQ(fails, 0);
+  EXPECT_EQ(g_am_sum.load(), 5050);
+}
+
+std::atomic<int> g_rdzv_ok{0};
+
+void rdzv_handler(gex::AmContext& cx) {
+  EXPECT_TRUE(cx.is_rendezvous);
+  auto* p = static_cast<std::uint8_t*>(cx.data);
+  bool ok = true;
+  for (std::size_t i = 0; i < cx.size; ++i)
+    ok &= (p[i] == static_cast<std::uint8_t>(i * 7));
+  if (ok) g_rdzv_ok.fetch_add(1);
+}
+
+TEST(AmEngine, RendezvousLargePayload) {
+  g_rdzv_ok = 0;
+  auto cfg = small_cfg(2);
+  const std::size_t big = cfg.eager_max * 8;
+  int fails = gex::launch(cfg, [big] {
+    if (gex::rank_me() == 0) {
+      std::vector<std::uint8_t> buf(big);
+      for (std::size_t i = 0; i < big; ++i)
+        buf[i] = static_cast<std::uint8_t>(i * 7);
+      for (int k = 0; k < 5; ++k)
+        gex::am().send(1, &rdzv_handler, buf.data(), buf.size());
+    } else {
+      while (g_rdzv_ok.load() < 5) gex::am().poll();
+    }
+  });
+  EXPECT_EQ(fails, 0);
+  EXPECT_EQ(g_rdzv_ok.load(), 5);
+}
+
+std::atomic<long> g_flood_recv{0};
+
+void flood_handler(gex::AmContext& cx) {
+  g_flood_recv.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::atomic<bool> g_flood_receiver_go{false};
+
+TEST(AmEngine, BackpressureFloodDoesNotDeadlock) {
+  g_flood_recv = 0;
+  g_flood_receiver_go = false;
+  auto cfg = small_cfg(2);
+  cfg.ring_bytes = 16 << 10;  // tiny ring: force send stalls
+  constexpr long kMsgs = 20000;
+  int fails = gex::launch(cfg, [] {
+    if (gex::rank_me() == 0) {
+      char payload[128] = {};
+      g_flood_receiver_go.store(true, std::memory_order_release);
+      for (long i = 0; i < kMsgs; ++i)
+        gex::am().send(1, &flood_handler, payload, sizeof payload);
+      // The ring holds ~120 of these records and the receiver held off for
+      // 2 ms while we flooded, so backpressure must have been exercised.
+      EXPECT_GT(gex::am().stats().send_stalls, 0u);
+    } else {
+      // Deliberately unattentive start: let the sender slam into a full
+      // ring before the first poll, then drain everything.
+      while (!g_flood_receiver_go.load(std::memory_order_acquire))
+        arch::cpu_relax();
+      const auto t0 = arch::now_ns();
+      while (arch::now_ns() - t0 < 2'000'000) arch::cpu_relax();
+      while (g_flood_recv.load() < kMsgs) gex::am().poll();
+    }
+  });
+  EXPECT_EQ(fails, 0);
+  EXPECT_EQ(g_flood_recv.load(), kMsgs);
+}
+
+std::atomic<long> g_a2a_sum{0};
+std::atomic<int> g_a2a_count{0};
+
+void a2a_handler(gex::AmContext& cx) {
+  long v;
+  std::memcpy(&v, cx.data, sizeof v);
+  g_a2a_sum.fetch_add(v);
+  g_a2a_count.fetch_add(1);
+}
+
+TEST(AmEngine, AllToAllConcurrent) {
+  g_a2a_sum = 0;
+  g_a2a_count = 0;
+  const int P = 8;
+  constexpr int kPer = 500;
+  int fails = gex::launch(small_cfg(P), [] {
+    const int p = gex::rank_n();
+    for (int i = 0; i < kPer; ++i) {
+      for (int t = 0; t < p; ++t) {
+        long v = gex::rank_me() + 1;
+        gex::am().send(t, &a2a_handler, &v, sizeof v);
+      }
+      gex::am().poll();
+    }
+    while (g_a2a_count.load() < kPer * p * p) gex::am().poll();
+  });
+  EXPECT_EQ(fails, 0);
+  // Each rank r sends (r+1) kPer times to each of P targets.
+  long expect = 0;
+  for (int r = 0; r < P; ++r) expect += static_cast<long>(r + 1) * kPer * P;
+  EXPECT_EQ(g_a2a_sum.load(), expect);
+}
+
+void self_handler(gex::AmContext& cx) { g_am_count.fetch_add(1); }
+
+TEST(AmEngine, SelfSendLoopback) {
+  g_am_count = 0;
+  int fails = gex::launch(small_cfg(1), [] {
+    gex::am().send(0, &self_handler, nullptr, 0);
+    while (g_am_count.load() < 1) gex::am().poll();
+  });
+  EXPECT_EQ(fails, 0);
+  EXPECT_EQ(g_am_count.load(), 1);
+}
+
+// ----------------------------------------------------------------- Launcher
+
+TEST(Launch, RanksSeeDistinctIdsThreadBackend) {
+  std::atomic<std::uint32_t> mask{0};
+  int fails = gex::launch(small_cfg(6), [&] {
+    mask.fetch_or(1u << gex::rank_me());
+    EXPECT_EQ(gex::rank_n(), 6);
+  });
+  EXPECT_EQ(fails, 0);
+  EXPECT_EQ(mask.load(), 0x3Fu);
+}
+
+TEST(Launch, FailurePropagates) {
+  int fails = gex::launch(small_cfg(3), [] {
+    if (gex::rank_me() == 1) throw std::runtime_error("injected failure");
+  });
+  EXPECT_GE(fails, 1);
+}
+
+TEST(Launch, ProcessBackendSmoke) {
+  auto cfg = small_cfg(4);
+  cfg.backend = gex::Backend::kProcess;
+  // Each child writes its rank into its segment; children cross-check via
+  // shared memory that all peers wrote before exiting.
+  int fails = gex::launch(cfg, [] {
+    auto& a = gex::arena();
+    auto* slot = reinterpret_cast<std::atomic<int>*>(
+        a.segment_base(gex::rank_me()) + a.config().segment_bytes - 64);
+    slot->store(gex::rank_me() + 100, std::memory_order_release);
+    a.world_barrier();
+    for (int r = 0; r < gex::rank_n(); ++r) {
+      auto* s = reinterpret_cast<std::atomic<int>*>(
+          a.segment_base(r) + a.config().segment_bytes - 64);
+      if (s->load(std::memory_order_acquire) != r + 100)
+        throw std::runtime_error("peer segment not visible");
+    }
+  });
+  EXPECT_EQ(fails, 0);
+}
+
+TEST(Launch, ProcessBackendAm) {
+  auto cfg = small_cfg(2);
+  cfg.backend = gex::Backend::kProcess;
+  // g_am_* globals are per-process after fork; rank 1 checks its own copy
+  // and signals failure via exception if the sum is wrong.
+  int fails = gex::launch(cfg, [] {
+    g_am_sum = 0;
+    g_am_count = 0;
+    if (gex::rank_me() == 0) {
+      for (long i = 1; i <= 50; ++i)
+        gex::am().send(1, &sum_handler, &i, sizeof i);
+    } else {
+      while (g_am_count.load() < 50) gex::am().poll();
+      if (g_am_sum.load() != 1275) throw std::runtime_error("bad sum");
+    }
+  });
+  EXPECT_EQ(fails, 0);
+}
+
+TEST(Config, EnvRoundTrip) {
+  auto c = gex::Config::from_env();
+  EXPECT_GE(c.ranks, 1);
+  EXPECT_TRUE(arch::is_pow2(c.ring_bytes));
+  EXPECT_LE(c.eager_max, c.ring_bytes / 4);
+}
+
+}  // namespace

@@ -1,0 +1,268 @@
+// Cross-module integration and stress tests: mixed RMA+RPC+collective
+// traffic, parameterized transfer-size sweeps, group alltoallv, process
+// backend end-to-end, and data-volume conservation in the extend-add.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "apps/sparse/eadd.hpp"
+#include "arch/rng.hpp"
+#include "minimpi/minimpi.hpp"
+#include "spmd_helpers.hpp"
+
+using testutil::spmd;
+
+namespace {
+
+// ------------------------------------------------- RMA size/offset sweep
+
+class RmaSweep : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(RmaSweep, PutGetRoundTripAtOffsets) {
+  auto [size_log2, offset] = GetParam();
+  const std::size_t n = std::size_t{1} << size_log2;
+  spmd(2, [n, offset = offset] {
+    auto mine = upcxx::allocate<std::uint8_t>(n + 128);
+    std::fill_n(mine.local(), n + 128, 0);
+    upcxx::dist_object<upcxx::global_ptr<std::uint8_t>> dir(mine);
+    auto peer = dir.fetch(1 - upcxx::rank_me()).wait();
+    std::vector<std::uint8_t> src(n);
+    for (std::size_t i = 0; i < n; ++i)
+      src[i] = static_cast<std::uint8_t>(i * 31 + upcxx::rank_me());
+    upcxx::rput(src.data(), peer + offset, n).wait();
+    upcxx::barrier();
+    std::vector<std::uint8_t> back(n, 0xEE);
+    upcxx::rget(mine + offset, back.data(), n).wait();
+    for (std::size_t i = 0; i < n; ++i)
+      ASSERT_EQ(back[i],
+                static_cast<std::uint8_t>(i * 31 + 1 - upcxx::rank_me()));
+    // Guard bytes untouched.
+    EXPECT_EQ(mine.local()[offset + n], 0);
+    upcxx::barrier();
+    upcxx::deallocate(mine);
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(SizesOffsets, RmaSweep,
+                         ::testing::Combine(::testing::Values(0, 3, 8, 12,
+                                                              16, 20),
+                                            ::testing::Values(0, 1, 7, 64)));
+
+// --------------------------------------------- collectives across team sizes
+
+class CollSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(CollSweep, ReduceBroadcastGatherAgree) {
+  const int P = GetParam();
+  spmd(P, [] {
+    const int me = upcxx::rank_me();
+    const int P = upcxx::rank_n();
+    EXPECT_EQ(upcxx::reduce_all(me, upcxx::op_fast_add{}).wait(),
+              P * (P - 1) / 2);
+    EXPECT_EQ(upcxx::broadcast(me * 3, P - 1).wait(), (P - 1) * 3);
+    auto all = upcxx::allgather(me * me).wait();
+    for (int i = 0; i < P; ++i) EXPECT_EQ(all[i], i * i);
+    upcxx::barrier();
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(TeamSizes, CollSweep,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 16));
+
+// ---------------------------------------------------- group alltoallv
+
+TEST(MiniMpiGroup, AlltoallvOnSubgroup) {
+  spmd(6, [] {
+    minimpi::init();
+    // Group = even world ranks only; odd ranks stay out entirely.
+    if (minimpi::rank() % 2 == 0) {
+      std::vector<int> members{0, 2, 4};
+      const int g = minimpi::rank() / 2;
+      const int G = 3;
+      std::vector<std::size_t> counts(G, sizeof(int)), sdisp(G), rdisp(G);
+      for (int i = 0; i < G; ++i) sdisp[i] = rdisp[i] = i * sizeof(int);
+      std::vector<int> sbuf(G), rbuf(G, -1);
+      for (int i = 0; i < G; ++i) sbuf[i] = g * 10 + i;
+      minimpi::alltoallv_group(members, sbuf.data(), counts.data(),
+                               sdisp.data(), rbuf.data(), counts.data(),
+                               rdisp.data(), /*tag=*/99);
+      for (int i = 0; i < G; ++i) EXPECT_EQ(rbuf[i], i * 10 + g);
+    }
+    minimpi::finalize();
+  });
+}
+
+TEST(MiniMpiGroup, ConcurrentDisjointGroups) {
+  spmd(8, [] {
+    minimpi::init();
+    const int me = minimpi::rank();
+    std::vector<int> members;
+    for (int r = me % 2; r < 8; r += 2) members.push_back(r);
+    const int g = me / 2;
+    const int G = 4;
+    std::vector<std::size_t> counts(G, sizeof(long)), disp(G);
+    for (int i = 0; i < G; ++i) disp[i] = i * sizeof(long);
+    std::vector<long> sbuf(G), rbuf(G, -1);
+    for (int i = 0; i < G; ++i) sbuf[i] = 100L * me + i;
+    // Both parity groups run their exchange concurrently with the same tag;
+    // group membership must keep them separate.
+    minimpi::alltoallv_group(members, sbuf.data(), counts.data(),
+                             disp.data(), rbuf.data(), counts.data(),
+                             disp.data(), /*tag=*/7);
+    for (int i = 0; i < G; ++i)
+      EXPECT_EQ(rbuf[i], 100L * members[i] + g);
+    minimpi::finalize();
+  });
+}
+
+// ---------------------------------------------------- mixed-traffic stress
+
+TEST(Stress, MixedRmaRpcCollectiveTraffic) {
+  static std::atomic<long> rpc_hits{0};
+  rpc_hits = 0;
+  spmd(8, [] {
+    const int P = upcxx::rank_n();
+    const int me = upcxx::rank_me();
+    constexpr int kRounds = 40;
+    auto slab = upcxx::allocate<long>(64);
+    std::fill_n(slab.local(), 64, 0L);
+    upcxx::dist_object<upcxx::global_ptr<long>> dir(slab);
+    std::vector<upcxx::global_ptr<long>> peers(P);
+    for (int r = 0; r < P; ++r) peers[r] = dir.fetch(r).wait();
+    upcxx::atomic_domain<long> ad({upcxx::atomic_op::fetch_add,
+                                   upcxx::atomic_op::load});
+    upcxx::barrier();
+    arch::Xoshiro256 rng(31 * me + 1);
+    upcxx::promise<> ops;
+    for (int round = 0; round < kRounds; ++round) {
+      const int t = static_cast<int>(rng.next_below(P));
+      // RMA to slot me (each slot written only by owner-indexed writers).
+      // as_promise registers its own dependency on `ops`.
+      upcxx::rput(static_cast<long>(round), peers[t] + me,
+                  upcxx::operation_cx::as_promise(ops));
+      // RPC mutating remote state.
+      ops.require_anonymous(1);
+      upcxx::rpc(t, [](long v) { rpc_hits.fetch_add(v); }, 1L)
+          .then([ops]() mutable { ops.fulfill_anonymous(1); });
+      // Atomic hot spot on rank 0's slot 63.
+      ops.require_anonymous(1);
+      ad.fetch_add(peers[0] + 63, 1).then(
+          [ops](long) mutable { ops.fulfill_anonymous(1); });
+      // Periodic collective in the middle of the chaos.
+      if (round % 10 == 9) {
+        long sum = upcxx::reduce_all(1L, upcxx::op_fast_add{}).wait();
+        EXPECT_EQ(sum, P);
+      }
+      upcxx::progress();
+    }
+    ops.finalize().wait();
+    upcxx::barrier();
+    EXPECT_EQ(rpc_hits.load(), static_cast<long>(P) * kRounds);
+    EXPECT_EQ(*(peers[0] + 63).local(), static_cast<long>(P) * kRounds);
+    upcxx::barrier();
+    upcxx::deallocate(slab);
+  });
+}
+
+TEST(Stress, RpcStormWithViewsAllPairs) {
+  static std::atomic<long> total{0};
+  total = 0;
+  spmd(6, [] {
+    const int P = upcxx::rank_n();
+    constexpr int kPer = 30;
+    std::vector<std::uint64_t> payload(512);
+    std::iota(payload.begin(), payload.end(), 0);
+    const long each = std::accumulate(payload.begin(), payload.end(), 0L);
+    upcxx::promise<> acks;
+    for (int i = 0; i < kPer; ++i) {
+      for (int t = 0; t < P; ++t) {
+        acks.require_anonymous(1);
+        upcxx::rpc(t,
+                   [](upcxx::view<std::uint64_t> v) {
+                     long s = 0;
+                     for (auto x : v) s += static_cast<long>(x);
+                     total.fetch_add(s);
+                   },
+                   upcxx::make_view(payload.data(),
+                                    payload.data() + payload.size()))
+            .then([acks]() mutable { acks.fulfill_anonymous(1); });
+      }
+      upcxx::progress();
+    }
+    acks.finalize().wait();
+    upcxx::barrier();
+    EXPECT_EQ(total.load(), each * kPer * P * P);
+    upcxx::barrier();
+  });
+}
+
+// ---------------------------------------------- extend-add data conservation
+
+TEST(EaddIntegration, BytesOnWireMatchStructure) {
+  spmd(4, [] {
+    minimpi::init();
+    sparse::TreeParams p;
+    p.levels = 4;
+    p.n_vertices = 20000;
+    p.min_sep = 4;
+    p.max_front = 64;
+    auto tree = sparse::FrontalTree::synthetic(p, upcxx::rank_n());
+    sparse::EaddBench bench(tree, 8);
+    bench.setup();
+    bench.run(sparse::EaddVariant::kUpcxxRpc);
+    const double mine = static_cast<double>(bench.bytes_sent());
+    const double total =
+        upcxx::reduce_all(mine, upcxx::op_fast_add{}).wait();
+    // Expected: every F22 entry of every non-root front travels exactly
+    // once as a 16-byte Entry.
+    double expect = 0;
+    for (const auto& n : tree.nodes) {
+      if (n.parent < 0) continue;
+      expect += 16.0 * n.border() * n.border();
+    }
+    EXPECT_DOUBLE_EQ(total, expect);
+    // All three variants move identical volume.
+    bench.reset_values();
+    bench.run(sparse::EaddVariant::kMpiAlltoallv);
+    const double a2a =
+        upcxx::reduce_all(static_cast<double>(bench.bytes_sent()),
+                          upcxx::op_fast_add{})
+            .wait();
+    EXPECT_DOUBLE_EQ(a2a, expect);
+    minimpi::finalize();
+  });
+}
+
+// ---------------------------------------------- process backend, full stack
+
+TEST(ProcessBackend, DhtAndCollectives) {
+  gex::Config cfg = testutil::test_cfg(4);
+  cfg.backend = gex::Backend::kProcess;
+  int fails = upcxx::run(cfg, [] {
+    upcxx::dist_object<std::vector<int>> store(std::vector<int>{});
+    upcxx::barrier();
+    const int me = upcxx::rank_me();
+    for (int i = 0; i < 20; ++i) {
+      upcxx::rpc((me + i) % upcxx::rank_n(),
+                 [](upcxx::dist_object<std::vector<int>>& s, int v) {
+                   s->push_back(v);
+                 },
+                 store, me * 100 + i)
+          .wait();
+    }
+    upcxx::barrier();
+    const int held = static_cast<int>(store->size());
+    const int total = upcxx::reduce_all(held, upcxx::op_fast_add{}).wait();
+    if (total != 4 * 20) throw std::runtime_error("lost inserts");
+    auto all = upcxx::allgather(held).wait();
+    int sum = 0;
+    for (int h : all) sum += h;
+    if (sum != total) throw std::runtime_error("allgather mismatch");
+    upcxx::barrier();
+  });
+  EXPECT_EQ(fails, 0);
+}
+
+}  // namespace

@@ -1,0 +1,297 @@
+// minimpi baseline tests: matching semantics (tags, wildcards,
+// non-overtaking), rendezvous sizes, collectives vs oracle, windows.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <numeric>
+#include <vector>
+
+#include "minimpi/minimpi.hpp"
+#include "spmd_helpers.hpp"
+
+namespace {
+
+// Runs fn with minimpi initialized on every rank.
+void mpi_spmd(int ranks, const std::function<void()>& fn) {
+  testutil::spmd(ranks, [&fn] {
+    minimpi::init();
+    fn();
+    minimpi::finalize();
+  });
+}
+
+TEST(MiniMpi, RankAndSize) {
+  mpi_spmd(5, [] {
+    EXPECT_EQ(minimpi::size(), 5);
+    EXPECT_EQ(minimpi::rank(), upcxx::rank_me());
+  });
+}
+
+TEST(MiniMpi, BlockingSendRecv) {
+  mpi_spmd(2, [] {
+    if (minimpi::rank() == 0) {
+      const char msg[] = "ping";
+      minimpi::send(msg, sizeof msg, 1, 7);
+    } else {
+      char buf[16] = {};
+      auto st = minimpi::recv(buf, sizeof buf, 0, 7);
+      EXPECT_STREQ(buf, "ping");
+      EXPECT_EQ(st.source, 0);
+      EXPECT_EQ(st.tag, 7);
+      EXPECT_EQ(st.count, 5u);
+    }
+  });
+}
+
+TEST(MiniMpi, TagSelectivity) {
+  mpi_spmd(2, [] {
+    if (minimpi::rank() == 0) {
+      int a = 111, b = 222;
+      minimpi::send(&a, sizeof a, 1, /*tag=*/1);
+      minimpi::send(&b, sizeof b, 1, /*tag=*/2);
+    } else {
+      int got = 0;
+      // Receive tag 2 first even though tag 1 arrived first.
+      minimpi::recv(&got, sizeof got, 0, 2);
+      EXPECT_EQ(got, 222);
+      minimpi::recv(&got, sizeof got, 0, 1);
+      EXPECT_EQ(got, 111);
+    }
+  });
+}
+
+TEST(MiniMpi, AnySourceAnyTag) {
+  mpi_spmd(4, [] {
+    if (minimpi::rank() == 0) {
+      int seen_mask = 0;
+      for (int i = 0; i < 3; ++i) {
+        int v = -1;
+        auto st = minimpi::recv(&v, sizeof v, minimpi::kAnySource,
+                                minimpi::kAnyTag);
+        EXPECT_EQ(v, st.source * 100);
+        EXPECT_EQ(st.tag, st.source);
+        seen_mask |= 1 << st.source;
+      }
+      EXPECT_EQ(seen_mask, 0b1110);
+    } else {
+      int v = minimpi::rank() * 100;
+      minimpi::send(&v, sizeof v, 0, minimpi::rank());
+    }
+  });
+}
+
+TEST(MiniMpi, NonOvertakingSamePairSameTag) {
+  mpi_spmd(2, [] {
+    constexpr int kN = 200;
+    if (minimpi::rank() == 0) {
+      for (int i = 0; i < kN; ++i) minimpi::send(&i, sizeof i, 1, 3);
+    } else {
+      for (int i = 0; i < kN; ++i) {
+        int v = -1;
+        minimpi::recv(&v, sizeof v, 0, 3);
+        EXPECT_EQ(v, i);
+      }
+    }
+  });
+}
+
+TEST(MiniMpi, PostedBeforeArrival) {
+  mpi_spmd(2, [] {
+    if (minimpi::rank() == 1) {
+      int v = -1;
+      auto r = minimpi::irecv(&v, sizeof v, 0, 9);
+      EXPECT_FALSE(r.done());
+      minimpi::barrier();  // rank 0 sends after the barrier
+      minimpi::wait(r);
+      EXPECT_EQ(v, 42);
+    } else {
+      minimpi::barrier();
+      int v = 42;
+      minimpi::send(&v, sizeof v, 1, 9);
+    }
+  });
+}
+
+TEST(MiniMpi, LargeRendezvousMessage) {
+  mpi_spmd(2, [] {
+    const std::size_t big = testutil::test_cfg(2).eager_max * 12;
+    if (minimpi::rank() == 0) {
+      std::vector<std::uint8_t> buf(big);
+      for (std::size_t i = 0; i < big; ++i)
+        buf[i] = static_cast<std::uint8_t>(i * 13);
+      minimpi::send(buf.data(), buf.size(), 1, 0);
+    } else {
+      std::vector<std::uint8_t> buf(big, 0);
+      minimpi::recv(buf.data(), buf.size(), 0, 0);
+      for (std::size_t i = 0; i < big; ++i)
+        ASSERT_EQ(buf[i], static_cast<std::uint8_t>(i * 13));
+    }
+  });
+}
+
+TEST(MiniMpi, WaitallManyRequests) {
+  mpi_spmd(4, [] {
+    const int P = minimpi::size(), me = minimpi::rank();
+    std::vector<int> out(P), in(P, -1);
+    std::vector<minimpi::Request> reqs;
+    for (int r = 0; r < P; ++r) {
+      if (r == me) continue;
+      reqs.push_back(minimpi::irecv(&in[r], sizeof(int), r, 5));
+    }
+    for (int r = 0; r < P; ++r) {
+      if (r == me) continue;
+      out[r] = me * 10 + r;
+      reqs.push_back(minimpi::isend(&out[r], sizeof(int), r, 5));
+    }
+    minimpi::waitall(reqs.data(), reqs.size());
+    for (int r = 0; r < P; ++r)
+      if (r != me) { EXPECT_EQ(in[r], r * 10 + me); }
+  });
+}
+
+TEST(MiniMpi, BarrierSynchronizes) {
+  static std::atomic<int> counter{0};
+  counter = 0;
+  mpi_spmd(8, [] {
+    counter.fetch_add(1);
+    minimpi::barrier();
+    EXPECT_EQ(counter.load(), 8);
+    minimpi::barrier();
+  });
+}
+
+TEST(MiniMpi, AlltoallvMatchesOracle) {
+  mpi_spmd(6, [] {
+    const int P = minimpi::size(), me = minimpi::rank();
+    // Rank r sends (r+1) ints of value r*P+dest to each dest.
+    std::vector<std::size_t> scounts(P), sdispls(P), rcounts(P), rdispls(P);
+    std::vector<int> sbuf;
+    for (int d = 0; d < P; ++d) {
+      sdispls[d] = sbuf.size() * sizeof(int);
+      for (int k = 0; k < me + 1; ++k) sbuf.push_back(me * P + d);
+      scounts[d] = (me + 1) * sizeof(int);
+    }
+    std::size_t roff = 0;
+    for (int srcr = 0; srcr < P; ++srcr) {
+      rdispls[srcr] = roff;
+      rcounts[srcr] = (srcr + 1) * sizeof(int);
+      roff += rcounts[srcr];
+    }
+    std::vector<int> rbuf(roff / sizeof(int), -1);
+    minimpi::alltoallv(sbuf.data(), scounts.data(), sdispls.data(),
+                       rbuf.data(), rcounts.data(), rdispls.data());
+    for (int srcr = 0; srcr < P; ++srcr) {
+      for (int k = 0; k < srcr + 1; ++k) {
+        EXPECT_EQ(rbuf[rdispls[srcr] / sizeof(int) + k], srcr * P + me);
+      }
+    }
+  });
+}
+
+TEST(MiniMpi, AlltoallvZeroCounts) {
+  mpi_spmd(4, [] {
+    const int P = minimpi::size();
+    std::vector<std::size_t> zero(P, 0), displs(P, 0);
+    // Empty exchange must terminate.
+    minimpi::alltoallv(nullptr, zero.data(), displs.data(), nullptr,
+                       zero.data(), displs.data());
+  });
+}
+
+TEST(MiniMpi, WindowPutFlush) {
+  mpi_spmd(2, [] {
+    std::vector<std::uint64_t> exposure(64, 0);
+    auto win = minimpi::Win::create(exposure.data(),
+                                    exposure.size() * sizeof(std::uint64_t));
+    if (minimpi::rank() == 0) {
+      std::uint64_t v = 0xDEADBEEF;
+      win.put(&v, sizeof v, 1, 8 * sizeof(std::uint64_t));
+      win.flush(1);
+    }
+    minimpi::barrier();
+    if (minimpi::rank() == 1) { EXPECT_EQ(exposure[8], 0xDEADBEEFull); }
+    minimpi::barrier();
+    win.free();
+  });
+}
+
+TEST(MiniMpi, WindowGet) {
+  mpi_spmd(2, [] {
+    std::vector<int> exposure(16);
+    for (int i = 0; i < 16; ++i) exposure[i] = minimpi::rank() * 100 + i;
+    auto win = minimpi::Win::create(exposure.data(), sizeof(int) * 16);
+    minimpi::barrier();
+    int got = -1;
+    const int peer = 1 - minimpi::rank();
+    win.get(&got, sizeof got, peer, 5 * sizeof(int));
+    win.flush(peer);
+    EXPECT_EQ(got, peer * 100 + 5);
+    minimpi::barrier();
+    win.free();
+  });
+}
+
+TEST(MiniMpi, WindowFloodManyPuts) {
+  mpi_spmd(2, [] {
+    constexpr int kOps = 1000;
+    std::vector<std::uint32_t> exposure(kOps, 0);
+    auto win = minimpi::Win::create(exposure.data(),
+                                    exposure.size() * sizeof(std::uint32_t));
+    if (minimpi::rank() == 0) {
+      for (int i = 0; i < kOps; ++i) {
+        std::uint32_t v = i + 1;
+        win.put(&v, sizeof v, 1, i * sizeof(std::uint32_t));
+      }
+      win.flush(1);
+    }
+    minimpi::barrier();
+    if (minimpi::rank() == 1) {
+      for (int i = 0; i < kOps; ++i)
+        EXPECT_EQ(exposure[i], static_cast<std::uint32_t>(i + 1));
+    }
+    minimpi::barrier();
+    win.free();
+  });
+}
+
+TEST(MiniMpi, MultipleWindows) {
+  mpi_spmd(2, [] {
+    std::vector<int> e1(4, 0), e2(4, 0);
+    auto w1 = minimpi::Win::create(e1.data(), sizeof(int) * 4);
+    auto w2 = minimpi::Win::create(e2.data(), sizeof(int) * 4);
+    if (minimpi::rank() == 0) {
+      int a = 1, b = 2;
+      w1.put(&a, sizeof a, 1, 0);
+      w2.put(&b, sizeof b, 1, 0);
+      w1.flush_all();
+      w2.flush_all();
+    }
+    minimpi::barrier();
+    if (minimpi::rank() == 1) {
+      EXPECT_EQ(e1[0], 1);
+      EXPECT_EQ(e2[0], 2);
+    }
+    minimpi::barrier();
+    w1.free();
+    w2.free();
+  });
+}
+
+TEST(MiniMpi, CoexistsWithUpcxx) {
+  // The Fig 8 benches run upcxx and minimpi variants in one binary.
+  mpi_spmd(4, [] {
+    auto g = upcxx::allocate<int>(1);
+    upcxx::rput(41, g).wait();
+    int v = -1;
+    const int right = (minimpi::rank() + 1) % minimpi::size();
+    const int left = (minimpi::rank() + minimpi::size() - 1) % minimpi::size();
+    int mine = minimpi::rank();
+    minimpi::sendrecv(&mine, sizeof mine, right, 1, &v, sizeof v, left, 1);
+    EXPECT_EQ(v, left);
+    EXPECT_EQ(*g.local(), 41);
+    upcxx::barrier();
+    upcxx::deallocate(g);
+  });
+}
+
+}  // namespace

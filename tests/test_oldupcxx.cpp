@@ -1,0 +1,144 @@
+// v0.1 compatibility layer tests: event lifetime/counting, async launch,
+// blocking remote allocation, async_copy.
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "oldupcxx/oldupcxx.hpp"
+#include "spmd_helpers.hpp"
+
+using testutil::spmd;
+
+namespace {
+
+TEST(OldUpcxx, EventCountsOperations) {
+  spmd(1, [] {
+    oldupcxx::event e;
+    EXPECT_TRUE(e.isdone());
+    e.incref();
+    e.incref();
+    EXPECT_FALSE(e.isdone());
+    e.decref();
+    EXPECT_FALSE(e.isdone());
+    e.decref();
+    EXPECT_TRUE(e.isdone());
+    e.wait();  // trivially returns
+  });
+}
+
+TEST(OldUpcxx, AsyncRunsOnTarget) {
+  static std::atomic<int> where{-1};
+  where = -1;
+  spmd(2, [] {
+    if (upcxx::rank_me() == 0) {
+      oldupcxx::event e;
+      oldupcxx::async(1, &e)([] { where.store(upcxx::rank_me()); });
+      e.wait();
+      EXPECT_EQ(where.load(), 1);
+    } else {
+      while (where.load() < 0) upcxx::progress();
+    }
+    upcxx::barrier();
+  });
+}
+
+TEST(OldUpcxx, AsyncWithArguments) {
+  static std::atomic<long> sum{0};
+  sum = 0;
+  spmd(2, [] {
+    if (upcxx::rank_me() == 0) {
+      oldupcxx::event e;
+      for (long i = 1; i <= 10; ++i)
+        oldupcxx::async(1, &e)([](long v) { sum.fetch_add(v); }, i);
+      e.wait();
+      EXPECT_EQ(sum.load(), 55);
+    } else {
+      while (sum.load() < 55) upcxx::progress();
+    }
+    upcxx::barrier();
+  });
+}
+
+TEST(OldUpcxx, ImplicitSystemEventAndAsyncWait) {
+  static std::atomic<int> hits{0};
+  hits = 0;
+  spmd(2, [] {
+    if (upcxx::rank_me() == 0) {
+      for (int i = 0; i < 5; ++i)
+        oldupcxx::async(1)([] { hits.fetch_add(1); });
+      oldupcxx::async_wait();
+      EXPECT_EQ(hits.load(), 5);
+    } else {
+      while (hits.load() < 5) upcxx::progress();
+    }
+    upcxx::barrier();
+  });
+}
+
+TEST(OldUpcxx, BlockingRemoteAllocate) {
+  spmd(2, [] {
+    if (upcxx::rank_me() == 0) {
+      auto g = oldupcxx::allocate<double>(1, 16);
+      ASSERT_FALSE(g.is_null());
+      EXPECT_EQ(g.where(), 1);
+      oldupcxx::deallocate(g);
+    }
+    upcxx::barrier();
+  });
+}
+
+TEST(OldUpcxx, AsyncCopyMovesData) {
+  spmd(2, [] {
+    auto mine = upcxx::allocate<int>(8);
+    for (int i = 0; i < 8; ++i) mine.local()[i] = upcxx::rank_me() * 10 + i;
+    upcxx::dist_object<upcxx::global_ptr<int>> dir(mine);
+    auto peer = dir.fetch(1 - upcxx::rank_me()).wait();
+    upcxx::barrier();
+    if (upcxx::rank_me() == 0) {
+      auto tmp = upcxx::allocate<int>(8);
+      oldupcxx::event e;
+      oldupcxx::async_copy(peer, tmp, 8, &e);
+      e.wait();
+      for (int i = 0; i < 8; ++i) EXPECT_EQ(tmp.local()[i], 10 + i);
+      upcxx::deallocate(tmp);
+    }
+    upcxx::barrier();
+    upcxx::deallocate(mine);
+  });
+}
+
+TEST(OldUpcxx, BlockingCopy) {
+  spmd(2, [] {
+    auto mine = upcxx::allocate<char>(4);
+    std::memcpy(mine.local(), upcxx::rank_me() == 0 ? "aaaa" : "bbbb", 4);
+    upcxx::dist_object<upcxx::global_ptr<char>> dir(mine);
+    auto peer = dir.fetch(1 - upcxx::rank_me()).wait();
+    upcxx::barrier();
+    auto tmp = upcxx::allocate<char>(4);
+    oldupcxx::copy(peer, tmp, 4);
+    EXPECT_EQ(tmp.local()[0], upcxx::rank_me() == 0 ? 'b' : 'a');
+    upcxx::barrier();
+    upcxx::deallocate(tmp);
+    upcxx::deallocate(mine);
+  });
+}
+
+TEST(OldUpcxx, EventReusedAcrossBatches) {
+  static std::atomic<int> n{0};
+  n = 0;
+  spmd(2, [] {
+    if (upcxx::rank_me() == 0) {
+      oldupcxx::event e;
+      oldupcxx::async(1, &e)([] { n.fetch_add(1); });
+      e.wait();
+      oldupcxx::async(1, &e)([] { n.fetch_add(1); });
+      e.wait();
+      EXPECT_EQ(n.load(), 2);
+    } else {
+      while (n.load() < 2) upcxx::progress();
+    }
+    upcxx::barrier();
+  });
+}
+
+}  // namespace

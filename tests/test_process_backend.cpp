@@ -1,0 +1,189 @@
+// Process-backend (fork) coverage: the smp-conduit-like mode where ranks
+// are forked processes sharing the mmap'd arena. Thread-backend tests can
+// use process-global statics to cross-check; here every exchange must go
+// through the arena, which is exactly what these tests verify.
+//
+// gtest macros cannot report from child processes, so rank bodies signal
+// failure by throwing (upcxx::run counts failed ranks; the parent asserts
+// zero).
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "apps/dht/dht.hpp"
+#include "spmd_helpers.hpp"
+
+namespace {
+
+// Throwing check for use inside forked rank bodies.
+void require(bool ok, const char* what) {
+  if (!ok) throw std::runtime_error(std::string("check failed: ") + what);
+}
+
+int run_forked(int ranks, const std::function<void()>& fn) {
+  gex::Config cfg = testutil::test_cfg(ranks);
+  cfg.backend = gex::Backend::kProcess;
+  return upcxx::run(cfg, fn);
+}
+
+TEST(ProcessBackend, RmaPutGetAcrossProcesses) {
+  const int fails = run_forked(4, [] {
+    const int me = upcxx::rank_me(), P = upcxx::rank_n();
+    auto mine = upcxx::new_array<long>(64);
+    for (int i = 0; i < 64; ++i) mine.local()[i] = -1;
+    // Publish my segment pointer via an RPC mailbox on rank 0... but statics
+    // don't cross fork boundaries usably, so exchange through allgather.
+    auto ptrs = upcxx::allgather(mine).wait();
+    upcxx::barrier();
+    // Put my rank id pattern into my right neighbor's buffer slice.
+    const int nb = (me + 1) % P;
+    std::vector<long> pat(16, me * 1000);
+    upcxx::rput(pat.data(), ptrs[nb] + 16 * 0, 16).wait();
+    upcxx::barrier();
+    // My left neighbor wrote into my slice: check through local memory.
+    const int left = (me + P - 1) % P;
+    for (int i = 0; i < 16; ++i)
+      require(mine.local()[i] == left * 1000, "neighbor put visible");
+    // rget it back from the neighbor's buffer as well.
+    std::vector<long> back(16, 0);
+    upcxx::rget(ptrs[nb], back.data(), 16).wait();
+    for (int i = 0; i < 16; ++i)
+      require(back[i] == me * 1000, "rget returns what I put");
+    upcxx::barrier();
+    upcxx::delete_array(mine, 64);
+    upcxx::barrier();
+  });
+  EXPECT_EQ(fails, 0);
+}
+
+TEST(ProcessBackend, RpcWithNontrivialArgsAcrossProcesses) {
+  const int fails = run_forked(4, [] {
+    const int me = upcxx::rank_me(), P = upcxx::rank_n();
+    upcxx::dist_object<std::vector<std::string>> box(
+        std::vector<std::string>{});
+    upcxx::barrier();
+    // Everyone appends a greeting into rank (me+1)%P's box.
+    upcxx::rpc((me + 1) % P,
+               [](upcxx::dist_object<std::vector<std::string>>& b,
+                  const std::string& s) { b->push_back(s); },
+               box, "hello from " + std::to_string(me))
+        .wait();
+    upcxx::barrier();
+    require(box->size() == 1, "exactly one greeting landed");
+    const std::string expect =
+        "hello from " + std::to_string((me + P - 1) % P);
+    require((*box)[0] == expect, "greeting came from the left neighbor");
+    upcxx::barrier();
+  });
+  EXPECT_EQ(fails, 0);
+}
+
+TEST(ProcessBackend, CollectivesAgreeAcrossProcesses) {
+  const int fails = run_forked(4, [] {
+    const int me = upcxx::rank_me(), P = upcxx::rank_n();
+    const long sum =
+        upcxx::reduce_all(static_cast<long>(me + 1), upcxx::op_fast_add{})
+            .wait();
+    require(sum == static_cast<long>(P) * (P + 1) / 2, "reduce_all sum");
+    const int bc = upcxx::broadcast(me == 2 ? 777 : 0, 2).wait();
+    require(bc == 777, "broadcast from rank 2");
+    auto all = upcxx::allgather(me * 7).wait();
+    for (int i = 0; i < P; ++i) require(all[i] == i * 7, "allgather slot");
+    auto a2a_in = std::vector<int>(P);
+    for (int j = 0; j < P; ++j) a2a_in[j] = me * 100 + j;
+    auto a2a = upcxx::alltoall(a2a_in).wait();
+    for (int i = 0; i < P; ++i)
+      require(a2a[i] == i * 100 + me, "alltoall slot");
+    upcxx::barrier();
+  });
+  EXPECT_EQ(fails, 0);
+}
+
+TEST(ProcessBackend, AtomicsBothBackendsAcrossProcesses) {
+  const int fails = run_forked(4, [] {
+    for (auto be : {upcxx::atomic_backend::kDirect,
+                    upcxx::atomic_backend::kAm}) {
+      upcxx::atomic_domain<std::int64_t> ad(
+          {upcxx::atomic_op::load, upcxx::atomic_op::fetch_add,
+           upcxx::atomic_op::bit_or},
+          upcxx::world(), be);
+      auto ctrs = upcxx::allgather(upcxx::new_<std::int64_t>(0)).wait();
+      upcxx::barrier();
+      // Everyone bumps rank 0's counter 100 times and ORs a bit.
+      std::vector<upcxx::future<>> fs;
+      for (int i = 0; i < 100; ++i)
+        fs.push_back(ad.fetch_add(ctrs[0], 1).then([](std::int64_t) {}));
+      upcxx::when_all_range(fs).wait();
+      upcxx::barrier();
+      if (upcxx::rank_me() == 0)
+        require(ad.load(ctrs[0]).wait() == 400, "no lost fetch_adds");
+      upcxx::barrier();
+      upcxx::delete_(ctrs[upcxx::rank_me()]);
+      upcxx::barrier();
+    }
+  });
+  EXPECT_EQ(fails, 0);
+}
+
+TEST(ProcessBackend, DhtVariantsAcrossProcesses) {
+  const int fails = run_forked(4, [] {
+    dht::RpcOnlyMap m1;
+    dht::RpcRmaMap m2;
+    upcxx::barrier();
+    const std::string key = "k" + std::to_string(upcxx::rank_me());
+    const std::string val(1024, static_cast<char>('a' + upcxx::rank_me()));
+    m1.insert(key, val).wait();
+    m2.insert(key, val).wait();
+    upcxx::barrier();
+    // Everyone reads everyone's entry.
+    for (int r = 0; r < upcxx::rank_n(); ++r) {
+      const std::string k = "k" + std::to_string(r);
+      const std::string expect(1024, static_cast<char>('a' + r));
+      auto v1 = m1.find(k).wait();
+      require(v1.has_value() && *v1 == expect, "RpcOnly cross-process find");
+      auto v2 = m2.find(k).wait();
+      require(v2.has_value() && *v2 == expect, "RpcRma cross-process find");
+    }
+    upcxx::barrier();
+  });
+  EXPECT_EQ(fails, 0);
+}
+
+TEST(ProcessBackend, DeviceCopyAcrossProcesses) {
+  const int fails = run_forked(2, [] {
+    upcxx::device_allocator<upcxx::sim_device> dev(1 << 20);
+    auto mine = dev.allocate<double>(128);
+    auto ptrs = upcxx::allgather(mine).wait();
+    upcxx::barrier();
+    if (upcxx::rank_me() == 0) {
+      std::vector<double> v(128, 6.5);
+      upcxx::copy(v.data(), ptrs[1], 128).wait();
+    }
+    upcxx::barrier();
+    if (upcxx::rank_me() == 1) {
+      std::vector<double> got(128, 0.0);
+      upcxx::copy(mine, got.data(), 128).wait();
+      for (double x : got) require(x == 6.5, "device data crossed fork");
+    }
+    upcxx::barrier();
+  });
+  EXPECT_EQ(fails, 0);
+}
+
+TEST(ProcessBackend, FailingRankIsReported) {
+  // Failure injection: one rank throws; the parent must see exactly one
+  // failed rank and the others must shut down cleanly (no hang).
+  const int fails = run_forked(4, [] {
+    upcxx::barrier();
+    if (upcxx::rank_me() == 3) throw std::runtime_error("injected fault");
+    // Peers do bounded work; no barrier after the throw (rank 3 never
+    // arrives).
+    for (int i = 0; i < 100; ++i) upcxx::progress();
+  });
+  EXPECT_GE(fails, 1);
+}
+
+}  // namespace

@@ -1,0 +1,319 @@
+// RMA tests: global_ptr semantics, allocation, rput/rget with every
+// completion variant, non-contiguous transfers.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "spmd_helpers.hpp"
+
+using testutil::solo;
+using testutil::spmd;
+
+namespace {
+
+// ------------------------------------------------------------- global_ptr
+
+TEST(GlobalPtr, NullAndComparison) {
+  solo([] {
+    upcxx::global_ptr<int> gp;
+    EXPECT_TRUE(gp.is_null());
+    EXPECT_FALSE(static_cast<bool>(gp));
+    auto a = upcxx::allocate<int>(4);
+    ASSERT_FALSE(a.is_null());
+    EXPECT_NE(a, gp);
+    EXPECT_EQ(a, a);
+    upcxx::deallocate(a);
+  });
+}
+
+TEST(GlobalPtr, Arithmetic) {
+  solo([] {
+    auto a = upcxx::allocate<int>(10);
+    auto b = a + 3;
+    EXPECT_EQ(b - a, 3);
+    EXPECT_EQ((b - 3), a);
+    auto c = a;
+    ++c;
+    EXPECT_EQ(c - a, 1);
+    c += 4;
+    EXPECT_EQ(c - a, 5);
+    EXPECT_TRUE(a < b);
+    upcxx::deallocate(a);
+  });
+}
+
+TEST(GlobalPtr, LocalRoundTrip) {
+  solo([] {
+    auto g = upcxx::allocate<double>(1);
+    *g.local() = 6.5;
+    auto g2 = upcxx::to_global_ptr(g.local());
+    EXPECT_EQ(g, g2);
+    EXPECT_DOUBLE_EQ(*g2.local(), 6.5);
+    upcxx::deallocate(g);
+  });
+}
+
+TEST(GlobalPtr, TryGlobalPtrOutsideSegment) {
+  solo([] {
+    int stack_var = 0;
+    EXPECT_TRUE(upcxx::try_global_ptr(&stack_var).is_null());
+  });
+}
+
+TEST(GlobalPtr, NewAndDelete) {
+  solo([] {
+    auto g = upcxx::new_<std::pair<int, int>>(3, 4);
+    EXPECT_EQ(g.local()->first, 3);
+    EXPECT_EQ(g.local()->second, 4);
+    upcxx::delete_(g);
+    auto arr = upcxx::new_array<int>(100);
+    for (int i = 0; i < 100; ++i) EXPECT_EQ(arr.local()[i], 0);
+    upcxx::delete_array(arr, 100);
+  });
+}
+
+TEST(GlobalPtr, ReinterpretCast) {
+  solo([] {
+    auto g = upcxx::allocate<std::uint64_t>(1);
+    *g.local() = 0x0102030405060708ull;
+    auto b = g.reinterpret<std::uint8_t>();
+    EXPECT_EQ(*b.local(), 0x08);  // little-endian
+    upcxx::deallocate(g);
+  });
+}
+
+TEST(GlobalPtr, SegmentExhaustionReturnsNull) {
+  solo([] {
+    auto big = upcxx::allocate<char>(testutil::test_cfg(1).segment_bytes * 2);
+    EXPECT_TRUE(big.is_null());
+  });
+}
+
+// ------------------------------------------------------------- rput/rget
+
+TEST(Rma, ScalarPutGet) {
+  spmd(4, [] {
+    const int me = upcxx::rank_me();
+    const int P = upcxx::rank_n();
+    auto mine = upcxx::allocate<int>(1);
+    *mine.local() = -1;
+    upcxx::dist_object<upcxx::global_ptr<int>> dir(mine);
+    auto right = dir.fetch((me + 1) % P).wait();
+    upcxx::rput(me * 10, right).wait();
+    upcxx::barrier();
+    // Our slot was written by the left neighbor.
+    auto got = upcxx::rget(mine).wait();
+    EXPECT_EQ(got, ((me + P - 1) % P) * 10);
+    upcxx::barrier();
+    upcxx::deallocate(mine);
+  });
+}
+
+TEST(Rma, BulkPutGetRoundTrip) {
+  spmd(2, [] {
+    constexpr std::size_t kN = 4096;
+    auto mine = upcxx::allocate<std::uint32_t>(kN);
+    std::fill_n(mine.local(), kN, 0u);
+    upcxx::dist_object<upcxx::global_ptr<std::uint32_t>> dir(mine);
+    auto peer = dir.fetch(1 - upcxx::rank_me()).wait();
+    std::vector<std::uint32_t> src(kN);
+    for (std::size_t i = 0; i < kN; ++i)
+      src[i] = static_cast<std::uint32_t>(i * 3 + upcxx::rank_me());
+    upcxx::rput(src.data(), peer, kN).wait();
+    upcxx::barrier();
+    std::vector<std::uint32_t> back(kN);
+    upcxx::rget(mine, back.data(), kN).wait();
+    for (std::size_t i = 0; i < kN; ++i)
+      EXPECT_EQ(back[i], i * 3 + (1 - upcxx::rank_me()));
+    upcxx::barrier();
+    upcxx::deallocate(mine);
+  });
+}
+
+TEST(Rma, PromiseCompletionTracksMultipleOps) {
+  // The flood-bandwidth pattern from §IV-B: many rputs, one promise.
+  spmd(2, [] {
+    constexpr int kOps = 64;
+    auto mine = upcxx::allocate<int>(kOps);
+    upcxx::dist_object<upcxx::global_ptr<int>> dir(mine);
+    auto peer = dir.fetch(1 - upcxx::rank_me()).wait();
+    upcxx::promise<> p;
+    for (int i = 0; i < kOps; ++i) {
+      upcxx::rput(i + 1, peer + i, upcxx::operation_cx::as_promise(p));
+      if (i % 10 == 0) upcxx::progress();
+    }
+    p.finalize().wait();
+    upcxx::barrier();
+    for (int i = 0; i < kOps; ++i) EXPECT_EQ(mine.local()[i], i + 1);
+    upcxx::barrier();
+    upcxx::deallocate(mine);
+  });
+}
+
+TEST(Rma, LpcCompletionRunsOnInitiator) {
+  spmd(2, [] {
+    auto mine = upcxx::allocate<int>(1);
+    upcxx::dist_object<upcxx::global_ptr<int>> dir(mine);
+    auto peer = dir.fetch(1 - upcxx::rank_me()).wait();
+    bool fired = false;
+    upcxx::rput(7, peer, upcxx::operation_cx::as_lpc([&] { fired = true; }));
+    while (!fired) upcxx::progress();
+    upcxx::barrier();
+    EXPECT_EQ(*mine.local(), 7);
+    upcxx::barrier();
+    upcxx::deallocate(mine);
+  });
+}
+
+std::atomic<int> g_remote_cx_hits{0};
+
+TEST(Rma, RemoteCompletionRpcFiresAtTarget) {
+  g_remote_cx_hits = 0;
+  spmd(2, [] {
+    auto mine = upcxx::allocate<int>(1);
+    *mine.local() = 0;
+    upcxx::dist_object<upcxx::global_ptr<int>> dir(mine);
+    auto peer = dir.fetch(1 - upcxx::rank_me()).wait();
+    if (upcxx::rank_me() == 0) {
+      upcxx::rput(123, peer,
+                  upcxx::operation_cx::as_future() |
+                      upcxx::remote_cx::as_rpc(
+                          [](upcxx::global_ptr<int> where) {
+                            // Runs on rank 1 after the value landed.
+                            EXPECT_EQ(*where.local(), 123);
+                            g_remote_cx_hits.fetch_add(1);
+                          },
+                          peer))
+          .wait();
+    } else {
+      while (g_remote_cx_hits.load() == 0) upcxx::progress();
+    }
+    upcxx::barrier();
+    upcxx::deallocate(mine);
+  });
+  EXPECT_EQ(g_remote_cx_hits.load(), 1);
+}
+
+TEST(Rma, SourceCompletionPromise) {
+  spmd(2, [] {
+    auto mine = upcxx::allocate<int>(1);
+    upcxx::dist_object<upcxx::global_ptr<int>> dir(mine);
+    auto peer = dir.fetch(1 - upcxx::rank_me()).wait();
+    upcxx::promise<> src_done;
+    upcxx::rput(5, peer,
+                upcxx::operation_cx::as_future() |
+                    upcxx::source_cx::as_promise(src_done))
+        .wait();
+    // Source completion is synchronous on the shared-memory wire.
+    EXPECT_TRUE(src_done.finalize().is_ready());
+    upcxx::barrier();
+    upcxx::deallocate(mine);
+  });
+}
+
+TEST(Rma, IrregularPutGathersAndScatters) {
+  spmd(2, [] {
+    constexpr std::size_t kN = 12;
+    auto mine = upcxx::allocate<int>(kN);
+    std::fill_n(mine.local(), kN, 0);
+    upcxx::dist_object<upcxx::global_ptr<int>> dir(mine);
+    auto peer = dir.fetch(1 - upcxx::rank_me()).wait();
+    // Two local fragments -> three remote fragments.
+    std::vector<int> a{1, 2, 3, 4, 5, 6};
+    std::vector<int> b{7, 8, 9, 10, 11, 12};
+    std::vector<upcxx::src_fragment<int>> srcs{{a.data(), a.size()},
+                                               {b.data(), b.size()}};
+    std::vector<upcxx::dst_fragment<int>> dsts{
+        {peer, 4}, {peer + 4, 4}, {peer + 8, 4}};
+    upcxx::rput_irregular(srcs, dsts).wait();
+    upcxx::barrier();
+    for (std::size_t i = 0; i < kN; ++i)
+      EXPECT_EQ(mine.local()[i], static_cast<int>(i + 1));
+    upcxx::barrier();
+    upcxx::deallocate(mine);
+  });
+}
+
+TEST(Rma, StridedPutSubmatrix) {
+  // Put a 3x4 tile of a row-major 8x8 local matrix into a remote 16x16.
+  spmd(2, [] {
+    constexpr std::size_t kRemote = 16, kLocal = 8;
+    auto mine = upcxx::allocate<double>(kRemote * kRemote);
+    std::fill_n(mine.local(), kRemote * kRemote, 0.0);
+    upcxx::dist_object<upcxx::global_ptr<double>> dir(mine);
+    auto peer = dir.fetch(1 - upcxx::rank_me()).wait();
+    std::vector<double> local(kLocal * kLocal);
+    for (std::size_t i = 0; i < local.size(); ++i)
+      local[i] = static_cast<double>(i);
+    // Source tile at (1,2); destination tile at (5,3).
+    upcxx::rput_strided<2>(
+        local.data() + 1 * kLocal + 2,
+        {static_cast<std::ptrdiff_t>(kLocal * sizeof(double)),
+         static_cast<std::ptrdiff_t>(sizeof(double))},
+        peer + 5 * kRemote + 3,
+        {static_cast<std::ptrdiff_t>(kRemote * sizeof(double)),
+         static_cast<std::ptrdiff_t>(sizeof(double))},
+        {std::size_t{3}, std::size_t{4}})
+        .wait();
+    upcxx::barrier();
+    for (std::size_t r = 0; r < 3; ++r)
+      for (std::size_t c = 0; c < 4; ++c)
+        EXPECT_DOUBLE_EQ(mine.local()[(5 + r) * kRemote + 3 + c],
+                         static_cast<double>((1 + r) * kLocal + 2 + c));
+    upcxx::barrier();
+    upcxx::deallocate(mine);
+  });
+}
+
+TEST(Rma, StridedGetMirrorsPut) {
+  spmd(2, [] {
+    constexpr std::size_t kN = 8;
+    auto mine = upcxx::allocate<int>(kN * kN);
+    for (std::size_t i = 0; i < kN * kN; ++i)
+      mine.local()[i] = static_cast<int>(i + 100 * upcxx::rank_me());
+    upcxx::dist_object<upcxx::global_ptr<int>> dir(mine);
+    auto peer = dir.fetch(1 - upcxx::rank_me()).wait();
+    upcxx::barrier();
+    std::array<int, 4> out{};
+    upcxx::rget_strided<2>(
+        peer + 9,
+        {static_cast<std::ptrdiff_t>(kN * sizeof(int)),
+         static_cast<std::ptrdiff_t>(sizeof(int))},
+        out.data(),
+        {static_cast<std::ptrdiff_t>(2 * sizeof(int)),
+         static_cast<std::ptrdiff_t>(sizeof(int))},
+        {std::size_t{2}, std::size_t{2}})
+        .wait();
+    const int base = 100 * (1 - upcxx::rank_me());
+    EXPECT_EQ(out[0], base + 9);
+    EXPECT_EQ(out[1], base + 10);
+    EXPECT_EQ(out[2], base + 17);
+    EXPECT_EQ(out[3], base + 18);
+    upcxx::barrier();
+    upcxx::deallocate(mine);
+  });
+}
+
+TEST(Rma, ManyOutstandingGets) {
+  spmd(4, [] {
+    constexpr int kOps = 200;
+    auto mine = upcxx::allocate<int>(kOps);
+    for (int i = 0; i < kOps; ++i) mine.local()[i] = upcxx::rank_me() * 1000 + i;
+    upcxx::dist_object<upcxx::global_ptr<int>> dir(mine);
+    const int peer_rank = (upcxx::rank_me() + 1) % upcxx::rank_n();
+    auto peer = dir.fetch(peer_rank).wait();
+    upcxx::barrier();
+    std::vector<upcxx::future<int>> futs;
+    futs.reserve(kOps);
+    for (int i = 0; i < kOps; ++i) futs.push_back(upcxx::rget(peer + i));
+    for (int i = 0; i < kOps; ++i)
+      EXPECT_EQ(futs[i].wait(), peer_rank * 1000 + i);
+    upcxx::barrier();
+    upcxx::deallocate(mine);
+  });
+}
+
+}  // namespace

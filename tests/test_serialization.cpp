@@ -1,0 +1,214 @@
+// Serialization round-trip tests, including parameterized property sweeps
+// and the zero-copy view<T> aliasing guarantee.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <map>
+#include <optional>
+#include <string>
+#include <tuple>
+#include <unordered_map>
+#include <vector>
+
+#include "arch/rng.hpp"
+#include "upcxx/serialization.hpp"
+
+namespace {
+
+using upcxx::detail::Reader;
+using upcxx::detail::SizeArchive;
+using upcxx::detail::WriteArchive;
+
+// Round-trips a value through the wire format and returns the result.
+template <typename T>
+upcxx::deserialized_type_t<T> roundtrip(const T& v,
+                                        std::vector<std::byte>* keep = nullptr) {
+  SizeArchive sa;
+  upcxx::serialization<T>::serialize(sa, v);
+  static thread_local std::vector<std::byte> buf;
+  std::vector<std::byte>& b = keep ? *keep : buf;
+  b.assign(sa.size(), std::byte{0});
+  WriteArchive wa(b.data());
+  upcxx::serialization<T>::serialize(wa, v);
+  EXPECT_EQ(wa.written(), sa.size()) << "measure/write disagreement";
+  Reader r(b.data(), b.size());
+  return upcxx::serialization<T>::deserialize(r);
+}
+
+TEST(Serialization, TrivialScalars) {
+  EXPECT_EQ(roundtrip(42), 42);
+  EXPECT_EQ(roundtrip(-1L), -1L);
+  EXPECT_DOUBLE_EQ(roundtrip(3.25), 3.25);
+  EXPECT_EQ(roundtrip('z'), 'z');
+  EXPECT_EQ(roundtrip(true), true);
+}
+
+struct Pod {
+  int a;
+  double b;
+  char c[5];
+  bool operator==(const Pod& o) const {
+    return a == o.a && b == o.b && std::memcmp(c, o.c, 5) == 0;
+  }
+};
+
+TEST(Serialization, TrivialStruct) {
+  Pod p{7, 2.5, {'h', 'e', 'l', 'l', 'o'}};
+  EXPECT_EQ(roundtrip(p), p);
+}
+
+TEST(Serialization, Strings) {
+  EXPECT_EQ(roundtrip(std::string()), "");
+  EXPECT_EQ(roundtrip(std::string("abc")), "abc");
+  std::string big(100000, 'x');
+  big[12345] = 'y';
+  EXPECT_EQ(roundtrip(big), big);
+  std::string with_nuls("a\0b\0c", 5);
+  EXPECT_EQ(roundtrip(with_nuls).size(), 5u);
+}
+
+TEST(Serialization, VectorOfTrivial) {
+  std::vector<int> v{1, 2, 3, 4, 5};
+  EXPECT_EQ(roundtrip(v), v);
+  EXPECT_EQ(roundtrip(std::vector<int>{}), std::vector<int>{});
+}
+
+TEST(Serialization, VectorOfStrings) {
+  std::vector<std::string> v{"", "a", "bb", std::string(5000, 'q')};
+  EXPECT_EQ(roundtrip(v), v);
+}
+
+TEST(Serialization, NestedVectors) {
+  std::vector<std::vector<double>> v{{1.0}, {}, {2.0, 3.0}};
+  EXPECT_EQ(roundtrip(v), v);
+}
+
+TEST(Serialization, PairsAndTuples) {
+  auto p = std::make_pair(std::string("k"), 3);
+  EXPECT_EQ(roundtrip(p), p);
+  auto t = std::make_tuple(1, std::string("two"), std::vector<int>{3});
+  EXPECT_EQ(roundtrip(t), t);
+}
+
+TEST(Serialization, Optional) {
+  std::optional<std::string> some("v"), none;
+  EXPECT_EQ(roundtrip(some), some);
+  EXPECT_EQ(roundtrip(none), none);
+}
+
+TEST(Serialization, Maps) {
+  std::map<std::string, int> m{{"a", 1}, {"b", 2}};
+  EXPECT_EQ(roundtrip(m), m);
+  std::unordered_map<int, std::string> um{{1, "x"}, {2, "y"}};
+  EXPECT_EQ(roundtrip(um), um);
+}
+
+TEST(Serialization, ArrayValueType) {
+  // The paper's DHT benchmark uses std::array<uint64_t, N> values.
+  std::array<std::uint64_t, 16> a{};
+  for (std::size_t i = 0; i < a.size(); ++i) a[i] = i * i;
+  EXPECT_EQ(roundtrip(a), a);
+}
+
+TEST(Serialization, ViewOfTrivialAliasesBuffer) {
+  std::vector<double> data{1.5, 2.5, 3.5, 4.5};
+  auto v = upcxx::make_view(data);
+  std::vector<std::byte> wire;
+  auto out = roundtrip(v, &wire);
+  ASSERT_EQ(out.size(), data.size());
+  // Zero-copy: the deserialized view must point INTO the wire buffer.
+  auto* lo = wire.data();
+  auto* hi = wire.data() + wire.size();
+  auto* p = reinterpret_cast<const std::byte*>(out.begin());
+  EXPECT_GE(p, lo);
+  EXPECT_LT(p, hi);
+  for (std::size_t i = 0; i < data.size(); ++i)
+    EXPECT_DOUBLE_EQ(out[i], data[i]);
+}
+
+TEST(Serialization, ViewFromIteratorPair) {
+  int raw[] = {10, 20, 30};
+  auto v = upcxx::make_view(raw + 0, raw + 3);
+  auto out = roundtrip(v);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0], 10);
+  EXPECT_EQ(out[2], 30);
+}
+
+TEST(Serialization, ViewOfNonTrivialOwnsStorage) {
+  std::vector<std::string> data{"alpha", "beta"};
+  auto v = upcxx::make_view(data);
+  auto out = roundtrip(v);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0], "alpha");
+  EXPECT_EQ(out[1], "beta");
+}
+
+TEST(Serialization, ViewFromListIterators) {
+  // Non-contiguous iterator source: elements serialized one by one.
+  std::map<int, int> m{{1, 10}, {2, 20}};
+  std::vector<std::pair<int, int>> flat(m.begin(), m.end());
+  auto v = upcxx::make_view(flat);
+  auto out = roundtrip(v);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[1].second, 20);
+}
+
+TEST(Serialization, EmptyView) {
+  std::vector<int> none;
+  auto out = roundtrip(upcxx::make_view(none));
+  EXPECT_EQ(out.size(), 0u);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(Serialization, MixedArgumentPack) {
+  SizeArchive sa;
+  upcxx::detail::serialize_args(sa, 1, std::string("two"),
+                                std::vector<int>{3, 4});
+  std::vector<std::byte> buf(sa.size());
+  WriteArchive wa(buf.data());
+  upcxx::detail::serialize_args(wa, 1, std::string("two"),
+                                std::vector<int>{3, 4});
+  Reader r(buf.data(), buf.size());
+  auto tup =
+      upcxx::detail::deserialize_tuple<int, std::string, std::vector<int>>(r);
+  EXPECT_EQ(std::get<0>(tup), 1);
+  EXPECT_EQ(std::get<1>(tup), "two");
+  EXPECT_EQ(std::get<2>(tup).back(), 4);
+}
+
+// Property sweep: random vectors of random sizes round-trip exactly.
+class SerializationSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(SerializationSweep, RandomVectorRoundTrip) {
+  arch::Xoshiro256 rng(GetParam());
+  std::vector<std::uint64_t> v(rng.next_below(2000));
+  for (auto& x : v) x = rng.next();
+  EXPECT_EQ(roundtrip(v), v);
+}
+
+TEST_P(SerializationSweep, RandomStringMapRoundTrip) {
+  arch::Xoshiro256 rng(GetParam() * 977);
+  std::unordered_map<std::string, std::vector<int>> m;
+  const int n = static_cast<int>(rng.next_below(50));
+  for (int i = 0; i < n; ++i) {
+    std::string key(1 + rng.next_below(30), 'a');
+    for (auto& ch : key) ch = static_cast<char>('a' + rng.next_below(26));
+    std::vector<int> val(rng.next_below(20));
+    for (auto& x : val) x = static_cast<int>(rng.next());
+    m[key] = val;
+  }
+  EXPECT_EQ(roundtrip(m), m);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SerializationSweep,
+                         ::testing::Range(1, 17));
+
+TEST(Serialization, AlignmentPreservedForMixedSizes) {
+  // A 1-byte bool followed by a double must still produce aligned reads.
+  auto t = std::make_tuple(true, 3.14159, 'c', std::uint64_t{1} << 60);
+  auto out = roundtrip(t);
+  EXPECT_EQ(out, t);
+}
+
+}  // namespace

@@ -1,0 +1,297 @@
+// Sparse substrate tests: synthetic tree invariants, 2-D block-cyclic
+// layout properties, and extend-add correctness (all three variants agree
+// with a serial oracle).
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "apps/sparse/eadd.hpp"
+#include "apps/sparse/frontal.hpp"
+#include "minimpi/minimpi.hpp"
+#include "spmd_helpers.hpp"
+
+using testutil::spmd;
+
+namespace {
+
+sparse::TreeParams small_tree() {
+  sparse::TreeParams p;
+  p.levels = 4;
+  p.n_vertices = 4000;
+  p.min_sep = 4;
+  p.max_front = 96;
+  p.seed = 7;
+  return p;
+}
+
+// ------------------------------------------------------------------- tree
+
+class TreeSweep : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(TreeSweep, InvariantsHold) {
+  auto [levels, nranks] = GetParam();
+  sparse::TreeParams p = small_tree();
+  p.levels = levels;
+  auto t = sparse::FrontalTree::synthetic(p, nranks);
+  EXPECT_EQ(t.nodes.size(), (1u << levels) - 1);
+  EXPECT_TRUE(t.check_invariants());
+  // Root covers all ranks.
+  EXPECT_EQ(t.root().team_lo, 0);
+  EXPECT_EQ(t.root().team_np, nranks);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    LevelsAndRanks, TreeSweep,
+    ::testing::Combine(::testing::Values(2, 3, 5, 6),
+                       ::testing::Values(1, 3, 4, 8)));
+
+TEST(FrontalTree, PostorderAndLevels) {
+  auto t = sparse::FrontalTree::synthetic(small_tree(), 4);
+  // Children precede parents in storage order.
+  for (const auto& n : t.nodes) {
+    if (n.lchild >= 0) {
+      EXPECT_LT(n.lchild, n.id);
+      EXPECT_LT(n.rchild, n.id);
+      EXPECT_EQ(t.nodes[n.lchild].parent, n.id);
+    }
+  }
+  auto lvls = t.levels_bottom_up();
+  ASSERT_EQ(lvls.size(), 4u);
+  EXPECT_EQ(lvls.back().size(), 1u);            // root level last
+  EXPECT_EQ(lvls.front().size(), 8u);           // leaves first
+  EXPECT_EQ(t.nodes[lvls.back()[0]].parent, -1);
+}
+
+TEST(FrontalTree, SeparatorSizesFollowNdLaw) {
+  sparse::TreeParams p = small_tree();
+  p.levels = 5;
+  p.n_vertices = 1e6;
+  p.max_front = 100000;
+  p.min_sep = 2;
+  auto t = sparse::FrontalTree::synthetic(p, 1);
+  // Root separator ~ c * N^(2/3); children roughly (1/2)^(2/3) of that.
+  const double root_sep = t.root().ncols;
+  EXPECT_NEAR(root_sep, std::pow(1e6, 2.0 / 3.0), root_sep * 0.05);
+  const auto& l = t.nodes[t.root().lchild];
+  EXPECT_LT(l.ncols, root_sep);
+  EXPECT_GT(l.ncols, root_sep * 0.4);
+}
+
+TEST(FrontalTree, ProportionalMappingSplitsByCost) {
+  sparse::TreeParams p = small_tree();
+  p.levels = 6;
+  auto t = sparse::FrontalTree::synthetic(p, 16);
+  const auto& root = t.root();
+  const auto& l = t.nodes[root.lchild];
+  const auto& r = t.nodes[root.rchild];
+  // Balanced synthetic tree: close to an even split, covering all ranks.
+  EXPECT_EQ(l.team_np + r.team_np, 16);
+  EXPECT_GE(l.team_np, 4);
+  EXPECT_GE(r.team_np, 4);
+  EXPECT_EQ(l.team_lo, 0);
+  EXPECT_EQ(r.team_lo, l.team_np);
+}
+
+// ----------------------------------------------------------------- layout
+
+class LayoutSweep
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(LayoutSweep, OwnershipPartitionsMatrix) {
+  auto [n, np, block] = GetParam();
+  auto l = sparse::Layout2D::make(n, /*team_lo=*/3, np, block);
+  EXPECT_EQ(l.nprocs(), np);
+  // Every entry has exactly one owner in range, and local extents add up.
+  std::map<int, std::size_t> counted;
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      int o = l.owner(i, j);
+      EXPECT_GE(o, 3);
+      EXPECT_LT(o, 3 + np);
+      ++counted[o];
+    }
+  }
+  std::size_t total = 0;
+  for (int r = 3; r < 3 + np; ++r) {
+    auto [ml, nl] = l.local_extent(r);
+    EXPECT_EQ(counted[r], static_cast<std::size_t>(ml) * nl)
+        << "rank " << r;
+    total += counted[r];
+  }
+  EXPECT_EQ(total, static_cast<std::size_t>(n) * n);
+}
+
+TEST_P(LayoutSweep, LocalOffsetsAreBijective) {
+  auto [n, np, block] = GetParam();
+  auto l = sparse::Layout2D::make(n, 0, np, block);
+  for (int r = 0; r < np; ++r) {
+    auto [ml, nl] = l.local_extent(r);
+    std::vector<char> seen(static_cast<std::size_t>(ml) * nl, 0);
+    for (int i = 0; i < n; ++i)
+      for (int j = 0; j < n; ++j) {
+        if (l.owner(i, j) != r) continue;
+        auto off = l.local_offset(i, j, r);
+        ASSERT_LT(off, seen.size());
+        EXPECT_EQ(seen[off], 0) << "offset collision at (" << i << "," << j
+                                << ")";
+        seen[off] = 1;
+      }
+    for (char s : seen) EXPECT_EQ(s, 1);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, LayoutSweep,
+    ::testing::Combine(::testing::Values(1, 7, 64, 130),
+                       ::testing::Values(1, 2, 4, 6),
+                       ::testing::Values(8, 32)));
+
+// ------------------------------------------------------------- extend-add
+
+// Serial oracle: dense per-front maps, direct accumulation.
+std::map<std::pair<int, std::pair<int, int>>, double> eadd_oracle(
+    const sparse::FrontalTree& t) {
+  // front -> dense matrix (row-major over front coords).
+  std::vector<std::vector<double>> mats(t.nodes.size());
+  for (const auto& n : t.nodes) {
+    mats[n.id].assign(static_cast<std::size_t>(n.nrows()) * n.nrows(), 0.0);
+    if (n.parent < 0) continue;
+    for (int j = n.ncols; j < n.nrows(); ++j)
+      for (int i = n.ncols; i < n.nrows(); ++i)
+        mats[n.id][static_cast<std::size_t>(i) * n.nrows() + j] =
+            sparse::synth_value(n.id, n.row_indices[i], n.row_indices[j]);
+  }
+  for (const auto& lvl : t.levels_bottom_up()) {
+    for (int fid : lvl) {
+      const auto& par = t.nodes[fid];
+      if (par.lchild < 0) continue;
+      for (int child : {par.lchild, par.rchild}) {
+        const auto& ch = t.nodes[child];
+        std::vector<int> pos(ch.nrows(), -1);
+        for (int i = ch.ncols; i < ch.nrows(); ++i) {
+          auto it = std::lower_bound(par.row_indices.begin(),
+                                     par.row_indices.end(),
+                                     ch.row_indices[i]);
+          pos[i] = static_cast<int>(it - par.row_indices.begin());
+        }
+        for (int j = ch.ncols; j < ch.nrows(); ++j)
+          for (int i = ch.ncols; i < ch.nrows(); ++i)
+            mats[fid][static_cast<std::size_t>(pos[i]) * par.nrows() +
+                      pos[j]] +=
+                mats[child][static_cast<std::size_t>(i) * ch.nrows() + j];
+      }
+    }
+  }
+  std::map<std::pair<int, std::pair<int, int>>, double> out;
+  for (const auto& n : t.nodes)
+    for (int i = 0; i < n.nrows(); ++i)
+      for (int j = 0; j < n.nrows(); ++j) {
+        double v = mats[n.id][static_cast<std::size_t>(i) * n.nrows() + j];
+        if (v != 0.0) out[{n.id, {i, j}}] = v;
+      }
+  return out;
+}
+
+class EaddVariants : public ::testing::TestWithParam<sparse::EaddVariant> {};
+
+TEST_P(EaddVariants, MatchesSerialOracle) {
+  const auto variant = GetParam();
+  const auto params = small_tree();
+  // Oracle computed once outside the SPMD region.
+  auto tree1 = sparse::FrontalTree::synthetic(params, 4);
+  auto oracle = eadd_oracle(tree1);
+
+  spmd(4, [&] {
+    minimpi::init();
+    auto tree = sparse::FrontalTree::synthetic(params, upcxx::rank_n());
+    sparse::EaddBench bench(tree, /*block=*/8);
+    bench.setup();
+    bench.run(variant);
+    // Every front entry this rank owns must match the oracle.
+    for (const auto& n : tree.nodes) {
+      const auto& l = bench.layout(n.id);
+      if (!l.is_member(upcxx::rank_me())) continue;
+      auto& buf = bench.storage(n.id);
+      for (int i = 0; i < n.nrows(); ++i)
+        for (int j = 0; j < n.nrows(); ++j) {
+          if (l.owner(i, j) != upcxx::rank_me()) continue;
+          auto it = oracle.find({n.id, {i, j}});
+          const double expect = (it == oracle.end()) ? 0.0 : it->second;
+          ASSERT_NEAR(buf[l.local_offset(i, j, upcxx::rank_me())], expect,
+                      1e-12)
+              << "front " << n.id << " (" << i << "," << j << ")";
+        }
+    }
+    minimpi::finalize();
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(AllVariants, EaddVariants,
+                         ::testing::Values(sparse::EaddVariant::kUpcxxRpc,
+                                           sparse::EaddVariant::kMpiAlltoallv,
+                                           sparse::EaddVariant::kMpiP2p),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case sparse::EaddVariant::kUpcxxRpc:
+                               return "UpcxxRpc";
+                             case sparse::EaddVariant::kMpiAlltoallv:
+                               return "MpiAlltoallv";
+                             default:
+                               return "MpiP2p";
+                           }
+                         });
+
+TEST(Eadd, AllVariantsProduceIdenticalChecksums) {
+  spmd(6, [] {
+    minimpi::init();
+    auto tree = sparse::FrontalTree::synthetic(small_tree(), upcxx::rank_n());
+    sparse::EaddBench bench(tree, 8);
+    bench.setup();
+    std::vector<double> sums;
+    for (auto v :
+         {sparse::EaddVariant::kUpcxxRpc, sparse::EaddVariant::kMpiAlltoallv,
+          sparse::EaddVariant::kMpiP2p}) {
+      bench.reset_values();
+      bench.run(v);
+      double local = bench.local_checksum();
+      sums.push_back(
+          upcxx::reduce_all(local, upcxx::op_fast_add{}).wait());
+    }
+    EXPECT_NEAR(sums[0], sums[1], std::abs(sums[0]) * 1e-12 + 1e-12);
+    EXPECT_NEAR(sums[0], sums[2], std::abs(sums[0]) * 1e-12 + 1e-12);
+    minimpi::finalize();
+  });
+}
+
+TEST(Eadd, RepeatedRunsDeterministic) {
+  spmd(4, [] {
+    minimpi::init();
+    auto tree = sparse::FrontalTree::synthetic(small_tree(), upcxx::rank_n());
+    sparse::EaddBench bench(tree, 8);
+    bench.setup();
+    bench.run(sparse::EaddVariant::kUpcxxRpc);
+    double first =
+        upcxx::reduce_all(bench.local_checksum(), upcxx::op_fast_add{}).wait();
+    bench.reset_values();
+    bench.run(sparse::EaddVariant::kUpcxxRpc);
+    double second =
+        upcxx::reduce_all(bench.local_checksum(), upcxx::op_fast_add{}).wait();
+    EXPECT_DOUBLE_EQ(first, second);
+    minimpi::finalize();
+  });
+}
+
+TEST(Eadd, SingleRankDegenerate) {
+  spmd(1, [] {
+    minimpi::init();
+    auto tree = sparse::FrontalTree::synthetic(small_tree(), 1);
+    sparse::EaddBench bench(tree, 8);
+    bench.setup();
+    bench.run(sparse::EaddVariant::kUpcxxRpc);
+    EXPECT_NE(bench.local_checksum(), 0.0);
+    minimpi::finalize();
+  });
+}
+
+}  // namespace
