@@ -1,0 +1,140 @@
+// Ablation A6 (message layer v2 / DESIGN.md): per-target RPC aggregation
+// on/off × message size.
+//
+// Rank 0 floods rank 1 with fire-and-forget RPCs of a given payload size;
+// the run ends when rank 1 has executed all of them, so the measured rate is
+// the end-to-end fine-grained messaging rate (injection + wire + dispatch).
+// With aggregation on, back-to-back sends pack into multi-message frames:
+// one ring transaction and one receive-side staging allocation per
+// ~UPCXX_AGG_MAX_MSGS messages instead of one each. The paper's DHT and
+// eadd workloads (§IV) are exactly this traffic shape, which is why the
+// aggregated path is the default.
+//
+// Expected shape: small payloads gain the most (per-message overhead
+// dominates); the gain tapers as payloads grow and bandwidth takes over.
+// The headline check: >= 2x message rate at 8-byte payloads.
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "arch/timer.hpp"
+#include "bench_util.hpp"
+#include "upcxx/upcxx.hpp"
+
+namespace {
+
+std::atomic<long> g_bytes{0};
+
+double flood_rate_mmsgs(bool agg_on, std::size_t sz, int iters) {
+  gex::Config cfg = gex::Config::from_env();
+  cfg.ranks = 2;
+  cfg.agg_enabled = agg_on;
+  cfg.ring_bytes = 1 << 20;
+  static double rate;  // Mmsg/s, written by rank 1
+  int fails = upcxx::run(cfg, [sz, iters] {
+    g_bytes = 0;
+    upcxx::barrier();
+    if (upcxx::rank_me() == 0) {
+      std::vector<double> payload(sz / sizeof(double));
+      for (int i = 0; i < iters; ++i) {
+        if (sz <= sizeof(std::uint64_t)) {
+          // The fine-grained idiom the paper's DHT/eadd workloads hit: a
+          // scalar update shipped as a plain RPC argument.
+          upcxx::rpc_ff(1,
+                        [](std::uint64_t v) {
+                          g_bytes.fetch_add(static_cast<long>(v),
+                                            std::memory_order_relaxed);
+                        },
+                        std::uint64_t{8});
+        } else {
+          upcxx::rpc_ff(1,
+                        [](upcxx::view<double> v) {
+                          g_bytes.fetch_add(
+                              static_cast<long>(v.size() * sizeof(double)),
+                              std::memory_order_relaxed);
+                        },
+                        upcxx::make_view(payload.data(),
+                                         payload.data() + payload.size()));
+        }
+        // Sparse progress keeps batches large; the buffer caps
+        // (UPCXX_AGG_MAX_MSGS) bound the flush size either way.
+        if (!(i % 256)) upcxx::progress();
+      }
+      // Final flush + drain until rank 1 confirms via the barrier below.
+    } else {
+      const long expect = static_cast<long>(iters) * static_cast<long>(sz);
+      const double t0 = arch::now_s();
+      // Yield when a progress round moved nothing: on an oversubscribed
+      // host the sender needs the core; spinning an empty inbox for the
+      // rest of the timeslice would measure the scheduler, not the
+      // message layer.
+      long prev = -1;
+      for (;;) {
+        const long cur = g_bytes.load(std::memory_order_relaxed);
+        if (cur >= expect) break;
+        upcxx::progress();
+        if (cur == prev) std::this_thread::yield();
+        prev = cur;
+      }
+      rate = iters / (arch::now_s() - t0) / 1e6;
+    }
+    upcxx::barrier();
+  });
+  if (fails) std::exit(2);
+  return rate;
+}
+
+// Best of `reps` runs: scheduling noise on oversubscribed hosts hits the
+// slow runs, not the fast ones.
+double best_rate(bool agg_on, std::size_t sz, int iters, int reps) {
+  double best = 0;
+  for (int r = 0; r < reps; ++r)
+    best = std::max(best, flood_rate_mmsgs(agg_on, sz, iters));
+  return best;
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "Ablation — per-target RPC aggregation (rpc_ff flood, 2 ranks)\n\n");
+  const std::vector<std::size_t> sizes{8, 64, 512, 4096};
+  benchutil::JsonReport json("abl_aggregation");
+
+  // results[mode][size] = Mmsg/s; mode 0 = off, 1 = on.
+  std::vector<std::vector<double>> rate(2);
+  for (int mode = 0; mode < 2; ++mode) {
+    for (std::size_t sz : sizes) {
+      const int iters = static_cast<int>(
+          benchutil::reps(static_cast<int>((8u << 20) / (sz + 64)), 4000));
+      rate[mode].push_back(
+          best_rate(mode == 1, sz, iters, benchutil::reps(3, 2)));
+    }
+  }
+
+  std::printf("%10s %14s %14s %10s\n", "payload", "agg off", "agg on",
+              "speedup");
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    const double off = rate[0][i], on = rate[1][i];
+    std::printf("%10s %11.3f Mm/s %11.3f Mm/s %9.2fx\n",
+                benchutil::human_size(sizes[i]).c_str(), off, on,
+                off > 0 ? on / off : 0.0);
+    const std::string tag = benchutil::human_size(sizes[i]);
+    json.metric("agg_off_" + tag + "_mmsgs", off);
+    json.metric("agg_on_" + tag + "_mmsgs", on);
+  }
+
+  benchutil::ShapeChecks checks;
+  std::printf(
+      "\nExpected shape: aggregation wins big for fine-grained messages and "
+      "tapers as payloads grow.\n");
+  checks.expect(rate[1][0] >= rate[0][0] * 2.0,
+                "aggregated 8B RPC throughput is >= 2x the unaggregated "
+                "path");
+  checks.expect(rate[1][1] >= rate[0][1],
+                "aggregation does not hurt 64B messages");
+  json.write();
+  return checks.summary("abl_aggregation");
+}

@@ -8,6 +8,7 @@
 #include <cstdlib>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 namespace benchutil {
@@ -81,5 +82,39 @@ inline double median(std::vector<double>& v) {
 inline double minimum(const std::vector<double>& v) {
   return *std::min_element(v.begin(), v.end());
 }
+
+// Machine-readable results for tracking the perf trajectory across PRs:
+// with BENCH_JSON=1 each bench writes BENCH_<name>.json holding a flat
+// metric map. Collect metrics during the run and call write() before exit.
+class JsonReport {
+ public:
+  explicit JsonReport(std::string name) : name_(std::move(name)) {}
+
+  void metric(const std::string& key, double value) {
+    metrics_.emplace_back(key, value);
+  }
+
+  // No-op unless BENCH_JSON=1. Returns true if a file was written.
+  bool write() const {
+    const char* e = std::getenv("BENCH_JSON");
+    if (!e || *e != '1') return false;
+    const std::string path = "BENCH_" + name_ + ".json";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (!f) return false;
+    std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"metrics\": {",
+                 name_.c_str());
+    for (std::size_t i = 0; i < metrics_.size(); ++i)
+      std::fprintf(f, "%s\n    \"%s\": %.6g", i ? "," : "",
+                   metrics_[i].first.c_str(), metrics_[i].second);
+    std::fprintf(f, "\n  }\n}\n");
+    std::fclose(f);
+    std::printf("wrote %s (%zu metrics)\n", path.c_str(), metrics_.size());
+    return true;
+  }
+
+ private:
+  std::string name_;
+  std::vector<std::pair<std::string, double>> metrics_;
+};
 
 }  // namespace benchutil

@@ -19,9 +19,11 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "oldupcxx/oldupcxx.hpp"
@@ -100,6 +102,38 @@ class RpcOnlyMap {
                lm,
            const std::string& k, Fn f) { f((*lm)[k]); },
         store_, key, fn);
+  }
+
+  // Bulk insert riding the aggregated message path (message layer v2): the
+  // RPCs are issued back-to-back with no intervening progress, so the
+  // per-target aggregation buffer packs them into multi-message frames —
+  // one ring transaction per ~agg_max_msgs elements instead of one each.
+  // The returned future completes when every element is acknowledged.
+  upcxx::future<> insert_batch(
+      const std::vector<std::pair<std::string, std::string>>& kvs) {
+    upcxx::promise<> pr;
+    for (const auto& [k, v] : kvs) {
+      pr.require_anonymous(1);
+      insert(k, v).then([pr]() mutable { pr.fulfill_anonymous(1); });
+    }
+    return pr.finalize();
+  }
+
+  // Bulk find, same aggregation pattern; results arrive positionally.
+  upcxx::future<std::vector<std::optional<std::string>>> find_batch(
+      const std::vector<std::string>& keys) {
+    auto out = std::make_shared<std::vector<std::optional<std::string>>>(
+        keys.size());
+    upcxx::promise<> pr;
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+      pr.require_anonymous(1);
+      find(keys[i]).then(
+          [out, i, pr](const std::optional<std::string>& v) mutable {
+            (*out)[i] = v;
+            pr.fulfill_anonymous(1);
+          });
+    }
+    return pr.finalize().then([out] { return std::move(*out); });
   }
 
   std::size_t local_size() const { return store_->size(); }
@@ -195,6 +229,18 @@ class RpcRmaMap {
           return true;
         },
         store_, key);
+  }
+
+  // Bulk insert: the landing-zone RPCs aggregate into frames (message layer
+  // v2) and the value rputs overlap; one future covers the whole batch.
+  upcxx::future<> insert_batch(
+      const std::vector<std::pair<std::string, std::string>>& kvs) {
+    upcxx::promise<> pr;
+    for (const auto& [k, v] : kvs) {
+      pr.require_anonymous(1);
+      insert(k, v).then([pr]() mutable { pr.fulfill_anonymous(1); });
+    }
+    return pr.finalize();
   }
 
   std::size_t local_size() const { return store_->size(); }

@@ -1,0 +1,67 @@
+// Fixed-slot function registry backing the wire-format handler tables
+// (gex AM handlers, upcxx dispatch functions): stable small indices instead
+// of function pointers on the wire.
+//
+// Writers serialize on the mutex; readers never take it — they only touch
+// slots below `count`, and each slot is published before `count` advances
+// past it. Registration is expected at static-initialization time (before
+// ranks exist), which is what keeps indices identical across forked ranks.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+
+namespace arch {
+
+template <typename Fn, std::size_t N>
+class FixedRegistry {
+ public:
+  // Registers fn and returns its index; idempotent per pointer. `what`
+  // names the table in diagnostics.
+  std::size_t add(Fn fn, const char* name, const char* what) {
+    std::lock_guard<std::mutex> g(mu_);
+    const std::size_t n = count_.load(std::memory_order_relaxed);
+    for (std::size_t i = 0; i < n; ++i)
+      if (fn_[i] == fn) return i;
+    if (n >= N) {
+      std::fprintf(stderr, "%s: table full (%zu entries)\n", what, n);
+      std::abort();
+    }
+    fn_[n] = fn;
+    name_[n] = name;
+    count_.store(n + 1, std::memory_order_release);
+    return n;
+  }
+
+  // Resolves an index received off the wire. Aborts on an index that was
+  // never registered (corruption, or registration skew after fork).
+  Fn at(std::size_t idx, const char* what) const {
+    if (idx >= count_.load(std::memory_order_acquire)) {
+      std::fprintf(stderr,
+                   "%s: unregistered index %zu on the wire (corruption, or "
+                   "a rank registered entries after fork)\n",
+                   what, idx);
+      std::abort();
+    }
+    return fn_[idx];
+  }
+
+  std::size_t count() const {
+    return count_.load(std::memory_order_acquire);
+  }
+
+  const char* name(std::size_t idx) const {
+    return idx < count() ? name_[idx] : nullptr;
+  }
+
+ private:
+  Fn fn_[N] = {};
+  const char* name_[N] = {};
+  std::atomic<std::size_t> count_{0};
+  std::mutex mu_;
+};
+
+}  // namespace arch

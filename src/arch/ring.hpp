@@ -17,6 +17,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <cstring>
+#include <new>
 
 #include "arch/cacheline.hpp"
 #include "arch/spinlock.hpp"

@@ -1,0 +1,96 @@
+// Per-target aggregation of small active messages into multi-message frames.
+//
+// Fine-grained AM traffic (the paper's DHT and eadd patterns, Fig 4) is
+// bounded by per-message ring-transaction overhead, not bandwidth. The
+// aggregator amortizes that overhead: messages are staged in rank-private
+// memory — a bump-pointer write, no locks, no shared-memory traffic — and
+// reach the target's ring as one frame record carrying many messages.
+//
+// Flush triggers:
+//   * staged bytes would exceed agg_max_bytes (Config / UPCXX_AGG_MAX_BYTES)
+//   * staged message count reaches agg_max_msgs (UPCXX_AGG_MAX_MSGS)
+//   * explicit flush: upcxx user-level progress, barrier entry, teardown.
+//
+// The explicit flushes preserve the paper's attentiveness model: a message
+// never outlives its sender's current progress window, so any rank spinning
+// on user-level progress drains its own staging buffers as a side effect.
+// Latency-sensitive traffic (collective control, remote completion
+// notifications, AM atomics) bypasses the aggregator entirely via the
+// engine's immediate path.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "gex/am.hpp"
+
+namespace gex {
+
+class Aggregator {
+ public:
+  // Knobs come from the engine's arena config (agg_enabled, agg_max_bytes,
+  // agg_max_msgs).
+  explicit Aggregator(AmEngine* eng);
+
+  bool enabled() const { return enabled_; }
+
+  // Largest single payload that may ride a frame; bigger messages must use
+  // the engine's direct path.
+  std::size_t max_msg_bytes() const { return max_msg_bytes_; }
+
+  // Aggregation pays an extra staging copy, which only amortizes when many
+  // messages share a frame; callers should route payloads above this cutoff
+  // (an eighth of a frame) to the direct path, where bandwidth — not
+  // per-message overhead — is already the bound.
+  std::size_t small_msg_cutoff() const { return max_bytes_ / 8; }
+
+  // Stages one message to `target` with handler `h`; returns the slot to
+  // write `n` payload bytes into. The write must complete before the next
+  // aggregator or progress call (a later put may flush the buffer). May
+  // flush `target` first to make room — which can spin on a full ring and
+  // poll the caller's inbox (same backpressure contract as AmEngine::send).
+  void* put(int target, HandlerIdx h, std::size_t n);
+
+  // Sends `target`'s staged messages as one frame; false if nothing staged.
+  bool flush(int target);
+
+  // Flushes every target with staged traffic; returns frames sent.
+  int flush_all();
+
+  std::size_t pending_bytes(int target) const { return bufs_[target].used; }
+  std::uint32_t pending_msgs(int target) const { return bufs_[target].msgs; }
+
+  struct Stats {
+    std::uint64_t msgs = 0;              // messages staged
+    std::uint64_t frames = 0;            // frames flushed
+    std::uint64_t flushes_capacity = 0;  // forced by size/count caps
+    std::uint64_t flushes_explicit = 0;  // flush()/flush_all() with traffic
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  struct Buf {
+    std::unique_ptr<std::byte[]> bytes;  // allocated on first use
+    std::size_t used = 0;
+    std::uint32_t msgs = 0;
+    // Uniform-handler tracking: frames whose sub-messages all target one
+    // handler are eligible for whole-frame sink delivery at the receiver.
+    HandlerIdx handler = 0;
+    bool uniform = true;
+  };
+
+  bool flush_buf(int target, Buf& b);
+
+  AmEngine* eng_;
+  std::vector<Buf> bufs_;  // one per target rank
+  std::size_t max_bytes_;
+  std::uint32_t max_msgs_;
+  std::size_t max_msg_bytes_;
+  bool enabled_;
+  Stats stats_;
+};
+
+}  // namespace gex

@@ -1,13 +1,45 @@
 #include "gex/am.hpp"
 
+#include <atomic>
 #include <cassert>
+#include <cstdlib>
 #include <cstring>
+#include <new>
+#include <thread>
 
 #include "arch/timer.hpp"
 
 namespace gex {
 
-AmEngine::SendBuf AmEngine::prepare(int target, AmHandler h, std::size_t n) {
+namespace {
+
+// Refcounted frame buffer: poll() copies a frame out of the ring into one of
+// these; every sub-message handler that adopt_frame()s holds a reference.
+// The count is atomic because the master persona (and with it the right to
+// run the deferred dispatches) may migrate to another thread before the
+// last release.
+struct FrameBuf {
+  std::atomic<std::uint32_t> refs;
+  std::byte* payload() { return reinterpret_cast<std::byte*>(this + 1); }
+};
+
+}  // namespace
+
+void* AmContext::adopt_frame() {
+  assert(in_frame && frame && "adopt_frame on a non-frame message");
+  static_cast<FrameBuf*>(frame)->refs.fetch_add(1, std::memory_order_relaxed);
+  return frame;
+}
+
+void release_frame(void* handle) {
+  auto* fb = static_cast<FrameBuf*>(handle);
+  if (fb->refs.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    fb->~FrameBuf();
+    std::free(fb);
+  }
+}
+
+AmEngine::SendBuf AmEngine::prepare(int target, HandlerIdx h, std::size_t n) {
   assert(target >= 0 && target < arena_->nranks());
   SendBuf sb;
   sb.size = n;
@@ -23,9 +55,10 @@ AmEngine::SendBuf AmEngine::prepare(int target, AmHandler h, std::size_t n) {
         return sb;
       }
       // Target ring full: drain our own inbox so a cyclic backlog cannot
-      // deadlock, then retry.
+      // deadlock, then retry. Yield when the drain found nothing — on an
+      // oversubscribed host the consumer needs the core to make room.
       ++stats_.send_stalls;
-      poll();
+      if (poll() == 0) std::this_thread::yield();
       arch::cpu_relax();
     }
   }
@@ -39,7 +72,32 @@ AmEngine::SendBuf AmEngine::prepare(int target, AmHandler h, std::size_t n) {
       return sb;
     }
     ++stats_.send_stalls;
-    poll();  // receivers free rendezvous buffers as they drain
+    if (poll() == 0) std::this_thread::yield();
+    arch::cpu_relax();
+  }
+}
+
+AmEngine::SendBuf AmEngine::prepare_frame(int target, std::size_t n,
+                                          HandlerIdx uniform_handler,
+                                          bool uniform) {
+  assert(target >= 0 && target < arena_->nranks());
+  assert(n <= max_frame_payload() && "frame exceeds one ring record");
+  SendBuf sb;
+  sb.size = n;
+  sb.target = target;
+  sb.frame = true;
+  sb.uniform = uniform;
+  sb.handler = uniform_handler;
+  auto& ring = arena_->inbox(target);
+  for (;;) {
+    auto t = ring.try_reserve(sizeof(WireHeader) + n);
+    if (t.payload) {
+      sb.ticket = t;
+      sb.data = static_cast<std::byte*>(t.payload) + sizeof(WireHeader);
+      return sb;
+    }
+    ++stats_.send_stalls;
+    if (poll() == 0) std::this_thread::yield();
     arch::cpu_relax();
   }
 }
@@ -49,11 +107,15 @@ void AmEngine::commit(SendBuf& sb) {
     auto* wh = reinterpret_cast<WireHeader*>(
         static_cast<std::byte*>(sb.data) - sizeof(WireHeader));
     wh->handler = sb.handler;
+    wh->flags = sb.frame ? (kWireFrame | (sb.uniform ? kWireUniform : 0))
+                         : std::uint16_t{0};
     wh->src = me_;
-    wh->flags = 0;
     wh->send_ns = arch::now_ns();
     arch::MpscByteRing::commit(sb.ticket);
-    ++stats_.sent_eager;
+    if (sb.frame)
+      ++stats_.sent_frames;
+    else
+      ++stats_.sent_eager;
     return;
   }
   auto& ring = arena_->inbox(sb.target);
@@ -62,8 +124,8 @@ void AmEngine::commit(SendBuf& sb) {
     if (t.payload) {
       auto* wh = static_cast<WireHeader*>(t.payload);
       wh->handler = sb.handler;
+      wh->flags = kWireRendezvous;
       wh->src = me_;
-      wh->flags = 1;
       wh->send_ns = arch::now_ns();
       auto* d = reinterpret_cast<RdzvDesc*>(wh + 1);
       d->buf = sb.data;
@@ -73,12 +135,12 @@ void AmEngine::commit(SendBuf& sb) {
       return;
     }
     ++stats_.send_stalls;
-    poll();
+    if (poll() == 0) std::this_thread::yield();
     arch::cpu_relax();
   }
 }
 
-void AmEngine::send(int target, AmHandler h, const void* data,
+void AmEngine::send(int target, HandlerIdx h, const void* data,
                     std::size_t n) {
   SendBuf sb = prepare(target, h, n);
   if (n) std::memcpy(sb.data, data, n);
@@ -89,28 +151,85 @@ int AmEngine::poll(int max_msgs) {
   int handled = 0;
   auto& ring = arena_->inbox(me_);
   while (handled < max_msgs) {
+    int delivered = 0;
     bool got = ring.try_consume([&](void* rec, std::size_t rec_size) {
       auto* wh = static_cast<WireHeader*>(rec);
+      if (wh->flags & kWireFrame) {
+        // Copy the whole frame out of the ring once; sub-messages share the
+        // refcounted buffer (handlers adopt_frame() instead of copying).
+        const std::size_t fsize = rec_size - sizeof(WireHeader);
+        auto* fb = static_cast<FrameBuf*>(
+            std::malloc(sizeof(FrameBuf) + fsize));
+        assert(fb && "frame staging allocation failed");
+        ::new (&fb->refs) std::atomic<std::uint32_t>(1);
+        std::memcpy(fb->payload(), wh + 1, fsize);
+        if ((wh->flags & kWireUniform) && sink_ &&
+            wh->handler == sink_handler_) {
+          // Whole-frame sink delivery: one call covers every sub-message.
+          // Count them first (headers only, cache-hot) so stats stay in
+          // message units.
+          for (std::size_t off = 0; off + sizeof(FrameMsgHeader) <= fsize;) {
+            auto* mh =
+                reinterpret_cast<FrameMsgHeader*>(fb->payload() + off);
+            ++delivered;
+            off += sizeof(FrameMsgHeader) +
+                   arch::align_up(mh->size, kFrameAlign);
+          }
+          AmContext cx;
+          cx.engine = this;
+          cx.src = wh->src;
+          cx.send_ns = wh->send_ns;
+          cx.data = fb->payload();
+          cx.size = fsize;
+          cx.in_frame = true;
+          cx.frame = fb;
+          sink_(cx);
+          release_frame(fb);
+          ++stats_.received_frames;
+          return;
+        }
+        std::size_t off = 0;
+        while (off + sizeof(FrameMsgHeader) <= fsize) {
+          auto* mh =
+              reinterpret_cast<FrameMsgHeader*>(fb->payload() + off);
+          AmContext cx;
+          cx.engine = this;
+          cx.src = wh->src;
+          cx.send_ns = wh->send_ns;
+          cx.data = mh + 1;
+          cx.size = mh->size;
+          cx.in_frame = true;
+          cx.frame = fb;
+          am_handler_at(mh->handler)(cx);
+          ++delivered;
+          off += sizeof(FrameMsgHeader) +
+                 arch::align_up(mh->size, kFrameAlign);
+        }
+        release_frame(fb);  // drop poll's own reference
+        ++stats_.received_frames;
+        return;
+      }
       AmContext cx;
       cx.engine = this;
       cx.src = wh->src;
       cx.send_ns = wh->send_ns;
-      if (wh->flags & 1) {
+      if (wh->flags & kWireRendezvous) {
         auto* d = reinterpret_cast<RdzvDesc*>(wh + 1);
         cx.data = d->buf;
         cx.size = static_cast<std::size_t>(d->size);
         cx.is_rendezvous = true;
-        wh->handler(cx);
+        am_handler_at(wh->handler)(cx);
         if (!cx.adopted) arena_->heap().deallocate(d->buf);
       } else {
         cx.data = wh + 1;
         cx.size = rec_size - sizeof(WireHeader);
-        wh->handler(cx);
+        am_handler_at(wh->handler)(cx);
       }
+      delivered = 1;
     });
     if (!got) break;
-    ++handled;
-    ++stats_.received;
+    handled += delivered;
+    stats_.received += static_cast<std::uint64_t>(delivered);
   }
   return handled;
 }

@@ -1,16 +1,25 @@
 // Active-message engine: the substrate's counterpart of GASNet-EX AMs.
 //
-// Messages carry a handler function pointer plus an opaque payload. Payloads
-// up to Config::eager_max travel inline through the target's inbox ring
-// ("eager"); larger payloads are written to the global shared heap and only a
-// descriptor goes through the ring ("rendezvous") — the same two-protocol
-// split real conduits use, and the subject of the abl_am_protocol bench.
+// Wire format v2 (message layer v2): records carry a 16-bit index into the
+// handler registry (handlers.hpp) — never a raw function pointer — plus an
+// opaque payload. Three record kinds travel through a target's inbox ring:
+//
+//   eager       payload inline in the ring, up to Config::eager_max bytes.
+//   rendezvous  payload staged in the global shared heap; the ring carries
+//               only a descriptor (same two-protocol split real conduits
+//               use; the subject of the abl_am_protocol bench).
+//   frame       one ring transaction carrying N packed sub-messages, each
+//               with its own handler index (agg.hpp builds these). The
+//               receive side copies the frame out of the ring once and all
+//               sub-messages share that one buffer.
 //
 // Handler rules (same as GASNet): handlers run inside poll() on the target
 // rank, must not block and must not initiate communication. For eager
 // messages the payload lives in ring memory and must be consumed before the
 // handler returns; rendezvous handlers may adopt() the heap buffer and free
-// it later with release_rendezvous().
+// it later with release_rendezvous(); frame sub-message handlers may
+// adopt_frame() to keep the shared frame buffer alive past the handler
+// (release with release_frame()).
 #pragma once
 
 #include <cstddef>
@@ -18,10 +27,51 @@
 
 #include "arch/ring.hpp"
 #include "gex/arena.hpp"
+#include "gex/handlers.hpp"
 
 namespace gex {
 
 class AmEngine;
+
+// ------------------------------------------------------------- wire format
+
+// Record flags.
+inline constexpr std::uint16_t kWireRendezvous = 1;
+inline constexpr std::uint16_t kWireFrame = 2;
+// Every sub-message of the frame targets the same handler (stored in the
+// wire header); eligible for whole-frame sink delivery.
+inline constexpr std::uint16_t kWireUniform = 4;
+
+// Public (rather than an AmEngine private) so tests can statically verify
+// that nothing pointer-shaped rides the ring.
+struct WireHeader {
+  HandlerIdx handler;   // registry index; ignored for frame records
+  std::uint16_t flags;  // kWireRendezvous | kWireFrame
+  std::int32_t src;     // sender world rank
+  std::uint64_t send_ns;  // send timestamp (drives simulated latency)
+};
+static_assert(sizeof(WireHeader) == 16, "keep the per-message header small");
+
+// Sub-message header inside a frame; payload follows, padded to
+// kFrameAlign so the next header is naturally aligned.
+struct FrameMsgHeader {
+  HandlerIdx handler;
+  std::uint16_t flags;  // reserved (frame sub-messages are always eager)
+  std::uint32_t size;   // payload bytes, unpadded
+};
+static_assert(sizeof(FrameMsgHeader) == 8);
+
+inline constexpr std::size_t kFrameAlign = 8;
+
+struct RdzvDesc {
+  void* buf;  // shared-heap address: identical mapping in every rank
+  std::uint64_t size;
+};
+
+// Frees a frame buffer reference taken with AmContext::adopt_frame().
+void release_frame(void* handle);
+
+// --------------------------------------------------------------- AmContext
 
 struct AmContext {
   AmEngine* engine = nullptr;
@@ -30,17 +80,26 @@ struct AmContext {
   std::size_t size = 0;     // payload byte count
   std::uint64_t send_ns = 0;  // send timestamp (drives simulated latency)
   bool is_rendezvous = false;
+  bool in_frame = false;    // sub-message of a multi-message frame
 
   // Takes ownership of a rendezvous buffer; the engine will not free it.
-  // Invalid for eager messages (their storage is the ring).
+  // Invalid for eager or frame messages (their storage is not individually
+  // owned).
   void* adopt() {
     adopted = true;
     return data;
   }
+
+  // Takes a shared reference on the frame buffer holding this sub-message:
+  // `data` stays valid until the returned handle is passed to
+  // release_frame(). Only valid when in_frame.
+  void* adopt_frame();
+
   bool adopted = false;
+  void* frame = nullptr;  // engine-internal frame buffer handle
 };
 
-using AmHandler = void (*)(AmContext&);
+// ---------------------------------------------------------------- AmEngine
 
 class AmEngine {
  public:
@@ -52,6 +111,11 @@ class AmEngine {
   int rank() const { return me_; }
   Arena& arena() { return *arena_; }
   std::size_t eager_max() const { return eager_max_; }
+
+  // Largest payload a single frame record may carry through the ring.
+  std::size_t max_frame_payload() const {
+    return arena_->inbox(me_).max_record_payload() - sizeof(WireHeader);
+  }
 
   // Two-phase zero-copy send: reserve space for `n` payload bytes addressed
   // to `target`, serialize into .data, then commit(). Never fails; if the
@@ -66,16 +130,39 @@ class AmEngine {
     friend class AmEngine;
     arch::MpscByteRing::Ticket ticket;  // eager path
     int target = -1;
-    AmHandler handler = nullptr;
+    HandlerIdx handler = 0;
     bool rendezvous = false;
+    bool frame = false;
+    bool uniform = false;
   };
-  SendBuf prepare(int target, AmHandler h, std::size_t n);
+  SendBuf prepare(int target, HandlerIdx h, std::size_t n);
   void commit(SendBuf& sb);
 
-  // Convenience single-shot send.
-  void send(int target, AmHandler h, const void* data, std::size_t n);
+  // Reserves a frame record of `n` payload bytes (packed sub-messages, laid
+  // out by gex::Aggregator). Always travels inline through the ring; n must
+  // be <= max_frame_payload(). When every staged sub-message targets one
+  // handler, pass it as uniform_handler (with uniform = true) so the
+  // receiver can hand the whole frame to a sink in one call.
+  SendBuf prepare_frame(int target, std::size_t n,
+                        HandlerIdx uniform_handler, bool uniform);
 
-  // Drains up to max_msgs from this rank's inbox, invoking handlers.
+  // Registers a whole-frame delivery sink for uniform frames addressed to
+  // handler `h`: instead of one handler call per sub-message, poll() makes
+  // one sink call per frame (cx.data/cx.size cover the packed sub-message
+  // region, cx.in_frame is set, and the frame buffer is adoptable). The
+  // upcxx layer uses this to stage an entire frame with one allocation and
+  // one deferred-dispatch entry. One sink per engine.
+  using FrameSink = void (*)(AmContext&);
+  void set_frame_sink(HandlerIdx h, FrameSink sink) {
+    sink_handler_ = h;
+    sink_ = sink;
+  }
+
+  // Convenience single-shot send.
+  void send(int target, HandlerIdx h, const void* data, std::size_t n);
+
+  // Drains up to max_msgs ring records from this rank's inbox, invoking
+  // handlers (a frame record counts as one but may deliver many messages).
   // Returns the number of messages handled.
   int poll(int max_msgs = 64);
 
@@ -86,26 +173,19 @@ class AmEngine {
   struct Stats {
     std::uint64_t sent_eager = 0;
     std::uint64_t sent_rendezvous = 0;
-    std::uint64_t received = 0;
+    std::uint64_t sent_frames = 0;
+    std::uint64_t received = 0;        // messages (frame sub-messages count)
+    std::uint64_t received_frames = 0;
     std::uint64_t send_stalls = 0;  // times a reserve had to spin
   };
   const Stats& stats() const { return stats_; }
 
  private:
-  struct WireHeader {
-    AmHandler handler;
-    std::int32_t src;
-    std::uint32_t flags;  // bit 0: rendezvous
-    std::uint64_t send_ns;
-  };
-  struct RdzvDesc {
-    void* buf;
-    std::uint64_t size;
-  };
-
   Arena* arena_;
   int me_;
   std::size_t eager_max_;
+  HandlerIdx sink_handler_ = 0;
+  FrameSink sink_ = nullptr;
   Stats stats_;
 };
 

@@ -5,10 +5,13 @@
 #include <cstdio>
 #include <cstdlib>
 #include <new>
+#include <thread>
 
 namespace gex {
 
-Arena* Arena::create(const Config& cfg) {
+Arena* Arena::create(const Config& cfg_in) {
+  Config cfg = cfg_in;
+  cfg.normalize();  // hand-built Configs get the same invariants as env ones
   const int P = cfg.ranks;
   const std::size_t ring_fp = arch::MpscByteRing::footprint(cfg.ring_bytes);
 
@@ -90,9 +93,13 @@ void Arena::world_barrier() {
     arrived.store(0, std::memory_order_relaxed);
     epoch.store(my_epoch + 1, std::memory_order_release);
   } else {
+    // Spin with periodic yields: on oversubscribed hosts (CI runners) the
+    // releasing rank needs the core.
+    std::uint32_t spins = 0;
     while (epoch.load(std::memory_order_acquire) == my_epoch) {
       if (err.load(std::memory_order_acquire) != 0) return;
       arch::cpu_relax();
+      if ((++spins & 0x3FF) == 0) std::this_thread::yield();
     }
   }
 }

@@ -1,5 +1,6 @@
 #include "gex/config.hpp"
 
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 
@@ -16,40 +17,70 @@ long env_long(const char* name, long dflt) {
   return (end && *end == '\0') ? r : dflt;
 }
 
+// Positive-valued knob: 0 or negative values are rejected (with a warning)
+// rather than silently shifted into a zero-byte mapping.
+long env_positive(const char* name, long dflt) {
+  long r = env_long(name, dflt);
+  if (r <= 0) {
+    std::fprintf(stderr, "gex: ignoring %s=%ld (must be positive)\n", name,
+                 r);
+    return dflt;
+  }
+  return r;
+}
+
 }  // namespace
+
+void Config::normalize() {
+  const Config d;  // defaults
+  if (ranks < 1) ranks = 1;
+  if (segment_bytes == 0) segment_bytes = d.segment_bytes;
+  if (heap_bytes == 0) heap_bytes = d.heap_bytes;
+  // The ring must be a power of two and big enough to hold at least one
+  // maximal eager record plus headroom.
+  if (ring_bytes < (std::size_t{8} << 10)) ring_bytes = std::size_t{8} << 10;
+  std::size_t p2 = 1;
+  while (p2 < ring_bytes) p2 <<= 1;
+  ring_bytes = p2;
+  // A single record (eager message or aggregation frame) must fit safely
+  // inside a quarter ring alongside its wire header (see
+  // MpscByteRing::max_record_payload); 64 bytes covers header + alignment.
+  const std::size_t record_cap = ring_bytes / 4 - 64;
+  if (eager_max > record_cap) eager_max = record_cap;
+  if (agg_max_bytes > record_cap) agg_max_bytes = record_cap;
+  if (agg_max_bytes < 256) agg_max_bytes = 256;
+  if (agg_max_msgs == 0) agg_max_msgs = 1;
+}
 
 Config Config::from_env() {
   Config c;
   c.ranks = static_cast<int>(env_long("UPCXX_RANKS", c.ranks));
-  if (c.ranks < 1) c.ranks = 1;
   if (const char* b = std::getenv("UPCXX_BACKEND")) {
     if (std::strcmp(b, "process") == 0) c.backend = Backend::kProcess;
   }
-  c.segment_bytes = static_cast<std::size_t>(
-                        env_long("UPCXX_SEGMENT_MB",
-                                 static_cast<long>(c.segment_bytes >> 20)))
-                    << 20;
-  c.ring_bytes = static_cast<std::size_t>(
-                     env_long("UPCXX_RING_KB",
-                              static_cast<long>(c.ring_bytes >> 10)))
+  c.segment_bytes =
+      static_cast<std::size_t>(env_positive(
+          "UPCXX_SEGMENT_MB", static_cast<long>(c.segment_bytes >> 20)))
+      << 20;
+  c.ring_bytes = static_cast<std::size_t>(env_positive(
+                     "UPCXX_RING_KB", static_cast<long>(c.ring_bytes >> 10)))
                  << 10;
-  // The ring must be a power of two; round up if the user gave an odd size.
-  std::size_t p2 = 1;
-  while (p2 < c.ring_bytes) p2 <<= 1;
-  c.ring_bytes = p2;
   c.eager_max = static_cast<std::size_t>(
       env_long("UPCXX_EAGER_MAX", static_cast<long>(c.eager_max)));
-  c.heap_bytes = static_cast<std::size_t>(
-                     env_long("UPCXX_HEAP_MB",
-                              static_cast<long>(c.heap_bytes >> 20)))
+  c.heap_bytes = static_cast<std::size_t>(env_positive(
+                     "UPCXX_HEAP_MB", static_cast<long>(c.heap_bytes >> 20)))
                  << 20;
-  c.sim_latency_ns = static_cast<std::uint64_t>(
-      env_long("UPCXX_SIM_LATENCY_NS", 0));
+  c.sim_latency_ns =
+      static_cast<std::uint64_t>(env_long("UPCXX_SIM_LATENCY_NS", 0));
   if (const char* a = std::getenv("UPCXX_ATOMICS")) {
     c.atomics_use_am = (std::strcmp(a, "am") == 0);
   }
-  // Keep eager payloads safely inside a quarter ring (see MpscByteRing).
-  if (c.eager_max > c.ring_bytes / 4 - 64) c.eager_max = c.ring_bytes / 4 - 64;
+  c.agg_enabled = env_long("UPCXX_AGG", 1) != 0;
+  c.agg_max_bytes = static_cast<std::size_t>(env_positive(
+      "UPCXX_AGG_MAX_BYTES", static_cast<long>(c.agg_max_bytes)));
+  c.agg_max_msgs = static_cast<std::uint32_t>(env_positive(
+      "UPCXX_AGG_MAX_MSGS", static_cast<long>(c.agg_max_msgs)));
+  c.normalize();
   return c;
 }
 

@@ -23,8 +23,21 @@ struct Config {
   std::uint64_t sim_latency_ns = 0;       // UPCXX_SIM_LATENCY_NS
   bool atomics_use_am = false;            // UPCXX_ATOMICS=am|direct
 
-  // Loads defaults overridden by environment variables.
+  // Message-layer v2 aggregation knobs (gex/agg.hpp).
+  bool agg_enabled = true;                // UPCXX_AGG (0 disables)
+  std::size_t agg_max_bytes = 16 << 10;   // UPCXX_AGG_MAX_BYTES (per frame)
+  std::uint32_t agg_max_msgs = 64;        // UPCXX_AGG_MAX_MSGS (per frame)
+
+  // Loads defaults overridden by environment variables; the result is
+  // normalized.
   static Config from_env();
+
+  // Enforces the invariants the substrate assumes: positive sizes (zero
+  // segment/heap/ring sizes fall back to defaults instead of silently
+  // mis-shifting), power-of-two ring, eager payloads and aggregation frames
+  // that fit a single ring record. Arena creation normalizes its copy, so
+  // hand-built Configs are covered too.
+  void normalize();
 };
 
 }  // namespace gex

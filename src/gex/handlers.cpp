@@ -1,0 +1,27 @@
+#include "gex/handlers.hpp"
+
+#include "arch/fixed_registry.hpp"
+
+namespace gex {
+namespace {
+
+arch::FixedRegistry<AmHandler, kMaxAmHandlers>& registry() {
+  static arch::FixedRegistry<AmHandler, kMaxAmHandlers> r;
+  return r;
+}
+
+}  // namespace
+
+HandlerIdx register_am_handler(AmHandler h, const char* name) {
+  return static_cast<HandlerIdx>(registry().add(h, name, "gex AM handlers"));
+}
+
+AmHandler am_handler_at(HandlerIdx idx) {
+  return registry().at(idx, "gex AM handlers");
+}
+
+std::size_t am_handler_count() { return registry().count(); }
+
+const char* am_handler_name(HandlerIdx idx) { return registry().name(idx); }
+
+}  // namespace gex

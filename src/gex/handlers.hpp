@@ -1,0 +1,56 @@
+// Active-message handler registry: stable small indices for AM handlers.
+//
+// The v1 wire carried raw `AmHandler` function pointers, which only works
+// when every rank shares one address-space image (threads, or forks of one
+// binary). v2 ships a 16-bit index into this table instead — the GASNet
+// model, where handlers are registered up front and the wire format is
+// position-independent, which is what unblocks future non-shared-address-
+// space backends.
+//
+// Index agreement across ranks: registration must happen identically on
+// every rank *before* any communication. The `am_handler<&fn>()` helper
+// registers through a class-template static member whose dynamic
+// initializer runs during static initialization (before main, hence before
+// launch() spawns threads or forks), so every rank inherits one identical
+// table regardless of backend. Calling register_am_handler() after fork
+// from only some ranks is a programming error; the receive side aborts on
+// an index it has never seen.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace gex {
+
+struct AmContext;
+using AmHandler = void (*)(AmContext&);
+using HandlerIdx = std::uint16_t;
+
+inline constexpr std::size_t kMaxAmHandlers = 256;
+
+// Registers h and returns its index. Idempotent: re-registering a handler
+// returns the index it already holds. Thread-safe, but see the header
+// comment — in practice all registration happens before launch().
+HandlerIdx register_am_handler(AmHandler h, const char* name = nullptr);
+
+// Resolves an index received off the wire. Aborts on an index that was
+// never registered (wire corruption, or registration skew after fork).
+AmHandler am_handler_at(HandlerIdx idx);
+
+std::size_t am_handler_count();
+const char* am_handler_name(HandlerIdx idx);  // may be null
+
+// Static-init-time registration (see header comment).
+template <AmHandler H>
+struct AmHandlerReg {
+  static const HandlerIdx idx;
+};
+template <AmHandler H>
+const HandlerIdx AmHandlerReg<H>::idx = register_am_handler(H);
+
+template <AmHandler H>
+inline HandlerIdx am_handler() {
+  return AmHandlerReg<H>::idx;
+}
+
+}  // namespace gex

@@ -1,5 +1,7 @@
 #include "gex/runtime.hpp"
 
+#include "gex/agg.hpp"
+
 #include <sys/types.h>
 #include <sys/wait.h>
 #include <unistd.h>
@@ -25,6 +27,8 @@ int run_rank(Arena* arena, int r, const std::function<void()>& fn) {
   rank.arena = arena;
   AmEngine engine(arena, r);
   rank.am = &engine;
+  Aggregator aggregator(&engine);
+  rank.agg = &aggregator;
   tls_rank = &rank;
   arena->world_barrier();
   int rc = 0;
@@ -43,7 +47,9 @@ int run_rank(Arena* arena, int r, const std::function<void()>& fn) {
   }
   // Drain any stragglers so peers blocked on a full ring can finish, then
   // synchronize teardown. If some rank failed we skip the barrier to avoid
-  // hanging on a rank that never arrives.
+  // hanging on a rank that never arrives. Staged aggregation frames go out
+  // first — peers may still be waiting on them.
+  aggregator.flush_all();
   for (int i = 0; i < 64; ++i) engine.poll();
   if (arena->control().error_flag.value.load(std::memory_order_acquire) == 0)
     arena->world_barrier();
@@ -77,6 +83,11 @@ AmEngine& am() {
   return *tls_rank->am;
 }
 
+Aggregator& agg() {
+  assert(tls_rank);
+  return *tls_rank->agg;
+}
+
 int launch(const Config& cfg, const std::function<void()>& fn) {
   Arena* arena = Arena::create(cfg);
   int failures = 0;
@@ -100,6 +111,10 @@ int launch(const Config& cfg, const std::function<void()>& fn) {
       pid_t pid = ::fork();
       if (pid == 0) {
         int rc = run_rank(arena, r, fn);
+        // _exit skips stdio teardown; flush so rank output survives when
+        // stdout is a pipe (block-buffered).
+        std::fflush(stdout);
+        std::fflush(stderr);
         ::_exit(rc == 0 ? 0 : 1);
       }
       if (pid < 0) {

@@ -14,12 +14,15 @@
 
 namespace gex {
 
+class Aggregator;
+
 // Per-rank runtime state. Upper layers (upcxx, minimpi) hang their own
 // per-rank state off the opaque slots so the substrate stays layered.
 struct Rank {
   int me = -1;
   Arena* arena = nullptr;
   AmEngine* am = nullptr;
+  Aggregator* agg = nullptr;
   void* upcxx_state = nullptr;
   void* minimpi_state = nullptr;
 };
@@ -35,6 +38,7 @@ int rank_me();
 int rank_n();
 Arena& arena();
 AmEngine& am();
+Aggregator& agg();
 
 // Runs `fn` as an SPMD program over cfg.ranks ranks. Returns the number of
 // ranks that failed (threw / exited non-zero). Re-entrant launches are not

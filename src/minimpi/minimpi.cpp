@@ -170,7 +170,8 @@ Request isend(const void* buf, std::size_t bytes, int dest, int tag) {
   assert(dest >= 0 && dest < s.nranks);
   detail::SendHdr hdr{static_cast<std::int32_t>(tag)};
   auto& eng = *gex::self()->am;
-  auto sb = eng.prepare(dest, &detail::send_handler, sizeof(hdr) + bytes);
+  auto sb = eng.prepare(dest, gex::am_handler<&detail::send_handler>(),
+                        sizeof(hdr) + bytes);
   std::memcpy(sb.data, &hdr, sizeof(hdr));
   if (bytes)
     std::memcpy(static_cast<std::byte*>(sb.data) + sizeof(hdr), buf, bytes);
@@ -253,7 +254,8 @@ void barrier() {
   for (int k = 1, round = 0; k < P; k <<= 1, ++round) {
     const std::uint64_t key = (seq << 8) | static_cast<unsigned>(round);
     detail::BarrierHdr h{key};
-    eng.send((s.rank + k) % P, &detail::barrier_handler, &h, sizeof h);
+    eng.send((s.rank + k) % P, gex::am_handler<&detail::barrier_handler>(), &h,
+             sizeof h);
     while (s.barrier_got[key] < 1) poll();
     s.barrier_got.erase(key);
   }

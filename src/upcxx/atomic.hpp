@@ -255,13 +255,15 @@ class atomic_domain {
       return pr.get_future();
     }
     // Software path: AM to the owner, which applies the op in user progress
-    // and replies with the previous value.
-    return rpc(p.where(),
-               [](global_ptr<T> gp, int op_i, T a, T b) {
-                 return detail::apply_atomic(static_cast<atomic_op>(op_i),
-                                             gp.local(), a, b);
-               },
-               p, static_cast<int>(op), a, b);
+    // and replies with the previous value. Atomics are latency-sensitive
+    // (callers typically block on the result), so they skip aggregation.
+    return detail::rpc_impl(
+        p.where(), detail::wire_mode::immediate,
+        [](global_ptr<T> gp, int op_i, T a, T b) {
+          return detail::apply_atomic(static_cast<atomic_op>(op_i),
+                                      gp.local(), a, b);
+        },
+        p, static_cast<int>(op), a, b);
   }
 
   future<> update_op(atomic_op op, global_ptr<T> p, T a, T b) {
@@ -278,12 +280,13 @@ class atomic_domain {
       });
       return pr.finalize();
     }
-    return rpc(p.where(),
-               [](global_ptr<T> gp, int op_i, T a, T b) {
-                 detail::apply_atomic(static_cast<atomic_op>(op_i),
-                                      gp.local(), a, b);
-               },
-               p, static_cast<int>(op), a, b);
+    return detail::rpc_impl(
+        p.where(), detail::wire_mode::immediate,
+        [](global_ptr<T> gp, int op_i, T a, T b) {
+          detail::apply_atomic(static_cast<atomic_op>(op_i), gp.local(), a,
+                               b);
+        },
+        p, static_cast<int>(op), a, b);
   }
 
   std::vector<atomic_op> ops_;

@@ -57,6 +57,10 @@ struct op_fast_bit_and {
 // ------------------------------------------------------------------ barrier
 
 inline future<> barrier_async(const team& tm = world()) {
+  // Barrier entry drains this rank's aggregation buffers: everything sent
+  // before the barrier is on the wire before any rank can observe the
+  // barrier complete (tests/test_aggregation.cpp relies on this ordering).
+  detail::flush_aggregation();
   promise<> pr;
   detail::CollOps ops;
   ops.up = true;

@@ -16,8 +16,10 @@
 #pragma once
 
 #include <cassert>
+#include <cstdint>
 #include <memory>
 #include <optional>
+#include <thread>
 #include <tuple>
 #include <type_traits>
 #include <utility>
@@ -168,7 +170,13 @@ class future {
   // Matches the paper: "the wait call is simply a spin loop around
   // progress".
   result_type wait() const {
-    while (!is_ready()) ::upcxx::progress();
+    // Yield periodically: on oversubscribed hosts (single-core CI) the peer
+    // this future depends on needs the core to produce the completion.
+    std::uint32_t spins = 0;
+    while (!is_ready()) {
+      ::upcxx::progress();
+      if ((++spins & 0xFF) == 0) std::this_thread::yield();
+    }
     return result();
   }
 

@@ -1,8 +1,13 @@
 #include "upcxx/progress.hpp"
 
+#include <atomic>
 #include <cassert>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <thread>
+
+#include "arch/fixed_registry.hpp"
 
 #include "arch/timer.hpp"
 #include "upcxx/collectives.hpp"
@@ -55,37 +60,118 @@ std::uint64_t register_reply(arch::UniqueFunction<void(Reader&)> fn) {
   return id;
 }
 
+// ----------------------------------------------------- dispatch registry
+
+namespace {
+
+// Same fixed-slot registry as the gex AM handler table, one level up.
+// Registration happens during static init (DispatchReg), so in practice the
+// table is immutable by the time ranks communicate.
+arch::FixedRegistry<DispatchFn, 4096>& dispatch_registry() {
+  static arch::FixedRegistry<DispatchFn, 4096> r;
+  return r;
+}
+
+}  // namespace
+
+DispatchIdx register_dispatch(DispatchFn fn) {
+  return static_cast<DispatchIdx>(
+      dispatch_registry().add(fn, nullptr, "upcxx dispatch"));
+}
+
+DispatchFn dispatch_at(DispatchIdx idx) {
+  return dispatch_registry().at(idx, "upcxx dispatch");
+}
+
+std::size_t dispatch_count() { return dispatch_registry().count(); }
+
+void flush_aggregation() {
+  if (!has_persona()) return;
+  auto* rank = persona().rank;
+  if (rank && rank->agg) rank->agg->flush_all();
+}
+
 // Receives one upcxx wire message: stages the payload locally and schedules
 // its dispatch for user-level progress (the paper's "insert into the
 // target's compQ", Fig 2). Eager payloads must be copied out of the ring
-// before the handler returns; rendezvous payloads are adopted in place.
+// before the handler returns; rendezvous payloads are adopted in place;
+// frame sub-messages take a shared reference on the frame buffer, so an
+// N-message frame costs one allocation and one copy total.
 void am_delivery(gex::AmContext& cx) {
   auto& p = persona();
   const int src = cx.src;
   const std::size_t n = cx.size;
+  enum class Own : std::uint8_t { kMalloc, kRendezvous, kFrame };
   std::byte* buf;
-  bool rendezvous = cx.is_rendezvous;
-  if (rendezvous) {
+  void* frame = nullptr;
+  Own own;
+  if (cx.in_frame) {
+    frame = cx.adopt_frame();
+    buf = static_cast<std::byte*>(cx.data);
+    own = Own::kFrame;
+  } else if (cx.is_rendezvous) {
     buf = static_cast<std::byte*>(cx.adopt());
+    own = Own::kRendezvous;
   } else {
     buf = static_cast<std::byte*>(std::malloc(n));
     std::memcpy(buf, cx.data, n);
+    own = Own::kMalloc;
   }
   gex::AmEngine* eng = cx.engine;
-  auto run = [src, n, buf, rendezvous, eng] {
-    DispatchFn dispatch;
-    std::memcpy(&dispatch, buf, sizeof(DispatchFn));
-    Reader r(buf + sizeof(DispatchFn), n - sizeof(DispatchFn));
+  auto run = [src, n, buf, own, frame, eng] {
+    std::uint64_t prefix;
+    std::memcpy(&prefix, buf, kMsgPrefix);
+    DispatchFn dispatch = dispatch_at(static_cast<DispatchIdx>(prefix));
+    Reader r(buf + kMsgPrefix, n - kMsgPrefix);
     dispatch(src, r);
-    if (rendezvous)
-      eng->release_rendezvous(buf);
-    else
-      std::free(buf);
+    switch (own) {
+      case Own::kFrame:
+        gex::release_frame(frame);
+        break;
+      case Own::kRendezvous:
+        eng->release_rendezvous(buf);
+        break;
+      case Own::kMalloc:
+        std::free(buf);
+        break;
+    }
   };
   if (p.sim_latency_ns == 0) {
     p.compq.push_back(std::move(run));
   } else {
     // Deliver no earlier than send time + one wire hop.
+    p.timed.push(TimedEntry{cx.send_ns + p.sim_latency_ns, p.timed_seq++,
+                            std::move(run)});
+  }
+}
+
+// Whole-frame delivery: one adopt, one compQ entry, N dispatches. The entry
+// tracks its own resume offset so a dist_object_unready requeue (progress()
+// below) retries the *failing* message without re-running its predecessors.
+void am_frame_delivery(gex::AmContext& cx) {
+  auto& p = persona();
+  const int src = cx.src;
+  const std::size_t fsize = cx.size;
+  void* frame = cx.adopt_frame();
+  auto* buf = static_cast<std::byte*>(cx.data);
+  auto run = [src, fsize, buf, frame, off = std::size_t{0}]() mutable {
+    while (off + sizeof(gex::FrameMsgHeader) <= fsize) {
+      auto* mh = reinterpret_cast<gex::FrameMsgHeader*>(buf + off);
+      auto* body = reinterpret_cast<std::byte*>(mh + 1);
+      std::uint64_t prefix;
+      std::memcpy(&prefix, body, kMsgPrefix);
+      Reader r(body + kMsgPrefix, mh->size - kMsgPrefix);
+      // A throw leaves `off` on this message, so the requeued entry
+      // resumes exactly here.
+      dispatch_at(static_cast<DispatchIdx>(prefix))(src, r);
+      off += sizeof(gex::FrameMsgHeader) +
+             arch::align_up(mh->size, gex::kFrameAlign);
+    }
+    gex::release_frame(frame);
+  };
+  if (p.sim_latency_ns == 0) {
+    p.compq.push_back(std::move(run));
+  } else {
     p.timed.push(TimedEntry{cx.send_ns + p.sim_latency_ns, p.timed_seq++,
                             std::move(run)});
   }
@@ -101,6 +187,12 @@ void progress(progress_level lvl) {
   if (lvl == progress_level::user) detail::drain_persona_inboxes();
   if (!detail::has_persona()) return;
   auto& p = detail::persona();
+  // User-level progress flushes the aggregation buffers first: staged
+  // messages must never outlive their sender's attentiveness window, so any
+  // spin-on-progress wait drains its own staging as a side effect
+  // (DESIGN.md, message layer v2). Internal progress leaves the buffers
+  // alone to keep batches intact across back-to-back injection calls.
+  if (lvl == progress_level::user && p.rank->agg) p.rank->agg->flush_all();
   // Internal progress: poll the wire (stages incoming messages) and retire
   // timed active operations whose completion time has passed.
   p.rank->am->poll();
@@ -140,6 +232,9 @@ void init_persona() {
   auto* st = new detail::PersonaState();
   st->rank = r;
   st->sim_latency_ns = r->arena->config().sim_latency_ns;
+  // Aggregated upcxx frames take the whole-frame delivery path.
+  r->am->set_frame_sink(detail::am_delivery_index(),
+                        &detail::am_frame_delivery);
   r->upcxx_state = st;
   detail::tls_persona = st;
   // The primordial thread holds the master persona from init (spec: the
@@ -179,9 +274,12 @@ int run(const gex::Config& cfg, const std::function<void()>& fn) {
     // tests rely on this).
     auto barrier_done = barrier_async();
     auto& err = gex::arena().control().error_flag.value;
+    std::uint32_t spins = 0;
     while (!barrier_done.is_ready() &&
-           err.load(std::memory_order_acquire) == 0)
+           err.load(std::memory_order_acquire) == 0) {
       progress();
+      if ((++spins & 0xFF) == 0) std::this_thread::yield();
+    }
     fini_persona();
   });
 }

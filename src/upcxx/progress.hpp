@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "arch/small_fn.hpp"
+#include "gex/agg.hpp"
 #include "gex/runtime.hpp"
 #include "upcxx/future.hpp"
 #include "upcxx/persona.hpp"
@@ -134,32 +135,101 @@ void push_completion_after_ns(std::uint64_t delay_ns, Lpc fn);
 // Registers a reply continuation; returns the op id to embed in the request.
 std::uint64_t register_reply(arch::UniqueFunction<void(Reader&)> fn);
 
+// ---- message layer v2 ------------------------------------------------------
+//
+// Upcxx-level messages are [DispatchIdx prefix][serialized body]. The
+// prefix is an index into the dispatch registry below — mirroring the gex
+// handler registry one level up, so no wire message at any layer carries a
+// raw function pointer. Messages ride one of two paths:
+//
+//   aggregated — staged in the rank's per-target gex::Aggregator and
+//                flushed by user-level progress, barrier entry, or the
+//                buffer caps. The bulk path: rpc, rpc_ff, RPC replies.
+//   immediate  — injected into the target's ring now. Latency-sensitive
+//                traffic: collective control messages, remote completion
+//                notifications (remote_cx::as_rpc), AM-mode atomics.
+
 // Upcxx-level message dispatch type: reads the body and acts. Runs during
 // user progress on the target.
 using DispatchFn = void (*)(int src, Reader& r);
+using DispatchIdx = std::uint16_t;
 
-// Sends [dispatch][body] to target. `body_size` must equal what
-// `write_body(WriteArchive&)` produces.
-template <typename WriteBody>
-void send_msg(int target, DispatchFn dispatch, std::size_t body_size,
-              WriteBody&& write_body);
+enum class wire_mode { aggregated, immediate };
+
+// Dispatch registry (defined in progress.cpp). Registration happens at
+// static-initialization time through DispatchReg, so forked ranks agree on
+// indices — same contract as gex::register_am_handler.
+DispatchIdx register_dispatch(DispatchFn fn);
+DispatchFn dispatch_at(DispatchIdx idx);
+std::size_t dispatch_count();
+
+template <DispatchFn Fn>
+struct DispatchReg {
+  static const DispatchIdx idx;
+};
+template <DispatchFn Fn>
+const DispatchIdx DispatchReg<Fn>::idx = register_dispatch(Fn);
+
+// The dispatch index travels as an 8-byte prefix so body alignment matches
+// serialization's kWireAlign expectations.
+inline constexpr std::size_t kMsgPrefix = 8;
 
 // The gex AM handler that receives all upcxx-level traffic (defined in
-// progress.cpp).
+// progress.cpp), and its registry index.
 void am_delivery(gex::AmContext& cx);
+inline gex::HandlerIdx am_delivery_index() {
+  return gex::am_handler<&am_delivery>();
+}
 
+// Whole-frame sink (gex::AmEngine::set_frame_sink): receives an aggregated
+// frame of upcxx messages in one call and schedules a single
+// deferred-dispatch entry that walks the sub-messages.
+void am_frame_delivery(gex::AmContext& cx);
+
+// Flushes this rank's aggregation buffers (no-op without a rank context).
+// Called from user-level progress and from barrier entry.
+void flush_aggregation();
+
+// Sends [idx][body] to target. `body_size` must equal what
+// `write_body(WriteArchive&)` produces.
 template <typename WriteBody>
-void send_msg(int target, DispatchFn dispatch, std::size_t body_size,
-              WriteBody&& write_body) {
+void send_msg_idx(int target, DispatchIdx idx, std::size_t body_size,
+                  WriteBody&& write_body, wire_mode mode) {
+  const std::size_t total = kMsgPrefix + body_size;
+  const std::uint64_t prefix = idx;
+  gex::Aggregator& agg = *gex::self()->agg;
+  if (mode == wire_mode::aggregated && agg.enabled() &&
+      total <= agg.small_msg_cutoff() && total <= agg.max_msg_bytes() &&
+      total <= gex::am().eager_max()) {
+    auto* p = static_cast<std::byte*>(
+        agg.put(target, am_delivery_index(), total));
+    std::memcpy(p, &prefix, kMsgPrefix);
+    WriteArchive wa(p + kMsgPrefix);
+    write_body(wa);
+    assert(wa.written() == body_size);
+    return;
+  }
+  // Direct injection must not overtake messages already staged for this
+  // target: upcxx delivery is per-target FIFO (and tests assert it), so
+  // drain the staging buffer before bypassing it.
+  if (agg.enabled()) agg.flush(target);
   auto& eng = gex::am();
-  auto sb = eng.prepare(target, &am_delivery,
-                        sizeof(DispatchFn) + body_size);
+  auto sb = eng.prepare(target, am_delivery_index(), total);
   auto* p = static_cast<std::byte*>(sb.data);
-  std::memcpy(p, &dispatch, sizeof(DispatchFn));
-  WriteArchive wa(p + sizeof(DispatchFn));
+  std::memcpy(p, &prefix, kMsgPrefix);
+  WriteArchive wa(p + kMsgPrefix);
   write_body(wa);
   assert(wa.written() == body_size);
   eng.commit(sb);
+}
+
+// Statically-registered form: the dispatch function is a template argument
+// so its registry index is assigned before main (fork-safe).
+template <DispatchFn Fn, typename WriteBody>
+void send_msg(int target, std::size_t body_size, WriteBody&& write_body,
+              wire_mode mode = wire_mode::aggregated) {
+  send_msg_idx(target, DispatchReg<Fn>::idx, body_size,
+               std::forward<WriteBody>(write_body), mode);
 }
 
 }  // namespace detail

@@ -62,8 +62,13 @@ auto finish_rma_ns(Cxs&& cxs, intrank_t target, std::uint64_t delay_ns) {
               // synchronously inside the injection call.
               push_compq(std::move(cx.fn));
             } else if constexpr (is_remote_rpc<C>::value) {
+              // Remote completion notification: latency-sensitive (a peer
+              // may be spinning on it), so it bypasses aggregation.
               std::apply(
-                  [&](auto&... args) { rpc_ff(target, cx.fn, args...); },
+                  [&](auto&... args) {
+                    rpc_ff_impl(target, wire_mode::immediate, cx.fn,
+                                args...);
+                  },
                   cx.args);
             }
           };
@@ -105,8 +110,12 @@ auto finish_rma_ns(Cxs&& cxs, intrank_t target, std::uint64_t delay_ns) {
           } else if constexpr (is_remote_rpc<C>::value) {
             // Ship fn+args to the target; executes in its user progress
             // after one wire hop (the AM carries the send timestamp).
+            // Immediate path: completion notifications must not sit in the
+            // aggregation buffer.
             std::apply(
-                [&](auto&... args) { rpc_ff(target, cx.fn, args...); },
+                [&](auto&... args) {
+                  rpc_ff_impl(target, wire_mode::immediate, cx.fn, args...);
+                },
                 cx.args);
           }
         };

@@ -62,12 +62,14 @@ inline void reply_dispatch(int /*src*/, Reader& r) {
 }
 
 // Sends the serialized results of an executed RPC back to the initiator.
+// Replies ride the aggregated path: the executing rank is inside user
+// progress (which flushes), so batching costs no attentiveness.
 template <typename... U>
 void send_reply(int initiator, std::uint64_t op_id, const U&... results) {
   SizeArchive sa;
   sa.bytes(&op_id, sizeof op_id);
   serialize_args(sa, results...);
-  send_msg(initiator, &reply_dispatch, sa.size(), [&](WriteArchive& wa) {
+  send_msg<&reply_dispatch>(initiator, sa.size(), [&](WriteArchive& wa) {
     wa.bytes(&op_id, sizeof op_id);
     serialize_args(wa, results...);
   });
@@ -144,6 +146,51 @@ struct reply_fulfiller<future<U...>> {
   }
 };
 
+// Implementation bodies shared by the public entry points and the internal
+// latency-sensitive callers (AM atomics, remote completion notifications)
+// that opt out of aggregation via wire_mode::immediate.
+
+template <typename F, typename... Args>
+void rpc_ff_impl(intrank_t target, wire_mode mode, F fn, Args&&... args) {
+  static_assert(std::is_trivially_copyable_v<F>,
+                "RPC callables must be trivially copyable");
+  ++persona().stats.rpcs_sent;
+  SizeArchive sa;
+  serialization_write_fn(sa, fn);
+  serialize_args(sa, args...);
+  send_msg<&rpc_ff_dispatch<F, std::decay_t<Args>...>>(
+      target, sa.size(),
+      [&](WriteArchive& wa) {
+        serialization_write_fn(wa, fn);
+        serialize_args(wa, args...);
+      },
+      mode);
+}
+
+template <typename F, typename... Args>
+auto rpc_impl(intrank_t target, wire_mode mode, F fn, Args&&... args)
+    -> rpc_return_t<F, std::decay_t<Args>...> {
+  static_assert(std::is_trivially_copyable_v<F>,
+                "RPC callables must be trivially copyable");
+  using Fut = rpc_return_t<F, std::decay_t<Args>...>;
+  ++persona().stats.rpcs_sent;
+  std::uint64_t op_id = 0;
+  Fut fut = reply_fulfiller<Fut>::attach(&op_id);
+  SizeArchive sa;
+  sa.bytes(&op_id, sizeof op_id);
+  serialization_write_fn(sa, fn);
+  serialize_args(sa, args...);
+  send_msg<&rpc_request_dispatch<F, std::decay_t<Args>...>>(
+      target, sa.size(),
+      [&](WriteArchive& wa) {
+        wa.bytes(&op_id, sizeof op_id);
+        serialization_write_fn(wa, fn);
+        serialize_args(wa, args...);
+      },
+      mode);
+  return fut;
+}
+
 }  // namespace detail
 
 // ----------------------------------------------------------------- rpc_ff
@@ -151,17 +198,8 @@ struct reply_fulfiller<future<U...>> {
 // Ships fn+args to target for execution; no acknowledgment, no result.
 template <typename F, typename... Args>
 void rpc_ff(intrank_t target, F fn, Args&&... args) {
-  static_assert(std::is_trivially_copyable_v<F>,
-                "RPC callables must be trivially copyable");
-  ++detail::persona().stats.rpcs_sent;
-  detail::SizeArchive sa;
-  detail::serialization_write_fn(sa, fn);
-  detail::serialize_args(sa, args...);
-  detail::send_msg(target, &detail::rpc_ff_dispatch<F, std::decay_t<Args>...>,
-                   sa.size(), [&](detail::WriteArchive& wa) {
-                     detail::serialization_write_fn(wa, fn);
-                     detail::serialize_args(wa, args...);
-                   });
+  detail::rpc_ff_impl(target, detail::wire_mode::aggregated, fn,
+                      std::forward<Args>(args)...);
 }
 
 // -------------------------------------------------------------------- rpc
@@ -170,24 +208,8 @@ void rpc_ff(intrank_t target, F fn, Args&&... args) {
 template <typename F, typename... Args>
 auto rpc(intrank_t target, F fn, Args&&... args)
     -> detail::rpc_return_t<F, std::decay_t<Args>...> {
-  static_assert(std::is_trivially_copyable_v<F>,
-                "RPC callables must be trivially copyable");
-  using Fut = detail::rpc_return_t<F, std::decay_t<Args>...>;
-  ++detail::persona().stats.rpcs_sent;
-  std::uint64_t op_id = 0;
-  Fut fut = detail::reply_fulfiller<Fut>::attach(&op_id);
-  detail::SizeArchive sa;
-  sa.bytes(&op_id, sizeof op_id);
-  detail::serialization_write_fn(sa, fn);
-  detail::serialize_args(sa, args...);
-  detail::send_msg(
-      target, &detail::rpc_request_dispatch<F, std::decay_t<Args>...>,
-      sa.size(), [&](detail::WriteArchive& wa) {
-        wa.bytes(&op_id, sizeof op_id);
-        detail::serialization_write_fn(wa, fn);
-        detail::serialize_args(wa, args...);
-      });
-  return fut;
+  return detail::rpc_impl(target, detail::wire_mode::aggregated, fn,
+                          std::forward<Args>(args)...);
 }
 
 // RPC with explicit completions — rpc(target, cx, fn, args...), as in

@@ -75,13 +75,20 @@ Coll& coll_instance(std::uint64_t key) {
   return *it->second;
 }
 
-void coll_send(int world_target, DispatchFn dispatch, std::uint64_t key,
+// Collective control traffic is latency-sensitive (a barrier's critical
+// path is a chain of these), so it rides the immediate path — and barrier
+// entry has already flushed the aggregation buffers, so staged application
+// traffic keeps its ordering relative to the collective.
+void coll_send(int world_target, DispatchIdx dispatch, std::uint64_t key,
                const std::vector<std::byte>& payload) {
   const std::size_t body = sizeof(std::uint64_t) + payload.size();
-  send_msg(world_target, dispatch, body, [&](WriteArchive& wa) {
-    wa.bytes(&key, sizeof key);
-    wa.bytes(payload.data(), payload.size());
-  });
+  send_msg_idx(
+      world_target, dispatch, body,
+      [&](WriteArchive& wa) {
+        wa.bytes(&key, sizeof key);
+        wa.bytes(payload.data(), payload.size());
+      },
+      wire_mode::immediate);
 }
 
 void coll_up_dispatch(int src, Reader& r);
@@ -92,7 +99,8 @@ void coll_finish(Coll& c) {
   assert(!c.delivered);
   c.delivered = true;
   for (int child : c.children)
-    coll_send(child, &coll_down_dispatch, c.key, c.down_data);
+    coll_send(child, DispatchReg<&coll_down_dispatch>::idx, c.key,
+              c.down_data);
   Reader r(c.down_data.data(), c.down_data.size());
   c.ops.deliver(r);
   persona().colls.erase(c.key);  // c is dangling after this
@@ -127,7 +135,7 @@ void coll_advance(Coll& c) {
   }
 
   if (c.ops.up && !c.up_sent) {
-    coll_send(c.parent, &coll_up_dispatch, c.key, c.accum);
+    coll_send(c.parent, DispatchReg<&coll_up_dispatch>::idx, c.key, c.accum);
     c.up_sent = true;
     if (!c.ops.down) {
       // No down phase: this rank's role ends; deliver empty result.

@@ -169,7 +169,7 @@ TEST(AmEngine, EagerRoundTrip) {
   int fails = gex::launch(cfg, [] {
     if (gex::rank_me() == 0) {
       for (long i = 1; i <= 100; ++i)
-        gex::am().send(1, &sum_handler, &i, sizeof i);
+        gex::am().send(1, gex::am_handler<&sum_handler>(), &i, sizeof i);
     } else {
       while (g_am_count.load() < 100) gex::am().poll();
     }
@@ -199,7 +199,8 @@ TEST(AmEngine, RendezvousLargePayload) {
       for (std::size_t i = 0; i < big; ++i)
         buf[i] = static_cast<std::uint8_t>(i * 7);
       for (int k = 0; k < 5; ++k)
-        gex::am().send(1, &rdzv_handler, buf.data(), buf.size());
+        gex::am().send(1, gex::am_handler<&rdzv_handler>(), buf.data(),
+                       buf.size());
     } else {
       while (g_rdzv_ok.load() < 5) gex::am().poll();
     }
@@ -227,7 +228,8 @@ TEST(AmEngine, BackpressureFloodDoesNotDeadlock) {
       char payload[128] = {};
       g_flood_receiver_go.store(true, std::memory_order_release);
       for (long i = 0; i < kMsgs; ++i)
-        gex::am().send(1, &flood_handler, payload, sizeof payload);
+        gex::am().send(1, gex::am_handler<&flood_handler>(), payload,
+                       sizeof payload);
       // The ring holds ~120 of these records and the receiver held off for
       // 2 ms while we flooded, so backpressure must have been exercised.
       EXPECT_GT(gex::am().stats().send_stalls, 0u);
@@ -265,7 +267,7 @@ TEST(AmEngine, AllToAllConcurrent) {
     for (int i = 0; i < kPer; ++i) {
       for (int t = 0; t < p; ++t) {
         long v = gex::rank_me() + 1;
-        gex::am().send(t, &a2a_handler, &v, sizeof v);
+        gex::am().send(t, gex::am_handler<&a2a_handler>(), &v, sizeof v);
       }
       gex::am().poll();
     }
@@ -283,7 +285,7 @@ void self_handler(gex::AmContext& cx) { g_am_count.fetch_add(1); }
 TEST(AmEngine, SelfSendLoopback) {
   g_am_count = 0;
   int fails = gex::launch(small_cfg(1), [] {
-    gex::am().send(0, &self_handler, nullptr, 0);
+    gex::am().send(0, gex::am_handler<&self_handler>(), nullptr, 0);
     while (g_am_count.load() < 1) gex::am().poll();
   });
   EXPECT_EQ(fails, 0);
@@ -340,7 +342,7 @@ TEST(Launch, ProcessBackendAm) {
     g_am_count = 0;
     if (gex::rank_me() == 0) {
       for (long i = 1; i <= 50; ++i)
-        gex::am().send(1, &sum_handler, &i, sizeof i);
+        gex::am().send(1, gex::am_handler<&sum_handler>(), &i, sizeof i);
     } else {
       while (g_am_count.load() < 50) gex::am().poll();
       if (g_am_sum.load() != 1275) throw std::runtime_error("bad sum");
