@@ -61,6 +61,10 @@ int main() {
     auto seg = upcxx::allocate<char>(kMax);
     upcxx::dist_object<upcxx::global_ptr<char>> dir(seg);
     auto peer = dir.fetch(1 - me).wait();
+    // Quiesce upcxx before minimpi::init(): init spins the raw arena
+    // barrier, which serves no upcxx progress — a peer whose fetch reply
+    // is still pending would deadlock against it.
+    upcxx::barrier();
     minimpi::init();
     // The MPI window's exposure buffer lives in the same shared arena the
     // upcxx puts target: both libraries then write identical memory (same

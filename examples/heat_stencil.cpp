@@ -1,15 +1,35 @@
-// 1-D heat diffusion with one-sided halo exchange — the classic PGAS
-// regular-communication motif, complementing the paper's irregular ones.
+// 1-D heat diffusion with one-sided overlapped halo exchange — the classic
+// PGAS regular-communication motif, complementing the paper's irregular
+// ones, written against the async completion machinery:
 //
-// Each rank owns a block of the rod; every step it rputs its boundary cells
-// directly into its neighbors' ghost cells (zero-copy one-sided RMA), uses
-// promises to track both transfers, overlaps the interior update with the
-// halo exchange, and checks global convergence with reduce_all.
+//   * both parity buffers are allocated and published ONCE (a
+//     dist_object per buffer pair, fetched before the loop) instead of
+//     re-publishing pointers every step;
+//   * each step pushes boundary cells straight into the neighbors' ghost
+//     slots (zero-copy one-sided RMA) with a promise conjoining the
+//     transfers AND a remote_cx::as_rpc arrival notification — the data
+//     is guaranteed visible at the target when the notification runs;
+//   * the interior update overlaps the in-flight halos;
+//   * per-neighbor arrival counters replace the per-step barrier: the
+//     steady-state loop is barrier-free (parity double-buffering bounds
+//     neighbor skew to one step, and per-source FIFO delivery makes the
+//     per-side counters exact).
 #include <cmath>
 #include <cstdio>
+#include <utility>
 #include <vector>
 
 #include "upcxx/upcxx.hpp"
+
+namespace {
+
+// Halo-arrival counters, bumped by the *neighbors'* remote_cx
+// notifications. Per side: arrivals from one source are FIFO, so counter
+// value k means "this neighbor's halos for steps 0..k-1 have landed".
+// thread_local = per rank on both the thread and process backends.
+thread_local long g_arrived[2] = {0, 0};  // [0]=from left, [1]=from right
+
+}  // namespace
 
 int main() {
   return upcxx::run_env([] {
@@ -18,44 +38,67 @@ int main() {
     const int n_local = 1 << 12;
     const double alpha = 0.25;
 
-    // Local block with two ghost cells, allocated in the shared segment so
-    // neighbors can rput into it.
-    auto cur = upcxx::allocate<double>(n_local + 2);
-    auto nxt = upcxx::allocate<double>(n_local + 2);
-    upcxx::dist_object<upcxx::global_ptr<double>> dir(cur);
+    // Two local blocks (parity double-buffer) with ghost cells, in the
+    // shared segment so neighbors can rput into them; published once.
+    auto buf_a = upcxx::allocate<double>(n_local + 2);
+    auto buf_b = upcxx::allocate<double>(n_local + 2);
+    using GpPair =
+        std::pair<upcxx::global_ptr<double>, upcxx::global_ptr<double>>;
+    upcxx::dist_object<GpPair> dir(GpPair{buf_a, buf_b});
 
-    // Initial condition: a hot spike on rank 0's left edge.
-    for (int i = 0; i < n_local + 2; ++i) cur.local()[i] = 0.0;
-    if (me == 0) cur.local()[1] = 1000.0;
+    for (int i = 0; i < n_local + 2; ++i) {
+      buf_a.local()[i] = 0.0;
+      buf_b.local()[i] = 0.0;
+    }
+    if (me == 0) buf_a.local()[1] = 1000.0;  // hot spike on the left edge
 
     const int left = me > 0 ? me - 1 : -1;
     const int right = me < P - 1 ? me + 1 : -1;
-    auto left_ghost =
-        left >= 0 ? dir.fetch(left).wait() : upcxx::global_ptr<double>{};
-    auto right_ghost =
-        right >= 0 ? dir.fetch(right).wait() : upcxx::global_ptr<double>{};
-    upcxx::barrier();
+    GpPair lbufs = left >= 0 ? dir.fetch(left).wait() : GpPair{};
+    GpPair rbufs = right >= 0 ? dir.fetch(right).wait() : GpPair{};
+    upcxx::barrier();  // everyone published and fetched; steady state begins
+    // (No counter reset here: a neighbor past the barrier may issue its
+    // step-0 halo immediately, and its notification can run inside THIS
+    // rank's barrier-wait progress loop. The thread_locals start at zero
+    // for each SPMD region, which is exactly the step-0 baseline.)
 
+    auto cur = buf_a, nxt = buf_b;
     int step = 0;
     for (; step < 2000; ++step) {
       double* u = cur.local();
-      // Push my boundary cells into the neighbors' ghost slots; a promise
-      // conjoins both transfers (paper §II completion idiom).
+      // Neighbors' buffers of *this* step's parity.
+      const bool even = (step % 2) == 0;
+      auto left_cur = even ? lbufs.first : lbufs.second;
+      auto right_cur = even ? rbufs.first : rbufs.second;
+
+      // Push my boundary cells into the neighbors' ghost slots. The
+      // promise conjoins the transfers (paper §II completion idiom); the
+      // remote_cx notification bumps the neighbor's arrival counter only
+      // after the value is visible there. I am my left neighbor's *right*
+      // neighbor, hence the side index in the notification.
       upcxx::promise<> halos;
       if (left >= 0)
-        upcxx::rput(u[1], left_ghost + (n_local + 1),
-                    upcxx::operation_cx::as_promise(halos));
+        upcxx::rput(u[1], left_cur + (n_local + 1),
+                    upcxx::operation_cx::as_promise(halos) |
+                        upcxx::remote_cx::as_rpc(
+                            [](int side) { ++g_arrived[side]; }, 1));
       if (right >= 0)
-        upcxx::rput(u[n_local], right_ghost + 0,
-                    upcxx::operation_cx::as_promise(halos));
+        upcxx::rput(u[n_local], right_cur + 0,
+                    upcxx::operation_cx::as_promise(halos) |
+                        upcxx::remote_cx::as_rpc(
+                            [](int side) { ++g_arrived[side]; }, 0));
 
-      // Overlap: update the interior while the halo is in flight.
+      // Overlap: update the interior while the halos are in flight.
       double* v = nxt.local();
       for (int i = 2; i <= n_local - 1; ++i)
         v[i] = u[i] + alpha * (u[i - 1] - 2 * u[i] + u[i + 1]);
 
       halos.finalize().wait();
-      upcxx::barrier();  // ghosts now contain neighbors' boundary values
+      // Wait for this step's ghosts from each existing neighbor — no
+      // barrier: per-side counters and parity buffering are enough.
+      while ((left >= 0 && g_arrived[0] < step + 1) ||
+             (right >= 0 && g_arrived[1] < step + 1))
+        upcxx::progress();
 
       // Edge cells use the freshly-received ghosts (reflecting ends).
       const double gl = left >= 0 ? u[0] : u[1];
@@ -64,14 +107,6 @@ int main() {
       v[n_local] = u[n_local] + alpha * (u[n_local - 1] - 2 * u[n_local] + gr);
 
       std::swap(cur, nxt);
-      // Re-publish: neighbors must write into the *current* buffer next
-      // step. Cheap trick: exchange the new pointer each step.
-      upcxx::dist_object<upcxx::global_ptr<double>> dnew(cur);
-      left_ghost = left >= 0 ? dnew.fetch(left).wait()
-                             : upcxx::global_ptr<double>{};
-      right_ghost = right >= 0 ? dnew.fetch(right).wait()
-                               : upcxx::global_ptr<double>{};
-      upcxx::barrier();
 
       if (step % 200 == 0) {
         double local_heat = 0;
@@ -91,7 +126,7 @@ int main() {
     }
     if (me == 0) std::printf("converged after ~%d steps\n", step);
     upcxx::barrier();
-    upcxx::deallocate(cur);
-    upcxx::deallocate(nxt);
+    upcxx::deallocate(buf_a);
+    upcxx::deallocate(buf_b);
   });
 }

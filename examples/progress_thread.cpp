@@ -45,10 +45,16 @@ int main() {
 
     upcxx::liberate_master_persona();
 
-    // Communication thread: owns the master persona, polls progress.
+    // Communication thread: owns the master persona, polls progress. It
+    // spins hard only while the data-motion engine has chunks to move;
+    // otherwise it yields so oversubscribed hosts keep the compute thread
+    // fed (the idiom bench/abl_overlap.cpp measures).
     std::thread comms([&] {
       upcxx::persona_scope scope(master);
-      while (!stop.load(std::memory_order_acquire)) upcxx::progress();
+      while (!stop.load(std::memory_order_acquire)) {
+        upcxx::progress();
+        if (!gex::xfer().copies_pending()) std::this_thread::yield();
+      }
       // Final drain so late acks don't linger.
       for (int i = 0; i < 64; ++i) upcxx::progress();
     });

@@ -188,8 +188,13 @@ class RpcRmaMap {
           return dest;
         },
         store_, key, static_cast<std::uint64_t>(val.size() + 1));
-    return f.then([val](upcxx::global_ptr<char> dest) {
-      return upcxx::rput(val.c_str(), dest, val.size() + 1);
+    auto v = std::make_shared<std::string>(val);
+    return f.then([v](upcxx::global_ptr<char> dest) {
+      // Large values ride the asynchronous data-motion engine, which reads
+      // the source bytes from later progress polls — anchor them to the
+      // operation future instead of letting the continuation's capture die
+      // when this lambda returns.
+      return upcxx::rput(v->c_str(), dest, v->size() + 1).then([v] {});
     });
   }
 

@@ -50,6 +50,10 @@ void Config::normalize() {
   if (agg_max_bytes > record_cap) agg_max_bytes = record_cap;
   if (agg_max_bytes < 256) agg_max_bytes = 256;
   if (agg_max_msgs == 0) agg_max_msgs = 1;
+  // Data-motion engine: a negative bandwidth means "no model"; chunks below
+  // 256 bytes would make per-chunk bookkeeping dominate the copies.
+  if (sim_bw_gbps < 0) sim_bw_gbps = 0;
+  if (xfer_chunk_bytes < 256) xfer_chunk_bytes = 256;
 }
 
 Config Config::from_env() {
@@ -74,6 +78,31 @@ Config Config::from_env() {
       static_cast<std::uint64_t>(env_long("UPCXX_SIM_LATENCY_NS", 0));
   if (const char* a = std::getenv("UPCXX_ATOMICS")) {
     c.atomics_use_am = (std::strcmp(a, "am") == 0);
+  }
+  if (const char* v = std::getenv("UPCXX_SIM_BW_GBPS"); v && *v) {
+    char* end = nullptr;
+    const double bw = std::strtod(v, &end);
+    if (end && *end == '\0' && bw >= 0) {
+      c.sim_bw_gbps = bw;
+    } else {
+      std::fprintf(stderr,
+                   "gex: ignoring UPCXX_SIM_BW_GBPS=%s (must be a "
+                   "non-negative number)\n",
+                   v);
+    }
+  }
+  c.xfer_chunk_bytes =
+      static_cast<std::size_t>(env_positive(
+          "UPCXX_XFER_CHUNK_KB", static_cast<long>(c.xfer_chunk_bytes >> 10)))
+      << 10;
+  // 0 is meaningful here (disable the async path), so no env_positive.
+  if (long v = env_long("UPCXX_RMA_ASYNC_MIN",
+                        static_cast<long>(c.rma_async_min));
+      v >= 0) {
+    c.rma_async_min = static_cast<std::size_t>(v);
+  } else {
+    std::fprintf(stderr,
+                 "gex: ignoring UPCXX_RMA_ASYNC_MIN=%ld (must be >= 0)\n", v);
   }
   c.agg_enabled = env_long("UPCXX_AGG", 1) != 0;
   c.agg_max_bytes = static_cast<std::size_t>(env_positive(

@@ -28,6 +28,16 @@ struct Config {
   std::size_t agg_max_bytes = 16 << 10;   // UPCXX_AGG_MAX_BYTES (per frame)
   std::uint32_t agg_max_msgs = 64;        // UPCXX_AGG_MAX_MSGS (per frame)
 
+  // Data-motion engine knobs (gex/xfer.hpp).
+  // Simulated wire bandwidth in GB/s; 0 = unlimited (no model).
+  double sim_bw_gbps = 0;                 // UPCXX_SIM_BW_GBPS
+  // Chunk granularity of pipelined transfers.
+  std::size_t xfer_chunk_bytes = 256 << 10;  // UPCXX_XFER_CHUNK_KB
+  // Contiguous RMA at or above this many bytes rides the asynchronous
+  // engine; below it, the zero-allocation synchronous path. 0 disables the
+  // async path entirely.
+  std::size_t rma_async_min = 64 << 10;   // UPCXX_RMA_ASYNC_MIN (bytes)
+
   // Loads defaults overridden by environment variables; the result is
   // normalized.
   static Config from_env();

@@ -1,6 +1,7 @@
 #include "gex/runtime.hpp"
 
 #include "gex/agg.hpp"
+#include "gex/xfer.hpp"
 
 #include <sys/types.h>
 #include <sys/wait.h>
@@ -29,6 +30,9 @@ int run_rank(Arena* arena, int r, const std::function<void()>& fn) {
   rank.am = &engine;
   Aggregator aggregator(&engine);
   rank.agg = &aggregator;
+  XferEngine xfer_engine(arena->config().xfer_chunk_bytes,
+                         arena->config().sim_bw_gbps);
+  rank.xfer = &xfer_engine;
   tls_rank = &rank;
   arena->world_barrier();
   int rc = 0;
@@ -47,8 +51,11 @@ int run_rank(Arena* arena, int r, const std::function<void()>& fn) {
   }
   // Drain any stragglers so peers blocked on a full ring can finish, then
   // synchronize teardown. If some rank failed we skip the barrier to avoid
-  // hanging on a rank that never arrives. Staged aggregation frames go out
-  // first — peers may still be waiting on them.
+  // hanging on a rank that never arrives. In-flight transfers land first
+  // (upcxx teardown already drained its own; this covers raw-gex users),
+  // then staged aggregation frames go out — peers may still be waiting on
+  // them.
+  xfer_engine.drain_all();
   aggregator.flush_all();
   for (int i = 0; i < 64; ++i) engine.poll();
   if (arena->control().error_flag.value.load(std::memory_order_acquire) == 0)
@@ -86,6 +93,11 @@ AmEngine& am() {
 Aggregator& agg() {
   assert(tls_rank);
   return *tls_rank->agg;
+}
+
+XferEngine& xfer() {
+  assert(tls_rank);
+  return *tls_rank->xfer;
 }
 
 int launch(const Config& cfg, const std::function<void()>& fn) {

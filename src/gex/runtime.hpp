@@ -15,6 +15,7 @@
 namespace gex {
 
 class Aggregator;
+class XferEngine;
 
 // Per-rank runtime state. Upper layers (upcxx, minimpi) hang their own
 // per-rank state off the opaque slots so the substrate stays layered.
@@ -23,6 +24,7 @@ struct Rank {
   Arena* arena = nullptr;
   AmEngine* am = nullptr;
   Aggregator* agg = nullptr;
+  XferEngine* xfer = nullptr;
   void* upcxx_state = nullptr;
   void* minimpi_state = nullptr;
 };
@@ -39,6 +41,7 @@ int rank_n();
 Arena& arena();
 AmEngine& am();
 Aggregator& agg();
+XferEngine& xfer();
 
 // Runs `fn` as an SPMD program over cfg.ranks ranks. Returns the number of
 // ranks that failed (threw / exited non-zero). Re-entrant launches are not

@@ -1,0 +1,93 @@
+#include "gex/xfer.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+#include "arch/timer.hpp"
+
+namespace gex {
+
+XferEngine::XferEngine(std::size_t chunk_bytes, double bw_gbps)
+    : chunk_bytes_(chunk_bytes ? chunk_bytes : std::size_t{256} << 10),
+      bw_gbps_(bw_gbps > 0 ? bw_gbps : 0),
+      // 1 GB/s == 1e9 bytes/s == 1 byte/ns, so ns-per-byte is 1/gbps.
+      ns_per_byte_(bw_gbps > 0 ? 1.0 / bw_gbps : 0) {}
+
+void XferEngine::submit(void* dst, const void* src, std::size_t bytes,
+                        Callback on_source, Callback on_landed) {
+  assert((bytes == 0 || (dst && src)) && "null endpoint on a live transfer");
+  active_.push_back(Xfer{static_cast<std::byte*>(dst),
+                         static_cast<const std::byte*>(src), bytes, 0,
+                         std::move(on_source), std::move(on_landed), 0});
+  ++stats_.submitted;
+  stats_.max_inflight = std::max<std::uint64_t>(stats_.max_inflight,
+                                                inflight());
+}
+
+void XferEngine::copy_one_chunk() {
+  Xfer& x = active_.front();
+  const std::size_t take = std::min(chunk_bytes_, x.bytes - x.off);
+  if (take) {
+    std::memcpy(x.dst + x.off, x.src + x.off, take);
+    x.off += take;
+    stats_.bytes_copied += take;
+  }
+  ++stats_.chunks_copied;
+  if (ns_per_byte_ > 0) {
+    // Virtual wire clock: the wire starts this chunk when it frees up (or
+    // now, if it has been idle) and holds it for bytes/bw.
+    const std::uint64_t now = arch::now_ns();
+    wire_free_ns_ = std::max(wire_free_ns_, now) +
+                    static_cast<std::uint64_t>(take * ns_per_byte_);
+  }
+  if (x.off == x.bytes) {
+    // Last byte read out of the source: the initiator may reuse it. Move
+    // the transfer off active_ BEFORE firing the callback — user code may
+    // re-enter poll() (a promise continuation that spins progress), and a
+    // still-queued finished transfer would double-fire and dangle `x`.
+    // retire_landed() follows the same pop-then-fire discipline.
+    Callback source_cb = std::move(x.on_source);
+    x.landed_due_ns = ns_per_byte_ > 0 ? wire_free_ns_ : 0;
+    landing_.push_back(std::move(x));
+    active_.pop_front();
+    if (source_cb) source_cb();
+  }
+}
+
+int XferEngine::retire_landed() {
+  int fired = 0;
+  // Due times are monotone (the wire clock only advances), so the head
+  // check suffices. Callbacks may submit new transfers; they land behind
+  // the current queue and are picked up by later polls.
+  while (!landing_.empty() &&
+         landing_.front().landed_due_ns <= arch::now_ns()) {
+    Callback cb = std::move(landing_.front().on_landed);
+    landing_.pop_front();
+    ++stats_.landed;
+    if (cb) cb();
+    ++fired;
+  }
+  return fired;
+}
+
+int XferEngine::poll(int chunk_budget) {
+  int work = 0;
+  while (chunk_budget-- > 0 && !active_.empty()) {
+    copy_one_chunk();
+    ++work;
+  }
+  work += retire_landed();
+  return work;
+}
+
+void XferEngine::drain_copies() {
+  while (!active_.empty()) copy_one_chunk();
+  retire_landed();
+}
+
+void XferEngine::drain_all() {
+  while (!idle()) poll(1 << 20);
+}
+
+}  // namespace gex

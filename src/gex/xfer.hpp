@@ -1,0 +1,127 @@
+// Asynchronous data-motion engine — the substrate's bulk-transfer path and
+// the paper's actQ (§III) made real.
+//
+// Large RMA transfers are decomposed into pipelined chunks held in a
+// per-rank in-flight list and drained by *internal* progress with bounded
+// work per poll. The initiating call returns immediately after queueing;
+// the actual memcpys happen inside later poll() calls made by whichever
+// thread holds the rank's master persona — so a dedicated progress-thread
+// persona gives true communication/computation overlap on multicore, which
+// is the property bench/abl_overlap.cpp measures.
+//
+// Two completion signals per transfer, always in this order:
+//   on_source — every byte has been read out of the source buffer (the
+//               initiator may reuse it: UPC++ source completion);
+//   on_landed — every byte is visible at the destination AND the simulated
+//               wire has delivered it (see the bandwidth model below). The
+//               upcxx layer sends remote_cx notifications and schedules
+//               operation completion from this callback, so remote RPCs
+//               never observe partially-landed data.
+//
+// Bandwidth model: with Config::sim_bw_gbps > 0 the engine maintains a
+// virtual wire clock. Each chunk copied at real time t advances the clock
+// by chunk_bytes / bw; a transfer "lands" only once the clock entry of its
+// last chunk has passed. Copies themselves are never delayed (the memory
+// system is the real wire here, exactly as GASNet PSHM), so the model
+// caps *reported* bandwidth without serializing the actual data motion —
+// fig3_rma_bandwidth uses this to produce a real bandwidth curve.
+//
+// Threading: the engine is owned by the rank and must only be touched by
+// the thread currently holding the rank's master persona (the same
+// discipline as AmEngine). It is not internally locked.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+
+#include "arch/small_fn.hpp"
+
+namespace gex {
+
+class XferEngine {
+ public:
+  using Callback = arch::UniqueFunction<void()>;
+
+  // Chunks copied per poll() by default: bounds the work one internal
+  // progress call performs so injection-heavy loops stay responsive.
+  static constexpr int kDefaultChunkBudget = 4;
+
+  // chunk_bytes: pipelining granularity (Config::xfer_chunk_bytes).
+  // bw_gbps: simulated wire bandwidth in GB/s; 0 disables the model.
+  XferEngine(std::size_t chunk_bytes, double bw_gbps);
+
+  // Queues an asynchronous move of `bytes` from src to dst. No data moves
+  // inside this call. Both buffers must stay valid until on_source
+  // (src) / on_landed (dst) fire. Either callback may be empty.
+  void submit(void* dst, const void* src, std::size_t bytes,
+              Callback on_source, Callback on_landed);
+
+  // Bounded internal progress: copies at most `chunk_budget` chunks (in
+  // submission order — per-initiator FIFO is preserved) and fires every
+  // due completion callback. Returns the number of chunks copied plus
+  // callbacks fired; 0 means there was nothing actionable.
+  int poll(int chunk_budget = kDefaultChunkBudget);
+
+  // Forces every queued byte onto the wire now (unbounded copying) and
+  // fires the source callbacks. Wire-time gating of on_landed still
+  // applies. Used at barrier entry so the pre-engine "data visible once
+  // issued before a barrier" ordering survives, and at teardown.
+  void drain_copies();
+
+  // Spins poll() until nothing is in flight (teardown; under the bandwidth
+  // model this waits out the virtual wire clock).
+  void drain_all();
+
+  bool idle() const { return active_.empty() && landing_.empty(); }
+  std::size_t inflight() const { return active_.size() + landing_.size(); }
+  // True while chunk copies remain to be performed (as opposed to copied
+  // transfers merely waiting out the virtual wire clock). Progress-thread
+  // loops use this to yield instead of hot-spinning when the engine only
+  // needs an occasional clock check.
+  bool copies_pending() const { return !active_.empty(); }
+
+  std::size_t chunk_bytes() const { return chunk_bytes_; }
+  double bw_gbps() const { return bw_gbps_; }
+
+  struct Stats {
+    std::uint64_t submitted = 0;
+    std::uint64_t chunks_copied = 0;
+    std::uint64_t bytes_copied = 0;
+    std::uint64_t landed = 0;
+    std::uint64_t max_inflight = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  struct Xfer {
+    std::byte* dst;
+    const std::byte* src;
+    std::size_t bytes;
+    std::size_t off;  // bytes copied so far
+    Callback on_source;
+    Callback on_landed;
+    std::uint64_t landed_due_ns;  // virtual wire time of the last chunk
+  };
+
+  // Copies the next chunk of the head transfer; fires on_source and moves
+  // the transfer to landing_ when its last byte is out.
+  void copy_one_chunk();
+  // Fires on_landed for every landing_ entry whose wire time has passed.
+  int retire_landed();
+
+  std::size_t chunk_bytes_;
+  double bw_gbps_;
+  double ns_per_byte_;  // 0 when the bandwidth model is off
+
+  // The in-flight list (the paper's actQ): head transfer is being chunked
+  // out; the rest wait. Separate landing queue for copied transfers whose
+  // virtual wire time has not passed (due times are monotone, so FIFO).
+  std::deque<Xfer> active_;
+  std::deque<Xfer> landing_;
+  std::uint64_t wire_free_ns_ = 0;
+
+  Stats stats_;
+};
+
+}  // namespace gex

@@ -57,10 +57,13 @@ struct op_fast_bit_and {
 // ------------------------------------------------------------------ barrier
 
 inline future<> barrier_async(const team& tm = world()) {
-  // Barrier entry drains this rank's aggregation buffers: everything sent
-  // before the barrier is on the wire before any rank can observe the
-  // barrier complete (tests/test_aggregation.cpp relies on this ordering).
+  // Barrier entry drains this rank's aggregation buffers and forces every
+  // pending XferEngine chunk onto the wire: everything sent before the
+  // barrier is on the wire — and every RMA issued before the barrier is
+  // visible at its target — before any rank can observe the barrier
+  // complete (tests/test_aggregation.cpp relies on this ordering).
   detail::flush_aggregation();
+  detail::drain_xfer_copies();
   promise<> pr;
   detail::CollOps ops;
   ops.up = true;

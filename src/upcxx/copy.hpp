@@ -4,6 +4,12 @@
 // endpoints use one spelling; the completion cost model charges the wire for
 // remote endpoints and the simulated PCIe for each device endpoint
 // (device_allocator.hpp).
+//
+// Completions are delivered through the same detail::cx_state pipeline as
+// rput/rget/rpc (via finish_rma_ns). The data motion itself stays at
+// injection for now — routing device-kind copies through gex::XferEngine is
+// a ROADMAP follow-on, since the simulated-PCIe cost model and the wire
+// bandwidth model need to compose first.
 #pragma once
 
 #include "upcxx/device_allocator.hpp"

@@ -10,6 +10,7 @@
 #include "arch/fixed_registry.hpp"
 
 #include "arch/timer.hpp"
+#include "gex/xfer.hpp"
 #include "upcxx/collectives.hpp"
 #include "upcxx/team.hpp"
 
@@ -89,6 +90,12 @@ void flush_aggregation() {
   if (!has_persona()) return;
   auto* rank = persona().rank;
   if (rank && rank->agg) rank->agg->flush_all();
+}
+
+void drain_xfer_copies() {
+  if (!has_persona()) return;
+  auto* rank = persona().rank;
+  if (rank && rank->xfer) rank->xfer->drain_copies();
 }
 
 // Receives one upcxx wire message: stages the payload locally and schedules
@@ -193,9 +200,11 @@ void progress(progress_level lvl) {
   // (DESIGN.md, message layer v2). Internal progress leaves the buffers
   // alone to keep batches intact across back-to-back injection calls.
   if (lvl == progress_level::user && p.rank->agg) p.rank->agg->flush_all();
-  // Internal progress: poll the wire (stages incoming messages) and retire
-  // timed active operations whose completion time has passed.
+  // Internal progress: poll the wire (stages incoming messages), advance
+  // the data-motion engine by a bounded number of chunks, and retire timed
+  // active operations whose completion time has passed.
   p.rank->am->poll();
+  if (p.rank->xfer) p.rank->xfer->poll();
   if (!p.timed.empty()) {
     const std::uint64_t now = arch::now_ns();
     while (!p.timed.empty() && p.timed.top().due_ns <= now) {
@@ -232,6 +241,7 @@ void init_persona() {
   auto* st = new detail::PersonaState();
   st->rank = r;
   st->sim_latency_ns = r->arena->config().sim_latency_ns;
+  st->rma_async_min = r->arena->config().rma_async_min;
   // Aggregated upcxx frames take the whole-frame delivery path.
   r->am->set_frame_sink(detail::am_delivery_index(),
                         &detail::am_frame_delivery);
@@ -246,6 +256,12 @@ void init_persona() {
 void fini_persona() {
   auto* r = gex::self();
   assert(r);
+  // Land every in-flight transfer while the persona still exists: the
+  // engine's completion callbacks push into this rank's compQ and may send
+  // remote notifications, neither of which is possible after teardown.
+  if (r->xfer) {
+    while (!r->xfer->idle()) progress();
+  }
   // Final drain so peers' teardown traffic (e.g. late rpc_ff acks) does not
   // sit in malloc'd staging buffers.
   for (int i = 0; i < 16; ++i) progress();

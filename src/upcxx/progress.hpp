@@ -68,6 +68,9 @@ struct TimedEntry {
 struct PersonaState {
   gex::Rank* rank = nullptr;
   std::uint64_t sim_latency_ns = 0;
+  // Cached Config::rma_async_min: contiguous RMA at or above this many
+  // bytes rides the asynchronous XferEngine (0 = always synchronous).
+  std::size_t rma_async_min = 0;
 
   // The rank's master persona: holding it carries the right to initiate
   // communication and the obligation to progress the queues below. Created
@@ -189,6 +192,12 @@ void am_frame_delivery(gex::AmContext& cx);
 // Flushes this rank's aggregation buffers (no-op without a rank context).
 // Called from user-level progress and from barrier entry.
 void flush_aggregation();
+
+// Forces every pending XferEngine chunk onto the wire (no-op without a rank
+// context). Called from barrier entry so data issued before a barrier is
+// visible at its target before any rank observes the barrier complete —
+// the ordering the synchronous memcpy wire used to give for free.
+void drain_xfer_copies();
 
 // Sends [idx][body] to target. `body_size` must equal what
 // `write_body(WriteArchive&)` produces.

@@ -1,26 +1,48 @@
 // One-sided RMA: rput/rget plus the non-contiguous variants (paper §II).
 //
-// On the shared-memory wire the data motion itself is a memcpy performed by
-// the initiator (exactly what GASNet does over PSHM). Completion semantics
-// follow the paper's model:
-//   * source completion — the source buffer is reusable: synchronous here,
-//     since the copy happens at injection;
+// Two data-motion paths, split by Config::rma_async_min:
+//
+//   * synchronous (small transfers) — the data motion is a memcpy performed
+//     by the initiator at injection (exactly what GASNet does over PSHM).
+//     Zero allocation; source completion is inherently synchronous.
+//   * asynchronous (large contiguous transfers) — the transfer is handed to
+//     gex::XferEngine (the paper's actQ): it is decomposed into pipelined
+//     chunks drained by internal progress with bounded work per poll, so
+//     the initiating call returns immediately and a progress-thread persona
+//     overlaps the copy with computation. Source completion fires when the
+//     last chunk has been read out of the source buffer; under the
+//     simulated bandwidth model (UPCXX_SIM_BW_GBPS) it genuinely precedes
+//     operation completion.
+//
+// Completion semantics on both paths follow the paper's model:
+//   * source completion — the source buffer is reusable;
 //   * operation completion — remotely complete, including the network-level
 //     acknowledgment a blocking rput waits for (§IV-B); under simulated
-//     latency this costs a full round trip (2 hops);
+//     latency this costs a full round trip (2 hops) past the data landing;
 //   * remote completion — fires an RPC at the target after the data lands
-//     (1 hop).
-// All completion signals are delivered through the progress engine's compQ,
-// never synchronously inside the injection call (except source_cx, whose
-// meaning is inherently synchronous here), matching §III.
+//     (1 hop). Irregular transfers whose fragment lists span several target
+//     ranks notify each distinct target once.
+// All completion signals are delivered through detail::cx_state
+// (completion.hpp) — the one pipeline shared with copy() and rpc — and
+// reach user code only via the progress engine's compQ, never synchronously
+// inside the injection call (except promise fulfillment for events that are
+// synchronous by construction), matching §III.
+//
+// Ordering note: as in real UPC++, two RMAs touching the same remote region
+// are unordered unless sequenced through completions; with the async engine
+// a small synchronous put can land before a still-draining large one.
+// Barrier entry drains the engine's pending copies, so the common
+// "put, barrier, read" idiom keeps its pre-engine meaning.
 #pragma once
 
 #include <algorithm>
 #include <array>
 #include <cassert>
 #include <cstring>
+#include <memory>
 #include <vector>
 
+#include "gex/xfer.hpp"
 #include "upcxx/completion.hpp"
 #include "upcxx/global_ptr.hpp"
 #include "upcxx/progress.hpp"
@@ -30,115 +52,18 @@ namespace upcxx {
 
 namespace detail {
 
-// On the shared-memory wire (sim latency 0) an RMA is remotely complete
-// when the injection memcpy returns — the GASNet PSHM fast path, where
-// upcxx returns an immediately-ready future (detail::ready_future, no
-// per-op allocation).
-
-// Applies every non-future completion in `cxs`; returns the future for the
-// op_future completion if present (void otherwise). `delay_ns` is the
-// simulated time to operation completion (0 = complete at injection).
+// Applies every completion in `cxs` for an operation whose data motion
+// already happened synchronously; returns the value the RMA call returns.
+// `delay_ns` is the simulated time to operation completion (0 = complete at
+// injection — the zero-allocation fast path every small blocking rput on
+// the memcpy wire takes).
 template <typename Cxs>
 auto finish_rma_ns(Cxs&& cxs, intrank_t target, std::uint64_t delay_ns) {
-  using CxsD = std::decay_t<Cxs>;
-  constexpr bool want_future = CxsD::template has<is_op_future>();
-  // Synchronous completion (the common case): signal everything now.
-  const bool instant = delay_ns == 0;
-
-  if (instant) {
-    // Zero-allocation fast path: no operation promise is materialized; a
-    // requested future is the rank's cached ready future. This is the path
-    // every blocking rput on the memcpy wire takes, so it must not touch
-    // the allocator (E1 is sensitive to a single malloc here).
-    std::apply(
-        [&](auto&... item) {
-          auto handle = [&](auto& cx) {
-            using C = std::decay_t<decltype(cx)>;
-            if constexpr (std::is_same_v<C, op_promise_cx> ||
-                          std::is_same_v<C, src_promise_cx>) {
-              cx.pr.fulfill_anonymous(1);
-            } else if constexpr (std::is_same_v<C, op_lpc_cx>) {
-              // LPCs always run from the progress engine, never
-              // synchronously inside the injection call.
-              push_compq(std::move(cx.fn));
-            } else if constexpr (is_remote_rpc<C>::value) {
-              // Remote completion notification: latency-sensitive (a peer
-              // may be spinning on it), so it bypasses aggregation.
-              std::apply(
-                  [&](auto&... args) {
-                    rpc_ff_impl(target, wire_mode::immediate, cx.fn,
-                                args...);
-                  },
-                  cx.args);
-            }
-          };
-          (handle(item), ...);
-        },
-        cxs.items);
-    if constexpr (want_future) {
-      return ready_future();
-    } else if constexpr (CxsD::template has<is_src_future>()) {
-      return make_future();
-    } else {
-      return;
-    }
-  }
-
-  // Simulated-delay path: completions are deferred by delay_ns.
-  promise<> op_pr;  // backs the returned future
-  if constexpr (want_future) op_pr.require_anonymous(1);
-
-  std::apply(
-      [&](auto&... item) {
-        auto handle = [&](auto& cx) {
-          using C = std::decay_t<decltype(cx)>;
-          if constexpr (std::is_same_v<C, op_future_cx>) {
-            push_completion_after_ns(delay_ns, [pr = op_pr]() mutable {
-              pr.fulfill_anonymous(1);
-            });
-          } else if constexpr (std::is_same_v<C, op_promise_cx>) {
-            push_completion_after_ns(delay_ns, [pr = cx.pr]() mutable {
-              pr.fulfill_anonymous(1);
-            });
-          } else if constexpr (std::is_same_v<C, op_lpc_cx>) {
-            push_completion_after_ns(delay_ns, std::move(cx.fn));
-          } else if constexpr (std::is_same_v<C, src_future_cx> ||
-                               std::is_same_v<C, src_promise_cx>) {
-            // Source completion: the copy already happened at injection.
-            if constexpr (std::is_same_v<C, src_promise_cx>)
-              cx.pr.fulfill_anonymous(1);
-          } else if constexpr (is_remote_rpc<C>::value) {
-            // Ship fn+args to the target; executes in its user progress
-            // after one wire hop (the AM carries the send timestamp).
-            // Immediate path: completion notifications must not sit in the
-            // aggregation buffer.
-            std::apply(
-                [&](auto&... args) {
-                  rpc_ff_impl(target, wire_mode::immediate, cx.fn, args...);
-                },
-                cx.args);
-          }
-        };
-        (handle(item), ...);
-      },
-      cxs.items);
-
-  if constexpr (want_future) {
-    return op_pr.finalize();
-  } else {
-    // Fulfill the src_future case: with synchronous source completion a
-    // requested source future would be immediately ready; omit support for
-    // returning *two* futures at once to keep the API surface honest.
-    static_assert(!CxsD::template has<is_src_future>() ||
-                      !CxsD::template has<is_op_future>(),
-                  "requesting both source and operation futures from one "
-                  "call is not supported in this reproduction");
-    if constexpr (CxsD::template has<is_src_future>()) {
-      return make_future();
-    } else {
-      return;
-    }
-  }
+  cx_state<std::decay_t<Cxs>> st(std::move(cxs), target);
+  st.source_now();
+  st.remote_now();
+  st.operation_done(delay_ns);
+  return st.result();
 }
 
 // Hop-based wrapper: the simulated wire distance to operation completion in
@@ -149,6 +74,37 @@ auto finish_rma(Cxs&& cxs, intrank_t target, std::uint64_t hops) {
                        hops * persona().sim_latency_ns);
 }
 
+// True when a contiguous transfer of `bytes` should ride the asynchronous
+// data-motion engine instead of the injection-time memcpy.
+inline bool use_xfer(std::size_t bytes) {
+  auto& p = persona();
+  return p.rma_async_min != 0 && bytes >= p.rma_async_min &&
+         p.rank->xfer != nullptr;
+}
+
+// Hands a contiguous transfer to the XferEngine and wires its two
+// callbacks into the completion pipeline. The cx_state outlives the call
+// (shared between the source and landed callbacks), so its futures are
+// materialized up front; the wire-hop delay to operation completion is
+// charged after the data lands.
+template <typename Cxs>
+auto issue_xfer(Cxs cxs, intrank_t target, void* dst, const void* src,
+                std::size_t bytes, std::uint64_t hops) {
+  auto st = std::make_shared<cx_state<Cxs>>(std::move(cxs), target);
+  st->prepare_deferred();
+  const std::uint64_t delay = hops * persona().sim_latency_ns;
+  persona().rank->xfer->submit(
+      dst, src, bytes, [st] { st->source_now(); },
+      [st, delay] {
+        // Data is visible at the target: notify it (1 more hop carried by
+        // the rpc itself), then complete the operation after the
+        // round-trip acknowledgment.
+        st->remote_now();
+        st->operation_done(delay);
+      });
+  return st->result();
+}
+
 }  // namespace detail
 
 // Default completion: operation future.
@@ -157,7 +113,9 @@ inline default_cx_t default_cx() { return operation_cx::as_future(); }
 
 // ------------------------------------------------------------------- rput
 
-// Bulk put: copies n elements from local src to remote dest.
+// Bulk put: copies n elements from local src to remote dest. At or above
+// Config::rma_async_min bytes the transfer is asynchronous: src must stay
+// valid until source completion, dest until operation completion.
 template <typename T, typename Cxs = default_cx_t>
 auto rput(const T* src, global_ptr<T> dest, std::size_t n,
           Cxs cxs = Cxs{}) {
@@ -165,25 +123,45 @@ auto rput(const T* src, global_ptr<T> dest, std::size_t n,
                 "RMA requires trivially copyable element types");
   assert(!dest.is_null());
   ++detail::persona().stats.rputs;
-  std::memcpy(dest.local(), src, n * sizeof(T));
+  const std::size_t bytes = n * sizeof(T);
+  if (detail::use_xfer(bytes)) {
+    return detail::issue_xfer(std::move(cxs), dest.where(), dest.local(),
+                              src, bytes, /*hops=*/2);
+  }
+  std::memcpy(dest.local(), src, bytes);
   return detail::finish_rma(std::move(cxs), dest.where(), /*hops=*/2);
 }
 
-// Scalar value put.
+// Scalar value put. Always synchronous: the source is the by-value
+// parameter itself, which dies when this call returns — an async engine
+// ride would read a dangling stack slot, and an 8-byte transfer gains
+// nothing from chunking anyway.
 template <typename T, typename Cxs = default_cx_t>
 auto rput(T value, global_ptr<T> dest, Cxs cxs = Cxs{}) {
-  return rput(&value, dest, 1, std::move(cxs));
+  static_assert(std::is_trivially_copyable_v<T>,
+                "RMA requires trivially copyable element types");
+  assert(!dest.is_null());
+  ++detail::persona().stats.rputs;
+  std::memcpy(dest.local(), &value, sizeof(T));
+  return detail::finish_rma(std::move(cxs), dest.where(), /*hops=*/2);
 }
 
 // ------------------------------------------------------------------- rget
 
-// Bulk get: copies n elements from remote src into local dest.
+// Bulk get: copies n elements from remote src into local dest. Large
+// transfers are asynchronous (see rput); dest must stay valid until
+// operation completion.
 template <typename T, typename Cxs = default_cx_t>
 auto rget(global_ptr<T> src, T* dest, std::size_t n, Cxs cxs = Cxs{}) {
   static_assert(std::is_trivially_copyable_v<T>);
   assert(!src.is_null());
   ++detail::persona().stats.rgets;
-  std::memcpy(dest, src.local(), n * sizeof(T));
+  const std::size_t bytes = n * sizeof(T);
+  if (detail::use_xfer(bytes)) {
+    return detail::issue_xfer(std::move(cxs), src.where(), dest,
+                              src.local(), bytes, /*hops=*/2);
+  }
+  std::memcpy(dest, src.local(), bytes);
   return detail::finish_rma(std::move(cxs), src.where(), /*hops=*/2);
 }
 
@@ -211,20 +189,55 @@ future<T> rget(global_ptr<T> src) {
 // features for multidimensional data. Fragment lists use (pointer, element
 // count) pairs, as in upcxx::rput_irregular.
 
+// Read-only local fragment (the gather side of a put).
 template <typename T>
 struct src_fragment {
   const T* ptr;
   std::size_t n;
 };
+// Writable local fragment (the scatter side of a get).
+template <typename T>
+struct local_fragment {
+  T* ptr;
+  std::size_t n;
+};
+// Remote fragment (either direction).
 template <typename T>
 struct dst_fragment {
   global_ptr<T> ptr;
   std::size_t n;
 };
 
+namespace detail {
+
+// Completion delivery for a fragment list spanning one or more target
+// ranks: remote_cx notifications go to each distinct target exactly once
+// (after all its fragments landed — the whole list is copied before any
+// notification is sent); operation completion is charged one round trip.
+// `targets` yields the target rank of fragment i; fragment lists are short,
+// so the distinct-target scan is quadratic rather than allocating.
+template <typename Cxs, typename TargetOf>
+auto finish_rma_fragments(Cxs&& cxs, std::size_t nfrags, TargetOf&& targets) {
+  assert(nfrags > 0 && "empty fragment list");
+  cx_state<std::decay_t<Cxs>> st(std::move(cxs),
+                                 nfrags ? targets(0) : intrank_t{0});
+  st.source_now();
+  for (std::size_t i = 0; i < nfrags; ++i) {
+    const intrank_t t = targets(i);
+    bool seen = false;
+    for (std::size_t j = 0; j < i && !seen; ++j) seen = targets(j) == t;
+    if (!seen) st.remote_now(t);
+  }
+  st.operation_done(2 * persona().sim_latency_ns);
+  return st.result();
+}
+
+}  // namespace detail
+
 // Irregular put: total source elements must equal total destination
 // elements; fragments may differ in shape (gather locally / scatter
-// remotely).
+// remotely) and destination fragments may live on different ranks — each
+// distinct target rank receives remote_cx notifications once.
 template <typename T, typename Cxs = default_cx_t>
 auto rput_irregular(const std::vector<src_fragment<T>>& srcs,
                     const std::vector<dst_fragment<T>>& dsts,
@@ -232,10 +245,8 @@ auto rput_irregular(const std::vector<src_fragment<T>>& srcs,
   static_assert(std::is_trivially_copyable_v<T>);
   ++detail::persona().stats.rputs;
   std::size_t si = 0, so = 0;  // source fragment index/offset
-  intrank_t target = 0;
   for (const auto& d : dsts) {
     assert(!d.ptr.is_null());
-    target = d.ptr.where();
     T* out = d.ptr.local();
     std::size_t need = d.n;
     while (need) {
@@ -252,24 +263,27 @@ auto rput_irregular(const std::vector<src_fragment<T>>& srcs,
     }
   }
   assert(si == srcs.size() && so == 0 && "destination shorter than source");
-  return detail::finish_rma(std::move(cxs), target, 2);
+  return detail::finish_rma_fragments(
+      std::move(cxs), dsts.size(),
+      [&](std::size_t i) { return dsts[i].ptr.where(); });
 }
 
-// Irregular get (mirror of rput_irregular).
+// Irregular get (mirror of rput_irregular): remote source fragments gather
+// into writable local fragments. Source fragments may span ranks; each
+// distinct source-owning rank receives remote_cx notifications once.
 template <typename T, typename Cxs = default_cx_t>
 auto rget_irregular(const std::vector<dst_fragment<T>>& srcs,
-                    const std::vector<src_fragment<T>>& dsts_local,
+                    const std::vector<local_fragment<T>>& dsts,
                     Cxs cxs = Cxs{}) {
   static_assert(std::is_trivially_copyable_v<T>);
   ++detail::persona().stats.rgets;
   std::size_t si = 0, so = 0;
-  intrank_t target = 0;
-  for (const auto& d : dsts_local) {
-    T* out = const_cast<T*>(d.ptr);
+  for (const auto& d : dsts) {
+    T* out = d.ptr;
     std::size_t need = d.n;
     while (need) {
-      assert(si < srcs.size());
-      target = srcs[si].ptr.where();
+      assert(si < srcs.size() && "remote source shorter than destination");
+      assert(!srcs[si].ptr.is_null());
       std::size_t take = std::min(need, srcs[si].n - so);
       std::memcpy(out, srcs[si].ptr.local() + so, take * sizeof(T));
       out += take;
@@ -281,7 +295,10 @@ auto rget_irregular(const std::vector<dst_fragment<T>>& srcs,
       }
     }
   }
-  return detail::finish_rma(std::move(cxs), target, 2);
+  assert(si == srcs.size() && so == 0 && "destination longer than source");
+  return detail::finish_rma_fragments(
+      std::move(cxs), srcs.size(),
+      [&](std::size_t i) { return srcs[i].ptr.where(); });
 }
 
 // Strided put/get over Dim-dimensional blocks. Strides are in *bytes*

@@ -167,6 +167,19 @@ void rpc_ff_impl(intrank_t target, wire_mode mode, F fn, Args&&... args) {
       mode);
 }
 
+// Remote completion notification (declared in completion.hpp so cx_state
+// can signal through it): ship fn(args...) to the target on the immediate
+// wire path. The args tuple is serialized, never consumed, so multi-target
+// fragment lists can notify each target from one completion object.
+template <typename F, typename ArgsTuple>
+void remote_rpc_send(intrank_t target, const F& fn, const ArgsTuple& args) {
+  std::apply(
+      [&](const auto&... a) {
+        rpc_ff_impl(target, wire_mode::immediate, fn, a...);
+      },
+      args);
+}
+
 template <typename F, typename... Args>
 auto rpc_impl(intrank_t target, wire_mode mode, F fn, Args&&... args)
     -> rpc_return_t<F, std::decay_t<Args>...> {
@@ -224,29 +237,21 @@ template <typename Cxs, typename F, typename... Args,
               detail::is_completions<std::decay_t<Cxs>>::value>>
 auto rpc(intrank_t target, Cxs cxs, F fn, Args&&... args) {
   using CxsD = std::decay_t<Cxs>;
+  static_assert(!detail::has_non_op_completions<CxsD>,
+                "rpc supports operation completions only "
+                "(no source_cx / remote_cx)");
   auto fut = rpc(target, fn, std::forward<Args>(args)...);
-  std::apply(
-      [&](auto&... item) {
-        auto handle = [&](auto& cx) {
-          using C = std::decay_t<decltype(cx)>;
-          if constexpr (std::is_same_v<C, detail::op_future_cx>) {
-            // The future itself is the completion; returned below.
-          } else if constexpr (std::is_same_v<C, detail::op_promise_cx>) {
-            fut.then_raw([pr = cx.pr](auto&...) mutable {
-              pr.fulfill_anonymous(1);
-            });
-          } else if constexpr (std::is_same_v<C, detail::op_lpc_cx>) {
-            fut.then_raw(
-                [f = std::move(cx.fn)](auto&...) mutable { f(); });
-          } else {
-            static_assert(std::is_same_v<C, detail::op_future_cx>,
-                          "rpc supports operation completions only "
-                          "(no source_cx / remote_cx)");
-          }
-        };
-        (handle(item), ...);
-      },
-      cxs.items);
+  // Same completion pipeline as the RMA calls: the result future's
+  // readiness is the operation-completion event; cx_state delivers it
+  // through whatever mechanisms were requested. (The op-future case is the
+  // result future itself, returned below.)
+  if constexpr (CxsD::template has<detail::is_op_promise>() ||
+                CxsD::template has<detail::is_op_lpc>()) {
+    detail::cx_state<CxsD> st(std::move(cxs), target);
+    fut.then_raw([st = std::move(st)](auto&...) mutable {
+      st.operation_done(0);
+    });
+  }
   if constexpr (CxsD::template has<detail::is_op_future>()) {
     return fut;
   } else {

@@ -1,6 +1,8 @@
 // Parameterized completion matrix: every RMA-ish operation kind crossed
 // with every initiator-side completion kind, on the instant wire and under
-// simulated latency. Verifies two invariants for every cell:
+// simulated latency, on both data-motion paths (synchronous injection-time
+// memcpy and the asynchronous chunked XferEngine). Verifies two invariants
+// for every cell:
 //   * the data actually lands (one-sided semantics);
 //   * the completion fires exactly once, via the requested mechanism, and
 //     never before the operation could have completed.
@@ -23,7 +25,9 @@ enum class Op {
   rget_bulk,
   copy_g2g,
   rput_strided,
-  rput_irregular
+  rput_irregular,
+  rget_strided,
+  rget_irregular
 };
 enum class Cx { promise, lpc };
 
@@ -35,6 +39,8 @@ const char* op_name(Op o) {
     case Op::copy_g2g: return "copy_g2g";
     case Op::rput_strided: return "rput_strided";
     case Op::rput_irregular: return "rput_irregular";
+    case Op::rget_strided: return "rget_strided";
+    case Op::rget_irregular: return "rget_irregular";
   }
   return "?";
 }
@@ -46,11 +52,15 @@ const char* cx_name(Cx c) {
   return "?";
 }
 
+bool is_get(Op o) {
+  return o == Op::rget_bulk || o == Op::rget_strided ||
+         o == Op::rget_irregular;
+}
+
 constexpr std::size_t kN = 64;
 
 // Issues `op` from rank 0 against rank 1's buffer with completion `cx`;
-// returns when complete. `landed` is filled with what rank 1's buffer
-// should now contain.
+// returns when complete. Get-like ops fill `sink` from the remote buffer.
 template <typename Cxs>
 void issue(Op op, upcxx::global_ptr<long> remote, std::vector<long>& src,
            std::vector<long>& sink, Cxs cxs) {
@@ -94,6 +104,27 @@ void issue(Op op, upcxx::global_ptr<long> remote, std::vector<long>& src,
       upcxx::rput_irregular(s, d, std::move(cxs));
       break;
     }
+    case Op::rget_strided:
+      upcxx::rget_strided<2>(
+          remote,
+          {static_cast<std::ptrdiff_t>(8 * sizeof(long)),
+           static_cast<std::ptrdiff_t>(sizeof(long))},
+          sink.data(),
+          {static_cast<std::ptrdiff_t>(8 * sizeof(long)),
+           static_cast<std::ptrdiff_t>(sizeof(long))},
+          {std::size_t{8}, std::size_t{8}}, std::move(cxs));
+      break;
+    case Op::rget_irregular: {
+      // Remote fragments gather into writable local fragments.
+      std::vector<upcxx::dst_fragment<long>> s{{remote, kN / 4},
+                                               {remote + kN / 4,
+                                                3 * kN / 4}};
+      std::vector<upcxx::local_fragment<long>> d{{sink.data(), kN / 2},
+                                                 {sink.data() + kN / 2,
+                                                  kN / 2}};
+      upcxx::rget_irregular(s, d, std::move(cxs));
+      break;
+    }
   }
 }
 
@@ -131,14 +162,16 @@ void run_cell(Op op, Cx cx) {
       }
     }
     EXPECT_TRUE(completed) << op_name(op) << "/" << cx_name(cx);
-    if (op == Op::rget_bulk) {
+    if (is_get(op)) {
+      // The remote buffer held -7 everywhere; every get shape must deliver
+      // exactly that into the local sink.
       for (std::size_t i = 0; i < kN; ++i)
-        EXPECT_EQ(sink[i], -7) << "rget data at " << i;
+        EXPECT_EQ(sink[i], -7) << op_name(op) << " data at " << i;
     }
     upcxx::barrier();  // rank 1 checks its buffer
   } else {
     upcxx::barrier();
-    if (op != Op::rget_bulk) {
+    if (!is_get(op)) {
       // Every put-like op delivered 1000+i in some arrangement; check the
       // multiset instead of the exact layout (irregular reshuffles).
       std::vector<long> got(remote.local(), remote.local() + kN);
@@ -156,7 +189,8 @@ void run_cell(Op op, Cx cx) {
   upcxx::barrier();
 }
 
-using Cell = std::tuple<int /*Op*/, int /*Cx*/, int /*latency_ns*/>;
+using Cell =
+    std::tuple<int /*Op*/, int /*Cx*/, int /*latency_ns*/, int /*async*/>;
 
 class CompletionMatrix : public ::testing::TestWithParam<Cell> {};
 
@@ -164,22 +198,29 @@ TEST_P(CompletionMatrix, DataLandsAndCompletionFires) {
   const Op op = static_cast<Op>(std::get<0>(GetParam()));
   const Cx cx = static_cast<Cx>(std::get<1>(GetParam()));
   const int latency = std::get<2>(GetParam());
+  const bool async = std::get<3>(GetParam()) != 0;
   gex::Config cfg = testutil::test_cfg(2);
   cfg.sim_latency_ns = static_cast<std::uint64_t>(latency);
+  // async cells force every contiguous transfer through the XferEngine in
+  // small chunks; sync cells disable the engine path entirely.
+  cfg.rma_async_min = async ? 1 : 0;
+  cfg.xfer_chunk_bytes = 256;  // kN longs = 512 B -> 2 chunks
   const int fails = upcxx::run(cfg, [op, cx] { run_cell(op, cx); });
   EXPECT_EQ(fails, 0) << op_name(op) << "/" << cx_name(cx) << "/lat"
-                      << latency;
+                      << latency << (async ? "/async" : "/sync");
 }
 
 INSTANTIATE_TEST_SUITE_P(
     AllCells, CompletionMatrix,
-    ::testing::Combine(::testing::Range(0, 6),  // Op
+    ::testing::Combine(::testing::Range(0, 8),  // Op
                        ::testing::Range(0, 2),  // Cx
-                       ::testing::Values(0, 5000)),
+                       ::testing::Values(0, 5000),
+                       ::testing::Range(0, 2)),  // data-motion path
     [](const ::testing::TestParamInfo<Cell>& info) {
       return std::string(op_name(static_cast<Op>(std::get<0>(info.param)))) +
              "_" + cx_name(static_cast<Cx>(std::get<1>(info.param))) +
-             (std::get<2>(info.param) ? "_lat" : "_instant");
+             (std::get<2>(info.param) ? "_lat" : "_instant") +
+             (std::get<3>(info.param) ? "_async" : "_sync");
     });
 
 // Future completion is the default path, checked across ops separately
@@ -196,6 +237,49 @@ TEST(CompletionMatrixFuture, FutureCompletionPerOp) {
       upcxx::rget(remote, sink.data(), kN).wait();
       EXPECT_EQ(sink, src);
       EXPECT_EQ(upcxx::rget(remote).wait(), 5);
+    }
+    upcxx::barrier();
+    if (upcxx::rank_me() == 1) upcxx::delete_array(remote, kN);
+    upcxx::barrier();
+  });
+  EXPECT_EQ(fails, 0);
+}
+
+// Source completion under simulated latency: synchronous on the memcpy
+// path, strictly before operation completion on the async engine path
+// (tested in depth in test_xfer.cpp). Here: the full cx grid per source
+// mechanism, instant wire.
+TEST(CompletionMatrixSource, SourceMechanismsFire) {
+  gex::Config cfg = testutil::test_cfg(2);
+  cfg.rma_async_min = 1;  // engine path: source fires from the drain
+  cfg.xfer_chunk_bytes = 256;
+  const int fails = upcxx::run(cfg, [] {
+    static upcxx::global_ptr<long> remote;
+    if (upcxx::rank_me() == 1) remote = upcxx::new_array<long>(kN);
+    upcxx::barrier();
+    if (upcxx::rank_me() == 0) {
+      std::vector<long> src(kN, 3);
+      // as_promise
+      upcxx::promise<> sp;
+      auto f1 = upcxx::rput(src.data(), remote, kN,
+                            upcxx::operation_cx::as_future() |
+                                upcxx::source_cx::as_promise(sp));
+      f1.wait();
+      EXPECT_TRUE(sp.finalize().is_ready());
+      // as_lpc
+      bool src_lpc = false;
+      auto f2 = upcxx::rput(src.data(), remote, kN,
+                            upcxx::operation_cx::as_future() |
+                                upcxx::source_cx::as_lpc(
+                                    [&src_lpc] { src_lpc = true; }));
+      f2.wait();
+      while (!src_lpc) upcxx::progress();
+      // as_future together with an operation future (tuple return).
+      auto [sf, of] = upcxx::rput(src.data(), remote, kN,
+                                  upcxx::source_cx::as_future() |
+                                      upcxx::operation_cx::as_future());
+      sf.wait();
+      of.wait();
     }
     upcxx::barrier();
     if (upcxx::rank_me() == 1) upcxx::delete_array(remote, kN);

@@ -127,9 +127,14 @@ TEST_P(DhtRmaSizes, RpcRmaMatchesOracleAcrossValueSizes) {
   });
 }
 
-// Sweep across the eager/rendezvous boundary (test cfg eager_max = 8 KiB).
+// Sweep across the eager/rendezvous boundary (test cfg eager_max = 8 KiB)
+// AND the async data-motion threshold (default rma_async_min = 64 KiB):
+// 128 KiB values ride the chunked XferEngine, which reads the insert's
+// source bytes from later progress polls — a regression guard for the
+// value-lifetime anchoring in RpcRmaMap::insert.
 INSTANTIATE_TEST_SUITE_P(ValueSizes, DhtRmaSizes,
-                         ::testing::Values(1, 64, 1024, 8192, 32768));
+                         ::testing::Values(1, 64, 1024, 8192, 32768,
+                                           131072));
 
 TEST(DhtRpcRma, InsertIsFullyAsynchronous) {
   // The paper's chained insert: the returned future covers RPC + rput.

@@ -358,4 +358,39 @@ TEST(Config, EnvRoundTrip) {
   EXPECT_LE(c.eager_max, c.ring_bytes / 4);
 }
 
+TEST(Config, XferKnobsNormalize) {
+  gex::Config c;
+  // Defaults: async above 64 KiB, 256 KiB chunks, no bandwidth model.
+  EXPECT_EQ(c.rma_async_min, std::size_t{64} << 10);
+  EXPECT_EQ(c.xfer_chunk_bytes, std::size_t{256} << 10);
+  EXPECT_EQ(c.sim_bw_gbps, 0.0);
+  // normalize() rejects nonsense: negative bandwidth means "no model",
+  // sub-256-byte chunks would drown in bookkeeping.
+  c.sim_bw_gbps = -3.5;
+  c.xfer_chunk_bytes = 1;
+  c.normalize();
+  EXPECT_EQ(c.sim_bw_gbps, 0.0);
+  EXPECT_EQ(c.xfer_chunk_bytes, std::size_t{256});
+  // rma_async_min = 0 is meaningful (async path disabled) and survives.
+  c.rma_async_min = 0;
+  c.normalize();
+  EXPECT_EQ(c.rma_async_min, 0u);
+}
+
+TEST(Config, XferEnvParsing) {
+  setenv("UPCXX_SIM_BW_GBPS", "2.5", 1);
+  setenv("UPCXX_XFER_CHUNK_KB", "64", 1);
+  setenv("UPCXX_RMA_ASYNC_MIN", "0", 1);
+  auto c = gex::Config::from_env();
+  EXPECT_DOUBLE_EQ(c.sim_bw_gbps, 2.5);
+  EXPECT_EQ(c.xfer_chunk_bytes, std::size_t{64} << 10);
+  EXPECT_EQ(c.rma_async_min, 0u);
+  // Malformed bandwidth falls back to the default, not garbage.
+  setenv("UPCXX_SIM_BW_GBPS", "fast", 1);
+  EXPECT_EQ(gex::Config::from_env().sim_bw_gbps, 0.0);
+  unsetenv("UPCXX_SIM_BW_GBPS");
+  unsetenv("UPCXX_XFER_CHUNK_KB");
+  unsetenv("UPCXX_RMA_ASYNC_MIN");
+}
+
 }  // namespace

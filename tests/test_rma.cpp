@@ -237,6 +237,87 @@ TEST(Rma, IrregularPutGathersAndScatters) {
   });
 }
 
+std::atomic<int> g_frag_cx_hits{0};
+
+TEST(Rma, IrregularPutNotifiesEveryTargetRank) {
+  // Regression: completion targeting used to be taken from the *last*
+  // fragment, so a fragment list spanning several target ranks
+  // misattributed operation/remote completions. Now each distinct target
+  // rank receives the remote_cx notification exactly once, after its
+  // fragments landed.
+  g_frag_cx_hits = 0;
+  spmd(3, [] {
+    constexpr std::size_t kPer = 8;
+    auto mine = upcxx::allocate<int>(kPer);
+    std::fill_n(mine.local(), kPer, 0);
+    upcxx::dist_object<upcxx::global_ptr<int>> dir(mine);
+    auto on1 = dir.fetch(1).wait();
+    auto on2 = dir.fetch(2).wait();
+    upcxx::barrier();
+    if (upcxx::rank_me() == 0) {
+      std::vector<int> src(2 * kPer);
+      for (std::size_t i = 0; i < src.size(); ++i)
+        src[i] = static_cast<int>(100 + i);
+      std::vector<upcxx::src_fragment<int>> s{{src.data(), src.size()}};
+      // Fragments interleave the two targets; each must be notified once.
+      std::vector<upcxx::dst_fragment<int>> d{
+          {on1, kPer / 2}, {on2, kPer / 2},
+          {on1 + kPer / 2, kPer / 2}, {on2 + kPer / 2, kPer / 2}};
+      upcxx::promise<> pr;
+      upcxx::rput_irregular(
+          s, d,
+          upcxx::operation_cx::as_promise(pr) |
+              upcxx::remote_cx::as_rpc([] { g_frag_cx_hits.fetch_add(1); }));
+      pr.finalize().wait();
+      while (g_frag_cx_hits.load() < 2) upcxx::progress();
+    } else {
+      while (g_frag_cx_hits.load() < 2) upcxx::progress();
+    }
+    upcxx::barrier();
+    if (upcxx::rank_me() == 1) {
+      EXPECT_EQ(mine.local()[0], 100);
+      EXPECT_EQ(mine.local()[kPer - 1], 100 + 2 * static_cast<int>(kPer) - 5);
+    }
+    if (upcxx::rank_me() == 2) {
+      EXPECT_EQ(mine.local()[0], 100 + static_cast<int>(kPer) / 2);
+    }
+    upcxx::barrier();
+    upcxx::deallocate(mine);
+  });
+  // Exactly one notification per distinct target rank — not per fragment
+  // (4), not just the last fragment's rank (1).
+  EXPECT_EQ(g_frag_cx_hits.load(), 2);
+}
+
+TEST(Rma, IrregularGetFromMultipleRanks) {
+  // rget_irregular with writable local_fragment destinations (no
+  // const_cast aliasing of src_fragment), gathering from two source ranks.
+  spmd(3, [] {
+    constexpr std::size_t kPer = 6;
+    auto mine = upcxx::allocate<int>(kPer);
+    for (std::size_t i = 0; i < kPer; ++i)
+      mine.local()[i] = upcxx::rank_me() * 100 + static_cast<int>(i);
+    upcxx::dist_object<upcxx::global_ptr<int>> dir(mine);
+    auto on1 = dir.fetch(1).wait();
+    auto on2 = dir.fetch(2).wait();
+    upcxx::barrier();
+    if (upcxx::rank_me() == 0) {
+      std::vector<int> out(2 * kPer, -1);
+      std::vector<upcxx::dst_fragment<int>> srcs{{on1, kPer}, {on2, kPer}};
+      std::vector<upcxx::local_fragment<int>> dsts{
+          {out.data(), kPer / 2},
+          {out.data() + kPer / 2, 3 * kPer / 2}};
+      upcxx::rget_irregular(srcs, dsts).wait();
+      for (std::size_t i = 0; i < kPer; ++i) {
+        EXPECT_EQ(out[i], 100 + static_cast<int>(i));
+        EXPECT_EQ(out[kPer + i], 200 + static_cast<int>(i));
+      }
+    }
+    upcxx::barrier();
+    upcxx::deallocate(mine);
+  });
+}
+
 TEST(Rma, StridedPutSubmatrix) {
   // Put a 3x4 tile of a row-major 8x8 local matrix into a remote 16x16.
   spmd(2, [] {

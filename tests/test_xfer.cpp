@@ -1,0 +1,359 @@
+// The asynchronous data-motion engine (gex::XferEngine) and its upcxx
+// integration: chunked pipelined transfers, bounded work per poll, the
+// simulated bandwidth model, completion ordering (source strictly before
+// operation under bandwidth gating), remote_cx vs data visibility, and the
+// teardown drain.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <numeric>
+#include <vector>
+
+#include "arch/timer.hpp"
+#include "gex/xfer.hpp"
+#include "spmd_helpers.hpp"
+
+using testutil::spmd;
+
+namespace {
+
+// ------------------------------------------------- engine-level unit tests
+// XferEngine is a plain object: these run without an SPMD region.
+
+TEST(XferEngine, ChunkedCopySignalsSourceThenLanded) {
+  gex::XferEngine eng(/*chunk_bytes=*/1024, /*bw_gbps=*/0);
+  std::vector<std::byte> src(10 * 1024), dst(10 * 1024);
+  for (std::size_t i = 0; i < src.size(); ++i)
+    src[i] = static_cast<std::byte>(i * 7);
+  int order = 0, source_at = 0, landed_at = 0;
+  eng.submit(dst.data(), src.data(), src.size(),
+             [&] { source_at = ++order; }, [&] { landed_at = ++order; });
+  EXPECT_FALSE(eng.idle());
+  // Nothing moved at submit time.
+  EXPECT_EQ(eng.stats().bytes_copied, 0u);
+  while (!eng.idle()) eng.poll();
+  EXPECT_EQ(source_at, 1);
+  EXPECT_EQ(landed_at, 2);
+  EXPECT_EQ(src, dst);
+  EXPECT_EQ(eng.stats().chunks_copied, 10u);
+}
+
+TEST(XferEngine, PollBoundsWorkPerCall) {
+  gex::XferEngine eng(1024, 0);
+  std::vector<std::byte> src(8 * 1024), dst(8 * 1024);
+  bool source_fired = false;
+  eng.submit(dst.data(), src.data(), src.size(),
+             [&] { source_fired = true; }, {});
+  eng.poll(/*chunk_budget=*/1);
+  EXPECT_EQ(eng.stats().chunks_copied, 1u);
+  EXPECT_EQ(eng.stats().bytes_copied, 1024u);
+  EXPECT_FALSE(source_fired);
+  eng.poll(3);
+  EXPECT_EQ(eng.stats().chunks_copied, 4u);
+  EXPECT_FALSE(eng.idle());
+}
+
+TEST(XferEngine, FifoAcrossTransfers) {
+  gex::XferEngine eng(512, 0);
+  std::vector<std::byte> s1(2048), d1(2048), s2(2048), d2(2048);
+  std::vector<int> landed;
+  eng.submit(d1.data(), s1.data(), s1.size(), {},
+             [&] { landed.push_back(1); });
+  eng.submit(d2.data(), s2.data(), s2.size(), {},
+             [&] { landed.push_back(2); });
+  EXPECT_EQ(eng.inflight(), 2u);
+  while (!eng.idle()) eng.poll(1);
+  ASSERT_EQ(landed.size(), 2u);
+  EXPECT_EQ(landed[0], 1);
+  EXPECT_EQ(landed[1], 2);
+}
+
+TEST(XferEngine, BandwidthModelGatesLanding) {
+  // 4 MB at 0.25 GB/s is ~16.8 ms of virtual wire time, far more than the
+  // memcpy itself: on_source fires with the copy, on_landed only once the
+  // wire clock has passed.
+  constexpr std::size_t kBytes = 4 << 20;
+  constexpr double kGbps = 0.25;
+  gex::XferEngine eng(256 << 10, kGbps);
+  std::vector<std::byte> src(kBytes), dst(kBytes);
+  std::uint64_t source_ns = 0, landed_ns = 0;
+  const std::uint64_t t0 = arch::now_ns();
+  eng.submit(dst.data(), src.data(), kBytes,
+             [&] { source_ns = arch::now_ns(); },
+             [&] { landed_ns = arch::now_ns(); });
+  eng.drain_copies();
+  const std::uint64_t t_drained = arch::now_ns();
+  EXPECT_NE(source_ns, 0u);
+  const double expect_ns = kBytes / kGbps;  // bytes / (bytes per ns)
+  // The not-yet-landed assertion is only meaningful if the drain finished
+  // well inside the wire window (a loaded CI host can stall the whole
+  // process past it; the ordering checks below hold regardless).
+  if (t_drained - t0 < static_cast<std::uint64_t>(expect_ns * 0.5))
+    EXPECT_EQ(landed_ns, 0u) << "landed before the virtual wire delivered";
+  eng.drain_all();
+  EXPECT_NE(landed_ns, 0u);
+  EXPECT_GE(landed_ns - t0, static_cast<std::uint64_t>(expect_ns * 0.9));
+  EXPECT_GT(landed_ns, source_ns);
+}
+
+TEST(XferEngine, ZeroByteTransferCompletes) {
+  gex::XferEngine eng(1024, 0);
+  bool source_fired = false, landed = false;
+  eng.submit(nullptr, nullptr, 0, [&] { source_fired = true; },
+             [&] { landed = true; });
+  while (!eng.idle()) eng.poll();
+  EXPECT_TRUE(source_fired);
+  EXPECT_TRUE(landed);
+}
+
+// --------------------------------------------------- upcxx-level behavior
+
+// Config that routes every contiguous RMA through the engine in small
+// chunks — the async path under maximal stress.
+gex::Config async_cfg(int ranks) {
+  gex::Config c = testutil::test_cfg(ranks);
+  c.rma_async_min = 1;
+  c.xfer_chunk_bytes = 1024;
+  return c;
+}
+
+TEST(AsyncRma, BlockingPutGetRoundTrip) {
+  const int fails = upcxx::run(async_cfg(2), [] {
+    constexpr std::size_t kN = 64 << 10;  // 64K uint32 = 256 KB, 256 chunks
+    auto mine = upcxx::allocate<std::uint32_t>(kN);
+    std::fill_n(mine.local(), kN, 0u);
+    upcxx::dist_object<upcxx::global_ptr<std::uint32_t>> dir(mine);
+    auto peer = dir.fetch(1 - upcxx::rank_me()).wait();
+    std::vector<std::uint32_t> src(kN);
+    for (std::size_t i = 0; i < kN; ++i)
+      src[i] = static_cast<std::uint32_t>(i ^ (upcxx::rank_me() << 20));
+    upcxx::rput(src.data(), peer, kN).wait();
+    upcxx::barrier();
+    std::vector<std::uint32_t> back(kN);
+    upcxx::rget(mine, back.data(), kN).wait();
+    for (std::size_t i = 0; i < kN; ++i)
+      ASSERT_EQ(back[i], i ^ ((1u - upcxx::rank_me()) << 20)) << i;
+    upcxx::barrier();
+    upcxx::deallocate(mine);
+  });
+  EXPECT_EQ(fails, 0);
+}
+
+TEST(AsyncRma, SourceFiresBeforeOperationUnderSimBandwidth) {
+  gex::Config cfg = async_cfg(2);
+  cfg.xfer_chunk_bytes = 64 << 10;
+  cfg.sim_bw_gbps = 0.125;  // far below memcpy bandwidth: wire is the gate
+  const int fails = upcxx::run(cfg, [] {
+    // 4 MB (the test segment is 8 MB): ~34 ms of virtual wire time, a wide
+    // margin over the copy drain even on a preempted CI host.
+    constexpr std::size_t kBytes = 4 << 20;
+    static upcxx::global_ptr<char> remote;
+    if (upcxx::rank_me() == 1) remote = upcxx::allocate<char>(kBytes);
+    upcxx::barrier();
+    ASSERT_TRUE(upcxx::rank_me() == 0 || !remote.is_null());
+    if (upcxx::rank_me() == 0) {
+      std::vector<char> src(kBytes, 'b');
+      upcxx::promise<> src_done;
+      auto op = upcxx::rput(src.data(), remote, kBytes,
+                            upcxx::operation_cx::as_future() |
+                                upcxx::source_cx::as_promise(src_done));
+      auto src_fut = src_done.finalize();
+      // Drive progress until the source drains; the copies finish at
+      // memcpy speed, while the operation is gated behind ~34 ms of
+      // virtual wire time — it cannot have completed yet.
+      while (!src_fut.is_ready()) upcxx::progress();
+      EXPECT_FALSE(op.is_ready())
+          << "operation completed with the source, despite bandwidth gating";
+      op.wait();
+    }
+    upcxx::barrier();
+    if (upcxx::rank_me() == 1) upcxx::deallocate(remote);
+    upcxx::barrier();
+  });
+  EXPECT_EQ(fails, 0);
+}
+
+std::atomic<int> g_landed_ok{0};
+
+TEST(AsyncRma, RemoteCxSeesFullyLandedData) {
+  g_landed_ok = 0;
+  const int fails = upcxx::run(async_cfg(2), [] {
+    constexpr std::size_t kN = 128 << 10;  // 512 KB in 1 KB chunks
+    static upcxx::global_ptr<std::uint32_t> remote;
+    if (upcxx::rank_me() == 1) remote = upcxx::allocate<std::uint32_t>(kN);
+    upcxx::barrier();
+    if (upcxx::rank_me() == 0) {
+      std::vector<std::uint32_t> src(kN);
+      std::iota(src.begin(), src.end(), 1u);
+      upcxx::rput(src.data(), remote, kN,
+                  upcxx::operation_cx::as_future() |
+                      upcxx::remote_cx::as_rpc(
+                          [](upcxx::global_ptr<std::uint32_t> where,
+                             std::size_t n) {
+                            // Runs at the target: every chunk must have
+                            // landed, first through last.
+                            if (where.local()[0] == 1u &&
+                                where.local()[n - 1] ==
+                                    static_cast<std::uint32_t>(n))
+                              g_landed_ok.fetch_add(1);
+                          },
+                          remote, kN))
+          .wait();
+    } else {
+      while (g_landed_ok.load() == 0) upcxx::progress();
+    }
+    upcxx::barrier();
+    if (upcxx::rank_me() == 1) upcxx::deallocate(remote);
+    upcxx::barrier();
+  });
+  EXPECT_EQ(fails, 0);
+  EXPECT_EQ(g_landed_ok.load(), 1);
+}
+
+TEST(AsyncRma, SourceLpcFiresOnInitiator) {
+  const int fails = upcxx::run(async_cfg(2), [] {
+    constexpr std::size_t kN = 16 << 10;
+    static upcxx::global_ptr<char> remote;
+    if (upcxx::rank_me() == 1) remote = upcxx::allocate<char>(kN);
+    upcxx::barrier();
+    if (upcxx::rank_me() == 0) {
+      std::vector<char> src(kN, 'z');
+      bool src_fired = false;
+      auto op = upcxx::rput(src.data(), remote, kN,
+                            upcxx::operation_cx::as_future() |
+                                upcxx::source_cx::as_lpc(
+                                    [&src_fired] { src_fired = true; }));
+      while (!src_fired) upcxx::progress();
+      op.wait();
+    }
+    upcxx::barrier();
+    if (upcxx::rank_me() == 1) upcxx::deallocate(remote);
+    upcxx::barrier();
+  });
+  EXPECT_EQ(fails, 0);
+}
+
+TEST(AsyncRma, SourceAndOperationFuturesTogether) {
+  // Both futures from one call: returns tuple (source first). Previously
+  // rejected by a static_assert; cx_state backs both.
+  const int fails = upcxx::run(async_cfg(2), [] {
+    constexpr std::size_t kN = 8 << 10;
+    static upcxx::global_ptr<char> remote;
+    if (upcxx::rank_me() == 1) remote = upcxx::allocate<char>(kN);
+    upcxx::barrier();
+    if (upcxx::rank_me() == 0) {
+      std::vector<char> src(kN, 'q');
+      auto [src_fut, op_fut] =
+          upcxx::rput(src.data(), remote, kN,
+                      upcxx::source_cx::as_future() |
+                          upcxx::operation_cx::as_future());
+      src_fut.wait();
+      op_fut.wait();
+      EXPECT_TRUE(src_fut.is_ready());
+      EXPECT_TRUE(op_fut.is_ready());
+    }
+    upcxx::barrier();
+    if (upcxx::rank_me() == 1) upcxx::deallocate(remote);
+    upcxx::barrier();
+  });
+  EXPECT_EQ(fails, 0);
+}
+
+TEST(AsyncRma, BothFuturesOnSyncPathToo) {
+  spmd(2, [] {
+    static upcxx::global_ptr<long> remote;
+    if (upcxx::rank_me() == 1) remote = upcxx::allocate<long>(1);
+    upcxx::barrier();
+    if (upcxx::rank_me() == 0) {
+      auto [src_fut, op_fut] =
+          upcxx::rput(42L, remote,
+                      upcxx::source_cx::as_future() |
+                          upcxx::operation_cx::as_future());
+      src_fut.wait();
+      op_fut.wait();
+    }
+    upcxx::barrier();
+    if (upcxx::rank_me() == 1) {
+      EXPECT_EQ(*remote.local(), 42L);
+      upcxx::deallocate(remote);
+    }
+    upcxx::barrier();
+  });
+}
+
+TEST(AsyncRma, DataVisibleAfterBarrierWithoutWait) {
+  // The pre-engine idiom: issue a put (tracked only by a promise that is
+  // never waited before the barrier), then barrier, then the target reads.
+  // Barrier entry drains the engine's pending copies, keeping this legal.
+  const int fails = upcxx::run(async_cfg(2), [] {
+    constexpr std::size_t kN = 32 << 10;
+    static upcxx::global_ptr<std::uint64_t> remote;
+    if (upcxx::rank_me() == 1) remote = upcxx::allocate<std::uint64_t>(kN);
+    upcxx::barrier();
+    static std::vector<std::uint64_t> src;  // outlives the barrier
+    if (upcxx::rank_me() == 0) {
+      src.assign(kN, 0xabcdefull);
+      upcxx::promise<> p;
+      upcxx::rput(src.data(), remote, kN,
+                  upcxx::operation_cx::as_promise(p));
+      // Deliberately no wait before the barrier.
+      upcxx::barrier();
+      p.finalize().wait();
+    } else {
+      upcxx::barrier();
+      EXPECT_EQ(remote.local()[kN - 1], 0xabcdefull);
+    }
+    upcxx::barrier();
+    if (upcxx::rank_me() == 1) upcxx::deallocate(remote);
+    upcxx::barrier();
+  });
+  EXPECT_EQ(fails, 0);
+}
+
+TEST(AsyncRma, TeardownDrainsInFlightTransfers) {
+  // Exiting the SPMD body with a transfer still in flight must not lose the
+  // data or crash teardown: fini_persona lands everything.
+  gex::Config cfg = async_cfg(2);
+  cfg.sim_bw_gbps = 1.0;
+  const int fails = upcxx::run(cfg, [] {
+    constexpr std::size_t kN = 1 << 20;
+    static upcxx::global_ptr<char> remote;
+    if (upcxx::rank_me() == 1) remote = upcxx::allocate<char>(kN);
+    upcxx::barrier();
+    static std::vector<char> src;  // must outlive the SPMD body's return
+    if (upcxx::rank_me() == 0) {
+      src.assign(kN, 'd');
+      upcxx::promise<> p;
+      upcxx::rput(src.data(), remote, kN,
+                  upcxx::operation_cx::as_promise(p));
+      // Fall out of the body without waiting.
+    }
+  });
+  EXPECT_EQ(fails, 0);
+}
+
+// Engine stats surface through the rank for observability.
+TEST(AsyncRma, EngineStatsAdvance) {
+  const int fails = upcxx::run(async_cfg(2), [] {
+    constexpr std::size_t kN = 64 << 10;
+    static upcxx::global_ptr<char> remote;
+    if (upcxx::rank_me() == 1) remote = upcxx::allocate<char>(kN);
+    upcxx::barrier();
+    if (upcxx::rank_me() == 0) {
+      std::vector<char> src(kN, 's');
+      const auto before = gex::xfer().stats();
+      upcxx::rput(src.data(), remote, kN).wait();
+      const auto& after = gex::xfer().stats();
+      EXPECT_EQ(after.submitted - before.submitted, 1u);
+      EXPECT_GE(after.chunks_copied - before.chunks_copied, kN / 1024);
+      EXPECT_EQ(after.landed - before.landed, 1u);
+    }
+    upcxx::barrier();
+    if (upcxx::rank_me() == 1) upcxx::deallocate(remote);
+    upcxx::barrier();
+  });
+  EXPECT_EQ(fails, 0);
+}
+
+}  // namespace
