@@ -88,7 +88,91 @@ int main() {
     std::printf("\n");
   }
 
+  // ---- RMA AM protocol (wire=am): eager/rendezvous crossover ---------------
+  // The put/get request handlers (gex/rma_am.cpp) ride the same
+  // two-protocol split: a request whose payload fits eager_max travels
+  // inline through the ring, larger ones stage in the shared heap with a
+  // descriptor. Blocking rput latency per payload size under two
+  // thresholds locates the crossover for the new handlers; rget follows
+  // the reply path (the reply carries the payload).
+  const std::vector<std::size_t> rma_sizes{256, 1024, 4096, 16384, 65536};
+  const std::vector<std::size_t> rma_thresholds{512, 65536};
+  // us per blocking op: [threshold][size], puts then gets.
+  static std::vector<std::vector<double>> put_us, get_us;
+  for (std::size_t th : rma_thresholds) {
+    put_us.emplace_back();
+    get_us.emplace_back();
+    for (std::size_t sz : rma_sizes) {
+      gex::Config cfg = gex::Config::from_env();
+      cfg.ranks = 2;
+      cfg.rma_wire = gex::RmaWire::kAm;
+      cfg.rma_async_min = 0;  // one protocol request per op, no chunking
+      cfg.eager_max = th;
+      cfg.ring_bytes = 1 << 20;
+      cfg.heap_bytes = 128 << 20;
+      const int iters = static_cast<int>(
+          std::max<std::size_t>(128, ((8u << 20) / sz)) *
+          benchutil::work_scale());
+      static double s_put_us, s_get_us;
+      int fails = upcxx::run(cfg, [sz, iters] {
+        static upcxx::global_ptr<char> remote;
+        if (upcxx::rank_me() == 1) remote = upcxx::allocate<char>(sz);
+        upcxx::barrier();
+        if (upcxx::rank_me() == 0) {
+          std::vector<char> buf(sz, 'p');
+          upcxx::rput(buf.data(), remote, sz).wait();  // warm
+          double t0 = arch::now_s();
+          for (int i = 0; i < iters; ++i)
+            upcxx::rput(buf.data(), remote, sz).wait();
+          s_put_us = (arch::now_s() - t0) / iters * 1e6;
+          t0 = arch::now_s();
+          for (int i = 0; i < iters; ++i)
+            upcxx::rget(remote, buf.data(), sz).wait();
+          s_get_us = (arch::now_s() - t0) / iters * 1e6;
+        }
+        upcxx::barrier();  // rank 1 serves requests inside this barrier
+        if (upcxx::rank_me() == 1) upcxx::deallocate(remote);
+        upcxx::barrier();
+      });
+      if (fails) return 2;
+      put_us.back().push_back(s_put_us);
+      get_us.back().push_back(s_get_us);
+    }
+  }
+
+  std::printf(
+      "\nRMA AM protocol (UPCXX_RMA_WIRE=am), blocking op latency in us:\n");
+  std::printf("%10s", "payload");
+  for (std::size_t th : rma_thresholds)
+    std::printf("  put@eag%-7s  get@eag%-7s",
+                benchutil::human_size(th).c_str(),
+                benchutil::human_size(th).c_str());
+  std::printf("\n");
+  for (std::size_t i = 0; i < rma_sizes.size(); ++i) {
+    std::printf("%10s", benchutil::human_size(rma_sizes[i]).c_str());
+    for (std::size_t t = 0; t < rma_thresholds.size(); ++t)
+      std::printf("  %13.2f  %13.2f", put_us[t][i], get_us[t][i]);
+    std::printf("\n");
+  }
+  // The crossover: smallest payload where rendezvous requests (everything
+  // above the 512B threshold) beat the all-eager configuration.
+  std::size_t crossover = 0;
+  for (std::size_t i = 0; i < rma_sizes.size(); ++i) {
+    if (rma_sizes[i] > rma_thresholds[0] && put_us[0][i] < put_us[1][i]) {
+      crossover = rma_sizes[i];
+      break;
+    }
+  }
+
   benchutil::ShapeChecks checks;
+  if (crossover)
+    checks.note("rma-am put eager->rendezvous crossover at " +
+                benchutil::human_size(crossover));
+  else
+    checks.note("rma-am put: eager wins at every measured size on this "
+                "host (ring copy beats heap staging)");
+  checks.expect(put_us[0][4] <= put_us[1][4] * 2.0,
+                "rendezvous puts not pathological at 64KB payloads");
   std::printf(
       "\nExpected shape: small payloads are insensitive to the threshold; "
       "large payloads benefit from rendezvous (single staging copy instead "

@@ -88,35 +88,25 @@ void run_variants(int iters, std::size_t bytes) {
 
   // ---- overlap variant ------------------------------------------------
   if (me == 0) {
-    upcxx::persona& master = upcxx::master_persona();
-    std::atomic<bool> stop{false};
-    upcxx::liberate_master_persona();
-    std::thread comms([&] {
-      upcxx::persona_scope scope(master);
-      while (!stop.load(std::memory_order_acquire)) {
-        upcxx::progress();
-        // Spin hard only while there are chunks to move; otherwise yield
-        // so an oversubscribed host gives the core to the compute thread
-        // (the virtual wire clock advances on wall time, not CPU).
-        if (!gex::xfer().copies_pending()) std::this_thread::yield();
-      }
-      for (int i = 0; i < 64; ++i) upcxx::progress();
-    });
+    // upcxx::progress_thread packages the whole idiom this bench used to
+    // spell out by hand: the master persona migrates to a spawned thread
+    // that loops on progress() — spinning hard only while the data-motion
+    // engine has chunks to move, yielding otherwise so an oversubscribed
+    // host gives the core to the compute thread — and stop() hands the
+    // master back.
+    upcxx::progress_thread pt;
 
     const double t0 = arch::now_s();
     for (int it = 0; it < iters; ++it) {
       // Ask the progress thread to inject; compute while it drains.
-      auto done = master.lpc([peer, bytes] {
+      auto done = pt.lpc([peer, bytes] {
         return upcxx::rput(src.data(), peer, bytes);
       });
       g_sink += compute(g_result.compute_units);
       done.wait();
     }
     g_result.overlap_s = arch::now_s() - t0;
-
-    stop.store(true, std::memory_order_release);
-    comms.join();
-    new upcxx::persona_scope(master);  // re-acquire for teardown
+    pt.stop();
   }
   upcxx::barrier();
   upcxx::deallocate(seg);

@@ -55,6 +55,10 @@ int main() {
 
   gex::Config cfg = gex::Config::from_env();
   cfg.ranks = 2;
+  // Fig 3a is a native-conduit (direct-wire) comparison; the am wire gets
+  // its own pinned series below, so a global UPCXX_RMA_WIRE=am must not
+  // flip this section.
+  cfg.rma_wire = gex::RmaWire::kDirect;
   int fails = upcxx::run(cfg, [] {
     const int me = upcxx::rank_me();
     constexpr std::size_t kMax = 4 << 20;
@@ -107,14 +111,59 @@ int main() {
   });
   if (fails) return 2;
 
-  std::printf("%10s %14s %14s %10s\n", "size", "UPC++ (us)", "MPI RMA (us)",
-              "MPI/UPC++");
+  // ---- wire=am series ------------------------------------------------------
+  // The same blocking-rput sweep with the RMA wire pinned to the AM
+  // protocol (UPCXX_RMA_WIRE=am): every put is a request/ack round served
+  // by the target's progress, the latency profile of a conduit without
+  // cross-mapped segments. Reported alongside the direct wire in
+  // BENCH_JSON so both series track across PRs.
+  struct AmRow {
+    std::size_t size;
+    double us;
+  };
+  static std::vector<AmRow> am_rows;
+  gex::Config amcfg = gex::Config::from_env();
+  amcfg.ranks = 2;
+  amcfg.rma_wire = gex::RmaWire::kAm;
+  fails = upcxx::run(amcfg, [] {
+    const int me = upcxx::rank_me();
+    constexpr std::size_t kMax = 4 << 20;
+    auto seg = upcxx::allocate<char>(kMax);
+    upcxx::dist_object<upcxx::global_ptr<char>> dir(seg);
+    auto peer = dir.fetch(1 - me).wait();
+    std::vector<char> src(kMax, 'z');
+    upcxx::barrier();
+    for (std::size_t size = 8; size <= kMax; size <<= 2) {
+      const int iters = size <= 4096 ? 1000 : (size <= 262144 ? 150 : 15);
+      const int trials = benchutil::reps(6, 2);
+      double best = 1e30;
+      for (int t = 0; t < trials; ++t) {
+        if (me == 0)
+          best = std::min(best, upcxx_latency(peer, src.data(), size,
+                                              iters));
+        upcxx::barrier();  // rank 1 serves the put requests meanwhile
+      }
+      if (me == 0) am_rows.push_back({size, best * 1e6});
+    }
+    upcxx::barrier();
+    upcxx::deallocate(seg);
+  });
+  if (fails) return 2;
+
+  std::printf("%10s %14s %14s %10s %14s\n", "size", "UPC++ (us)",
+              "MPI RMA (us)", "MPI/UPC++", "UPC++ am (us)");
   double small_gain = 0, mid_gain = 0;
   int small_n = 0, mid_n = 0;
-  for (const auto& r : rows) {
-    std::printf("%10s %14.3f %14.3f %9.2fx\n",
+  benchutil::JsonReport json("fig3_rma_latency");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto& r = rows[i];
+    std::printf("%10s %14.3f %14.3f %9.2fx %14.3f\n",
                 benchutil::human_size(r.size).c_str(), r.upcxx_us, r.mpi_us,
-                r.mpi_us / r.upcxx_us);
+                r.mpi_us / r.upcxx_us, am_rows[i].us);
+    const std::string sz = std::to_string(r.size);
+    json.metric("us_direct_" + sz, r.upcxx_us);
+    json.metric("us_mpi_" + sz, r.mpi_us);
+    json.metric("us_am_" + sz, am_rows[i].us);
     if (r.size < 256) {
       small_gain += (r.mpi_us - r.upcxx_us) / r.mpi_us;
       ++small_n;
@@ -144,5 +193,13 @@ int main() {
                 "UPC++ wins on average for 256B-1KB (paper: >25%)");
   checks.expect(rows.back().upcxx_us <= rows.back().mpi_us * 1.05,
                 "advantage (or parity) persists at 4MB");
+  std::snprintf(buf, sizeof buf,
+                "am wire: %.3f us at 8B vs %.3f us direct (request/ack "
+                "round through target progress)",
+                am_rows.front().us, rows.front().upcxx_us);
+  checks.note(buf);
+  checks.expect(am_rows.back().us > 0 && am_rows.front().us > 0,
+                "am-wire series measured at every size");
+  json.write();
   return checks.summary("fig3_rma_latency");
 }

@@ -7,14 +7,13 @@
 // primordial thread computes undisturbed and hands off communication
 // requests via LPCs.
 //
-// Pattern per rank:
-//   * the primordial thread liberates the master persona and becomes the
-//     compute thread;
-//   * a spawned thread acquires the master persona and loops on progress(),
-//     so incoming RPCs are served promptly (no attentiveness stalls);
-//   * the compute thread asks the communication thread to run RPCs by
-//     posting LPCs to the master persona, and receives results back on its
-//     own default persona.
+// upcxx::progress_thread (progress_thread.hpp) packages the pattern:
+//   * constructing it liberates the master persona and spawns a thread
+//     that acquires it and loops on progress(), so incoming RPCs are
+//     served promptly (no attentiveness stalls);
+//   * the compute thread asks for communication with pt.lpc(fn) and
+//     receives results back on its own default persona;
+//   * pt.stop() joins the thread and re-acquires the master persona.
 #include <atomic>
 #include <cstdio>
 #include <thread>
@@ -39,25 +38,13 @@ int main() {
     const int P = upcxx::rank_n();
     constexpr int kBumpsPerPeer = 200;
 
-    upcxx::persona& master = upcxx::master_persona();
-    std::atomic<bool> stop{false};
     counter() = 0;
-
-    upcxx::liberate_master_persona();
 
     // Communication thread: owns the master persona, polls progress. It
     // spins hard only while the data-motion engine has chunks to move;
     // otherwise it yields so oversubscribed hosts keep the compute thread
     // fed (the idiom bench/abl_overlap.cpp measures).
-    std::thread comms([&] {
-      upcxx::persona_scope scope(master);
-      while (!stop.load(std::memory_order_acquire)) {
-        upcxx::progress();
-        if (!gex::xfer().copies_pending()) std::this_thread::yield();
-      }
-      // Final drain so late acks don't linger.
-      for (int i = 0; i < 64; ++i) upcxx::progress();
-    });
+    upcxx::progress_thread pt;
 
     // Compute thread (this thread): crunch numbers, requesting
     // communication via LPCs to the master persona.
@@ -67,7 +54,7 @@ int main() {
       for (int peer = 0; peer < P; ++peer) {
         if (peer == me) continue;
         // Ask the comms thread to inject an rpc_ff bumping the peer.
-        sent.push_back(master.lpc([peer] {
+        sent.push_back(pt.lpc([peer] {
           upcxx::rpc_ff(peer, [] { counter().fetch_add(1); });
         }));
       }
@@ -89,15 +76,11 @@ int main() {
     // Quiesce: all ranks done sending before tearing down the pattern.
     // (Barrier must run on the master persona — hand it to the comms
     // thread as one more LPC, and wait for the resulting future here.)
-    master.lpc([] { return upcxx::barrier_async(); }).wait();
+    pt.lpc([] { return upcxx::barrier_async(); }).wait();
 
-    stop.store(true, std::memory_order_release);
-    comms.join();
-
-    // Re-acquire the master persona for teardown; the scope must outlive
-    // the SPMD body, hence the deliberate leak (the real-UPC++ idiom is a
-    // persona_scope in main() outliving finalize()).
-    new upcxx::persona_scope(master);
+    // Joins the comms thread and re-acquires the master persona here for
+    // teardown.
+    pt.stop();
 
     if (me == 0)
       std::printf(

@@ -30,11 +30,16 @@ class MpscByteRing {
   // number of bytes skipped to reach the start of the buffer.
   enum : std::uint32_t { kNotReady = 0, kReady = 1, kWrap = 2 };
 
-  struct RecordHeader {
+  // alignas(8): record positions advance by align_up(..., alignof), so
+  // this sets the payload alignment every producer sees. The AM layer
+  // places a WireHeader (which carries std::uint64_t fields) directly at
+  // the payload start — 4-aligned records would misalign it whenever an
+  // odd-sized record precedes (UBSan-visible on real traffic).
+  struct alignas(8) RecordHeader {
     std::atomic<std::uint32_t> state;
     std::uint32_t size;  // payload bytes (data) or skip bytes (wrap)
   };
-  static_assert(sizeof(RecordHeader) == 8);
+  static_assert(sizeof(RecordHeader) == 8 && alignof(RecordHeader) == 8);
 
   // Total bytes needed to host a ring with `capacity` payload-buffer bytes.
   static std::size_t footprint(std::size_t capacity) {

@@ -20,8 +20,12 @@ namespace {
 // last release.
 struct FrameBuf {
   std::atomic<std::uint32_t> refs;
+  std::uint32_t pad;  // keeps payload() 8-aligned (malloc is 16-aligned):
+                      // sub-message bodies hold 8-byte-aligned serialized
+                      // data and are read in place, never re-staged
   std::byte* payload() { return reinterpret_cast<std::byte*>(this + 1); }
 };
+static_assert(sizeof(FrameBuf) % 8 == 0);
 
 }  // namespace
 

@@ -29,7 +29,31 @@ long env_positive(const char* name, long dflt) {
   return r;
 }
 
+// Parses an UPCXX_RMA_WIRE value; kAuto for unknown strings (with a
+// warning) so a typo degrades to the default wire instead of aborting.
+RmaWire parse_rma_wire(const char* v) {
+  if (std::strcmp(v, "direct") == 0) return RmaWire::kDirect;
+  if (std::strcmp(v, "am") == 0) return RmaWire::kAm;
+  if (std::strcmp(v, "auto") != 0)
+    std::fprintf(stderr,
+                 "gex: ignoring UPCXX_RMA_WIRE=%s (expected auto|direct|am)\n",
+                 v);
+  return RmaWire::kAuto;
+}
+
 }  // namespace
+
+RmaWire resolve_rma_wire(const Config& cfg) {
+  RmaWire w = cfg.rma_wire;
+  if (w == RmaWire::kAuto) {
+    if (const char* v = std::getenv("UPCXX_RMA_WIRE"); v && *v)
+      w = parse_rma_wire(v);
+  }
+  // Auto: every segment on this arena is cross-mapped, so the direct wire
+  // is always reachable. A backend whose targets are not cross-mapped would
+  // return kAm here for those targets.
+  return w == RmaWire::kAm ? RmaWire::kAm : RmaWire::kDirect;
+}
 
 void Config::normalize() {
   const Config d;  // defaults
@@ -103,6 +127,9 @@ Config Config::from_env() {
   } else {
     std::fprintf(stderr,
                  "gex: ignoring UPCXX_RMA_ASYNC_MIN=%ld (must be >= 0)\n", v);
+  }
+  if (const char* v = std::getenv("UPCXX_RMA_WIRE"); v && *v) {
+    c.rma_wire = parse_rma_wire(v);
   }
   c.agg_enabled = env_long("UPCXX_AGG", 1) != 0;
   c.agg_max_bytes = static_cast<std::size_t>(env_positive(

@@ -13,6 +13,19 @@ enum class Backend {
   kProcess,  // ranks are forked processes sharing the arena (smp-conduit-like)
 };
 
+// RMA data-motion wire (UPCXX_RMA_WIRE=auto|direct|am). The `direct` wire
+// moves bytes with initiator-side memcpys into the cross-mapped arena (the
+// GASNet-PSHM fast path); the `am` wire ships every transfer through the
+// active-message put/get protocol (gex/rma_am.hpp) — the conduit shape a
+// non-shared-memory backend needs. `auto` picks per target: direct whenever
+// the target's segment is cross-mapped (always true on this arena), am
+// otherwise.
+enum class RmaWire {
+  kAuto,
+  kDirect,
+  kAm,
+};
+
 struct Config {
   int ranks = 4;                          // UPCXX_RANKS
   Backend backend = Backend::kThread;     // UPCXX_BACKEND=thread|process
@@ -37,6 +50,8 @@ struct Config {
   // engine; below it, the zero-allocation synchronous path. 0 disables the
   // async path entirely.
   std::size_t rma_async_min = 64 << 10;   // UPCXX_RMA_ASYNC_MIN (bytes)
+  // RMA wire selection (see enum above).
+  RmaWire rma_wire = RmaWire::kAuto;      // UPCXX_RMA_WIRE=auto|direct|am
 
   // Loads defaults overridden by environment variables; the result is
   // normalized.
@@ -49,5 +64,12 @@ struct Config {
   // hand-built Configs are covered too.
   void normalize();
 };
+
+// Resolves a Config's rma_wire to a concrete wire. kAuto consults
+// UPCXX_RMA_WIRE (so hand-built Configs — the test helpers — still honor a
+// CI-level wire override) and otherwise selects kDirect, because every
+// target segment on this arena is cross-mapped. An explicitly set kDirect /
+// kAm always wins over the environment.
+RmaWire resolve_rma_wire(const Config& cfg);
 
 }  // namespace gex

@@ -15,6 +15,10 @@
 // table regardless of backend. Calling register_am_handler() after fork
 // from only some ranks is a programming error; the receive side aborts on
 // an index it has never seen.
+//
+// Registered here besides the upcxx delivery handler: the AM RMA protocol
+// (gex/rma_am.cpp) — put/get request, ack, and get-reply handlers that
+// form the `am` data-motion wire behind UPCXX_RMA_WIRE.
 #pragma once
 
 #include <cstddef>

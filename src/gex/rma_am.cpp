@@ -1,0 +1,285 @@
+#include "gex/rma_am.hpp"
+
+#include <cassert>
+#include <cstring>
+
+#include "gex/handlers.hpp"
+#include "gex/runtime.hpp"
+
+namespace gex {
+
+namespace {
+
+// Wire record headers. Always memcpy'd to/from the ring (record payloads
+// are only 4-byte aligned). Cookies are initiator-local ids; `dst`/`addr`
+// fields are addresses in the owning rank's cross-mapped segment — data
+// addresses, never code pointers (the same contract as RdzvDesc).
+struct PutHdr {
+  std::uint64_t cookie;
+  std::uint64_t dst;
+};
+struct GetHdr {
+  std::uint64_t cookie;
+  std::uint64_t src;
+  std::uint64_t bytes;
+};
+struct FragHdr {
+  std::uint64_t cookie;
+  std::uint32_t nfrags;
+  std::uint32_t reserved;
+};
+struct FragDesc {
+  std::uint64_t addr;
+  std::uint64_t bytes;
+};
+struct AckHdr {
+  std::uint64_t cookie;
+};
+struct RepHdr {
+  std::uint64_t cookie;
+};
+
+template <typename H>
+H read_hdr(const void* p) {
+  H h;
+  std::memcpy(&h, p, sizeof h);
+  return h;
+}
+
+RmaAmProtocol& proto() {
+  auto* r = self();
+  assert(r && r->rma_am && "AM RMA record outside an SPMD region");
+  return *r->rma_am;
+}
+
+}  // namespace
+
+// Handlers run inside the target's AmEngine::poll: they may copy bytes and
+// record work, but must not inject (see header comment). Registered in the
+// gex handler registry at static initialization via am_handler<>, so every
+// rank — thread or fork — agrees on the indices.
+struct RmaAmHandlers {
+  static void on_put(AmContext& cx) {
+    auto& p = proto();
+    const auto h = read_hdr<PutHdr>(cx.data);
+    const auto* payload =
+        static_cast<const std::byte*>(cx.data) + sizeof(PutHdr);
+    std::memcpy(reinterpret_cast<void*>(
+                    static_cast<std::uintptr_t>(h.dst)),
+                payload, cx.size - sizeof(PutHdr));
+    p.acks_.push_back({cx.src, h.cookie});
+    ++p.stats_.puts_handled;
+  }
+
+  static void on_put_frag(AmContext& cx) {
+    auto& p = proto();
+    const auto h = read_hdr<FragHdr>(cx.data);
+    const auto* base = static_cast<const std::byte*>(cx.data);
+    const auto* descs = base + sizeof(FragHdr);
+    const auto* payload = descs + h.nfrags * sizeof(FragDesc);
+    std::size_t off = 0;
+    for (std::uint32_t i = 0; i < h.nfrags; ++i) {
+      const auto d = read_hdr<FragDesc>(descs + i * sizeof(FragDesc));
+      std::memcpy(reinterpret_cast<void*>(
+                      static_cast<std::uintptr_t>(d.addr)),
+                  payload + off, static_cast<std::size_t>(d.bytes));
+      off += static_cast<std::size_t>(d.bytes);
+    }
+    assert(sizeof(FragHdr) + h.nfrags * sizeof(FragDesc) + off == cx.size);
+    p.acks_.push_back({cx.src, h.cookie});
+    ++p.stats_.puts_handled;
+  }
+
+  static void on_get(AmContext& cx) {
+    auto& p = proto();
+    const auto h = read_hdr<GetHdr>(cx.data);
+    p.replies_.push_back(
+        {cx.src, h.cookie, {RmaAmProtocol::Frag{h.src, h.bytes}}});
+    ++p.stats_.gets_handled;
+  }
+
+  static void on_get_frag(AmContext& cx) {
+    auto& p = proto();
+    const auto h = read_hdr<FragHdr>(cx.data);
+    const auto* descs =
+        static_cast<const std::byte*>(cx.data) + sizeof(FragHdr);
+    std::vector<RmaAmProtocol::Frag> gather;
+    gather.reserve(h.nfrags);
+    for (std::uint32_t i = 0; i < h.nfrags; ++i) {
+      const auto d = read_hdr<FragDesc>(descs + i * sizeof(FragDesc));
+      gather.push_back({d.addr, d.bytes});
+    }
+    p.replies_.push_back({cx.src, h.cookie, std::move(gather)});
+    ++p.stats_.gets_handled;
+  }
+
+  static void on_ack(AmContext& cx) {
+    proto().completed_.push_back(read_hdr<AckHdr>(cx.data).cookie);
+  }
+
+  static void on_get_reply(AmContext& cx) {
+    auto& p = proto();
+    const auto h = read_hdr<RepHdr>(cx.data);
+    auto it = p.pending_.find(h.cookie);
+    assert(it != p.pending_.end() && "get reply for unknown cookie");
+    // Scatter while the payload is alive (eager payloads die with the
+    // handler); completion itself is deferred to poll().
+    const auto* payload =
+        static_cast<const std::byte*>(cx.data) + sizeof(RepHdr);
+    std::size_t off = 0;
+    for (const auto& f : it->second.scatter) {
+      std::memcpy(f.ptr, payload + off, f.bytes);
+      off += f.bytes;
+    }
+    assert(sizeof(RepHdr) + off == cx.size);
+    p.completed_.push_back(h.cookie);
+  }
+};
+
+std::uint64_t RmaAmProtocol::new_pending(Done done,
+                                         std::vector<LocalFrag> scatter) {
+  const std::uint64_t cookie = next_cookie_++;
+  pending_.emplace(cookie, Pending{std::move(done), std::move(scatter)});
+  return cookie;
+}
+
+void RmaAmProtocol::put(int target, void* dst, const void* src,
+                        std::size_t bytes, Done done) {
+  const std::uint64_t cookie = new_pending(std::move(done), {});
+  auto sb = am_->prepare(target, am_handler<&RmaAmHandlers::on_put>(),
+                         sizeof(PutHdr) + bytes);
+  const PutHdr h{cookie, reinterpret_cast<std::uintptr_t>(dst)};
+  std::memcpy(sb.data, &h, sizeof h);
+  std::memcpy(static_cast<std::byte*>(sb.data) + sizeof h, src, bytes);
+  am_->commit(sb);
+  ++stats_.puts_sent;
+}
+
+void RmaAmProtocol::get(int target, void* dst, const void* src,
+                        std::size_t bytes, Done done) {
+  const std::uint64_t cookie =
+      new_pending(std::move(done), {LocalFrag{dst, bytes}});
+  const GetHdr h{cookie, reinterpret_cast<std::uintptr_t>(src), bytes};
+  am_->send(target, am_handler<&RmaAmHandlers::on_get>(), &h, sizeof h);
+  ++stats_.gets_sent;
+}
+
+void RmaAmProtocol::put_fragments(int target, const std::vector<Frag>& dsts,
+                                  const std::vector<LocalFrag>& srcs,
+                                  Done done) {
+  std::size_t total = 0;
+  for (const auto& s : srcs) total += s.bytes;
+  const std::uint64_t cookie = new_pending(std::move(done), {});
+  auto sb = am_->prepare(
+      target, am_handler<&RmaAmHandlers::on_put_frag>(),
+      sizeof(FragHdr) + dsts.size() * sizeof(FragDesc) + total);
+  auto* q = static_cast<std::byte*>(sb.data);
+  const FragHdr h{cookie, static_cast<std::uint32_t>(dsts.size()), 0};
+  std::memcpy(q, &h, sizeof h);
+  q += sizeof h;
+  for (const auto& d : dsts) {
+    const FragDesc fd{d.addr, d.bytes};
+    std::memcpy(q, &fd, sizeof fd);
+    q += sizeof fd;
+  }
+  // Gather the local fragments straight into the wire buffer.
+  for (const auto& s : srcs) {
+    std::memcpy(q, s.ptr, s.bytes);
+    q += s.bytes;
+  }
+  am_->commit(sb);
+  ++stats_.frag_puts_sent;
+}
+
+void RmaAmProtocol::get_fragments(int target, const std::vector<Frag>& srcs,
+                                  std::vector<LocalFrag> dsts, Done done) {
+  const std::uint64_t cookie = new_pending(std::move(done), std::move(dsts));
+  auto sb =
+      am_->prepare(target, am_handler<&RmaAmHandlers::on_get_frag>(),
+                   sizeof(FragHdr) + srcs.size() * sizeof(FragDesc));
+  auto* q = static_cast<std::byte*>(sb.data);
+  const FragHdr h{cookie, static_cast<std::uint32_t>(srcs.size()), 0};
+  std::memcpy(q, &h, sizeof h);
+  q += sizeof h;
+  for (const auto& s : srcs) {
+    const FragDesc fd{s.addr, s.bytes};
+    std::memcpy(q, &fd, sizeof fd);
+    q += sizeof fd;
+  }
+  am_->commit(sb);
+  ++stats_.frag_gets_sent;
+}
+
+int RmaAmProtocol::poll() {
+  int work = 0;
+  // Swap-to-local idiom throughout: every send below may spin on a full
+  // ring, which polls our own inbox, whose handlers append to these very
+  // queues. Entries arriving mid-drain are picked up next poll.
+  if (!acks_.empty()) {
+    auto acks = std::move(acks_);
+    acks_.clear();
+    for (const auto& a : acks) {
+      const AckHdr h{a.cookie};
+      am_->send(a.target, am_handler<&RmaAmHandlers::on_ack>(), &h,
+                sizeof h);
+      ++stats_.acks_sent;
+      ++work;
+    }
+  }
+  if (!replies_.empty()) {
+    auto reps = std::move(replies_);
+    replies_.clear();
+    for (const auto& r : reps) {
+      std::size_t total = 0;
+      for (const auto& f : r.gather) total += f.bytes;
+      auto sb = am_->prepare(r.target,
+                             am_handler<&RmaAmHandlers::on_get_reply>(),
+                             sizeof(RepHdr) + total);
+      auto* q = static_cast<std::byte*>(sb.data);
+      const RepHdr h{r.cookie};
+      std::memcpy(q, &h, sizeof h);
+      q += sizeof h;
+      // Gather this rank's source runs at reply time — the get reads the
+      // data as it exists when the target serves it, exactly like a
+      // direct-wire rget reads memory at copy time.
+      for (const auto& f : r.gather) {
+        std::memcpy(q,
+                    reinterpret_cast<const void*>(
+                        static_cast<std::uintptr_t>(f.addr)),
+                    static_cast<std::size_t>(f.bytes));
+        q += f.bytes;
+      }
+      am_->commit(sb);
+      ++stats_.replies_sent;
+      ++work;
+    }
+  }
+  if (!completed_.empty()) {
+    auto comp = std::move(completed_);
+    completed_.clear();
+    for (const std::uint64_t cookie : comp) {
+      auto node = pending_.extract(cookie);
+      assert(!node.empty() && "completion for unknown cookie");
+      // Extract before firing: the callback may issue new protocol ops.
+      Done done = std::move(node.mapped().done);
+      if (done) done();
+      ++work;
+    }
+  }
+  return work;
+}
+
+XferEngine::WireOps RmaAmProtocol::wire_ops() {
+  XferEngine::WireOps ops;
+  ops.put_chunk = [this](int target, void* dst, const void* src,
+                         std::size_t bytes, XferEngine::Callback done) {
+    put(target, dst, src, bytes, std::move(done));
+  };
+  ops.get_chunk = [this](int target, void* dst, const void* src,
+                         std::size_t bytes, XferEngine::Callback done) {
+    get(target, dst, src, bytes, std::move(done));
+  };
+  return ops;
+}
+
+}  // namespace gex

@@ -1,0 +1,152 @@
+// Active-message RMA protocol — the `am` wire behind UPCXX_RMA_WIRE.
+//
+// The direct wire assumes the target's segment is cross-mapped (initiator
+// memcpys straight into the target's heap — GASNet PSHM). A conduit without
+// that property must move RMA through active messages instead; this file is
+// that protocol, shaped like the real GASNet-EX AM-based rput/rget path:
+//
+//   PUT        [PutHdr{cookie,dst}][payload]      -> memcpy at target, ACK
+//   PUT_FRAG   [FragHdr{cookie,n}][n descs][payload]
+//                                                 -> scatter at target, ACK
+//   GET        [GetHdr{cookie,src,bytes}]         -> target gathers, REPLY
+//   GET_FRAG   [FragHdr{cookie,n}][n descs]       -> target gathers, REPLY
+//   ACK        [AckHdr{cookie}]                   -> initiator completion
+//   REPLY      [RepHdr{cookie}][payload]          -> initiator scatters,
+//                                                    then completes
+//
+// Requests ride the AmEngine's existing two-protocol split: payloads at or
+// below Config::eager_max travel inline through the inbox ring (the eager
+// put of small transfers), larger ones are staged in the shared heap with
+// only a descriptor in the ring (rendezvous) — the crossover
+// bench/abl_am_protocol.cpp reports. Handlers are registered in the gex
+// handler registry (gex/handlers.hpp) at static init, so forked ranks agree
+// on indices; no code pointer ever rides the wire, and completion cookies
+// are opaque initiator-local ids, not addresses.
+//
+// Execution model (the part that differs from the direct wire): data lands
+// when the *target* runs the request handler inside its AmEngine::poll —
+// i.e. during any internal progress the target makes — not at initiator
+// injection. Ring FIFO per rank pair still guarantees the barrier ordering:
+// requests issued before a barrier message are handled at the target before
+// the barrier message is, so "put, barrier, read" keeps its meaning.
+//
+// Handler discipline: request handlers only copy bytes and *record* the ack
+// or reply to send; nothing is injected from inside a handler (a reply send
+// could spin on a full ring and re-enter the inbox ring's try_consume,
+// which is not reentrant). poll() — called from the rank's internal
+// progress right after AmEngine::poll — performs the deferred sends and
+// fires initiator-side completion callbacks.
+//
+// Threading: per-rank object, master-persona discipline, not locked (same
+// as AmEngine / XferEngine).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "arch/small_fn.hpp"
+#include "gex/am.hpp"
+#include "gex/xfer.hpp"
+
+namespace gex {
+
+class RmaAmProtocol {
+ public:
+  using Done = arch::UniqueFunction<void()>;
+
+  // A contiguous run in the *remote* rank's address space (cross-mapped
+  // today; an opaque segment offset on a future distributed backend).
+  struct Frag {
+    std::uint64_t addr;
+    std::uint64_t bytes;
+  };
+  // A contiguous run in the initiator's address space.
+  struct LocalFrag {
+    void* ptr;
+    std::size_t bytes;
+  };
+
+  explicit RmaAmProtocol(AmEngine* am) : am_(am) {}
+
+  // Contiguous put: copies `bytes` from src into the wire before returning
+  // (the initiator may reuse src immediately); `done` fires from a later
+  // poll() once the target has memcpy'd the payload and its ack arrived.
+  void put(int target, void* dst, const void* src, std::size_t bytes,
+           Done done);
+
+  // Contiguous get: `dst` must stay valid until `done` fires (the reply
+  // handler scatters into it first).
+  void get(int target, void* dst, const void* src, std::size_t bytes,
+           Done done);
+
+  // Scatter-put: local fragments are gathered directly into the request
+  // payload (no intermediate staging buffer); the target scatters into
+  // `dsts` in order. Total source and destination bytes must match.
+  void put_fragments(int target, const std::vector<Frag>& dsts,
+                     const std::vector<LocalFrag>& srcs, Done done);
+
+  // Gather-get: the target gathers `srcs` into one reply; the initiator
+  // scatters the payload into `dsts` in order (each must stay valid until
+  // `done` fires).
+  void get_fragments(int target, const std::vector<Frag>& srcs,
+                     std::vector<LocalFrag> dsts, Done done);
+
+  // Sends deferred acks/replies and fires due completion callbacks. Called
+  // from internal progress after AmEngine::poll (upcxx::progress does;
+  // run_rank's teardown loop does for raw-gex users). Returns the number
+  // of actions performed.
+  int poll();
+
+  // No requests awaiting completion and nothing queued to send.
+  bool idle() const {
+    return pending_.empty() && acks_.empty() && replies_.empty() &&
+           completed_.empty();
+  }
+  std::size_t outstanding() const { return pending_.size(); }
+
+  // XferEngine chunk movers backed by this protocol — install with
+  // XferEngine::set_wire to put the chunked engine on the am wire.
+  XferEngine::WireOps wire_ops();
+
+  struct Stats {
+    std::uint64_t puts_sent = 0;
+    std::uint64_t gets_sent = 0;
+    std::uint64_t frag_puts_sent = 0;
+    std::uint64_t frag_gets_sent = 0;
+    std::uint64_t puts_handled = 0;
+    std::uint64_t gets_handled = 0;
+    std::uint64_t acks_sent = 0;
+    std::uint64_t replies_sent = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  friend struct RmaAmHandlers;  // the registered AM handlers (rma_am.cpp)
+
+  struct Pending {
+    Done done;
+    std::vector<LocalFrag> scatter;  // gets: local landing runs, wire order
+  };
+  struct QueuedAck {
+    int target;
+    std::uint64_t cookie;
+  };
+  struct QueuedReply {
+    int target;
+    std::uint64_t cookie;
+    std::vector<Frag> gather;  // local (this rank's) source runs
+  };
+
+  std::uint64_t new_pending(Done done, std::vector<LocalFrag> scatter);
+
+  AmEngine* am_;
+  std::uint64_t next_cookie_ = 1;
+  std::unordered_map<std::uint64_t, Pending> pending_;  // initiator side
+  std::vector<QueuedAck> acks_;        // target side, deferred to poll()
+  std::vector<QueuedReply> replies_;   // target side, deferred to poll()
+  std::vector<std::uint64_t> completed_;  // acked/replied, done not yet run
+  Stats stats_;
+};
+
+}  // namespace gex

@@ -1,6 +1,7 @@
 #include "gex/runtime.hpp"
 
 #include "gex/agg.hpp"
+#include "gex/rma_am.hpp"
 #include "gex/xfer.hpp"
 
 #include <sys/types.h>
@@ -33,6 +34,12 @@ int run_rank(Arena* arena, int r, const std::function<void()>& fn) {
   XferEngine xfer_engine(arena->config().xfer_chunk_bytes,
                          arena->config().sim_bw_gbps);
   rank.xfer = &xfer_engine;
+  RmaAmProtocol rma_am_proto(&engine);
+  rank.rma_am = &rma_am_proto;
+  // Wire selection: on the am wire the engine's chunk movers are the AM
+  // protocol; on the direct wire the engine keeps its built-in memcpy.
+  rank.rma_wire_am = resolve_rma_wire(arena->config()) == RmaWire::kAm;
+  if (rank.rma_wire_am) xfer_engine.set_wire(rma_am_proto.wire_ops());
   tls_rank = &rank;
   arena->world_barrier();
   int rc = 0;
@@ -54,10 +61,21 @@ int run_rank(Arena* arena, int r, const std::function<void()>& fn) {
   // hanging on a rank that never arrives. In-flight transfers land first
   // (upcxx teardown already drained its own; this covers raw-gex users),
   // then staged aggregation frames go out — peers may still be waiting on
-  // them.
-  xfer_engine.drain_all();
+  // them. On the am wire the engine's acks arrive through the AM engine,
+  // so the drain loop drives the whole stack, not just the XferEngine —
+  // and must give up when a peer failed (its acks will never come).
+  while ((!xfer_engine.idle() || !rma_am_proto.idle()) &&
+         arena->control().error_flag.value.load(std::memory_order_acquire) ==
+             0) {
+    xfer_engine.poll(1 << 20);
+    engine.poll();
+    rma_am_proto.poll();
+  }
   aggregator.flush_all();
-  for (int i = 0; i < 64; ++i) engine.poll();
+  for (int i = 0; i < 64; ++i) {
+    engine.poll();
+    rma_am_proto.poll();
+  }
   if (arena->control().error_flag.value.load(std::memory_order_acquire) == 0)
     arena->world_barrier();
   tls_rank = nullptr;
@@ -98,6 +116,11 @@ Aggregator& agg() {
 XferEngine& xfer() {
   assert(tls_rank);
   return *tls_rank->xfer;
+}
+
+RmaAmProtocol& rma_am() {
+  assert(tls_rank);
+  return *tls_rank->rma_am;
 }
 
 int launch(const Config& cfg, const std::function<void()>& fn) {

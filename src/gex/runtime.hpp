@@ -16,6 +16,7 @@ namespace gex {
 
 class Aggregator;
 class XferEngine;
+class RmaAmProtocol;
 
 // Per-rank runtime state. Upper layers (upcxx, minimpi) hang their own
 // per-rank state off the opaque slots so the substrate stays layered.
@@ -25,6 +26,12 @@ struct Rank {
   AmEngine* am = nullptr;
   Aggregator* agg = nullptr;
   XferEngine* xfer = nullptr;
+  RmaAmProtocol* rma_am = nullptr;
+  // Resolved RMA wire for this rank (resolve_rma_wire at launch): true
+  // when rput/rget/copy must ride the AM protocol instead of touching the
+  // target's segment directly. The XferEngine has the matching wire ops
+  // installed when set.
+  bool rma_wire_am = false;
   void* upcxx_state = nullptr;
   void* minimpi_state = nullptr;
 };
@@ -42,6 +49,7 @@ Arena& arena();
 AmEngine& am();
 Aggregator& agg();
 XferEngine& xfer();
+RmaAmProtocol& rma_am();
 
 // Runs `fn` as an SPMD program over cfg.ranks ranks. Returns the number of
 // ranks that failed (threw / exited non-zero). Re-entrant launches are not

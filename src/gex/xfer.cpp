@@ -14,32 +14,62 @@ XferEngine::XferEngine(std::size_t chunk_bytes, double bw_gbps)
       // 1 GB/s == 1e9 bytes/s == 1 byte/ns, so ns-per-byte is 1/gbps.
       ns_per_byte_(bw_gbps > 0 ? 1.0 / bw_gbps : 0) {}
 
-void XferEngine::submit(void* dst, const void* src, std::size_t bytes,
-                        Callback on_source, Callback on_landed) {
-  assert((bytes == 0 || (dst && src)) && "null endpoint on a live transfer");
-  active_.push_back(Xfer{static_cast<std::byte*>(dst),
-                         static_cast<const std::byte*>(src), bytes, 0,
-                         std::move(on_source), std::move(on_landed), 0});
-  ++stats_.submitted;
-  stats_.max_inflight = std::max<std::uint64_t>(stats_.max_inflight,
-                                                inflight());
+XferEngine::Channel& XferEngine::channel(int target) {
+  for (auto& ch : channels_)
+    if (ch.target == target) return ch;
+  channels_.push_back(Channel{target, ns_per_byte_, {}, {}, 0});
+  return channels_.back();
 }
 
-void XferEngine::copy_one_chunk() {
-  Xfer& x = active_.front();
+void XferEngine::set_link_bw_gbps(int target, double gbps) {
+  channel(target).ns_per_byte = gbps > 0 ? 1.0 / gbps : 0;
+}
+
+void XferEngine::submit(int target, void* dst, const void* src,
+                        std::size_t bytes, Callback on_source,
+                        Callback on_landed, bool is_get,
+                        std::uint64_t extra_landing_ns) {
+  assert((bytes == 0 || (dst && src)) && "null endpoint on a live transfer");
+  channel(target).active_.push_back(
+      Xfer{static_cast<std::byte*>(dst), static_cast<const std::byte*>(src),
+           bytes, 0, is_get, std::move(on_source), std::move(on_landed),
+           extra_landing_ns, 0, nullptr});
+  ++stats_.submitted;
+  stats_.max_inflight =
+      std::max<std::uint64_t>(stats_.max_inflight, inflight());
+}
+
+void XferEngine::issue_one_chunk(Channel& ch) {
+  Xfer& x = ch.active_.front();
   const std::size_t take = std::min(chunk_bytes_, x.bytes - x.off);
   if (take) {
-    std::memcpy(x.dst + x.off, x.src + x.off, take);
+    if (!wire_) {
+      std::memcpy(x.dst + x.off, x.src + x.off, take);
+    } else {
+      // Each wire chunk carries a pending-ack token; the transfer retires
+      // only once every token has been returned. The wire may complete
+      // synchronously (done before put_chunk returns), so the counter is
+      // bumped first.
+      if (!x.unacked) x.unacked = std::make_shared<std::uint32_t>(0);
+      ++*x.unacked;
+      Callback done = [u = x.unacked] { --*u; };
+      if (x.is_get)
+        wire_->get_chunk(ch.target, x.dst + x.off, x.src + x.off, take,
+                         std::move(done));
+      else
+        wire_->put_chunk(ch.target, x.dst + x.off, x.src + x.off, take,
+                         std::move(done));
+    }
     x.off += take;
     stats_.bytes_copied += take;
   }
   ++stats_.chunks_copied;
-  if (ns_per_byte_ > 0) {
-    // Virtual wire clock: the wire starts this chunk when it frees up (or
-    // now, if it has been idle) and holds it for bytes/bw.
+  if (ch.ns_per_byte > 0) {
+    // Virtual wire clock (per link): the wire starts this chunk when it
+    // frees up (or now, if it has been idle) and holds it for bytes/bw.
     const std::uint64_t now = arch::now_ns();
-    wire_free_ns_ = std::max(wire_free_ns_, now) +
-                    static_cast<std::uint64_t>(take * ns_per_byte_);
+    ch.wire_free_ns_ = std::max(ch.wire_free_ns_, now) +
+                       static_cast<std::uint64_t>(take * ch.ns_per_byte);
   }
   if (x.off == x.bytes) {
     // Last byte read out of the source: the initiator may reuse it. Move
@@ -48,22 +78,28 @@ void XferEngine::copy_one_chunk() {
     // still-queued finished transfer would double-fire and dangle `x`.
     // retire_landed() follows the same pop-then-fire discipline.
     Callback source_cb = std::move(x.on_source);
-    x.landed_due_ns = ns_per_byte_ > 0 ? wire_free_ns_ : 0;
-    landing_.push_back(std::move(x));
-    active_.pop_front();
+    x.landed_due_ns = ch.ns_per_byte > 0 ? ch.wire_free_ns_ : 0;
+    if (x.extra_landing_ns)
+      x.landed_due_ns = std::max(x.landed_due_ns, arch::now_ns()) +
+                        x.extra_landing_ns;
+    ch.landing_.push_back(std::move(x));
+    ch.active_.pop_front();
     if (source_cb) source_cb();
   }
 }
 
-int XferEngine::retire_landed() {
+int XferEngine::retire_landed(Channel& ch) {
   int fired = 0;
-  // Due times are monotone (the wire clock only advances), so the head
-  // check suffices. Callbacks may submit new transfers; they land behind
-  // the current queue and are picked up by later polls.
-  while (!landing_.empty() &&
-         landing_.front().landed_due_ns <= arch::now_ns()) {
-    Callback cb = std::move(landing_.front().on_landed);
-    landing_.pop_front();
+  // Due times are monotone per channel (its wire clock only advances) and
+  // acks return in chunk-issue order, so the head check suffices.
+  // Callbacks may submit new transfers; they land behind the current queue
+  // and are picked up by later polls.
+  while (!ch.landing_.empty()) {
+    Xfer& head = ch.landing_.front();
+    if (head.unacked && *head.unacked != 0) break;
+    if (head.landed_due_ns > arch::now_ns()) break;
+    Callback cb = std::move(head.on_landed);
+    ch.landing_.pop_front();
     ++stats_.landed;
     if (cb) cb();
     ++fired;
@@ -73,21 +109,57 @@ int XferEngine::retire_landed() {
 
 int XferEngine::poll(int chunk_budget) {
   int work = 0;
-  while (chunk_budget-- > 0 && !active_.empty()) {
-    copy_one_chunk();
-    ++work;
+  // Deal the chunk budget round-robin across channels with queued work so
+  // independent targets interleave instead of head-of-line blocking.
+  while (chunk_budget > 0 && !channels_.empty()) {
+    bool any = false;
+    const std::size_t n = channels_.size();
+    for (std::size_t k = 0; k < n && chunk_budget > 0; ++k) {
+      Channel& ch = channels_[(rr_ + k) % n];
+      if (ch.active_.empty()) continue;
+      issue_one_chunk(ch);
+      --chunk_budget;
+      ++work;
+      any = true;
+    }
+    if (!any) break;
   }
-  work += retire_landed();
+  if (!channels_.empty()) rr_ = (rr_ + 1) % channels_.size();
+  // Index loop: retire callbacks may create new channels (deque keeps the
+  // current reference stable; freshly added channels are visited too).
+  for (std::size_t i = 0; i < channels_.size(); ++i)
+    work += retire_landed(channels_[i]);
   return work;
 }
 
 void XferEngine::drain_copies() {
-  while (!active_.empty()) copy_one_chunk();
-  retire_landed();
+  for (std::size_t i = 0; i < channels_.size(); ++i) {
+    while (!channels_[i].active_.empty()) issue_one_chunk(channels_[i]);
+    retire_landed(channels_[i]);
+  }
 }
 
 void XferEngine::drain_all() {
   while (!idle()) poll(1 << 20);
+}
+
+bool XferEngine::idle() const {
+  for (const auto& ch : channels_)
+    if (!ch.active_.empty() || !ch.landing_.empty()) return false;
+  return true;
+}
+
+std::size_t XferEngine::inflight() const {
+  std::size_t n = 0;
+  for (const auto& ch : channels_)
+    n += ch.active_.size() + ch.landing_.size();
+  return n;
+}
+
+bool XferEngine::copies_pending() const {
+  for (const auto& ch : channels_)
+    if (!ch.active_.empty()) return true;
+  return false;
 }
 
 }  // namespace gex

@@ -1,25 +1,46 @@
 // Asynchronous data-motion engine — the substrate's bulk-transfer path and
 // the paper's actQ (§III) made real.
 //
-// Large RMA transfers are decomposed into pipelined chunks held in a
-// per-rank in-flight list and drained by *internal* progress with bounded
+// Large RMA transfers are decomposed into pipelined chunks held in
+// *per-target channels* and drained by *internal* progress with bounded
 // work per poll. The initiating call returns immediately after queueing;
-// the actual memcpys happen inside later poll() calls made by whichever
-// thread holds the rank's master persona — so a dedicated progress-thread
-// persona gives true communication/computation overlap on multicore, which
-// is the property bench/abl_overlap.cpp measures.
+// the actual data motion happens inside later poll() calls made by
+// whichever thread holds the rank's master persona — so a dedicated
+// progress-thread persona gives true communication/computation overlap on
+// multicore, which is the property bench/abl_overlap.cpp measures.
+//
+// Channels: transfers to one target form a FIFO (chunks of transfer N+1
+// never start before transfer N's finish), but *different* targets'
+// channels advance independently — poll() deals its chunk budget round-
+// robin across channels with queued work, so a saturated or slow link to
+// one target never head-of-line-blocks traffic to another. Each channel
+// owns its own virtual wire clock (per-link bandwidth: Config::sim_bw_gbps
+// is the per-channel default, overridable per target with
+// set_link_bw_gbps()).
+//
+// Wires: the engine decides *when* each chunk moves; a pluggable wire
+// decides *how* (WireOps below). The built-in direct wire is an
+// initiator-side memcpy into the cross-mapped arena — synchronous,
+// zero-allocation, remotely visible on return. The AM wire
+// (gex/rma_am.hpp, selected by UPCXX_RMA_WIRE=am) ships each chunk as an
+// active-message put/get request and completes it when the target's ack
+// arrives; the engine's completion pipeline is identical either way.
 //
 // Two completion signals per transfer, always in this order:
 //   on_source — every byte has been read out of the source buffer (the
-//               initiator may reuse it: UPC++ source completion);
-//   on_landed — every byte is visible at the destination AND the simulated
-//               wire has delivered it (see the bandwidth model below). The
-//               upcxx layer sends remote_cx notifications and schedules
+//               initiator may reuse it: UPC++ source completion). On the
+//               direct wire this means the memcpys happened; on the AM
+//               wire it means every chunk's payload was copied into the
+//               wire (ring or staging heap).
+//   on_landed — every byte is visible at the destination (direct: copied;
+//               am: acked by the target) AND the simulated wire has
+//               delivered it (see the bandwidth model below). The upcxx
+//               layer sends remote_cx notifications and schedules
 //               operation completion from this callback, so remote RPCs
 //               never observe partially-landed data.
 //
-// Bandwidth model: with Config::sim_bw_gbps > 0 the engine maintains a
-// virtual wire clock. Each chunk copied at real time t advances the clock
+// Bandwidth model: with a channel's bw_gbps > 0 the channel maintains a
+// virtual wire clock. Each chunk issued at real time t advances the clock
 // by chunk_bytes / bw; a transfer "lands" only once the clock entry of its
 // last chunk has passed. Copies themselves are never delayed (the memory
 // system is the real wire here, exactly as GASNet PSHM), so the model
@@ -34,6 +55,8 @@
 #include <cstddef>
 #include <cstdint>
 #include <deque>
+#include <memory>
+#include <optional>
 
 #include "arch/small_fn.hpp"
 
@@ -43,46 +66,84 @@ class XferEngine {
  public:
   using Callback = arch::UniqueFunction<void()>;
 
-  // Chunks copied per poll() by default: bounds the work one internal
+  // Chunks issued per poll() by default: bounds the work one internal
   // progress call performs so injection-heavy loops stay responsive.
   static constexpr int kDefaultChunkBudget = 4;
 
+  // A pluggable chunk mover. Each op transports one chunk to/from `target`
+  // and must invoke `done` exactly once when the chunk's data is remotely
+  // visible — synchronously (the direct wire) or from a later engine/AM
+  // poll (the AM wire, once the target's ack arrives). put_chunk must
+  // consume `src` before returning (the engine fires on_source when the
+  // last chunk has been issued); get_chunk must have written `dst` by the
+  // time it calls done.
+  struct WireOps {
+    arch::UniqueFunction<void(int target, void* dst, const void* src,
+                              std::size_t bytes, Callback done)>
+        put_chunk;
+    arch::UniqueFunction<void(int target, void* dst, const void* src,
+                              std::size_t bytes, Callback done)>
+        get_chunk;
+  };
+
   // chunk_bytes: pipelining granularity (Config::xfer_chunk_bytes).
-  // bw_gbps: simulated wire bandwidth in GB/s; 0 disables the model.
+  // bw_gbps: default per-channel simulated wire bandwidth in GB/s;
+  // 0 disables the model.
   XferEngine(std::size_t chunk_bytes, double bw_gbps);
 
-  // Queues an asynchronous move of `bytes` from src to dst. No data moves
-  // inside this call. Both buffers must stay valid until on_source
-  // (src) / on_landed (dst) fire. Either callback may be empty.
-  void submit(void* dst, const void* src, std::size_t bytes,
-              Callback on_source, Callback on_landed);
+  // Installs a wire (replacing the built-in direct memcpy). Must happen
+  // before any submit().
+  void set_wire(WireOps ops) { wire_.emplace(std::move(ops)); }
+  bool wire_is_direct() const { return !wire_.has_value(); }
 
-  // Bounded internal progress: copies at most `chunk_budget` chunks (in
-  // submission order — per-initiator FIFO is preserved) and fires every
-  // due completion callback. Returns the number of chunks copied plus
-  // callbacks fired; 0 means there was nothing actionable.
+  // Overrides the simulated bandwidth of the link to `target` (per-link
+  // cap; other links keep the engine default).
+  void set_link_bw_gbps(int target, double gbps);
+
+  // Queues an asynchronous move of `bytes` between this rank and `target`
+  // (is_get: dst is local, src remote; otherwise src is local, dst
+  // remote). No data moves inside this call. Both buffers must stay valid
+  // until on_source (src) / on_landed (dst) fire. Either callback may be
+  // empty. extra_landing_ns adds a fixed toll to the transfer's landing
+  // time on top of the wire clock — the simulated-PCIe cost of a
+  // device-kind copy() composes with the wire model through it.
+  void submit(int target, void* dst, const void* src, std::size_t bytes,
+              Callback on_source, Callback on_landed, bool is_get = false,
+              std::uint64_t extra_landing_ns = 0);
+
+  // Bounded internal progress: issues at most `chunk_budget` chunks, dealt
+  // round-robin across channels with queued work (per-channel FIFO is
+  // preserved), and fires every due completion callback. Returns the
+  // number of chunks issued plus callbacks fired; 0 means there was
+  // nothing actionable.
   int poll(int chunk_budget = kDefaultChunkBudget);
 
-  // Forces every queued byte onto the wire now (unbounded copying) and
-  // fires the source callbacks. Wire-time gating of on_landed still
-  // applies. Used at barrier entry so the pre-engine "data visible once
-  // issued before a barrier" ordering survives, and at teardown.
+  // Forces every queued chunk onto the wire now (unbounded issuing) and
+  // fires the source callbacks. Wire-time and ack gating of on_landed
+  // still apply. Used at barrier entry so the pre-engine "data visible
+  // once issued before a barrier" ordering survives (on the AM wire the
+  // requests are then in the target's inbox ahead of any barrier
+  // message), and at teardown.
   void drain_copies();
 
   // Spins poll() until nothing is in flight (teardown; under the bandwidth
-  // model this waits out the virtual wire clock).
+  // model this waits out the virtual wire clock). On the AM wire this only
+  // completes if acks keep arriving — drive AmEngine::poll and
+  // RmaAmProtocol::poll alongside (upcxx::progress does; run_rank's
+  // teardown loop does for raw-gex users).
   void drain_all();
 
-  bool idle() const { return active_.empty() && landing_.empty(); }
-  std::size_t inflight() const { return active_.size() + landing_.size(); }
-  // True while chunk copies remain to be performed (as opposed to copied
-  // transfers merely waiting out the virtual wire clock). Progress-thread
+  bool idle() const;
+  std::size_t inflight() const;
+  // True while chunks remain to be issued (as opposed to issued transfers
+  // merely waiting out acks or the virtual wire clock). Progress-thread
   // loops use this to yield instead of hot-spinning when the engine only
   // needs an occasional clock check.
-  bool copies_pending() const { return !active_.empty(); }
+  bool copies_pending() const;
 
   std::size_t chunk_bytes() const { return chunk_bytes_; }
   double bw_gbps() const { return bw_gbps_; }
+  std::size_t channel_count() const { return channels_.size(); }
 
   struct Stats {
     std::uint64_t submitted = 0;
@@ -98,28 +159,48 @@ class XferEngine {
     std::byte* dst;
     const std::byte* src;
     std::size_t bytes;
-    std::size_t off;  // bytes copied so far
+    std::size_t off;  // bytes issued so far
+    bool is_get;
     Callback on_source;
     Callback on_landed;
+    std::uint64_t extra_landing_ns;
     std::uint64_t landed_due_ns;  // virtual wire time of the last chunk
+    // Chunks issued on a non-direct wire whose done has not fired yet.
+    // Null on the direct wire (chunks complete synchronously — the
+    // zero-allocation fast path keeps holding).
+    std::shared_ptr<std::uint32_t> unacked;
   };
 
-  // Copies the next chunk of the head transfer; fires on_source and moves
-  // the transfer to landing_ when its last byte is out.
-  void copy_one_chunk();
-  // Fires on_landed for every landing_ entry whose wire time has passed.
-  int retire_landed();
+  // One target's lane: its own FIFO pair and its own wire clock.
+  struct Channel {
+    int target;
+    double ns_per_byte;  // 0 when the bandwidth model is off for this link
+    // Head transfer is being chunked out; the rest wait. Separate landing
+    // queue for issued transfers awaiting acks / the virtual wire clock
+    // (due times are monotone per channel, so FIFO).
+    std::deque<Xfer> active_;
+    std::deque<Xfer> landing_;
+    std::uint64_t wire_free_ns_ = 0;
+  };
+
+  Channel& channel(int target);
+
+  // Issues the next chunk of the channel's head transfer; fires on_source
+  // and moves the transfer to landing_ when its last byte is out.
+  void issue_one_chunk(Channel& ch);
+  // Fires on_landed for every landing_ entry whose gates have passed.
+  int retire_landed(Channel& ch);
 
   std::size_t chunk_bytes_;
   double bw_gbps_;
   double ns_per_byte_;  // 0 when the bandwidth model is off
 
-  // The in-flight list (the paper's actQ): head transfer is being chunked
-  // out; the rest wait. Separate landing queue for copied transfers whose
-  // virtual wire time has not passed (due times are monotone, so FIFO).
-  std::deque<Xfer> active_;
-  std::deque<Xfer> landing_;
-  std::uint64_t wire_free_ns_ = 0;
+  std::optional<WireOps> wire_;
+  // Few targets; linear scan. A deque, not a vector: completion callbacks
+  // may submit to a brand-new target, growing the container while a
+  // reference to the current channel is live on the stack.
+  std::deque<Channel> channels_;
+  std::size_t rr_ = 0;  // round-robin start cursor
 
   Stats stats_;
 };

@@ -109,7 +109,7 @@ void send_handler(gex::AmContext& cx) {
   for (auto it = s.posted.begin(); it != s.posted.end(); ++it) {
     if (match(it->src, it->tag, cx.src, hdr->tag)) {
       assert(bytes <= it->max_bytes && "message truncation");
-      std::memcpy(it->buf, payload, bytes);
+      if (bytes) std::memcpy(it->buf, payload, bytes);
       it->req->status = Status{cx.src, hdr->tag, bytes};
       it->req->done = true;
       s.posted.erase(it);
@@ -190,7 +190,7 @@ Request irecv(void* buf, std::size_t max_bytes, int source, int tag) {
   for (auto it = s.unexpected.begin(); it != s.unexpected.end(); ++it) {
     if (detail::match(source, tag, it->src, it->tag)) {
       assert(it->bytes <= max_bytes && "message truncation");
-      std::memcpy(buf, it->data, it->bytes);
+      if (it->bytes) std::memcpy(buf, it->data, it->bytes);
       r.st_ = MpiState::make_done(it->src, it->tag, it->bytes);
       std::free(it->data);
       s.unexpected.erase(it);
@@ -269,9 +269,11 @@ void alltoallv(const void* sendbuf, const std::size_t* sendcounts,
   const auto* sb = static_cast<const std::byte*>(sendbuf);
   auto* rb = static_cast<std::byte*>(recvbuf);
   constexpr int kTag = 0x5A5A;
-  // Self-copy first, then the pairwise-exchange schedule.
-  std::memcpy(rb + recvdispls[s.rank], sb + senddispls[s.rank],
-              sendcounts[s.rank]);
+  // Self-copy first, then the pairwise-exchange schedule. (Guard the
+  // zero-byte case: callers may pass null buffers with all-zero counts.)
+  if (sendcounts[s.rank])
+    std::memcpy(rb + recvdispls[s.rank], sb + senddispls[s.rank],
+                sendcounts[s.rank]);
   for (int step = 1; step < P; ++step) {
     const int to = (s.rank + step) % P;
     const int from = (s.rank - step + P) % P;

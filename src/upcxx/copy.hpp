@@ -5,11 +5,25 @@
 // remote endpoints and the simulated PCIe for each device endpoint
 // (device_allocator.hpp).
 //
+// Data paths mirror rput/rget (rma.hpp) and are wire-agnostic:
+//   * at or above Config::rma_async_min, any copy that is remote or pays a
+//     device toll rides gex::XferEngine: chunks move through the target's
+//     channel (on whichever wire is installed) and the simulated-PCIe cost
+//     gates landing via the engine's extra-toll hook, so it *composes* with
+//     the virtual wire clock instead of being charged at injection —
+//     overlapped device copies pipeline exactly like host RMA
+//     (bench/micro_copy_devmem.cpp's async section measures this);
+//   * below the threshold on the am wire, remote copies ship as one AM
+//     put/get. A third-party copy (both endpoints remote) ships as a put to
+//     the destination rank whose payload is read through the cross-map —
+//     honest for the write side; a distributed backend would stage through
+//     a get first;
+//   * otherwise the move is a synchronous memcpy at injection with the
+//     device/wire cost charged to operation completion, as before.
+//
 // Completions are delivered through the same detail::cx_state pipeline as
-// rput/rget/rpc (via finish_rma_ns). The data motion itself stays at
-// injection for now — routing device-kind copies through gex::XferEngine is
-// a ROADMAP follow-on, since the simulated-PCIe cost model and the wire
-// bandwidth model need to compose first.
+// rput/rget/rpc. Buffers handed to an asynchronous copy must stay valid
+// until source completion (source side) / operation completion (both).
 #pragma once
 
 #include "upcxx/device_allocator.hpp"
@@ -19,21 +33,36 @@ namespace upcxx {
 
 namespace detail {
 
-// Simulated completion delay for a copy: a round trip on the wire when any
-// endpoint is remote, plus the device-transfer cost per device endpoint.
-inline std::uint64_t copy_delay_ns(intrank_t src_rank, intrank_t dst_rank,
-                                   std::size_t bytes, int device_ends) {
+// The one data-motion body behind every copy() overload. `cx_target` is
+// the rank remote_cx notifications go to (the remote endpoint, matching
+// the per-overload conventions below).
+template <typename Cxs>
+auto copy_impl(Cxs cxs, intrank_t src_rank, intrank_t dst_rank, void* dst,
+               const void* src, std::size_t bytes, int dev_ends,
+               intrank_t cx_target) {
   const intrank_t me = gex::rank_me();
-  const std::uint64_t wire =
-      (src_rank != me || dst_rank != me) ? 2 * persona().sim_latency_ns : 0;
-  return wire + device_transfer_cost_ns(bytes, device_ends);
+  const bool remote = src_rank != me || dst_rank != me;
+  const std::uint64_t dev_ns = device_transfer_cost_ns(bytes, dev_ends);
+  const bool is_get = src_rank != me && dst_rank == me;
+  const intrank_t target = is_get ? src_rank : dst_rank;
+  const std::uint64_t wire_delay = remote ? 2 * persona().sim_latency_ns : 0;
+  if (use_xfer(bytes) && (remote || dev_ns > 0)) {
+    return issue_xfer_ns(std::move(cxs), target, dst, src, bytes,
+                         wire_delay, is_get, /*extra_landing_ns=*/dev_ns);
+  }
+  if (wire_am() && remote) {
+    return issue_am_contig_ns(std::move(cxs), target, dst, src, bytes,
+                              is_get, wire_delay + dev_ns);
+  }
+  std::memcpy(dst, src, bytes);
+  return finish_rma_ns(std::move(cxs), cx_target, wire_delay + dev_ns);
 }
 
 }  // namespace detail
 
 // global -> global, any memory kinds (either side may be owned by any rank;
-// on the shared arena the initiator performs the move, which is exactly
-// GASNet PSHM — and the simulated device is host-backed, so the same holds).
+// on the shared arena the initiator or the AM target performs the move —
+// and the simulated device is host-backed, so the same holds).
 template <typename T, memory_kind KS, memory_kind KD,
           typename Cxs = default_cx_t>
 auto copy(global_ptr<T, KS> src, global_ptr<T, KD> dest, std::size_t n,
@@ -41,13 +70,11 @@ auto copy(global_ptr<T, KS> src, global_ptr<T, KD> dest, std::size_t n,
   static_assert(std::is_trivially_copyable_v<T>);
   assert(!src.is_null() && !dest.is_null());
   ++detail::persona().stats.rputs;
-  std::memcpy(dest.raw_address(), src.raw_address(), n * sizeof(T));
   constexpr int dev_ends = (KS == memory_kind::sim_device ? 1 : 0) +
                            (KD == memory_kind::sim_device ? 1 : 0);
-  return detail::finish_rma_ns(
-      std::move(cxs), dest.where(),
-      detail::copy_delay_ns(src.where(), dest.where(), n * sizeof(T),
-                            dev_ends));
+  return detail::copy_impl(std::move(cxs), src.where(), dest.where(),
+                           dest.raw_address(), src.raw_address(),
+                           n * sizeof(T), dev_ends, dest.where());
 }
 
 // local host -> global (host or device).
@@ -57,12 +84,10 @@ auto copy(const T* src, global_ptr<T, KD> dest, std::size_t n,
   static_assert(std::is_trivially_copyable_v<T>);
   assert(!dest.is_null());
   ++detail::persona().stats.rputs;
-  std::memcpy(dest.raw_address(), src, n * sizeof(T));
   constexpr int dev_ends = KD == memory_kind::sim_device ? 1 : 0;
-  return detail::finish_rma_ns(
-      std::move(cxs), dest.where(),
-      detail::copy_delay_ns(gex::rank_me(), dest.where(), n * sizeof(T),
-                            dev_ends));
+  return detail::copy_impl(std::move(cxs), gex::rank_me(), dest.where(),
+                           dest.raw_address(), src, n * sizeof(T), dev_ends,
+                           dest.where());
 }
 
 // global (host or device) -> local host.
@@ -71,12 +96,10 @@ auto copy(global_ptr<T, KS> src, T* dest, std::size_t n, Cxs cxs = Cxs{}) {
   static_assert(std::is_trivially_copyable_v<T>);
   assert(!src.is_null());
   ++detail::persona().stats.rgets;
-  std::memcpy(dest, src.raw_address(), n * sizeof(T));
   constexpr int dev_ends = KS == memory_kind::sim_device ? 1 : 0;
-  return detail::finish_rma_ns(
-      std::move(cxs), src.where(),
-      detail::copy_delay_ns(src.where(), gex::rank_me(), n * sizeof(T),
-                            dev_ends));
+  return detail::copy_impl(std::move(cxs), src.where(), gex::rank_me(),
+                           dest, src.raw_address(), n * sizeof(T), dev_ends,
+                           src.where());
 }
 
 }  // namespace upcxx

@@ -10,6 +10,7 @@
 #include "arch/fixed_registry.hpp"
 
 #include "arch/timer.hpp"
+#include "gex/rma_am.hpp"
 #include "gex/xfer.hpp"
 #include "upcxx/collectives.hpp"
 #include "upcxx/team.hpp"
@@ -200,10 +201,14 @@ void progress(progress_level lvl) {
   // (DESIGN.md, message layer v2). Internal progress leaves the buffers
   // alone to keep batches intact across back-to-back injection calls.
   if (lvl == progress_level::user && p.rank->agg) p.rank->agg->flush_all();
-  // Internal progress: poll the wire (stages incoming messages), advance
-  // the data-motion engine by a bounded number of chunks, and retire timed
-  // active operations whose completion time has passed.
+  // Internal progress: poll the wire (stages incoming messages), let the
+  // AM RMA protocol send deferred acks/replies and fire due completions
+  // (its handlers only record work — nothing is injected from inside a
+  // ring consume), advance the data-motion engine by a bounded number of
+  // chunks, and retire timed active operations whose completion time has
+  // passed.
   p.rank->am->poll();
+  if (p.rank->rma_am) p.rank->rma_am->poll();
   if (p.rank->xfer) p.rank->xfer->poll();
   if (!p.timed.empty()) {
     const std::uint64_t now = arch::now_ns();
@@ -242,6 +247,7 @@ void init_persona() {
   st->rank = r;
   st->sim_latency_ns = r->arena->config().sim_latency_ns;
   st->rma_async_min = r->arena->config().rma_async_min;
+  st->rma_wire_am = r->rma_wire_am;
   // Aggregated upcxx frames take the whole-frame delivery path.
   r->am->set_frame_sink(detail::am_delivery_index(),
                         &detail::am_frame_delivery);
@@ -257,10 +263,15 @@ void fini_persona() {
   auto* r = gex::self();
   assert(r);
   // Land every in-flight transfer while the persona still exists: the
-  // engine's completion callbacks push into this rank's compQ and may send
-  // remote notifications, neither of which is possible after teardown.
-  if (r->xfer) {
-    while (!r->xfer->idle()) progress();
+  // engine's and the AM protocol's completion callbacks push into this
+  // rank's compQ and may send remote notifications, neither of which is
+  // possible after teardown. Give up when a peer failed — on the am wire
+  // idleness needs the peer's acks, and a dead peer never sends them.
+  auto& err = gex::arena().control().error_flag.value;
+  while (((r->xfer && !r->xfer->idle()) ||
+          (r->rma_am && !r->rma_am->idle())) &&
+         err.load(std::memory_order_acquire) == 0) {
+    progress();
   }
   // Final drain so peers' teardown traffic (e.g. late rpc_ff acks) does not
   // sit in malloc'd staging buffers.

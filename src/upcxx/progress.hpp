@@ -71,6 +71,11 @@ struct PersonaState {
   // Cached Config::rma_async_min: contiguous RMA at or above this many
   // bytes rides the asynchronous XferEngine (0 = always synchronous).
   std::size_t rma_async_min = 0;
+  // Resolved RMA wire (gex::resolve_rma_wire at init): when true, every
+  // rput/rget/copy data path goes through the AM protocol
+  // (gex/rma_am.hpp) instead of touching the target's segment directly —
+  // the injection-time memcpy fast path is direct-wire only.
+  bool rma_wire_am = false;
 
   // The rank's master persona: holding it carries the right to initiate
   // communication and the obligation to progress the queues below. Created

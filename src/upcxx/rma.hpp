@@ -1,27 +1,37 @@
 // One-sided RMA: rput/rget plus the non-contiguous variants (paper §II).
 //
-// Two data-motion paths, split by Config::rma_async_min:
+// Every call is *wire-agnostic*: the data path is selected per target by
+// the resolved RMA wire (gex::resolve_rma_wire, UPCXX_RMA_WIRE=direct|am),
+// and within a wire by transfer size (Config::rma_async_min):
 //
-//   * synchronous (small transfers) — the data motion is a memcpy performed
-//     by the initiator at injection (exactly what GASNet does over PSHM).
-//     Zero allocation; source completion is inherently synchronous.
-//   * asynchronous (large contiguous transfers) — the transfer is handed to
-//     gex::XferEngine (the paper's actQ): it is decomposed into pipelined
-//     chunks drained by internal progress with bounded work per poll, so
-//     the initiating call returns immediately and a progress-thread persona
-//     overlaps the copy with computation. Source completion fires when the
-//     last chunk has been read out of the source buffer; under the
-//     simulated bandwidth model (UPCXX_SIM_BW_GBPS) it genuinely precedes
-//     operation completion.
+//   direct wire, small — the data motion is a memcpy performed by the
+//     initiator at injection (exactly what GASNet does over PSHM). Zero
+//     allocation; source completion is inherently synchronous.
+//   direct wire, large contiguous — handed to gex::XferEngine (the paper's
+//     actQ): decomposed into pipelined chunks in the target's channel,
+//     drained by internal progress with bounded work per poll, so the
+//     initiating call returns immediately and a progress-thread persona
+//     overlaps the copy with computation.
+//   am wire, small — one AM put/get request through gex::RmaAmProtocol
+//     (eager payloads inline in the ring, larger ones rendezvous-staged);
+//     the target's ack/reply drives completion. Non-contiguous shapes ship
+//     as one scatter-put / gather-get record per target rank.
+//   am wire, large contiguous — the XferEngine again, with its chunk
+//     movers bound to the AM protocol: each chunk is a request, each ack a
+//     chunk completion, under the same per-channel budget and bandwidth
+//     clock as the direct wire.
 //
-// Completion semantics on both paths follow the paper's model:
-//   * source completion — the source buffer is reusable;
-//   * operation completion — remotely complete, including the network-level
-//     acknowledgment a blocking rput waits for (§IV-B); under simulated
-//     latency this costs a full round trip (2 hops) past the data landing;
+// Completion semantics on all paths follow the paper's model:
+//   * source completion — the source buffer is reusable (on the am wire:
+//     the payload has been copied into the wire);
+//   * operation completion — remotely complete, including the
+//     network-level acknowledgment a blocking rput waits for (§IV-B);
+//     under simulated latency this costs a full round trip (2 hops) past
+//     the data landing;
 //   * remote completion — fires an RPC at the target after the data lands
-//     (1 hop). Irregular transfers whose fragment lists span several target
-//     ranks notify each distinct target once.
+//     (on the am wire, after the target's ack — the RPC can never overtake
+//     the data). Irregular transfers whose fragment lists span several
+//     target ranks notify each distinct target once.
 // All completion signals are delivered through detail::cx_state
 // (completion.hpp) — the one pipeline shared with copy() and rpc — and
 // reach user code only via the progress engine's compQ, never synchronously
@@ -31,8 +41,9 @@
 // Ordering note: as in real UPC++, two RMAs touching the same remote region
 // are unordered unless sequenced through completions; with the async engine
 // a small synchronous put can land before a still-draining large one.
-// Barrier entry drains the engine's pending copies, so the common
-// "put, barrier, read" idiom keeps its pre-engine meaning.
+// Barrier entry drains the engine's pending chunks (on the am wire that
+// puts every request in the target's inbox ahead of the barrier message),
+// so the common "put, barrier, read" idiom keeps its pre-engine meaning.
 #pragma once
 
 #include <algorithm>
@@ -42,6 +53,7 @@
 #include <memory>
 #include <vector>
 
+#include "gex/rma_am.hpp"
 #include "gex/xfer.hpp"
 #include "upcxx/completion.hpp"
 #include "upcxx/global_ptr.hpp"
@@ -56,7 +68,7 @@ namespace detail {
 // already happened synchronously; returns the value the RMA call returns.
 // `delay_ns` is the simulated time to operation completion (0 = complete at
 // injection — the zero-allocation fast path every small blocking rput on
-// the memcpy wire takes).
+// the direct wire takes).
 template <typename Cxs>
 auto finish_rma_ns(Cxs&& cxs, intrank_t target, std::uint64_t delay_ns) {
   cx_state<std::decay_t<Cxs>> st(std::move(cxs), target);
@@ -74,8 +86,12 @@ auto finish_rma(Cxs&& cxs, intrank_t target, std::uint64_t hops) {
                        hops * persona().sim_latency_ns);
 }
 
+// True when this rank's RMA rides the AM protocol instead of touching the
+// target's segment directly.
+inline bool wire_am() { return persona().rma_wire_am; }
+
 // True when a contiguous transfer of `bytes` should ride the asynchronous
-// data-motion engine instead of the injection-time memcpy.
+// data-motion engine instead of the injection-time path.
 inline bool use_xfer(std::size_t bytes) {
   auto& p = persona();
   return p.rma_async_min != 0 && bytes >= p.rma_async_min &&
@@ -86,22 +102,110 @@ inline bool use_xfer(std::size_t bytes) {
 // callbacks into the completion pipeline. The cx_state outlives the call
 // (shared between the source and landed callbacks), so its futures are
 // materialized up front; the wire-hop delay to operation completion is
-// charged after the data lands.
+// charged after the data lands. Works on either wire — the engine's chunk
+// movers differ, the completion pipeline does not.
 template <typename Cxs>
-auto issue_xfer(Cxs cxs, intrank_t target, void* dst, const void* src,
-                std::size_t bytes, std::uint64_t hops) {
+auto issue_xfer_ns(Cxs cxs, intrank_t target, void* dst, const void* src,
+                   std::size_t bytes, std::uint64_t delay, bool is_get,
+                   std::uint64_t extra_landing_ns = 0) {
   auto st = std::make_shared<cx_state<Cxs>>(std::move(cxs), target);
   st->prepare_deferred();
-  const std::uint64_t delay = hops * persona().sim_latency_ns;
   persona().rank->xfer->submit(
-      dst, src, bytes, [st] { st->source_now(); },
+      target, dst, src, bytes, [st] { st->source_now(); },
       [st, delay] {
         // Data is visible at the target: notify it (1 more hop carried by
         // the rpc itself), then complete the operation after the
         // round-trip acknowledgment.
         st->remote_now();
         st->operation_done(delay);
-      });
+      },
+      is_get, extra_landing_ns);
+  return st->result();
+}
+
+// Hop-based wrapper (the RMA calls charge a 2-hop round trip).
+template <typename Cxs>
+auto issue_xfer(Cxs cxs, intrank_t target, void* dst, const void* src,
+                std::size_t bytes, std::uint64_t hops, bool is_get) {
+  return issue_xfer_ns(std::move(cxs), target, dst, src, bytes,
+                       hops * persona().sim_latency_ns, is_get);
+}
+
+// One sub-engine-threshold contiguous op on the am wire: a single protocol
+// request whose ack/reply drives remote and operation completion. put()
+// copies the payload out before returning, so source completion is
+// synchronous here too; for gets the initiator has no source buffer to
+// protect and the same holds trivially.
+template <typename Cxs>
+auto issue_am_contig_ns(Cxs cxs, intrank_t target, void* dst,
+                        const void* src, std::size_t bytes, bool is_get,
+                        std::uint64_t delay) {
+  auto st = std::make_shared<cx_state<Cxs>>(std::move(cxs), target);
+  st->prepare_deferred();
+  auto& proto = *persona().rank->rma_am;
+  auto done = [st, delay] {
+    st->remote_now();
+    st->operation_done(delay);
+  };
+  if (is_get)
+    proto.get(target, dst, src, bytes, std::move(done));
+  else
+    proto.put(target, dst, src, bytes, std::move(done));
+  st->source_now();
+  return st->result();
+}
+
+template <typename Cxs>
+auto issue_am_contig(Cxs cxs, intrank_t target, void* dst, const void* src,
+                     std::size_t bytes, bool is_get, std::uint64_t hops) {
+  return issue_am_contig_ns(std::move(cxs), target, dst, src, bytes, is_get,
+                            hops * persona().sim_latency_ns);
+}
+
+// Matched fragment runs grouped by target rank — the unit the am wire's
+// scatter-put / gather-get records carry. `remote` and `local` line up
+// index-by-index in wire order.
+struct AmFragGroup {
+  intrank_t target;
+  std::vector<gex::RmaAmProtocol::Frag> remote;
+  std::vector<gex::RmaAmProtocol::LocalFrag> local;
+};
+
+inline AmFragGroup& am_frag_group(std::vector<AmFragGroup>& groups,
+                                  intrank_t target) {
+  for (auto& g : groups)
+    if (g.target == target) return g;
+  groups.push_back(AmFragGroup{target, {}, {}});
+  return groups.back();
+}
+
+// Issues one scatter-put or gather-get per target group and delivers
+// completions: each target is remote-notified once when its fragments
+// landed (its ack/reply arrived); the operation completes when every
+// target has. `is_get` moves each group's local runs into the protocol as
+// the reply's scatter list.
+template <typename Cxs>
+auto issue_am_fragments(Cxs cxs, std::vector<AmFragGroup> groups,
+                        bool is_get) {
+  assert(!groups.empty());
+  auto st = std::make_shared<cx_state<Cxs>>(std::move(cxs),
+                                            groups.front().target);
+  st->prepare_deferred();
+  const std::uint64_t delay = 2 * persona().sim_latency_ns;
+  auto remaining = std::make_shared<std::size_t>(groups.size());
+  auto& proto = *persona().rank->rma_am;
+  for (auto& g : groups) {
+    auto done = [st, remaining, t = g.target, delay] {
+      st->remote_now(t);
+      if (--*remaining == 0) st->operation_done(delay);
+    };
+    if (is_get)
+      proto.get_fragments(g.target, g.remote, std::move(g.local),
+                          std::move(done));
+    else
+      proto.put_fragments(g.target, g.remote, g.local, std::move(done));
+  }
+  st->source_now();
   return st->result();
 }
 
@@ -126,22 +230,32 @@ auto rput(const T* src, global_ptr<T> dest, std::size_t n,
   const std::size_t bytes = n * sizeof(T);
   if (detail::use_xfer(bytes)) {
     return detail::issue_xfer(std::move(cxs), dest.where(), dest.local(),
-                              src, bytes, /*hops=*/2);
+                              src, bytes, /*hops=*/2, /*is_get=*/false);
+  }
+  if (detail::wire_am()) {
+    return detail::issue_am_contig(std::move(cxs), dest.where(),
+                                   dest.local(), src, bytes,
+                                   /*is_get=*/false, /*hops=*/2);
   }
   std::memcpy(dest.local(), src, bytes);
   return detail::finish_rma(std::move(cxs), dest.where(), /*hops=*/2);
 }
 
-// Scalar value put. Always synchronous: the source is the by-value
-// parameter itself, which dies when this call returns — an async engine
-// ride would read a dangling stack slot, and an 8-byte transfer gains
-// nothing from chunking anyway.
+// Scalar value put. Never rides the engine: the source is the by-value
+// parameter itself, which dies when this call returns — but both wires
+// consume it synchronously (memcpy, or the AM request's payload copy), so
+// an 8-byte transfer needs no chunking anyway.
 template <typename T, typename Cxs = default_cx_t>
 auto rput(T value, global_ptr<T> dest, Cxs cxs = Cxs{}) {
   static_assert(std::is_trivially_copyable_v<T>,
                 "RMA requires trivially copyable element types");
   assert(!dest.is_null());
   ++detail::persona().stats.rputs;
+  if (detail::wire_am()) {
+    return detail::issue_am_contig(std::move(cxs), dest.where(),
+                                   dest.local(), &value, sizeof(T),
+                                   /*is_get=*/false, /*hops=*/2);
+  }
   std::memcpy(dest.local(), &value, sizeof(T));
   return detail::finish_rma(std::move(cxs), dest.where(), /*hops=*/2);
 }
@@ -159,19 +273,42 @@ auto rget(global_ptr<T> src, T* dest, std::size_t n, Cxs cxs = Cxs{}) {
   const std::size_t bytes = n * sizeof(T);
   if (detail::use_xfer(bytes)) {
     return detail::issue_xfer(std::move(cxs), src.where(), dest,
-                              src.local(), bytes, /*hops=*/2);
+                              src.local(), bytes, /*hops=*/2,
+                              /*is_get=*/true);
+  }
+  if (detail::wire_am()) {
+    return detail::issue_am_contig(std::move(cxs), src.where(), dest,
+                                   src.local(), bytes, /*is_get=*/true,
+                                   /*hops=*/2);
   }
   std::memcpy(dest, src.local(), bytes);
   return detail::finish_rma(std::move(cxs), src.where(), /*hops=*/2);
 }
 
 // Scalar get: future carries the fetched value. The read happens at
-// completion time (after the simulated round trip), matching a real get.
+// completion time (after the simulated round trip / the AM reply),
+// matching a real get.
 template <typename T>
 future<T> rget(global_ptr<T> src) {
   static_assert(std::is_trivially_copyable_v<T>);
   assert(!src.is_null());
   ++detail::persona().stats.rgets;
+  if (detail::wire_am()) {
+    // The reply scatters into a shared holder; the value ships to the
+    // future through compQ (plus the modeled round trip) like every other
+    // deferred completion.
+    auto buf = std::make_shared<T>();
+    promise<T> pr;
+    const std::uint64_t delay = 2 * detail::persona().sim_latency_ns;
+    detail::persona().rank->rma_am->get(
+        src.where(), buf.get(), src.local(), sizeof(T),
+        [buf, pr, delay]() mutable {
+          detail::push_completion_after_ns(delay, [buf, pr]() mutable {
+            pr.fulfill_result(*buf);
+          });
+        });
+    return pr.get_future();
+  }
   if (detail::persona().sim_latency_ns == 0) {
     // PSHM fast path: the load is the transfer.
     return make_future(*src.local());
@@ -211,11 +348,12 @@ struct dst_fragment {
 namespace detail {
 
 // Completion delivery for a fragment list spanning one or more target
-// ranks: remote_cx notifications go to each distinct target exactly once
-// (after all its fragments landed — the whole list is copied before any
-// notification is sent); operation completion is charged one round trip.
-// `targets` yields the target rank of fragment i; fragment lists are short,
-// so the distinct-target scan is quadratic rather than allocating.
+// ranks whose data motion already happened synchronously: remote_cx
+// notifications go to each distinct target exactly once (after all its
+// fragments landed — the whole list is copied before any notification is
+// sent); operation completion is charged one round trip. `targets` yields
+// the target rank of fragment i; fragment lists are short, so the
+// distinct-target scan is quadratic rather than allocating.
 template <typename Cxs, typename TargetOf>
 auto finish_rma_fragments(Cxs&& cxs, std::size_t nfrags, TargetOf&& targets) {
   assert(nfrags > 0 && "empty fragment list");
@@ -232,6 +370,35 @@ auto finish_rma_fragments(Cxs&& cxs, std::size_t nfrags, TargetOf&& targets) {
   return st.result();
 }
 
+// Pairs a local fragment list against a remote one into maximal matched
+// runs — fn(local_ptr, remote_gptr, nelems) — walking both lists in order
+// exactly as the synchronous copy loops used to. LocalFrag's element
+// pointer type carries constness (const T* for puts, T* for gets).
+template <typename T, typename LocalPtr, typename LocalVec, typename Fn>
+void pair_fragment_runs(const LocalVec& locals,
+                        const std::vector<dst_fragment<T>>& remotes,
+                        Fn&& fn) {
+  std::size_t li = 0, lo = 0;  // local fragment index/offset
+  for (const auto& r : remotes) {
+    assert(!r.ptr.is_null());
+    std::size_t need = r.n, ro = 0;
+    while (need) {
+      assert(li < locals.size() && "local side shorter than remote side");
+      const std::size_t take = std::min(need, locals[li].n - lo);
+      fn(static_cast<LocalPtr>(locals[li].ptr) + lo, r.ptr + ro, take);
+      ro += take;
+      lo += take;
+      need -= take;
+      if (lo == locals[li].n) {
+        ++li;
+        lo = 0;
+      }
+    }
+  }
+  assert(li == locals.size() && lo == 0 &&
+         "remote side shorter than local side");
+}
+
 }  // namespace detail
 
 // Irregular put: total source elements must equal total destination
@@ -244,25 +411,23 @@ auto rput_irregular(const std::vector<src_fragment<T>>& srcs,
                     Cxs cxs = Cxs{}) {
   static_assert(std::is_trivially_copyable_v<T>);
   ++detail::persona().stats.rputs;
-  std::size_t si = 0, so = 0;  // source fragment index/offset
-  for (const auto& d : dsts) {
-    assert(!d.ptr.is_null());
-    T* out = d.ptr.local();
-    std::size_t need = d.n;
-    while (need) {
-      assert(si < srcs.size() && "source shorter than destination");
-      std::size_t take = std::min(need, srcs[si].n - so);
-      std::memcpy(out, srcs[si].ptr + so, take * sizeof(T));
-      out += take;
-      so += take;
-      need -= take;
-      if (so == srcs[si].n) {
-        ++si;
-        so = 0;
-      }
-    }
+  if (detail::wire_am()) {
+    std::vector<detail::AmFragGroup> groups;
+    detail::pair_fragment_runs<T, const T*>(
+        srcs, dsts, [&](const T* lp, global_ptr<T> rp, std::size_t n) {
+          auto& g = detail::am_frag_group(groups, rp.where());
+          g.remote.push_back({reinterpret_cast<std::uintptr_t>(rp.local()),
+                              n * sizeof(T)});
+          g.local.push_back(
+              {const_cast<T*>(lp), n * sizeof(T)});  // read-only use
+        });
+    return detail::issue_am_fragments(std::move(cxs), std::move(groups),
+                                      /*is_get=*/false);
   }
-  assert(si == srcs.size() && so == 0 && "destination shorter than source");
+  detail::pair_fragment_runs<T, const T*>(
+      srcs, dsts, [](const T* lp, global_ptr<T> rp, std::size_t n) {
+        std::memcpy(rp.local(), lp, n * sizeof(T));
+      });
   return detail::finish_rma_fragments(
       std::move(cxs), dsts.size(),
       [&](std::size_t i) { return dsts[i].ptr.where(); });
@@ -277,25 +442,22 @@ auto rget_irregular(const std::vector<dst_fragment<T>>& srcs,
                     Cxs cxs = Cxs{}) {
   static_assert(std::is_trivially_copyable_v<T>);
   ++detail::persona().stats.rgets;
-  std::size_t si = 0, so = 0;
-  for (const auto& d : dsts) {
-    T* out = d.ptr;
-    std::size_t need = d.n;
-    while (need) {
-      assert(si < srcs.size() && "remote source shorter than destination");
-      assert(!srcs[si].ptr.is_null());
-      std::size_t take = std::min(need, srcs[si].n - so);
-      std::memcpy(out, srcs[si].ptr.local() + so, take * sizeof(T));
-      out += take;
-      so += take;
-      need -= take;
-      if (so == srcs[si].n) {
-        ++si;
-        so = 0;
-      }
-    }
+  if (detail::wire_am()) {
+    std::vector<detail::AmFragGroup> groups;
+    detail::pair_fragment_runs<T, T*>(
+        dsts, srcs, [&](T* lp, global_ptr<T> rp, std::size_t n) {
+          auto& g = detail::am_frag_group(groups, rp.where());
+          g.remote.push_back({reinterpret_cast<std::uintptr_t>(rp.local()),
+                              n * sizeof(T)});
+          g.local.push_back({lp, n * sizeof(T)});
+        });
+    return detail::issue_am_fragments(std::move(cxs), std::move(groups),
+                                      /*is_get=*/true);
   }
-  assert(si == srcs.size() && so == 0 && "destination longer than source");
+  detail::pair_fragment_runs<T, T*>(
+      dsts, srcs, [](T* lp, global_ptr<T> rp, std::size_t n) {
+        std::memcpy(lp, rp.local(), n * sizeof(T));
+      });
   return detail::finish_rma_fragments(
       std::move(cxs), srcs.size(),
       [&](std::size_t i) { return srcs[i].ptr.where(); });
@@ -305,23 +467,58 @@ auto rget_irregular(const std::vector<dst_fragment<T>>& srcs,
 // (matching upcxx::rput_strided); extents count elements per dimension with
 // extent[Dim-1] iterating contiguously element-by-element.
 namespace detail {
-template <typename T, int Dim>
-void strided_copy(const std::byte* src, const std::ptrdiff_t* sstride,
-                  std::byte* dst, const std::ptrdiff_t* dstride,
-                  const std::size_t* extent, int dim) {
+
+// Walks the common Dim-dimensional iteration space and invokes
+// fn(a_run, b_run, run_bytes) for each maximal contiguous run: whole
+// innermost rows when both sides are element-contiguous there, single
+// elements otherwise. Both the direct wire (fn = memcpy) and the am wire
+// (fn = collect fragment descriptors) drive their data motion off the same
+// enumeration.
+template <typename T, int Dim, typename Fn>
+void strided_for_each_run(const std::byte* a, const std::ptrdiff_t* as,
+                          std::byte* b, const std::ptrdiff_t* bs,
+                          const std::size_t* extent, int dim, Fn&& fn) {
   if (dim == Dim - 1) {
+    const auto elem = static_cast<std::ptrdiff_t>(sizeof(T));
+    if (as[dim] == elem && bs[dim] == elem) {
+      fn(a, b, extent[dim] * sizeof(T));
+      return;
+    }
     for (std::size_t i = 0; i < extent[dim]; ++i)
-      std::memcpy(dst + static_cast<std::ptrdiff_t>(i) * dstride[dim],
-                  src + static_cast<std::ptrdiff_t>(i) * sstride[dim],
-                  sizeof(T));
+      fn(a + static_cast<std::ptrdiff_t>(i) * as[dim],
+         b + static_cast<std::ptrdiff_t>(i) * bs[dim], sizeof(T));
     return;
   }
   for (std::size_t i = 0; i < extent[dim]; ++i)
-    strided_copy<T, Dim>(src + static_cast<std::ptrdiff_t>(i) * sstride[dim],
-                         sstride,
-                         dst + static_cast<std::ptrdiff_t>(i) * dstride[dim],
-                         dstride, extent, dim + 1);
+    strided_for_each_run<T, Dim>(
+        a + static_cast<std::ptrdiff_t>(i) * as[dim], as,
+        b + static_cast<std::ptrdiff_t>(i) * bs[dim], bs, extent, dim + 1,
+        fn);
 }
+
+// Builds the am-wire fragment group of a strided transfer: `remote_is_b`
+// puts b-side runs on the wire as remote descriptors and a-side runs as
+// the local list (a put); inverted for gets.
+template <typename T, int Dim>
+std::vector<AmFragGroup> strided_am_group(
+    const std::byte* a, const std::ptrdiff_t* as, std::byte* b,
+    const std::ptrdiff_t* bs, const std::size_t* extent, intrank_t target,
+    bool remote_is_b) {
+  std::vector<AmFragGroup> groups;
+  auto& g = am_frag_group(groups, target);
+  strided_for_each_run<T, Dim>(
+      a, as, b, bs, extent, 0,
+      [&](const std::byte* ra, std::byte* rb, std::size_t bytes) {
+        const std::byte* remote = remote_is_b ? rb : ra;
+        const std::byte* local = remote_is_b ? ra : rb;
+        g.remote.push_back(
+            {reinterpret_cast<std::uintptr_t>(remote), bytes});
+        g.local.push_back(
+            {const_cast<std::byte*>(local), bytes});
+      });
+  return groups;
+}
+
 }  // namespace detail
 
 template <int Dim, typename T, typename Cxs = default_cx_t>
@@ -333,10 +530,22 @@ auto rput_strided(const T* src_base,
                   Cxs cxs = Cxs{}) {
   static_assert(std::is_trivially_copyable_v<T>);
   ++detail::persona().stats.rputs;
-  detail::strided_copy<T, Dim>(
-      reinterpret_cast<const std::byte*>(src_base), src_strides.data(),
-      reinterpret_cast<std::byte*>(dst_base.local()), dst_strides.data(),
-      extents.data(), 0);
+  auto* a = reinterpret_cast<const std::byte*>(src_base);
+  auto* b = reinterpret_cast<std::byte*>(dst_base.local());
+  if (detail::wire_am()) {
+    auto groups = detail::strided_am_group<T, Dim>(
+        a, src_strides.data(), b, dst_strides.data(), extents.data(),
+        dst_base.where(), /*remote_is_b=*/true);
+    if (!groups.front().remote.empty())
+      return detail::issue_am_fragments(std::move(cxs), std::move(groups),
+                                        /*is_get=*/false);
+    return detail::finish_rma(std::move(cxs), dst_base.where(), 2);
+  }
+  detail::strided_for_each_run<T, Dim>(
+      a, src_strides.data(), b, dst_strides.data(), extents.data(), 0,
+      [](const std::byte* ra, std::byte* rb, std::size_t bytes) {
+        std::memcpy(rb, ra, bytes);
+      });
   return detail::finish_rma(std::move(cxs), dst_base.where(), 2);
 }
 
@@ -349,10 +558,22 @@ auto rget_strided(global_ptr<T> src_base,
                   Cxs cxs = Cxs{}) {
   static_assert(std::is_trivially_copyable_v<T>);
   ++detail::persona().stats.rgets;
-  detail::strided_copy<T, Dim>(
-      reinterpret_cast<const std::byte*>(src_base.local()),
-      src_strides.data(), reinterpret_cast<std::byte*>(dst_base),
-      dst_strides.data(), extents.data(), 0);
+  auto* a = reinterpret_cast<const std::byte*>(src_base.local());
+  auto* b = reinterpret_cast<std::byte*>(dst_base);
+  if (detail::wire_am()) {
+    auto groups = detail::strided_am_group<T, Dim>(
+        a, src_strides.data(), b, dst_strides.data(), extents.data(),
+        src_base.where(), /*remote_is_b=*/false);
+    if (!groups.front().remote.empty())
+      return detail::issue_am_fragments(std::move(cxs), std::move(groups),
+                                        /*is_get=*/true);
+    return detail::finish_rma(std::move(cxs), src_base.where(), 2);
+  }
+  detail::strided_for_each_run<T, Dim>(
+      a, src_strides.data(), b, dst_strides.data(), extents.data(), 0,
+      [](const std::byte* ra, std::byte* rb, std::size_t bytes) {
+        std::memcpy(rb, ra, bytes);
+      });
   return detail::finish_rma(std::move(cxs), src_base.where(), 2);
 }
 

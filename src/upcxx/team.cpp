@@ -155,7 +155,8 @@ void coll_up_dispatch(int src, Reader& r) {
   if (!c.entered) {
     const std::size_t n = r.remaining();
     std::vector<std::byte> copy(n);
-    std::memcpy(copy.data(), r.cursor(), n);
+    // Barrier contributions are empty; vector::data() is null then.
+    if (n) std::memcpy(copy.data(), r.cursor(), n);
     c.early_contribs.push_back(std::move(copy));
     return;
   }
@@ -169,7 +170,7 @@ void coll_down_dispatch(int src, Reader& r) {
   Coll& c = coll_instance(key);
   const std::size_t n = r.remaining();
   c.down_data.resize(n);
-  std::memcpy(c.down_data.data(), r.cursor(), n);
+  if (n) std::memcpy(c.down_data.data(), r.cursor(), n);
   c.got_down = true;
   coll_advance(c);
 }

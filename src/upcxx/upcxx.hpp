@@ -18,6 +18,7 @@
 #include "upcxx/global_ptr.hpp"      // IWYU pragma: export
 #include "upcxx/persona.hpp"         // IWYU pragma: export
 #include "upcxx/progress.hpp"        // IWYU pragma: export
+#include "upcxx/progress_thread.hpp" // IWYU pragma: export
 #include "upcxx/copy.hpp"            // IWYU pragma: export
 #include "upcxx/rma.hpp"             // IWYU pragma: export
 #include "upcxx/rpc.hpp"             // IWYU pragma: export

@@ -1,7 +1,8 @@
 // Parameterized completion matrix: every RMA-ish operation kind crossed
 // with every initiator-side completion kind, on the instant wire and under
 // simulated latency, on both data-motion paths (synchronous injection-time
-// memcpy and the asynchronous chunked XferEngine). Verifies two invariants
+// and the asynchronous chunked XferEngine), on both RMA wires (direct
+// arena memcpy and the AM put/get protocol). Verifies two invariants
 // for every cell:
 //   * the data actually lands (one-sided semantics);
 //   * the completion fires exactly once, via the requested mechanism, and
@@ -59,6 +60,11 @@ bool is_get(Op o) {
 
 constexpr std::size_t kN = 64;
 
+// copy_g2g's local staging buffer: deallocated only after the cell's
+// completion fired — on the asynchronous paths the copy reads it after
+// issue() returns.
+upcxx::global_ptr<long> g_staging;
+
 // Issues `op` from rank 0 against rank 1's buffer with completion `cx`;
 // returns when complete. Get-like ops fill `sink` from the remote buffer.
 template <typename Cxs>
@@ -76,11 +82,9 @@ void issue(Op op, upcxx::global_ptr<long> remote, std::vector<long>& src,
       break;
     case Op::copy_g2g: {
       // local global -> remote global
-      auto staging = upcxx::to_global_ptr(
-          upcxx::allocate<long>(kN).local());
-      std::memcpy(staging.local(), src.data(), kN * sizeof(long));
-      upcxx::copy(staging, remote, kN, std::move(cxs));
-      upcxx::deallocate(staging);
+      g_staging = upcxx::to_global_ptr(upcxx::allocate<long>(kN).local());
+      std::memcpy(g_staging.local(), src.data(), kN * sizeof(long));
+      upcxx::copy(g_staging, remote, kN, std::move(cxs));
       break;
     }
     case Op::rput_strided:
@@ -162,6 +166,10 @@ void run_cell(Op op, Cx cx) {
       }
     }
     EXPECT_TRUE(completed) << op_name(op) << "/" << cx_name(cx);
+    if (!g_staging.is_null()) {
+      upcxx::deallocate(g_staging);
+      g_staging = {};
+    }
     if (is_get(op)) {
       // The remote buffer held -7 everywhere; every get shape must deliver
       // exactly that into the local sink.
@@ -189,8 +197,8 @@ void run_cell(Op op, Cx cx) {
   upcxx::barrier();
 }
 
-using Cell =
-    std::tuple<int /*Op*/, int /*Cx*/, int /*latency_ns*/, int /*async*/>;
+using Cell = std::tuple<int /*Op*/, int /*Cx*/, int /*latency_ns*/,
+                        int /*async*/, int /*wire*/>;
 
 class CompletionMatrix : public ::testing::TestWithParam<Cell> {};
 
@@ -199,15 +207,21 @@ TEST_P(CompletionMatrix, DataLandsAndCompletionFires) {
   const Cx cx = static_cast<Cx>(std::get<1>(GetParam()));
   const int latency = std::get<2>(GetParam());
   const bool async = std::get<3>(GetParam()) != 0;
+  const bool am = std::get<4>(GetParam()) != 0;
   gex::Config cfg = testutil::test_cfg(2);
   cfg.sim_latency_ns = static_cast<std::uint64_t>(latency);
   // async cells force every contiguous transfer through the XferEngine in
-  // small chunks; sync cells disable the engine path entirely.
+  // small chunks; sync cells disable the engine path entirely (on the am
+  // wire that routes everything through single protocol requests instead).
   cfg.rma_async_min = async ? 1 : 0;
   cfg.xfer_chunk_bytes = 256;  // kN longs = 512 B -> 2 chunks
+  // wire cells pin the RMA wire explicitly (overriding any environment
+  // default) so both protocols are always covered.
+  cfg.rma_wire = am ? gex::RmaWire::kAm : gex::RmaWire::kDirect;
   const int fails = upcxx::run(cfg, [op, cx] { run_cell(op, cx); });
   EXPECT_EQ(fails, 0) << op_name(op) << "/" << cx_name(cx) << "/lat"
-                      << latency << (async ? "/async" : "/sync");
+                      << latency << (async ? "/async" : "/sync")
+                      << (am ? "/am" : "/direct");
 }
 
 INSTANTIATE_TEST_SUITE_P(
@@ -215,12 +229,14 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::Range(0, 8),  // Op
                        ::testing::Range(0, 2),  // Cx
                        ::testing::Values(0, 5000),
-                       ::testing::Range(0, 2)),  // data-motion path
+                       ::testing::Range(0, 2),   // data-motion path
+                       ::testing::Range(0, 2)),  // RMA wire
     [](const ::testing::TestParamInfo<Cell>& info) {
       return std::string(op_name(static_cast<Op>(std::get<0>(info.param)))) +
              "_" + cx_name(static_cast<Cx>(std::get<1>(info.param))) +
              (std::get<2>(info.param) ? "_lat" : "_instant") +
-             (std::get<3>(info.param) ? "_async" : "_sync");
+             (std::get<3>(info.param) ? "_async" : "_sync") +
+             (std::get<4>(info.param) ? "_am" : "_direct");
     });
 
 // Future completion is the default path, checked across ops separately

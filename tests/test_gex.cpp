@@ -393,4 +393,36 @@ TEST(Config, XferEnvParsing) {
   unsetenv("UPCXX_RMA_ASYNC_MIN");
 }
 
+TEST(Config, RmaWireParsingAndResolution) {
+  // Preserve any wire the surrounding test run pinned (the CI am-wire
+  // matrix job exports UPCXX_RMA_WIRE=am).
+  const char* saved = getenv("UPCXX_RMA_WIRE");
+  const std::string saved_val = saved ? saved : "";
+
+  unsetenv("UPCXX_RMA_WIRE");
+  gex::Config c;
+  EXPECT_EQ(c.rma_wire, gex::RmaWire::kAuto);
+  // Auto resolves to direct on the cross-mapped arena.
+  EXPECT_EQ(gex::resolve_rma_wire(c), gex::RmaWire::kDirect);
+
+  setenv("UPCXX_RMA_WIRE", "am", 1);
+  EXPECT_EQ(gex::Config::from_env().rma_wire, gex::RmaWire::kAm);
+  // Hand-built Configs left at kAuto still honor the env override...
+  EXPECT_EQ(gex::resolve_rma_wire(c), gex::RmaWire::kAm);
+  // ...but an explicit wire beats the environment.
+  c.rma_wire = gex::RmaWire::kDirect;
+  EXPECT_EQ(gex::resolve_rma_wire(c), gex::RmaWire::kDirect);
+
+  setenv("UPCXX_RMA_WIRE", "direct", 1);
+  EXPECT_EQ(gex::Config::from_env().rma_wire, gex::RmaWire::kDirect);
+  // Typos degrade to auto (with a warning), never abort.
+  setenv("UPCXX_RMA_WIRE", "smp", 1);
+  EXPECT_EQ(gex::Config::from_env().rma_wire, gex::RmaWire::kAuto);
+
+  if (saved)
+    setenv("UPCXX_RMA_WIRE", saved_val.c_str(), 1);
+  else
+    unsetenv("UPCXX_RMA_WIRE");
+}
+
 }  // namespace

@@ -59,6 +59,47 @@ TEST(ProcessBackend, RmaPutGetAcrossProcesses) {
   EXPECT_EQ(fails, 0);
 }
 
+TEST(ProcessBackend, RmaOnAmWireAcrossProcesses) {
+  // The AM put/get protocol across forked processes: cookies and pending
+  // maps are per-process, only wire records (ring/heap) cross the fork,
+  // and the engine path chunks large transfers into request/ack rounds.
+  gex::Config cfg = testutil::test_cfg(4);
+  cfg.backend = gex::Backend::kProcess;
+  cfg.rma_wire = gex::RmaWire::kAm;
+  cfg.rma_async_min = 4 << 10;
+  cfg.xfer_chunk_bytes = 4 << 10;
+  const int fails = upcxx::run(cfg, [] {
+    const int me = upcxx::rank_me(), P = upcxx::rank_n();
+    constexpr std::size_t kN = 4096;  // 32 KB of longs: rides the engine
+    auto mine = upcxx::new_array<long>(kN);
+    auto ptrs = upcxx::allgather(mine).wait();
+    upcxx::barrier();
+    const int nb = (me + 1) % P;
+    std::vector<long> pat(kN);
+    for (std::size_t i = 0; i < kN; ++i)
+      pat[i] = me * 100000 + static_cast<long>(i);
+    upcxx::rput(pat.data(), ptrs[nb], kN).wait();
+    // Scalar put under the engine threshold: the single-request path.
+    upcxx::rput(static_cast<long>(me), ptrs[nb]).wait();
+    upcxx::barrier();
+    const int left = (me + P - 1) % P;
+    require(mine.local()[0] == left, "small am put landed");
+    for (std::size_t i = 1; i < kN; ++i)
+      require(mine.local()[i] == left * 100000 + static_cast<long>(i),
+              "chunked am put landed");
+    std::vector<long> back(kN, 0);
+    upcxx::rget(ptrs[nb], back.data(), kN).wait();
+    require(back[0] == me, "am rget sees my small put");
+    for (std::size_t i = 1; i < kN; ++i)
+      require(back[i] == me * 100000 + static_cast<long>(i),
+              "am rget returns what I put");
+    upcxx::barrier();
+    upcxx::delete_array(mine, kN);
+    upcxx::barrier();
+  });
+  EXPECT_EQ(fails, 0);
+}
+
 TEST(ProcessBackend, RpcWithNontrivialArgsAcrossProcesses) {
   const int fails = run_forked(4, [] {
     const int me = upcxx::rank_me(), P = upcxx::rank_n();

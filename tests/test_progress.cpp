@@ -133,7 +133,12 @@ TEST(SimLatency, OverlapHidesLatency) {
   // computation. With N independent puts issued before waiting, total time
   // should be ~1 RTT, not N RTTs.
   gex::Config cfg = testutil::test_cfg(2);
-  cfg.sim_latency_ns = 100000;  // 100 us per hop
+  // 1 ms per hop: the far-less-than-serialized bound (16 ms vs >= 32 ms
+  // serialized) then leaves >10 ms of absolute slack, which covers
+  // scheduler/sanitizer noise — on the am wire completion also rides the
+  // peer's progress, so the slack must absorb a descheduled peer, not
+  // just local jitter.
+  cfg.sim_latency_ns = 1000000;
   int fails = upcxx::run(cfg, [] {
     constexpr int kOps = 16;
     auto mine = upcxx::allocate<int>(kOps);
@@ -146,8 +151,8 @@ TEST(SimLatency, OverlapHidesLatency) {
       upcxx::rput(i, peer + i, upcxx::operation_cx::as_promise(p));
     p.finalize().wait();
     const auto dt = arch::now_ns() - t0;
-    EXPECT_GE(dt, 2 * 100000ull);      // at least one RTT
-    EXPECT_LT(dt, kOps * 100000ull);   // far less than serialized RTTs
+    EXPECT_GE(dt, 2 * 1000000ull);     // at least one RTT
+    EXPECT_LT(dt, kOps * 1000000ull);  // far less than serialized RTTs
     upcxx::barrier();
     upcxx::deallocate(mine);
   });
