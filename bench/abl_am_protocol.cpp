@@ -6,7 +6,9 @@
 // only a descriptor crosses the ring (zero-copy delivery via view
 // adoption). This bench sweeps RPC payload size for two thresholds to show
 // the crossover and justify the 8 KiB default.
+#include <algorithm>
 #include <atomic>
+#include <cstdint>
 #include <cstdio>
 #include <vector>
 
@@ -164,7 +166,64 @@ int main() {
     }
   }
 
+  // ---- flow-control window sweep (UPCXX_AM_WINDOW) -------------------------
+  // The credit window caps unacknowledged requests per target; the sweep
+  // makes the knee visible next to the eager/rendezvous crossover above.
+  // W=1 is fully serialized (each put waits out its predecessor's ack);
+  // widening the window pipelines request/ack rounds until the in-flight
+  // staging outgrows the cache and the curve flattens or dips.
+  const std::vector<std::uint32_t> windows{1, 4, 16, 64};
+  constexpr std::size_t kSweepBytes = 32 << 10;  // staged-pool puts
+  static std::vector<double> win_mbs;
+  win_mbs.clear();
+  for (std::uint32_t w : windows) {
+    gex::Config cfg = gex::Config::from_env();
+    cfg.ranks = 2;
+    cfg.rma_wire = gex::RmaWire::kAm;
+    cfg.rma_async_min = 0;  // one protocol request per rput
+    cfg.am_window = w;
+    cfg.ring_bytes = 1 << 20;
+    cfg.heap_bytes = 128 << 20;
+    const int iters = static_cast<int>(256 * benchutil::work_scale());
+    static double s_mbs;
+    int fails = upcxx::run(cfg, [iters] {
+      static upcxx::global_ptr<char> remote;
+      if (upcxx::rank_me() == 1) remote = upcxx::allocate<char>(kSweepBytes);
+      upcxx::barrier();
+      if (upcxx::rank_me() == 0) {
+        std::vector<char> buf(kSweepBytes, 'w');
+        upcxx::rput(buf.data(), remote, kSweepBytes).wait();  // warm
+        upcxx::promise<> p;
+        const double t0 = arch::now_s();
+        for (int i = 0; i < iters; ++i) {
+          upcxx::rput(buf.data(), remote, kSweepBytes,
+                      upcxx::operation_cx::as_promise(p));
+          if (!(i % 8)) upcxx::progress();
+        }
+        p.finalize().wait();
+        s_mbs = static_cast<double>(kSweepBytes) * iters /
+                (arch::now_s() - t0) / 1e6;
+      }
+      upcxx::barrier();
+      if (upcxx::rank_me() == 1) upcxx::deallocate(remote);
+      upcxx::barrier();
+    });
+    if (fails) return 2;
+    win_mbs.push_back(s_mbs);
+  }
+  std::printf("\nFlow-control window sweep (32KB rput flood, wire=am):\n");
+  std::printf("%10s %14s\n", "window", "rate (MB/s)");
+  for (std::size_t i = 0; i < windows.size(); ++i)
+    std::printf("%10u %14.1f\n", windows[i], win_mbs[i]);
+
   benchutil::ShapeChecks checks;
+  // The knee: any pipelining at all must beat full serialization. Compare
+  // the best windowed rate against W=1 (individual points are noisy on
+  // oversubscribed hosts; the envelope is the signal).
+  const double best_windowed =
+      *std::max_element(win_mbs.begin() + 1, win_mbs.end());
+  checks.expect(best_windowed > win_mbs[0],
+                "a pipelined window beats W=1 full serialization");
   if (crossover)
     checks.note("rma-am put eager->rendezvous crossover at " +
                 benchutil::human_size(crossover));
@@ -187,5 +246,13 @@ int main() {
                 "rendezvous beats all-eager for 16KB payloads");
   checks.expect(rate[1][0] >= rate[0][0] * 0.5,
                 "default threshold not pathological for small payloads");
+  benchutil::JsonReport json("abl_am_protocol");
+  for (std::size_t i = 0; i < windows.size(); ++i)
+    json.metric("window_" + std::to_string(windows[i]) + "_mbs",
+                win_mbs[i]);
+  json.metric("window_best_vs_w1", best_windowed / win_mbs[0]);
+  if (crossover)
+    json.metric("put_crossover_bytes", static_cast<double>(crossover));
+  json.write();
   return checks.summary("abl_am_protocol");
 }

@@ -221,11 +221,16 @@ int main() {
     static std::vector<char> src;
     if (me == 0) src.assign(kMax, 'a');
     upcxx::barrier();
-    const int trials = benchutil::reps(5, 2);
+    // Same treatment as the direct-wire flood above (volume, trial count,
+    // and a warm first put): the series are divided into each other below,
+    // so asymmetric measurement would misstate the protocol cost.
+    const int trials = benchutil::reps(10, 3);
+    if (me == 0) upcxx::rput(src.data(), peer, kMax).wait();
+    upcxx::barrier();
     for (std::size_t size : {std::size_t{8} << 10, std::size_t{256} << 10,
                              kMax}) {
       const auto volume = static_cast<std::size_t>(
-          (32u << 20) * benchutil::work_scale());
+          (64u << 20) * benchutil::work_scale());
       const int iters =
           static_cast<int>(std::max<std::size_t>(8, volume / size));
       double best = 0;
@@ -247,15 +252,22 @@ int main() {
                 r.mbs);
   const double am_vs_direct = am_rows.back().mbs / big.upcxx_mbs;
   {
-    char nbuf[128];
+    char nbuf[160];
     std::snprintf(nbuf, sizeof nbuf,
                   "am wire reaches %.0f%% of direct-wire bandwidth at 4MB "
-                  "(extra staging copy + ack round)",
+                  "(credit window + pooled bounce staging + batched acks; "
+                  "the residual is the extra copy)",
                   100 * am_vs_direct);
     checks.note(nbuf);
   }
-  checks.expect(am_rows.back().mbs > 0.05 * big.upcxx_mbs,
-                "am-wire flood moves data at a sane fraction of direct");
+  // Flow control + hot pooled staging + ack batching keep the request/ack
+  // protocol within shouting distance of the direct memcpy wire (was ~35%
+  // before the transport performance layer). The floor leaves margin for
+  // scheduler noise on oversubscribed single-core hosts; the JSON metric
+  // carries the exact ratio.
+  checks.expect(am_vs_direct >= 0.5,
+                "am-wire flood reaches at least half of direct-wire "
+                "bandwidth at 4MB");
 
   benchutil::JsonReport json("fig3_rma_bandwidth");
   json.metric("midrange_peak_ratio", best_mid_ratio);

@@ -43,6 +43,13 @@ RmaWire parse_rma_wire(const char* v) {
 
 }  // namespace
 
+std::uint32_t resolve_am_window(const Config& cfg) {
+  if (cfg.am_window != 0) return cfg.am_window;
+  if (long v = env_long("UPCXX_AM_WINDOW", 0); v > 0)
+    return static_cast<std::uint32_t>(v);
+  return kDefaultAmWindow;
+}
+
 RmaWire resolve_rma_wire(const Config& cfg) {
   RmaWire w = cfg.rma_wire;
   if (w == RmaWire::kAuto) {
@@ -78,6 +85,9 @@ void Config::normalize() {
   // 256 bytes would make per-chunk bookkeeping dominate the copies.
   if (sim_bw_gbps < 0) sim_bw_gbps = 0;
   if (xfer_chunk_bytes < 256) xfer_chunk_bytes = 256;
+  // am_window 0 means auto (resolve_am_window consults the environment),
+  // so normalize leaves it alone.
+  if (am_xfer_chunk_bytes < 256) am_xfer_chunk_bytes = 256;
 }
 
 Config Config::from_env() {
@@ -131,6 +141,22 @@ Config Config::from_env() {
   if (const char* v = std::getenv("UPCXX_RMA_WIRE"); v && *v) {
     c.rma_wire = parse_rma_wire(v);
   }
+  // 0 (auto) stays 0 unless the environment names a window; resolution to
+  // the concrete default happens in resolve_am_window at launch.
+  if (long v = env_long("UPCXX_AM_WINDOW", 0); v != 0) {
+    if (v > 0) {
+      c.am_window = static_cast<std::uint32_t>(v);
+    } else {
+      std::fprintf(stderr,
+                   "gex: ignoring UPCXX_AM_WINDOW=%ld (must be positive)\n",
+                   v);
+    }
+  }
+  c.am_xfer_chunk_bytes =
+      static_cast<std::size_t>(env_positive(
+          "UPCXX_AM_CHUNK_KB",
+          static_cast<long>(c.am_xfer_chunk_bytes >> 10)))
+      << 10;
   c.agg_enabled = env_long("UPCXX_AGG", 1) != 0;
   c.agg_max_bytes = static_cast<std::size_t>(env_positive(
       "UPCXX_AGG_MAX_BYTES", static_cast<long>(c.agg_max_bytes)));

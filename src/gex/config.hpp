@@ -52,6 +52,23 @@ struct Config {
   std::size_t rma_async_min = 64 << 10;   // UPCXX_RMA_ASYNC_MIN (bytes)
   // RMA wire selection (see enum above).
   RmaWire rma_wire = RmaWire::kAuto;      // UPCXX_RMA_WIRE=auto|direct|am
+  // AM-wire flow control: at most this many unacknowledged protocol
+  // requests (put/get/fragment records) in flight per target; further
+  // requests queue sender-side and are released as acks retire credits.
+  // Small windows serialize (W=1 is the worst-case CI job); large windows
+  // let a flood fill the target's ring and staging heap — and blow the
+  // in-flight staging (window × chunk) out of cache, which is what caps
+  // am-wire bandwidth (see am_xfer_chunk_bytes). 0 = auto: consult
+  // UPCXX_AM_WINDOW (so hand-built test Configs honor the CI matrix, like
+  // rma_wire's kAuto), else kDefaultAmWindow. An explicit value wins over
+  // the environment.
+  std::uint32_t am_window = 0;            // UPCXX_AM_WINDOW
+  // Chunk granularity on the am wire: the engine uses
+  // min(xfer_chunk_bytes, am_xfer_chunk_bytes) there, so explicit small
+  // test chunkings still apply while the default transfers keep their
+  // in-flight staging footprint (window × chunk) inside L2 — the bounce
+  // pool only pays off while the target consumes a chunk before it cools.
+  std::size_t am_xfer_chunk_bytes = 64 << 10;  // UPCXX_AM_CHUNK_KB
 
   // Loads defaults overridden by environment variables; the result is
   // normalized.
@@ -71,5 +88,10 @@ struct Config {
 // target segment on this arena is cross-mapped. An explicitly set kDirect /
 // kAm always wins over the environment.
 RmaWire resolve_rma_wire(const Config& cfg);
+
+// Resolves a Config's am_window: an explicit (non-zero) value wins;
+// 0 (auto) consults UPCXX_AM_WINDOW, else the default below.
+inline constexpr std::uint32_t kDefaultAmWindow = 8;
+std::uint32_t resolve_am_window(const Config& cfg);
 
 }  // namespace gex

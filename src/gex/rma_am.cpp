@@ -2,7 +2,9 @@
 
 #include <cassert>
 #include <cstring>
+#include <thread>
 
+#include "arch/spinlock.hpp"
 #include "gex/handlers.hpp"
 #include "gex/runtime.hpp"
 
@@ -13,30 +15,62 @@ namespace {
 // Wire record headers. Always memcpy'd to/from the ring (record payloads
 // are only 4-byte aligned). Cookies are initiator-local ids; `dst`/`addr`
 // fields are addresses in the owning rank's cross-mapped segment — data
-// addresses, never code pointers (the same contract as RdzvDesc).
+// addresses, never code pointers (the same contract as RdzvDesc). Every
+// header carries `nacks`: the count of piggybacked ack cookies (u64 each)
+// laid out immediately after the header, ahead of any descriptors or
+// payload — reverse-direction traffic retires the sender's completions for
+// free.
 struct PutHdr {
   std::uint64_t cookie;
   std::uint64_t dst;
+  std::uint32_t nacks;
+  std::uint32_t reserved;
 };
 struct GetHdr {
   std::uint64_t cookie;
   std::uint64_t src;
   std::uint64_t bytes;
+  std::uint32_t nacks;
+  std::uint32_t reserved;
 };
 struct FragHdr {
   std::uint64_t cookie;
   std::uint32_t nfrags;
+  std::uint32_t nacks;
+};
+// Pool-staged put: the payload sits in an initiator-owned bounce buffer in
+// the shared heap; only this descriptor crosses the ring. The target copies
+// and acks; the ack hands the buffer back to the initiator's pool. The
+// staged-frag variant packs [nfrags × FragDesc][payload] into the buffer.
+struct PutStagedHdr {
+  std::uint64_t cookie;
+  std::uint64_t dst;
+  std::uint64_t buf;
+  std::uint64_t bytes;
+  std::uint32_t nacks;
   std::uint32_t reserved;
+};
+struct FragStagedHdr {
+  std::uint64_t cookie;
+  std::uint64_t buf;
+  std::uint64_t payload_bytes;
+  std::uint32_t nfrags;
+  std::uint32_t nacks;
 };
 struct FragDesc {
   std::uint64_t addr;
   std::uint64_t bytes;
 };
+// Standalone multi-ack record: every ack owed to one target, batched per
+// poll into one ring transaction.
 struct AckHdr {
-  std::uint64_t cookie;
+  std::uint32_t nacks;
+  std::uint32_t reserved;
 };
 struct RepHdr {
   std::uint64_t cookie;
+  std::uint32_t nacks;
+  std::uint32_t reserved;
 };
 
 template <typename H>
@@ -44,6 +78,15 @@ H read_hdr(const void* p) {
   H h;
   std::memcpy(&h, p, sizeof h);
   return h;
+}
+
+constexpr std::size_t ack_bytes(std::size_t nacks) {
+  return nacks * sizeof(std::uint64_t);
+}
+
+std::byte* write_acks(std::byte* q, const std::vector<std::uint64_t>& acks) {
+  if (!acks.empty()) std::memcpy(q, acks.data(), ack_bytes(acks.size()));
+  return q + ack_bytes(acks.size());
 }
 
 RmaAmProtocol& proto() {
@@ -59,23 +102,51 @@ RmaAmProtocol& proto() {
 // gex handler registry at static initialization via am_handler<>, so every
 // rank — thread or fork — agrees on the indices.
 struct RmaAmHandlers {
+  // Retires `n` piggybacked ack cookies and returns the cursor past them.
+  static const std::byte* consume_acks(RmaAmProtocol& p, const std::byte* q,
+                                       std::uint32_t n) {
+    for (std::uint32_t i = 0; i < n; ++i) {
+      std::uint64_t cookie;
+      std::memcpy(&cookie, q + i * sizeof cookie, sizeof cookie);
+      p.completed_.push_back(cookie);
+    }
+    return q + ack_bytes(n);
+  }
+
   static void on_put(AmContext& cx) {
     auto& p = proto();
     const auto h = read_hdr<PutHdr>(cx.data);
-    const auto* payload =
-        static_cast<const std::byte*>(cx.data) + sizeof(PutHdr);
-    std::memcpy(reinterpret_cast<void*>(
-                    static_cast<std::uintptr_t>(h.dst)),
-                payload, cx.size - sizeof(PutHdr));
-    p.acks_.push_back({cx.src, h.cookie});
+    const auto* q = static_cast<const std::byte*>(cx.data) + sizeof(PutHdr);
+    q = consume_acks(p, q, h.nacks);
+    std::memcpy(
+        reinterpret_cast<void*>(static_cast<std::uintptr_t>(h.dst)), q,
+        cx.size - sizeof(PutHdr) - ack_bytes(h.nacks));
+    p.peer(cx.src).acks_owed.push_back(h.cookie);
     ++p.stats_.puts_handled;
   }
 
-  static void on_put_frag(AmContext& cx) {
+  static void on_put_staged(AmContext& cx) {
     auto& p = proto();
-    const auto h = read_hdr<FragHdr>(cx.data);
-    const auto* base = static_cast<const std::byte*>(cx.data);
-    const auto* descs = base + sizeof(FragHdr);
+    const auto h = read_hdr<PutStagedHdr>(cx.data);
+    consume_acks(p, static_cast<const std::byte*>(cx.data) +
+                        sizeof(PutStagedHdr),
+                 h.nacks);
+    std::memcpy(
+        reinterpret_cast<void*>(static_cast<std::uintptr_t>(h.dst)),
+        reinterpret_cast<const void*>(static_cast<std::uintptr_t>(h.buf)),
+        static_cast<std::size_t>(h.bytes));
+    p.peer(cx.src).acks_owed.push_back(h.cookie);
+    ++p.stats_.puts_handled;
+  }
+
+  static void on_put_frag_staged(AmContext& cx) {
+    auto& p = proto();
+    const auto h = read_hdr<FragStagedHdr>(cx.data);
+    consume_acks(p, static_cast<const std::byte*>(cx.data) +
+                        sizeof(FragStagedHdr),
+                 h.nacks);
+    const auto* descs =
+        reinterpret_cast<const std::byte*>(static_cast<std::uintptr_t>(h.buf));
     const auto* payload = descs + h.nfrags * sizeof(FragDesc);
     std::size_t off = 0;
     for (std::uint32_t i = 0; i < h.nfrags; ++i) {
@@ -85,14 +156,39 @@ struct RmaAmHandlers {
                   payload + off, static_cast<std::size_t>(d.bytes));
       off += static_cast<std::size_t>(d.bytes);
     }
-    assert(sizeof(FragHdr) + h.nfrags * sizeof(FragDesc) + off == cx.size);
-    p.acks_.push_back({cx.src, h.cookie});
+    assert(off == static_cast<std::size_t>(h.payload_bytes));
+    p.peer(cx.src).acks_owed.push_back(h.cookie);
+    ++p.stats_.puts_handled;
+  }
+
+  static void on_put_frag(AmContext& cx) {
+    auto& p = proto();
+    const auto h = read_hdr<FragHdr>(cx.data);
+    const auto* descs =
+        consume_acks(p, static_cast<const std::byte*>(cx.data) +
+                            sizeof(FragHdr),
+                     h.nacks);
+    const auto* payload = descs + h.nfrags * sizeof(FragDesc);
+    std::size_t off = 0;
+    for (std::uint32_t i = 0; i < h.nfrags; ++i) {
+      const auto d = read_hdr<FragDesc>(descs + i * sizeof(FragDesc));
+      std::memcpy(reinterpret_cast<void*>(
+                      static_cast<std::uintptr_t>(d.addr)),
+                  payload + off, static_cast<std::size_t>(d.bytes));
+      off += static_cast<std::size_t>(d.bytes);
+    }
+    assert(sizeof(FragHdr) + ack_bytes(h.nacks) +
+               h.nfrags * sizeof(FragDesc) + off ==
+           cx.size);
+    p.peer(cx.src).acks_owed.push_back(h.cookie);
     ++p.stats_.puts_handled;
   }
 
   static void on_get(AmContext& cx) {
     auto& p = proto();
     const auto h = read_hdr<GetHdr>(cx.data);
+    consume_acks(p, static_cast<const std::byte*>(cx.data) + sizeof(GetHdr),
+                 h.nacks);
     p.replies_.push_back(
         {cx.src, h.cookie, {RmaAmProtocol::Frag{h.src, h.bytes}}});
     ++p.stats_.gets_handled;
@@ -102,7 +198,9 @@ struct RmaAmHandlers {
     auto& p = proto();
     const auto h = read_hdr<FragHdr>(cx.data);
     const auto* descs =
-        static_cast<const std::byte*>(cx.data) + sizeof(FragHdr);
+        consume_acks(p, static_cast<const std::byte*>(cx.data) +
+                            sizeof(FragHdr),
+                     h.nacks);
     std::vector<RmaAmProtocol::Frag> gather;
     gather.reserve(h.nfrags);
     for (std::uint32_t i = 0; i < h.nfrags; ++i) {
@@ -114,93 +212,282 @@ struct RmaAmHandlers {
   }
 
   static void on_ack(AmContext& cx) {
-    proto().completed_.push_back(read_hdr<AckHdr>(cx.data).cookie);
+    auto& p = proto();
+    const auto h = read_hdr<AckHdr>(cx.data);
+    consume_acks(p, static_cast<const std::byte*>(cx.data) + sizeof(AckHdr),
+                 h.nacks);
+    assert(sizeof(AckHdr) + ack_bytes(h.nacks) == cx.size);
   }
 
   static void on_get_reply(AmContext& cx) {
     auto& p = proto();
     const auto h = read_hdr<RepHdr>(cx.data);
+    const auto* payload = consume_acks(
+        p, static_cast<const std::byte*>(cx.data) + sizeof(RepHdr), h.nacks);
     auto it = p.pending_.find(h.cookie);
-    assert(it != p.pending_.end() && "get reply for unknown cookie");
+    if (it == p.pending_.end()) {
+      // The request was cancelled (fail_all_peers) before this reply
+      // arrived; the landing buffers may be gone, so drop the payload.
+      ++p.stats_.stale_completions;
+      return;
+    }
     // Scatter while the payload is alive (eager payloads die with the
     // handler); completion itself is deferred to poll().
-    const auto* payload =
-        static_cast<const std::byte*>(cx.data) + sizeof(RepHdr);
     std::size_t off = 0;
     for (const auto& f : it->second.scatter) {
       std::memcpy(f.ptr, payload + off, f.bytes);
       off += f.bytes;
     }
-    assert(sizeof(RepHdr) + off == cx.size);
+    assert(sizeof(RepHdr) + ack_bytes(h.nacks) + off == cx.size);
     p.completed_.push_back(h.cookie);
   }
 };
 
-std::uint64_t RmaAmProtocol::new_pending(Done done,
+RmaAmProtocol::Peer& RmaAmProtocol::peer(int target) {
+  for (auto& p : peers_)
+    if (p.target == target) return p;
+  peers_.push_back(Peer{target, 0, {}, {}});
+  return peers_.back();
+}
+
+std::uint64_t RmaAmProtocol::new_pending(int target, Done done,
                                          std::vector<LocalFrag> scatter) {
   const std::uint64_t cookie = next_cookie_++;
-  pending_.emplace(cookie, Pending{std::move(done), std::move(scatter)});
+  pending_.emplace(cookie,
+                   Pending{target, std::move(done), std::move(scatter)});
   return cookie;
 }
 
-void RmaAmProtocol::put(int target, void* dst, const void* src,
-                        std::size_t bytes, Done done) {
-  const std::uint64_t cookie = new_pending(std::move(done), {});
-  auto sb = am_->prepare(target, am_handler<&RmaAmHandlers::on_put>(),
-                         sizeof(PutHdr) + bytes);
-  const PutHdr h{cookie, reinterpret_cast<std::uintptr_t>(dst)};
-  std::memcpy(sb.data, &h, sizeof h);
-  std::memcpy(static_cast<std::byte*>(sb.data) + sizeof h, src, bytes);
+RmaAmProtocol::StageBuf RmaAmProtocol::acquire_stage(Peer& p,
+                                                     std::size_t bytes) {
+  // Smallest pooled buffer that fits; the pool holds at most `window`
+  // entries (one per possible in-flight request), so the scan is short.
+  std::size_t best = p.stage_pool.size();
+  for (std::size_t i = 0; i < p.stage_pool.size(); ++i) {
+    if (p.stage_pool[i].cap < bytes) continue;
+    if (best == p.stage_pool.size() ||
+        p.stage_pool[i].cap < p.stage_pool[best].cap)
+      best = i;
+  }
+  if (best != p.stage_pool.size()) {
+    StageBuf b = p.stage_pool[best];
+    p.stage_pool[best] = p.stage_pool.back();
+    p.stage_pool.pop_back();
+    return b;
+  }
+  // Pool miss: carve a fresh block, rounded up so a stream of slightly
+  // varying sizes converges on one reusable size class. Spin-with-poll on
+  // an exhausted heap, like the AmEngine's rendezvous path — but bail out
+  // (returning a null buffer; the caller cancels the request) once the
+  // error flag is up: the blocks we are waiting for may be bounce buffers
+  // pinned by a dead peer's never-coming acks.
+  std::size_t cap = 4096;
+  while (cap < bytes) cap <<= 1;
+  ++stats_.stage_allocs;
+  auto& heap = am_->arena().heap();
+  for (;;) {
+    if (void* buf = heap.allocate(cap)) return StageBuf{buf, cap};
+    if (am_->arena().control().error_flag.value.load(
+            std::memory_order_acquire) != 0)
+      return StageBuf{};
+    if (am_->poll() + poll() == 0) std::this_thread::yield();
+    arch::cpu_relax();
+  }
+}
+
+void RmaAmProtocol::recycle_stage(Peer& p, StageBuf buf) {
+  if (!buf.p) return;
+  if (p.stage_pool.size() < window_) {
+    p.stage_pool.push_back(buf);
+    return;
+  }
+  am_->arena().heap().deallocate(buf.p);
+}
+
+std::vector<std::uint64_t> RmaAmProtocol::take_acks(int target) {
+  // Snapshot-and-clear before any send: the send may spin on a full ring,
+  // which polls our own inbox, whose handlers append fresh owed acks —
+  // those wait for the next record.
+  for (auto& p : peers_) {
+    if (p.target != target) continue;
+    std::vector<std::uint64_t> acks = std::move(p.acks_owed);
+    p.acks_owed.clear();
+    return acks;
+  }
+  return {};
+}
+
+void RmaAmProtocol::enqueue(Peer& p, QueuedReq q) {
+  ++stats_.requests_queued;
+  // Bounded queue: past the slack, the injecting call makes progress until
+  // a slot frees. Our own inbox keeps draining (acks retire credits, which
+  // sends queued requests), so mutual floods advance in lockstep instead of
+  // deadlocking. A set error flag means the acks may never come — park the
+  // request regardless; teardown's fail_all_peers() reclaims it.
+  const std::size_t cap = window_ + kQueueSlack;
+  while (p.sendq.size() >= cap &&
+         am_->arena().control().error_flag.value.load(
+             std::memory_order_acquire) == 0) {
+    ++stats_.send_stalls;
+    if (am_->poll() + poll() == 0) std::this_thread::yield();
+    arch::cpu_relax();
+  }
+  p.sendq.push_back(std::move(q));
+  if (p.sendq.size() > stats_.queued_peak)
+    stats_.queued_peak = p.sendq.size();
+}
+
+// A staged send found the heap exhausted while the job is failing: the
+// request can never be serviced. Cancel it the way fail_all_peers would —
+// drop the pending entry (its done callback is destroyed, not fired) and
+// return the credit the caller just consumed.
+void RmaAmProtocol::cancel_sent(Peer& p, std::uint64_t cookie) {
+  pending_.erase(cookie);
+  ++stats_.cancelled;
+  assert(p.outstanding > 0);
+  --p.outstanding;
+}
+
+void RmaAmProtocol::send_put(int target, std::uint64_t cookie,
+                             const Frag& dst, const void* src) {
+  const std::size_t bytes = static_cast<std::size_t>(dst.bytes);
+  // The eager-fit decision ignores the (yet untaken) piggyback list: if
+  // the acks push an inline record past eager_max, AmEngine::prepare
+  // falls back to its rendezvous staging transparently.
+  if (sizeof(PutHdr) + bytes <= am_->eager_max()) {
+    // Small put: payload inline in the ring record.
+    auto acks = take_acks(target);
+    auto sb = am_->prepare(target, am_handler<&RmaAmHandlers::on_put>(),
+                           sizeof(PutHdr) + ack_bytes(acks.size()) + bytes);
+    auto* q = static_cast<std::byte*>(sb.data);
+    const PutHdr h{cookie, dst.addr,
+                   static_cast<std::uint32_t>(acks.size()), 0};
+    std::memcpy(q, &h, sizeof h);
+    q = write_acks(q + sizeof h, acks);
+    std::memcpy(q, src, bytes);
+    am_->commit(sb);
+    ++stats_.puts_sent;
+    stats_.acks_piggybacked += acks.size();
+    return;
+  }
+  // Large put: payload through a pooled bounce buffer, descriptor inline.
+  Peer& p = peer(target);
+  StageBuf stage = acquire_stage(p, bytes);
+  if (!stage.p) {
+    cancel_sent(p, cookie);
+    return;
+  }
+  auto acks = take_acks(target);
+  std::memcpy(stage.p, src, bytes);
+  pending_.find(cookie)->second.stage = stage;
+  auto sb = am_->prepare(target,
+                         am_handler<&RmaAmHandlers::on_put_staged>(),
+                         sizeof(PutStagedHdr) + ack_bytes(acks.size()));
+  auto* q = static_cast<std::byte*>(sb.data);
+  const PutStagedHdr h{cookie, dst.addr,
+                       reinterpret_cast<std::uintptr_t>(stage.p),
+                       dst.bytes, static_cast<std::uint32_t>(acks.size()),
+                       0};
+  std::memcpy(q, &h, sizeof h);
+  write_acks(q + sizeof h, acks);
   am_->commit(sb);
   ++stats_.puts_sent;
+  ++stats_.puts_staged;
+  stats_.acks_piggybacked += acks.size();
 }
 
-void RmaAmProtocol::get(int target, void* dst, const void* src,
-                        std::size_t bytes, Done done) {
-  const std::uint64_t cookie =
-      new_pending(std::move(done), {LocalFrag{dst, bytes}});
-  const GetHdr h{cookie, reinterpret_cast<std::uintptr_t>(src), bytes};
-  am_->send(target, am_handler<&RmaAmHandlers::on_get>(), &h, sizeof h);
-  ++stats_.gets_sent;
-}
-
-void RmaAmProtocol::put_fragments(int target, const std::vector<Frag>& dsts,
-                                  const std::vector<LocalFrag>& srcs,
-                                  Done done) {
-  std::size_t total = 0;
-  for (const auto& s : srcs) total += s.bytes;
-  const std::uint64_t cookie = new_pending(std::move(done), {});
-  auto sb = am_->prepare(
-      target, am_handler<&RmaAmHandlers::on_put_frag>(),
-      sizeof(FragHdr) + dsts.size() * sizeof(FragDesc) + total);
+void RmaAmProtocol::send_get(int target, std::uint64_t cookie,
+                             const Frag& src) {
+  auto acks = take_acks(target);
+  auto sb = am_->prepare(target, am_handler<&RmaAmHandlers::on_get>(),
+                         sizeof(GetHdr) + ack_bytes(acks.size()));
   auto* q = static_cast<std::byte*>(sb.data);
-  const FragHdr h{cookie, static_cast<std::uint32_t>(dsts.size()), 0};
+  const GetHdr h{cookie, src.addr, src.bytes,
+                 static_cast<std::uint32_t>(acks.size()), 0};
   std::memcpy(q, &h, sizeof h);
-  q += sizeof h;
+  write_acks(q + sizeof h, acks);
+  am_->commit(sb);
+  ++stats_.gets_sent;
+  stats_.acks_piggybacked += acks.size();
+}
+
+void RmaAmProtocol::send_put_frag(int target, std::uint64_t cookie,
+                                  const std::vector<Frag>& dsts,
+                                  const LocalFrag* srcs, std::size_t nsrcs,
+                                  std::size_t total) {
+  const std::size_t desc_bytes = dsts.size() * sizeof(FragDesc);
+  if (sizeof(FragHdr) + desc_bytes + total <= am_->eager_max()) {
+    auto acks = take_acks(target);
+    auto sb = am_->prepare(
+        target, am_handler<&RmaAmHandlers::on_put_frag>(),
+        sizeof(FragHdr) + ack_bytes(acks.size()) + desc_bytes + total);
+    auto* q = static_cast<std::byte*>(sb.data);
+    const FragHdr h{cookie, static_cast<std::uint32_t>(dsts.size()),
+                    static_cast<std::uint32_t>(acks.size())};
+    std::memcpy(q, &h, sizeof h);
+    q = write_acks(q + sizeof h, acks);
+    for (const auto& d : dsts) {
+      const FragDesc fd{d.addr, d.bytes};
+      std::memcpy(q, &fd, sizeof fd);
+      q += sizeof fd;
+    }
+    // Gather the local fragments straight into the wire buffer.
+    for (std::size_t i = 0; i < nsrcs; ++i) {
+      std::memcpy(q, srcs[i].ptr, srcs[i].bytes);
+      q += srcs[i].bytes;
+    }
+    am_->commit(sb);
+    ++stats_.frag_puts_sent;
+    stats_.acks_piggybacked += acks.size();
+    return;
+  }
+  // Large scatter-put: descriptors and gathered payload go through a
+  // pooled bounce buffer; the ring record is just the staged descriptor.
+  Peer& p = peer(target);
+  StageBuf stage = acquire_stage(p, desc_bytes + total);
+  if (!stage.p) {
+    cancel_sent(p, cookie);
+    return;
+  }
+  auto acks = take_acks(target);
+  auto* q = static_cast<std::byte*>(stage.p);
   for (const auto& d : dsts) {
     const FragDesc fd{d.addr, d.bytes};
     std::memcpy(q, &fd, sizeof fd);
     q += sizeof fd;
   }
-  // Gather the local fragments straight into the wire buffer.
-  for (const auto& s : srcs) {
-    std::memcpy(q, s.ptr, s.bytes);
-    q += s.bytes;
+  for (std::size_t i = 0; i < nsrcs; ++i) {
+    std::memcpy(q, srcs[i].ptr, srcs[i].bytes);
+    q += srcs[i].bytes;
   }
+  pending_.find(cookie)->second.stage = stage;
+  auto sb = am_->prepare(target,
+                         am_handler<&RmaAmHandlers::on_put_frag_staged>(),
+                         sizeof(FragStagedHdr) + ack_bytes(acks.size()));
+  auto* w = static_cast<std::byte*>(sb.data);
+  const FragStagedHdr h{cookie, reinterpret_cast<std::uintptr_t>(stage.p),
+                        total, static_cast<std::uint32_t>(dsts.size()),
+                        static_cast<std::uint32_t>(acks.size())};
+  std::memcpy(w, &h, sizeof h);
+  write_acks(w + sizeof h, acks);
   am_->commit(sb);
   ++stats_.frag_puts_sent;
+  ++stats_.puts_staged;
+  stats_.acks_piggybacked += acks.size();
 }
 
-void RmaAmProtocol::get_fragments(int target, const std::vector<Frag>& srcs,
-                                  std::vector<LocalFrag> dsts, Done done) {
-  const std::uint64_t cookie = new_pending(std::move(done), std::move(dsts));
-  auto sb =
-      am_->prepare(target, am_handler<&RmaAmHandlers::on_get_frag>(),
-                   sizeof(FragHdr) + srcs.size() * sizeof(FragDesc));
+void RmaAmProtocol::send_get_frag(int target, std::uint64_t cookie,
+                                  const std::vector<Frag>& srcs) {
+  auto acks = take_acks(target);
+  auto sb = am_->prepare(
+      target, am_handler<&RmaAmHandlers::on_get_frag>(),
+      sizeof(FragHdr) + ack_bytes(acks.size()) +
+          srcs.size() * sizeof(FragDesc));
   auto* q = static_cast<std::byte*>(sb.data);
-  const FragHdr h{cookie, static_cast<std::uint32_t>(srcs.size()), 0};
+  const FragHdr h{cookie, static_cast<std::uint32_t>(srcs.size()),
+                  static_cast<std::uint32_t>(acks.size())};
   std::memcpy(q, &h, sizeof h);
-  q += sizeof h;
+  q = write_acks(q + sizeof h, acks);
   for (const auto& s : srcs) {
     const FragDesc fd{s.addr, s.bytes};
     std::memcpy(q, &fd, sizeof fd);
@@ -208,37 +495,150 @@ void RmaAmProtocol::get_fragments(int target, const std::vector<Frag>& srcs,
   }
   am_->commit(sb);
   ++stats_.frag_gets_sent;
+  stats_.acks_piggybacked += acks.size();
 }
 
-int RmaAmProtocol::poll() {
+void RmaAmProtocol::put(int target, void* dst, const void* src,
+                        std::size_t bytes, Done done) {
+  const std::uint64_t cookie = new_pending(target, std::move(done), {});
+  Peer& p = peer(target);
+  const Frag d{reinterpret_cast<std::uintptr_t>(dst), bytes};
+  if (has_credit(p)) {
+    note_sent(p);
+    send_put(target, cookie, d, src);
+    return;
+  }
+  // Window full: park the request with an owned payload copy — the caller
+  // may reuse src the moment we return, exactly as on the immediate path.
+  QueuedReq q{QueuedReq::kPut, cookie, {d}, {}};
+  q.payload.assign(static_cast<const std::byte*>(src),
+                   static_cast<const std::byte*>(src) + bytes);
+  enqueue(p, std::move(q));
+}
+
+void RmaAmProtocol::get(int target, void* dst, const void* src,
+                        std::size_t bytes, Done done) {
+  const std::uint64_t cookie =
+      new_pending(target, std::move(done), {LocalFrag{dst, bytes}});
+  Peer& p = peer(target);
+  const Frag s{reinterpret_cast<std::uintptr_t>(src), bytes};
+  if (has_credit(p)) {
+    note_sent(p);
+    send_get(target, cookie, s);
+    return;
+  }
+  enqueue(p, QueuedReq{QueuedReq::kGet, cookie, {s}, {}});
+}
+
+void RmaAmProtocol::put_fragments(int target, const std::vector<Frag>& dsts,
+                                  const std::vector<LocalFrag>& srcs,
+                                  Done done) {
+  std::size_t total = 0;
+  for (const auto& s : srcs) total += s.bytes;
+  const std::uint64_t cookie = new_pending(target, std::move(done), {});
+  Peer& p = peer(target);
+  if (has_credit(p)) {
+    note_sent(p);
+    send_put_frag(target, cookie, dsts, srcs.data(), srcs.size(), total);
+    return;
+  }
+  QueuedReq q{QueuedReq::kPutFrag, cookie, dsts, {}};
+  q.payload.reserve(total);
+  for (const auto& s : srcs) {
+    const auto* b = static_cast<const std::byte*>(s.ptr);
+    q.payload.insert(q.payload.end(), b, b + s.bytes);
+  }
+  enqueue(p, std::move(q));
+}
+
+void RmaAmProtocol::get_fragments(int target, const std::vector<Frag>& srcs,
+                                  std::vector<LocalFrag> dsts, Done done) {
+  const std::uint64_t cookie =
+      new_pending(target, std::move(done), std::move(dsts));
+  Peer& p = peer(target);
+  if (has_credit(p)) {
+    note_sent(p);
+    send_get_frag(target, cookie, srcs);
+    return;
+  }
+  enqueue(p, QueuedReq{QueuedReq::kGetFrag, cookie, srcs, {}});
+}
+
+int RmaAmProtocol::flush_sendq(Peer& p) {
+  int work = 0;
+  while (!p.sendq.empty() && p.outstanding < window_) {
+    QueuedReq q = std::move(p.sendq.front());
+    p.sendq.pop_front();
+    note_sent(p);
+    switch (q.kind) {
+      case QueuedReq::kPut:
+        send_put(p.target, q.cookie, q.remote[0], q.payload.data());
+        break;
+      case QueuedReq::kGet:
+        send_get(p.target, q.cookie, q.remote[0]);
+        break;
+      case QueuedReq::kPutFrag: {
+        const LocalFrag whole{q.payload.data(), q.payload.size()};
+        send_put_frag(p.target, q.cookie, q.remote, &whole, 1,
+                      q.payload.size());
+        break;
+      }
+      case QueuedReq::kGetFrag:
+        send_get_frag(p.target, q.cookie, q.remote);
+        break;
+    }
+    ++work;
+  }
+  return work;
+}
+
+int RmaAmProtocol::poll_requests() {
   int work = 0;
   // Swap-to-local idiom throughout: every send below may spin on a full
   // ring, which polls our own inbox, whose handlers append to these very
   // queues. Entries arriving mid-drain are picked up next poll.
-  if (!acks_.empty()) {
-    auto acks = std::move(acks_);
-    acks_.clear();
-    for (const auto& a : acks) {
-      const AckHdr h{a.cookie};
-      am_->send(a.target, am_handler<&RmaAmHandlers::on_ack>(), &h,
-                sizeof h);
-      ++stats_.acks_sent;
+  //
+  // Completions run first so their retired credits release queued requests
+  // within the same poll.
+  if (!completed_.empty()) {
+    auto comp = std::move(completed_);
+    completed_.clear();
+    for (const std::uint64_t cookie : comp) {
+      auto node = pending_.extract(cookie);
+      if (node.empty()) {
+        // Cancelled by fail_all_peers before the ack arrived.
+        ++stats_.stale_completions;
+        continue;
+      }
+      Peer& p = peer(node.mapped().target);
+      assert(p.outstanding > 0 && "ack for a request never sent");
+      --p.outstanding;
+      // The target is done with the bounce buffer once its ack arrived.
+      recycle_stage(p, node.mapped().stage);
+      // Extract before firing: the callback may issue new protocol ops.
+      Done done = std::move(node.mapped().done);
+      if (done) done();
       ++work;
     }
   }
+  // Freed credits release window-blocked requests (index loop: sends may
+  // reach handlers that create new peers).
+  for (std::size_t i = 0; i < peers_.size(); ++i)
+    work += flush_sendq(peers_[i]);
   if (!replies_.empty()) {
     auto reps = std::move(replies_);
     replies_.clear();
     for (const auto& r : reps) {
+      auto acks = take_acks(r.target);
       std::size_t total = 0;
       for (const auto& f : r.gather) total += f.bytes;
-      auto sb = am_->prepare(r.target,
-                             am_handler<&RmaAmHandlers::on_get_reply>(),
-                             sizeof(RepHdr) + total);
+      auto sb = am_->prepare(
+          r.target, am_handler<&RmaAmHandlers::on_get_reply>(),
+          sizeof(RepHdr) + ack_bytes(acks.size()) + total);
       auto* q = static_cast<std::byte*>(sb.data);
-      const RepHdr h{r.cookie};
+      const RepHdr h{r.cookie, static_cast<std::uint32_t>(acks.size()), 0};
       std::memcpy(q, &h, sizeof h);
-      q += sizeof h;
+      q = write_acks(q + sizeof h, acks);
       // Gather this rank's source runs at reply time — the get reads the
       // data as it exists when the target serves it, exactly like a
       // direct-wire rget reads memory at copy time.
@@ -251,22 +651,56 @@ int RmaAmProtocol::poll() {
       }
       am_->commit(sb);
       ++stats_.replies_sent;
-      ++work;
-    }
-  }
-  if (!completed_.empty()) {
-    auto comp = std::move(completed_);
-    completed_.clear();
-    for (const std::uint64_t cookie : comp) {
-      auto node = pending_.extract(cookie);
-      assert(!node.empty() && "completion for unknown cookie");
-      // Extract before firing: the callback may issue new protocol ops.
-      Done done = std::move(node.mapped().done);
-      if (done) done();
+      stats_.acks_piggybacked += acks.size();
       ++work;
     }
   }
   return work;
+}
+
+int RmaAmProtocol::flush_acks() {
+  int work = 0;
+  // Acks no request or reply carried: one multi-ack record per indebted
+  // target per flush.
+  for (std::size_t i = 0; i < peers_.size(); ++i) {
+    if (peers_[i].acks_owed.empty()) continue;
+    const int target = peers_[i].target;
+    auto acks = take_acks(target);
+    auto sb = am_->prepare(target, am_handler<&RmaAmHandlers::on_ack>(),
+                           sizeof(AckHdr) + ack_bytes(acks.size()));
+    auto* q = static_cast<std::byte*>(sb.data);
+    const AckHdr h{static_cast<std::uint32_t>(acks.size()), 0};
+    std::memcpy(q, &h, sizeof h);
+    write_acks(q + sizeof h, acks);
+    am_->commit(sb);
+    ++stats_.acks_sent;
+    stats_.ack_cookies_sent += acks.size();
+    ++work;
+  }
+  return work;
+}
+
+void RmaAmProtocol::fail_all_peers() {
+  // Every request (in flight or queued) has a pending_ entry; dropping the
+  // map cancels them all — done callbacks are destroyed, never fired, and
+  // the arena error flag is the failure signal user code observes. Bounce
+  // buffers go back to the shared heap (a dead target may still copy from
+  // one, but it reads stale bytes at worst — it can no longer complete
+  // anything).
+  stats_.cancelled += pending_.size();
+  auto& heap = am_->arena().heap();
+  for (auto& [cookie, pd] : pending_)
+    if (pd.stage.p) heap.deallocate(pd.stage.p);
+  pending_.clear();
+  completed_.clear();
+  replies_.clear();
+  for (auto& p : peers_) {
+    p.sendq.clear();
+    p.acks_owed.clear();
+    p.outstanding = 0;
+    for (auto& b : p.stage_pool) heap.deallocate(b.p);
+    p.stage_pool.clear();
+  }
 }
 
 XferEngine::WireOps RmaAmProtocol::wire_ops() {
@@ -279,6 +713,10 @@ XferEngine::WireOps RmaAmProtocol::wire_ops() {
                          std::size_t bytes, XferEngine::Callback done) {
     get(target, dst, src, bytes, std::move(done));
   };
+  // Back-pressure: the engine holds chunks (zero-cost — the source buffer
+  // is pinned until on_source anyway) while the window to this target is
+  // full, instead of piling payload copies into the sender-side queue.
+  ops.ready = [this](int target) { return can_accept(target); };
   return ops;
 }
 

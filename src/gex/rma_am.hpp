@@ -5,13 +5,17 @@
 // that property must move RMA through active messages instead; this file is
 // that protocol, shaped like the real GASNet-EX AM-based rput/rget path:
 //
-//   PUT        [PutHdr{cookie,dst}][payload]      -> memcpy at target, ACK
-//   PUT_FRAG   [FragHdr{cookie,n}][n descs][payload]
-//                                                 -> scatter at target, ACK
-//   GET        [GetHdr{cookie,src,bytes}]         -> target gathers, REPLY
-//   GET_FRAG   [FragHdr{cookie,n}][n descs]       -> target gathers, REPLY
-//   ACK        [AckHdr{cookie}]                   -> initiator completion
-//   REPLY      [RepHdr{cookie}][payload]          -> initiator scatters,
+//   PUT        [PutHdr{cookie,dst,nacks}][acks][payload]
+//                                                 -> memcpy at target, ack
+//   PUT_FRAG   [FragHdr{cookie,n,nacks}][acks][n descs][payload]
+//                                                 -> scatter at target, ack
+//   GET        [GetHdr{cookie,src,bytes,nacks}][acks]
+//                                                 -> target gathers, REPLY
+//   GET_FRAG   [FragHdr{cookie,n,nacks}][acks][n descs]
+//                                                 -> target gathers, REPLY
+//   ACK        [AckHdr{nacks}][acks]              -> initiator completions
+//   REPLY      [RepHdr{cookie,nacks}][acks][payload]
+//                                                 -> initiator scatters,
 //                                                    then completes
 //
 // Requests ride the AmEngine's existing two-protocol split: payloads at or
@@ -23,12 +27,42 @@
 // on indices; no code pointer ever rides the wire, and completion cookies
 // are opaque initiator-local ids, not addresses.
 //
+// Flow control (UPCXX_AM_WINDOW): at most `window` unacknowledged requests
+// may be in flight to one target; further requests park in the target's
+// sender-side queue and go out as acks retire credits, so a flood of puts
+// queues locally instead of spin-polling against the target's full ring and
+// staging heap. The queue itself is bounded (kQueueSlack beyond the
+// window); when it fills, the *injecting* call makes progress — polling our
+// own inbox, which retires credits — until a slot frees, which is
+// deadlock-free for the same reason the AmEngine's ring-full spin is: every
+// stuck sender still drains its own inbox. Replies and acks never consume
+// credits (a credit-gated ack would deadlock the very window it retires).
+//
+// Ack aggregation: every ack this rank owes is batched — all acks owed to
+// one target per poll() collapse into a single multi-ack record, and any
+// request or reply headed toward a peer carries the acks owed to that peer
+// piggybacked after its header. A chunked transfer's ack traffic therefore
+// costs a handful of ring transactions instead of one per chunk.
+//
+// Pooled put staging: a put payload too large to ride inline goes through
+// a per-peer pool of recycled shared-heap bounce buffers instead of the
+// AmEngine's allocate-per-message rendezvous path. The initiator copies
+// into a pool buffer, ships a small inline descriptor record, and gets the
+// buffer back when the target's ack arrives (the ack that already drives
+// completion — no extra traffic). The pool is bounded by the credit window
+// (at most `window` buffers can be in flight), so a steady chunked stream
+// cycles through the same few cache-hot buffers with no allocator traffic
+// — which is what lets the am wire track the direct wire's bandwidth
+// instead of paying a cold DRAM round trip per chunk.
+//
 // Execution model (the part that differs from the direct wire): data lands
 // when the *target* runs the request handler inside its AmEngine::poll —
 // i.e. during any internal progress the target makes — not at initiator
 // injection. Ring FIFO per rank pair still guarantees the barrier ordering:
 // requests issued before a barrier message are handled at the target before
-// the barrier message is, so "put, barrier, read" keeps its meaning.
+// the barrier message is, so "put, barrier, read" keeps its meaning —
+// upcxx's barrier entry drains both the XferEngine's pending chunks and
+// this protocol's sender-side queue before contributing to the barrier.
 //
 // Handler discipline: request handlers only copy bytes and *record* the ack
 // or reply to send; nothing is injected from inside a handler (a reply send
@@ -42,6 +76,7 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <unordered_map>
 #include <vector>
 
@@ -55,6 +90,11 @@ class RmaAmProtocol {
  public:
   using Done = arch::UniqueFunction<void()>;
 
+  // Sender-side queue slots beyond the window before an injecting call
+  // blocks (making progress while it waits). Bounds the payload copies a
+  // flood can park in private memory.
+  static constexpr std::size_t kQueueSlack = 64;
+
   // A contiguous run in the *remote* rank's address space (cross-mapped
   // today; an opaque segment offset on a future distributed backend).
   struct Frag {
@@ -67,11 +107,16 @@ class RmaAmProtocol {
     std::size_t bytes;
   };
 
-  explicit RmaAmProtocol(AmEngine* am) : am_(am) {}
+  // `window` is a resolved value (gex::resolve_am_window at launch).
+  explicit RmaAmProtocol(AmEngine* am,
+                         std::uint32_t window = kDefaultAmWindow)
+      : am_(am), window_(window ? window : 1) {}
 
-  // Contiguous put: copies `bytes` from src into the wire before returning
-  // (the initiator may reuse src immediately); `done` fires from a later
-  // poll() once the target has memcpy'd the payload and its ack arrived.
+  // Contiguous put: the payload leaves src before this call returns (the
+  // initiator may reuse src immediately) — copied into the wire when a
+  // credit is available, into the sender-side queue otherwise. `done` fires
+  // from a later poll() once the target has memcpy'd the payload and its
+  // ack arrived.
   void put(int target, void* dst, const void* src, std::size_t bytes,
            Done done);
 
@@ -81,8 +126,9 @@ class RmaAmProtocol {
            Done done);
 
   // Scatter-put: local fragments are gathered directly into the request
-  // payload (no intermediate staging buffer); the target scatters into
-  // `dsts` in order. Total source and destination bytes must match.
+  // payload (or the queue buffer when the window is full); the target
+  // scatters into `dsts` in order. Total source and destination bytes must
+  // match.
   void put_fragments(int target, const std::vector<Frag>& dsts,
                      const std::vector<LocalFrag>& srcs, Done done);
 
@@ -92,18 +138,65 @@ class RmaAmProtocol {
   void get_fragments(int target, const std::vector<Frag>& srcs,
                      std::vector<LocalFrag> dsts, Done done);
 
-  // Sends deferred acks/replies and fires due completion callbacks. Called
-  // from internal progress after AmEngine::poll (upcxx::progress does;
-  // run_rank's teardown loop does for raw-gex users). Returns the number
-  // of actions performed.
-  int poll();
+  // Fires due completion callbacks (returning their credits and releasing
+  // queued requests), sends queued requests as credits allow, and flushes
+  // deferred acks/replies — acks owed to one target coalesce into a single
+  // multi-ack record per call. Called from internal progress after
+  // AmEngine::poll (upcxx::progress does; run_rank's teardown loop does for
+  // raw-gex users). Returns the number of actions performed.
+  //
+  // Equivalent to poll_requests() + flush_acks(). Drivers that issue more
+  // protocol traffic between the two (upcxx internal progress runs the
+  // XferEngine in between, whose chunk requests are the natural piggyback
+  // carriers) call the halves explicitly so owed acks get a chance to ride
+  // reverse traffic before a standalone record is spent on them.
+  int poll() { return poll_requests() + flush_acks(); }
 
-  // No requests awaiting completion and nothing queued to send.
+  // Completions, queued-request release, and deferred replies — everything
+  // except standalone ack records.
+  int poll_requests();
+
+  // One multi-ack record per target still owed acks after the piggyback
+  // opportunities above.
+  int flush_acks();
+
+  // No requests awaiting completion (in flight or queued) and nothing
+  // deferred to send.
   bool idle() const {
-    return pending_.empty() && acks_.empty() && replies_.empty() &&
-           completed_.empty();
+    if (!pending_.empty() || !replies_.empty() || !completed_.empty())
+      return false;
+    for (const auto& p : peers_)
+      if (!p.sendq.empty() || !p.acks_owed.empty()) return false;
+    return true;
   }
+  // Requests not yet completed, whether on the wire or still queued.
   std::size_t outstanding() const { return pending_.size(); }
+  // Requests parked sender-side waiting for credits.
+  std::size_t queued() const {
+    std::size_t n = 0;
+    for (const auto& p : peers_) n += p.sendq.size();
+    return n;
+  }
+  std::uint32_t window() const { return window_; }
+
+  // True when a request to `target` would go straight onto the wire (a
+  // credit is free and nothing is queued ahead of it). The XferEngine's
+  // chunk movers consult this (WireOps::ready) so chunks wait in the
+  // engine — where they cost nothing — instead of piling up payload copies
+  // in the sender-side queue.
+  bool can_accept(int target) const {
+    for (const auto& p : peers_)
+      if (p.target == target)
+        return p.sendq.empty() && p.outstanding < window_;
+    return true;
+  }
+
+  // Teardown giving-up path: a peer (or the whole job) failed, its acks and
+  // replies will never arrive. Releases every credit, cancels queued and
+  // in-flight requests (their `done` callbacks are destroyed, not fired —
+  // the arena error flag is the failure signal), and drops owed acks so no
+  // later poll tries to send into a dead rank's possibly-full ring.
+  void fail_all_peers();
 
   // XferEngine chunk movers backed by this protocol — install with
   // XferEngine::set_wire to put the chunked engine on the am wire.
@@ -116,34 +209,100 @@ class RmaAmProtocol {
     std::uint64_t frag_gets_sent = 0;
     std::uint64_t puts_handled = 0;
     std::uint64_t gets_handled = 0;
-    std::uint64_t acks_sent = 0;
+    std::uint64_t acks_sent = 0;       // standalone multi-ack records
+    std::uint64_t ack_cookies_sent = 0;  // cookies in standalone records
+    std::uint64_t acks_piggybacked = 0;  // cookies on reverse traffic
     std::uint64_t replies_sent = 0;
+    std::uint64_t requests_queued = 0;   // parked for lack of a credit
+    std::uint64_t send_stalls = 0;       // spins waiting for a queue slot
+    std::uint64_t max_outstanding = 0;   // peak in-flight to any one target
+    std::uint64_t queued_peak = 0;       // peak sender-side queue depth
+    std::uint64_t cancelled = 0;         // dropped by fail_all_peers
+    std::uint64_t stale_completions = 0;  // acks/replies after a cancel
+    std::uint64_t puts_staged = 0;       // puts through the bounce pool
+    std::uint64_t stage_allocs = 0;      // pool misses (fresh heap blocks)
   };
   const Stats& stats() const { return stats_; }
 
  private:
   friend struct RmaAmHandlers;  // the registered AM handlers (rma_am.cpp)
 
+  // A pool bounce buffer (shared-heap block, identical mapping in every
+  // rank — the same addressing contract as rendezvous buffers).
+  struct StageBuf {
+    void* p = nullptr;
+    std::size_t cap = 0;
+  };
   struct Pending {
+    int target;
     Done done;
     std::vector<LocalFrag> scatter;  // gets: local landing runs, wire order
+    StageBuf stage;  // staged puts: recycled into the pool on ack
   };
-  struct QueuedAck {
-    int target;
+  // A window-blocked request. Puts own their payload (the caller's source
+  // buffer is reusable the moment the injecting call returns); gets keep
+  // their scatter list in pending_ like every other get.
+  struct QueuedReq {
+    enum Kind : std::uint8_t { kPut, kGet, kPutFrag, kGetFrag };
+    Kind kind;
     std::uint64_t cookie;
+    std::vector<Frag> remote;  // put/get: one entry; frags: the desc list
+    std::vector<std::byte> payload;  // puts only
   };
   struct QueuedReply {
     int target;
     std::uint64_t cookie;
     std::vector<Frag> gather;  // local (this rank's) source runs
   };
+  // Per-target sender and receiver state: the credit window, the queue of
+  // window-blocked requests, and the acks this rank owes that target.
+  struct Peer {
+    int target;
+    std::uint32_t outstanding = 0;  // requests on the wire, not yet retired
+    std::deque<QueuedReq> sendq;
+    std::vector<std::uint64_t> acks_owed;
+    std::vector<StageBuf> stage_pool;  // free bounce buffers, ready to reuse
+  };
 
-  std::uint64_t new_pending(Done done, std::vector<LocalFrag> scatter);
+  Peer& peer(int target);
+  // Null .p when the job is failing and the heap is exhausted (the blocks
+  // may be pinned by a dead peer's unacked requests) — the caller cancels.
+  StageBuf acquire_stage(Peer& p, std::size_t bytes);
+  void recycle_stage(Peer& p, StageBuf buf);
+  void cancel_sent(Peer& p, std::uint64_t cookie);
+  std::uint64_t new_pending(int target, Done done,
+                            std::vector<LocalFrag> scatter);
+  // Drains the acks owed to `target` for embedding in an outgoing record.
+  std::vector<std::uint64_t> take_acks(int target);
+  bool has_credit(const Peer& p) const {
+    return p.sendq.empty() && p.outstanding < window_;
+  }
+  void note_sent(Peer& p) {
+    ++p.outstanding;
+    if (p.outstanding > stats_.max_outstanding)
+      stats_.max_outstanding = p.outstanding;
+  }
+  void enqueue(Peer& p, QueuedReq q);
+  // Sends queued requests while credits allow; returns actions performed.
+  int flush_sendq(Peer& p);
+
+  // Wire writers. Each drains the target's owed acks into the record.
+  void send_put(int target, std::uint64_t cookie, const Frag& dst,
+                const void* src);
+  void send_get(int target, std::uint64_t cookie, const Frag& src);
+  void send_put_frag(int target, std::uint64_t cookie,
+                     const std::vector<Frag>& dsts, const LocalFrag* srcs,
+                     std::size_t nsrcs, std::size_t total);
+  void send_get_frag(int target, std::uint64_t cookie,
+                     const std::vector<Frag>& srcs);
 
   AmEngine* am_;
+  std::uint32_t window_;
   std::uint64_t next_cookie_ = 1;
   std::unordered_map<std::uint64_t, Pending> pending_;  // initiator side
-  std::vector<QueuedAck> acks_;        // target side, deferred to poll()
+  // Few peers; linear scan. A deque so references stay valid when a
+  // completion callback's request creates a new peer mid-iteration.
+  std::deque<Peer> peers_;
   std::vector<QueuedReply> replies_;   // target side, deferred to poll()
   std::vector<std::uint64_t> completed_;  // acked/replied, done not yet run
   Stats stats_;

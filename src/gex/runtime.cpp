@@ -8,6 +8,7 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cassert>
 #include <cstdio>
@@ -31,14 +32,20 @@ int run_rank(Arena* arena, int r, const std::function<void()>& fn) {
   rank.am = &engine;
   Aggregator aggregator(&engine);
   rank.agg = &aggregator;
-  XferEngine xfer_engine(arena->config().xfer_chunk_bytes,
-                         arena->config().sim_bw_gbps);
-  rank.xfer = &xfer_engine;
-  RmaAmProtocol rma_am_proto(&engine);
-  rank.rma_am = &rma_am_proto;
   // Wire selection: on the am wire the engine's chunk movers are the AM
   // protocol; on the direct wire the engine keeps its built-in memcpy.
+  // AM-wire chunks are additionally clamped so window × chunk (the
+  // in-flight bounce staging) stays cache-sized — explicit smaller test
+  // chunkings still win through the min().
   rank.rma_wire_am = resolve_rma_wire(arena->config()) == RmaWire::kAm;
+  const std::size_t chunk_bytes =
+      rank.rma_wire_am ? std::min(arena->config().xfer_chunk_bytes,
+                                  arena->config().am_xfer_chunk_bytes)
+                       : arena->config().xfer_chunk_bytes;
+  XferEngine xfer_engine(chunk_bytes, arena->config().sim_bw_gbps);
+  rank.xfer = &xfer_engine;
+  RmaAmProtocol rma_am_proto(&engine, resolve_am_window(arena->config()));
+  rank.rma_am = &rma_am_proto;
   if (rank.rma_wire_am) xfer_engine.set_wire(rma_am_proto.wire_ops());
   tls_rank = &rank;
   arena->world_barrier();
@@ -71,6 +78,12 @@ int run_rank(Arena* arena, int r, const std::function<void()>& fn) {
     engine.poll();
     rma_am_proto.poll();
   }
+  // Gave up because a peer failed: its acks will never retire our credits.
+  // Release them and cancel queued/in-flight requests now, or the polls
+  // below would keep trying to send into the dead rank's (possibly full)
+  // ring and hang the survivors.
+  if (arena->control().error_flag.value.load(std::memory_order_acquire) != 0)
+    rma_am_proto.fail_all_peers();
   aggregator.flush_all();
   for (int i = 0; i < 64; ++i) {
     engine.poll();

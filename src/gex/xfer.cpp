@@ -109,14 +109,43 @@ int XferEngine::retire_landed(Channel& ch) {
 
 int XferEngine::poll(int chunk_budget) {
   int work = 0;
-  // Deal the chunk budget round-robin across channels with queued work so
-  // independent targets interleave instead of head-of-line blocking.
+  // Pass 1 — bandwidth-proportional quotas: each channel with queued work
+  // and a ready wire gets a share of the budget scaled by its link
+  // bandwidth (minimum one chunk), so a fast link soaks up the budget a
+  // clock-bound capped link cannot convert into delivered bytes. Weights
+  // are recomputed per poll: completion callbacks change the channel set.
+  if (chunk_budget > 0 && !channels_.empty()) {
+    double total_weight = 0;
+    for (auto& ch : channels_)
+      if (!ch.active_.empty() && wire_ready(ch)) total_weight += link_weight(ch);
+    if (total_weight > 0) {
+      const int budget0 = chunk_budget;
+      const std::size_t n = channels_.size();
+      for (std::size_t k = 0; k < n && chunk_budget > 0; ++k) {
+        Channel& ch = channels_[(rr_ + k) % n];
+        if (ch.active_.empty() || !wire_ready(ch)) continue;
+        int quota = std::max(
+            1, static_cast<int>(budget0 * (link_weight(ch) / total_weight)));
+        quota = std::min(quota, chunk_budget);
+        // Re-check readiness per chunk: each issued chunk may consume a
+        // wire credit (the AM window) and close the channel mid-quota.
+        while (quota > 0 && !ch.active_.empty() && wire_ready(ch)) {
+          issue_one_chunk(ch);
+          --quota;
+          --chunk_budget;
+          ++work;
+        }
+      }
+    }
+  }
+  // Pass 2 — leftover budget (quotas rounded down, or their channels ran
+  // dry) goes round-robin one chunk at a time, the pre-quota behavior.
   while (chunk_budget > 0 && !channels_.empty()) {
     bool any = false;
     const std::size_t n = channels_.size();
     for (std::size_t k = 0; k < n && chunk_budget > 0; ++k) {
       Channel& ch = channels_[(rr_ + k) % n];
-      if (ch.active_.empty()) continue;
+      if (ch.active_.empty() || !wire_ready(ch)) continue;
       issue_one_chunk(ch);
       --chunk_budget;
       ++work;
@@ -133,8 +162,12 @@ int XferEngine::poll(int chunk_budget) {
 }
 
 void XferEngine::drain_copies() {
+  // A not-ready wire stops its channel: the chunks must wait for wire
+  // credits, which only arrive through the caller's AM polling — the
+  // barrier-entry loop in upcxx re-invokes until copies_pending() clears.
   for (std::size_t i = 0; i < channels_.size(); ++i) {
-    while (!channels_[i].active_.empty()) issue_one_chunk(channels_[i]);
+    while (!channels_[i].active_.empty() && wire_ready(channels_[i]))
+      issue_one_chunk(channels_[i]);
     retire_landed(channels_[i]);
   }
 }
@@ -160,6 +193,17 @@ bool XferEngine::copies_pending() const {
   for (const auto& ch : channels_)
     if (!ch.active_.empty()) return true;
   return false;
+}
+
+std::size_t XferEngine::pending_chunks(int target) const {
+  for (const auto& ch : channels_) {
+    if (ch.target != target) continue;
+    std::size_t n = 0;
+    for (const auto& x : ch.active_)
+      n += (x.bytes - x.off + chunk_bytes_ - 1) / chunk_bytes_;
+    return n;
+  }
+  return 0;
 }
 
 }  // namespace gex

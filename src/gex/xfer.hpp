@@ -76,7 +76,12 @@ class XferEngine {
   // poll (the AM wire, once the target's ack arrives). put_chunk must
   // consume `src` before returning (the engine fires on_source when the
   // last chunk has been issued); get_chunk must have written `dst` by the
-  // time it calls done.
+  // time it calls done. An optional `ready` predicate lets the wire apply
+  // back-pressure: while ready(target) is false the engine holds that
+  // channel's chunks (they cost nothing in the engine — the source buffer
+  // is pinned until on_source) instead of pushing them into a wire that
+  // would have to buffer or block. The AM wire reports false while its
+  // credit window to the target is full.
   struct WireOps {
     arch::UniqueFunction<void(int target, void* dst, const void* src,
                               std::size_t bytes, Callback done)>
@@ -84,6 +89,7 @@ class XferEngine {
     arch::UniqueFunction<void(int target, void* dst, const void* src,
                               std::size_t bytes, Callback done)>
         get_chunk;
+    arch::UniqueFunction<bool(int target)> ready;  // null = always ready
   };
 
   // chunk_bytes: pipelining granularity (Config::xfer_chunk_bytes).
@@ -111,17 +117,26 @@ class XferEngine {
               Callback on_source, Callback on_landed, bool is_get = false,
               std::uint64_t extra_landing_ns = 0);
 
-  // Bounded internal progress: issues at most `chunk_budget` chunks, dealt
-  // round-robin across channels with queued work (per-channel FIFO is
-  // preserved), and fires every due completion callback. Returns the
-  // number of chunks issued plus callbacks fired; 0 means there was
-  // nothing actionable.
+  // Bounded internal progress: issues at most `chunk_budget` chunks across
+  // channels with queued work (per-channel FIFO is preserved), and fires
+  // every due completion callback. The budget is dealt in two passes:
+  // first bandwidth-proportionally — each eligible channel gets a share
+  // scaled by its link bandwidth (minimum one chunk), so a fast link stays
+  // saturated while a clock-bound capped link gets just enough to keep its
+  // virtual wire busy — then any leftover budget goes round-robin to
+  // channels that still have work. Channels whose wire reports not-ready
+  // are skipped entirely (see WireOps::ready). Returns the number of
+  // chunks issued plus callbacks fired; 0 means there was nothing
+  // actionable.
   int poll(int chunk_budget = kDefaultChunkBudget);
 
-  // Forces every queued chunk onto the wire now (unbounded issuing) and
-  // fires the source callbacks. Wire-time and ack gating of on_landed
-  // still apply. Used at barrier entry so the pre-engine "data visible
-  // once issued before a barrier" ordering survives (on the AM wire the
+  // Issues every queued chunk the wire will currently accept (unbounded,
+  // but a not-ready wire stops its channel's drain — the caller must keep
+  // polling the wire's ack path and re-invoking until copies_pending() is
+  // false; upcxx's barrier entry does). Fires the source callbacks as
+  // transfers finish issuing; wire-time and ack gating of on_landed still
+  // apply. Used at barrier entry so the pre-engine "data visible once
+  // issued before a barrier" ordering survives (on the AM wire the
   // requests are then in the target's inbox ahead of any barrier
   // message), and at teardown.
   void drain_copies();
@@ -144,6 +159,8 @@ class XferEngine {
   std::size_t chunk_bytes() const { return chunk_bytes_; }
   double bw_gbps() const { return bw_gbps_; }
   std::size_t channel_count() const { return channels_.size(); }
+  // Chunks not yet issued on the link to `target` (budget-scaling tests).
+  std::size_t pending_chunks(int target) const;
 
   struct Stats {
     std::uint64_t submitted = 0;
@@ -184,6 +201,18 @@ class XferEngine {
   };
 
   Channel& channel(int target);
+
+  // Weight of an uncapped link in the bandwidth-proportional budget split:
+  // effectively "memcpy speed", far above any modeled link, so uncapped
+  // channels absorb the budget a clock-bound capped link cannot use.
+  static constexpr double kUncappedWeightGbps = 128.0;
+
+  bool wire_ready(const Channel& ch) {
+    return !wire_ || !wire_->ready || wire_->ready(ch.target);
+  }
+  double link_weight(const Channel& ch) const {
+    return ch.ns_per_byte > 0 ? 1.0 / ch.ns_per_byte : kUncappedWeightGbps;
+  }
 
   // Issues the next chunk of the channel's head transfer; fires on_source
   // and moves the transfer to landing_ when its last byte is out.

@@ -43,6 +43,15 @@ void progress();
 
 namespace detail {
 
+// Monotone count of actions progress has performed on this rank (defined in
+// progress.cpp); wait loops yield the core when a progress call leaves it
+// unchanged.
+std::uint64_t progress_work_counter();
+
+}  // namespace detail
+
+namespace detail {
+
 template <typename... T>
 struct FutureState {
   bool ready = false;
@@ -170,12 +179,15 @@ class future {
   // Matches the paper: "the wait call is simply a spin loop around
   // progress".
   result_type wait() const {
-    // Yield periodically: on oversubscribed hosts (single-core CI) the peer
-    // this future depends on needs the core to produce the completion.
-    std::uint32_t spins = 0;
+    // Yield as soon as a progress call accomplishes nothing: on
+    // oversubscribed hosts (single-core CI) the peer this future depends on
+    // needs the core to produce the completion, and repeat-polling empty
+    // queues only delays it by a scheduling quantum.
     while (!is_ready()) {
+      const std::uint64_t w = detail::progress_work_counter();
       ::upcxx::progress();
-      if ((++spins & 0xFF) == 0) std::this_thread::yield();
+      if (!is_ready() && detail::progress_work_counter() == w)
+        std::this_thread::yield();
     }
     return result();
   }

@@ -31,6 +31,10 @@ PersonaState& persona() {
 
 bool has_persona() { return tls_persona != nullptr; }
 
+std::uint64_t progress_work_counter() {
+  return tls_persona ? tls_persona->work_events : 0;
+}
+
 void bind_rank_context(PersonaState* st) {
   tls_persona = st;
   gex::bind_self(st ? st->rank : nullptr);
@@ -96,7 +100,28 @@ void flush_aggregation() {
 void drain_xfer_copies() {
   if (!has_persona()) return;
   auto* rank = persona().rank;
-  if (rank && rank->xfer) rank->xfer->drain_copies();
+  if (!rank || !rank->xfer) return;
+  // Barrier-entry contract: every RMA issued before the barrier must be in
+  // its target's inbox before our barrier message goes out. On the am wire
+  // the engine's drain stops at the credit window and requests can park in
+  // the protocol's sender-side queue, so keep pumping acks (which retire
+  // credits and release queued requests) until both are empty. Peers
+  // draining toward the same barrier serve our requests from their own
+  // loops, so this terminates — unless a peer died, which the error flag
+  // reports (its acks will never come; the teardown path cancels).
+  auto& err = rank->arena->control().error_flag.value;
+  for (;;) {
+    rank->xfer->drain_copies();
+    const bool engine_pending = rank->xfer->copies_pending();
+    const bool queued = rank->rma_am && rank->rma_am->queued() != 0;
+    if (!engine_pending && !queued) break;
+    if (err.load(std::memory_order_acquire) != 0) break;
+    int work = rank->am->poll();
+    if (rank->rma_am) work += rank->rma_am->poll();
+    // The credits we are waiting on come from the peer; on a shared core
+    // it needs the cycles more than a repeat poll of empty queues does.
+    if (work == 0) std::this_thread::yield();
+  }
 }
 
 // Receives one upcxx wire message: stages the payload locally and schedules
@@ -201,22 +226,28 @@ void progress(progress_level lvl) {
   // (DESIGN.md, message layer v2). Internal progress leaves the buffers
   // alone to keep batches intact across back-to-back injection calls.
   if (lvl == progress_level::user && p.rank->agg) p.rank->agg->flush_all();
-  // Internal progress: poll the wire (stages incoming messages), let the
-  // AM RMA protocol send deferred acks/replies and fire due completions
-  // (its handlers only record work — nothing is injected from inside a
-  // ring consume), advance the data-motion engine by a bounded number of
+  // Internal progress: poll the wire (stages incoming messages), fire the
+  // AM RMA protocol's due completions and queued-request releases (its
+  // handlers only record work — nothing is injected from inside a ring
+  // consume), advance the data-motion engine by a bounded number of
   // chunks, and retire timed active operations whose completion time has
-  // passed.
-  p.rank->am->poll();
-  if (p.rank->rma_am) p.rank->rma_am->poll();
-  if (p.rank->xfer) p.rank->xfer->poll();
+  // passed. The protocol's standalone-ack flush runs LAST, after the
+  // engine: chunk requests issued in between are reverse traffic that
+  // carries the acks piggybacked, so the flush only spends a ring record
+  // on whatever found no ride.
+  int work = p.rank->am->poll();
+  if (p.rank->rma_am) work += p.rank->rma_am->poll_requests();
+  if (p.rank->xfer) work += p.rank->xfer->poll();
+  if (p.rank->rma_am) work += p.rank->rma_am->flush_acks();
   if (!p.timed.empty()) {
     const std::uint64_t now = arch::now_ns();
     while (!p.timed.empty() && p.timed.top().due_ns <= now) {
       p.compq.push_back(std::move(p.timed.top().fn));
       p.timed.pop();
+      ++work;
     }
   }
+  p.work_events += static_cast<std::uint64_t>(work);
   if (lvl == progress_level::internal) return;
 
   // User progress: drain compQ. Entries may enqueue more work (an RPC that
@@ -237,6 +268,7 @@ void progress(progress_level lvl) {
       continue;
     }
     ++p.stats.lpcs_run;
+    ++p.work_events;
   }
 }
 
@@ -273,6 +305,11 @@ void fini_persona() {
          err.load(std::memory_order_acquire) == 0) {
     progress();
   }
+  // A failed peer holds credits that will never be returned: cancel the
+  // protocol's queued and in-flight requests so the final drain below does
+  // not try to send into a dead rank's ring.
+  if (r->rma_am && err.load(std::memory_order_acquire) != 0)
+    r->rma_am->fail_all_peers();
   // Final drain so peers' teardown traffic (e.g. late rpc_ff acks) does not
   // sit in malloc'd staging buffers.
   for (int i = 0; i < 16; ++i) progress();
@@ -301,11 +338,11 @@ int run(const gex::Config& cfg, const std::function<void()>& fn) {
     // tests rely on this).
     auto barrier_done = barrier_async();
     auto& err = gex::arena().control().error_flag.value;
-    std::uint32_t spins = 0;
     while (!barrier_done.is_ready() &&
            err.load(std::memory_order_acquire) == 0) {
+      const std::uint64_t w = detail::progress_work_counter();
       progress();
-      if ((++spins & 0xFF) == 0) std::this_thread::yield();
+      if (detail::progress_work_counter() == w) std::this_thread::yield();
     }
     fini_persona();
   });

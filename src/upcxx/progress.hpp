@@ -117,6 +117,15 @@ struct PersonaState {
     std::uint64_t rgets = 0;
     std::uint64_t lpcs_run = 0;
   } stats;
+
+  // Monotone count of actions performed by progress calls on this rank
+  // (messages handled, chunks moved, acks pumped, LPCs run). Spin loops
+  // compare it across a progress call and yield the core immediately when
+  // nothing happened — on oversubscribed or single-core hosts the peer that
+  // must produce the awaited completion needs the cycles far more than a
+  // repeat poll of empty queues does (the old fixed yield-every-256-spins
+  // wasted a scheduling quantum per window refill on the am wire).
+  std::uint64_t work_events = 0;
 };
 
 // The calling rank's runtime state. Asserts the calling thread holds a rank
@@ -125,6 +134,14 @@ PersonaState& persona();
 
 // True if the calling thread currently has a rank context.
 bool has_persona();
+
+// PersonaState::work_events of the calling thread's rank, or 0 without a
+// rank context (a persona-less waiter always yields, which is right — some
+// other thread drives the wire). Spin idiom:
+//   auto w = detail::progress_work_counter();
+//   ::upcxx::progress();
+//   if (detail::progress_work_counter() == w) std::this_thread::yield();
+std::uint64_t progress_work_counter();
 
 // The master persona object of a rank state (used by upcxx::master_persona).
 inline ::upcxx::persona& master_of(PersonaState& st) { return st.master; }

@@ -304,6 +304,58 @@ TEST(CompletionMatrixSource, SourceMechanismsFire) {
   EXPECT_EQ(fails, 0);
 }
 
+// Ack aggregation must not bend completion ordering: with both ranks
+// streaming chunked rputs at each other (so acks ride piggybacked on the
+// reverse direction's PUT records rather than standalone ack records),
+// every transfer still signals source strictly before operation, and
+// every completion fires exactly once.
+TEST(CompletionMatrixAckBatching, PiggybackedAcksKeepSourceBeforeOperation) {
+  gex::Config cfg = testutil::test_cfg(2);
+  cfg.rma_wire = gex::RmaWire::kAm;
+  cfg.rma_async_min = 1;
+  cfg.xfer_chunk_bytes = 1024;
+  cfg.am_xfer_chunk_bytes = 1024;
+  cfg.am_window = 4;
+  const int fails = upcxx::run(cfg, [] {
+    constexpr std::size_t kBytes = 64 << 10;  // 64 chunks, 16 window turns
+    constexpr int kOps = 8;
+    const int me = upcxx::rank_me();
+    auto mine = upcxx::allocate<char>(kBytes);
+    upcxx::dist_object<upcxx::global_ptr<char>> dir(mine);
+    auto peer = dir.fetch(1 - me).wait();
+    upcxx::barrier();
+    std::vector<char> src(kBytes, static_cast<char>('a' + me));
+    // Both ranks flood simultaneously: each rank's request stream is the
+    // other's ack carrier.
+    int source_fired = 0, op_fired = 0;
+    bool order_ok = true;
+    for (int i = 0; i < kOps; ++i) {
+      upcxx::rput(src.data(), peer, kBytes,
+                  upcxx::source_cx::as_lpc([&] { ++source_fired; }) |
+                      upcxx::operation_cx::as_lpc([&, i] {
+                        ++op_fired;
+                        // Operation i may only complete after its own (and
+                        // all earlier) source events: per-channel FIFO.
+                        if (source_fired < i + 1) order_ok = false;
+                      }));
+    }
+    while (op_fired < kOps) upcxx::progress();
+    EXPECT_EQ(source_fired, kOps);
+    EXPECT_EQ(op_fired, kOps);
+    EXPECT_TRUE(order_ok)
+        << "an operation completed before its transfer's source event";
+    upcxx::barrier();
+    // The reverse streams actually carried acks: piggybacking happened.
+    EXPECT_GT(gex::rma_am().stats().acks_piggybacked, 0u);
+    const auto& st = gex::rma_am().stats();
+    EXPECT_EQ(st.ack_cookies_sent + st.acks_piggybacked, st.puts_handled);
+    upcxx::barrier();
+    upcxx::deallocate(mine);
+    upcxx::barrier();
+  });
+  EXPECT_EQ(fails, 0);
+}
+
 // The stats facility: counters move with the operations that ran.
 TEST(Stats, CountersTrackOperations) {
   testutil::spmd(2, [] {

@@ -214,6 +214,45 @@ TEST(ProcessBackend, DeviceCopyAcrossProcesses) {
   EXPECT_EQ(fails, 0);
 }
 
+TEST(ProcessBackend, FailedPeerReleasesAmWireCredits) {
+  // Regression: teardown's drain gives up when a peer fails, but the
+  // survivor's credits held by that peer (window slots consumed by
+  // unacknowledged requests) were never returned, and requests parked
+  // behind them sat in the sender-side queue forever. fail_all_peers()
+  // must cancel both so survivors tear down instead of waiting for acks
+  // from a dead rank. The flood below exceeds the window, so without the
+  // release this hangs (and trips the 600 s ctest timeout).
+  gex::Config cfg = testutil::test_cfg(4);
+  cfg.backend = gex::Backend::kProcess;
+  cfg.rma_wire = gex::RmaWire::kAm;
+  cfg.am_window = 1;  // every request beyond the first parks in the queue
+  const int fails = upcxx::run(cfg, [] {
+    const int me = upcxx::rank_me();
+    static upcxx::global_ptr<long> victim;
+    if (me == 3) victim = upcxx::new_array<long>(64);
+    auto ptrs = upcxx::allgather(victim).wait();
+    upcxx::barrier();
+    if (me == 3) throw std::runtime_error("injected fault");
+    if (me == 0) {
+      // Flood the failing rank: one request takes the only credit, the
+      // rest queue behind it. Do NOT wait on completion — rank 3 may die
+      // before acking anything.
+      std::vector<long> pat(64, 7);
+      for (int i = 0; i < 6; ++i)
+        upcxx::rput(pat.data(), ptrs[3], 64,
+                    upcxx::operation_cx::as_lpc([] {}));
+      require(gex::rma_am().stats().requests_queued >= 1,
+              "window=1 flood parked requests in the sender-side queue");
+    }
+    // Survivors make bounded progress; no barrier (rank 3 never arrives).
+    for (int i = 0; i < 200; ++i) upcxx::progress();
+  });
+  // Exactly the injected fault: survivors must tear down cleanly (a
+  // survivor counted failed means the require() above fired or teardown
+  // broke; a hang means the credits were never released).
+  EXPECT_EQ(fails, 1);
+}
+
 TEST(ProcessBackend, FailingRankIsReported) {
   // Failure injection: one rank throws; the parent must see exactly one
   // failed rank and the others must shut down cleanly (no hang).

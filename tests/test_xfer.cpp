@@ -156,6 +156,78 @@ TEST(XferEngine, WireAcksGateLanding) {
   EXPECT_EQ(src, dst);
 }
 
+TEST(XferEngine, BudgetScalesWithLinkBandwidth) {
+  // ROADMAP item "channel-aware chunk budget": one poll's budget is dealt
+  // proportionally to link bandwidth, so the fast link soaks up what the
+  // clock-bound capped link cannot use — instead of a flat round-robin
+  // split leaving the fast link half idle.
+  gex::XferEngine eng(/*chunk_bytes=*/512, /*bw_gbps=*/0);
+  eng.set_link_bw_gbps(1, 100.0);  // fast
+  eng.set_link_bw_gbps(2, 1.0);    // capped: 1% of the fast link
+  std::vector<std::byte> s1(8 * 512), d1(8 * 512), s2(8 * 512), d2(8 * 512);
+  eng.submit(1, d1.data(), s1.data(), s1.size(), {}, {});
+  eng.submit(2, d2.data(), s2.data(), s2.size(), {}, {});
+  EXPECT_EQ(eng.pending_chunks(1), 8u);
+  EXPECT_EQ(eng.pending_chunks(2), 8u);
+  eng.poll(/*chunk_budget=*/8);
+  EXPECT_EQ(eng.stats().chunks_copied, 8u);
+  // Fast link got ~budget * 100/101 = 7 chunks, capped link its minimum 1.
+  EXPECT_EQ(eng.pending_chunks(1), 1u);
+  EXPECT_EQ(eng.pending_chunks(2), 7u);
+  eng.drain_all();
+}
+
+TEST(XferEngine, EqualLinksStillSplitEvenly) {
+  // Two uncapped links weigh the same: the proportional split degenerates
+  // to the old fair round-robin.
+  gex::XferEngine eng(512, 0);
+  std::vector<std::byte> s1(4 * 512), d1(4 * 512), s2(4 * 512), d2(4 * 512);
+  eng.submit(1, d1.data(), s1.data(), s1.size(), {}, {});
+  eng.submit(2, d2.data(), s2.data(), s2.size(), {}, {});
+  eng.poll(4);
+  EXPECT_EQ(eng.pending_chunks(1), 2u);
+  EXPECT_EQ(eng.pending_chunks(2), 2u);
+  eng.drain_all();
+}
+
+TEST(XferEngine, WireReadinessHoldsChunksInEngine) {
+  // The AM wire's back-pressure contract: while ready(target) is false the
+  // engine must not push chunks into the wire — they wait in the channel
+  // (costing nothing) until credits free. drain_copies honors it too.
+  gex::XferEngine eng(1024, 0);
+  bool open = false;
+  int moved = 0;
+  gex::XferEngine::WireOps ops;
+  ops.put_chunk = [&](int, void* dst, const void* src, std::size_t n,
+                      gex::XferEngine::Callback done) {
+    std::memcpy(dst, src, n);
+    ++moved;
+    done();
+  };
+  ops.get_chunk = [&](int, void* dst, const void* src, std::size_t n,
+                      gex::XferEngine::Callback done) {
+    std::memcpy(dst, src, n);
+    ++moved;
+    done();
+  };
+  ops.ready = [&](int) { return open; };
+  eng.set_wire(std::move(ops));
+  std::vector<std::byte> src(4 * 1024, std::byte{9}), dst(4 * 1024);
+  bool landed = false;
+  eng.submit(1, dst.data(), src.data(), src.size(), {},
+             [&] { landed = true; });
+  eng.poll(64);
+  eng.drain_copies();
+  EXPECT_EQ(moved, 0) << "chunks pushed into a wire that reported not ready";
+  EXPECT_TRUE(eng.copies_pending());
+  open = true;  // credits freed
+  eng.drain_copies();
+  eng.poll();
+  EXPECT_EQ(moved, 4);
+  EXPECT_TRUE(landed);
+  EXPECT_EQ(src, dst);
+}
+
 TEST(XferEngine, BandwidthModelGatesLanding) {
   // 4 MB at 0.25 GB/s is ~16.8 ms of virtual wire time, far more than the
   // memcpy itself: on_source fires with the copy, on_landed only once the
