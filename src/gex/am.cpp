@@ -35,6 +35,14 @@ void* AmContext::adopt_frame() {
   return frame;
 }
 
+AmEngine::AmEngine(Arena* arena, int my_rank)
+    : arena_(arena),
+      me_(my_rank),
+      transport_(make_transport(arena, my_rank)),
+      eager_max_(arena->config().eager_max) {}
+
+AmEngine::~AmEngine() = default;
+
 void release_frame(void* handle) {
   auto* fb = static_cast<FrameBuf*>(handle);
   if (fb->refs.fetch_sub(1, std::memory_order_acq_rel) == 1) {
@@ -49,10 +57,9 @@ AmEngine::SendBuf AmEngine::prepare(int target, HandlerIdx h, std::size_t n) {
   sb.size = n;
   sb.target = target;
   sb.handler = h;
-  auto& ring = arena_->inbox(target);
   if (n <= eager_max_) {
     for (;;) {
-      auto t = ring.try_reserve(sizeof(WireHeader) + n);
+      auto t = transport_->try_reserve(target, sizeof(WireHeader) + n);
       if (t.payload) {
         sb.ticket = t;
         sb.data = static_cast<std::byte*>(t.payload) + sizeof(WireHeader);
@@ -92,9 +99,8 @@ AmEngine::SendBuf AmEngine::prepare_frame(int target, std::size_t n,
   sb.frame = true;
   sb.uniform = uniform;
   sb.handler = uniform_handler;
-  auto& ring = arena_->inbox(target);
   for (;;) {
-    auto t = ring.try_reserve(sizeof(WireHeader) + n);
+    auto t = transport_->try_reserve(target, sizeof(WireHeader) + n);
     if (t.payload) {
       sb.ticket = t;
       sb.data = static_cast<std::byte*>(t.payload) + sizeof(WireHeader);
@@ -115,16 +121,16 @@ void AmEngine::commit(SendBuf& sb) {
                          : std::uint16_t{0};
     wh->src = me_;
     wh->send_ns = arch::now_ns();
-    arch::MpscByteRing::commit(sb.ticket);
+    transport_->commit(sb.ticket);
     if (sb.frame)
       ++stats_.sent_frames;
     else
       ++stats_.sent_eager;
     return;
   }
-  auto& ring = arena_->inbox(sb.target);
   for (;;) {
-    auto t = ring.try_reserve(sizeof(WireHeader) + sizeof(RdzvDesc));
+    auto t = transport_->try_reserve(sb.target,
+                                     sizeof(WireHeader) + sizeof(RdzvDesc));
     if (t.payload) {
       auto* wh = static_cast<WireHeader*>(t.payload);
       wh->handler = sb.handler;
@@ -132,9 +138,9 @@ void AmEngine::commit(SendBuf& sb) {
       wh->src = me_;
       wh->send_ns = arch::now_ns();
       auto* d = reinterpret_cast<RdzvDesc*>(wh + 1);
-      d->buf = sb.data;
+      d->buf = arena_->segmap().encode(sb.data);
       d->size = sb.size;
-      arch::MpscByteRing::commit(t);
+      transport_->commit(t);
       ++stats_.sent_rendezvous;
       return;
     }
@@ -153,10 +159,9 @@ void AmEngine::send(int target, HandlerIdx h, const void* data,
 
 int AmEngine::poll(int max_msgs) {
   int handled = 0;
-  auto& ring = arena_->inbox(me_);
   while (handled < max_msgs) {
     int delivered = 0;
-    bool got = ring.try_consume([&](void* rec, std::size_t rec_size) {
+    auto visit = [&](void* rec, std::size_t rec_size) {
       auto* wh = static_cast<WireHeader*>(rec);
       if (wh->flags & kWireFrame) {
         // Copy the whole frame out of the ring once; sub-messages share the
@@ -219,18 +224,24 @@ int AmEngine::poll(int max_msgs) {
       cx.send_ns = wh->send_ns;
       if (wh->flags & kWireRendezvous) {
         auto* d = reinterpret_cast<RdzvDesc*>(wh + 1);
-        cx.data = d->buf;
+        void* buf = arena_->segmap().decode(d->buf);
+        cx.data = buf;
         cx.size = static_cast<std::size_t>(d->size);
         cx.is_rendezvous = true;
         am_handler_at(wh->handler)(cx);
-        if (!cx.adopted) arena_->heap().deallocate(d->buf);
+        if (!cx.adopted) arena_->heap().deallocate(buf);
       } else {
         cx.data = wh + 1;
         cx.size = rec_size - sizeof(WireHeader);
         am_handler_at(wh->handler)(cx);
       }
       delivered = 1;
-    });
+    };
+    bool got = transport_->try_consume(
+        [](void* rec, std::size_t n, void* cxp) {
+          (*static_cast<decltype(visit)*>(cxp))(rec, n);
+        },
+        &visit);
     if (!got) break;
     handled += delivered;
     stats_.received += static_cast<std::uint64_t>(delivered);

@@ -24,10 +24,12 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 
 #include "arch/ring.hpp"
 #include "gex/arena.hpp"
 #include "gex/handlers.hpp"
+#include "gex/transport.hpp"
 
 namespace gex {
 
@@ -64,7 +66,10 @@ static_assert(sizeof(FrameMsgHeader) == 8);
 inline constexpr std::size_t kFrameAlign = 8;
 
 struct RdzvDesc {
-  void* buf;  // shared-heap address: identical mapping in every rank
+  // Shared-heap location as a (segment id, offset) wire address — decoded
+  // against the receiver's own mapping, never a raw pointer (the same
+  // contract as every RMA record since segment-offset addressing).
+  WireAddr buf;
   std::uint64_t size;
 };
 
@@ -103,18 +108,19 @@ struct AmContext {
 
 class AmEngine {
  public:
-  AmEngine(Arena* arena, int my_rank)
-      : arena_(arena),
-        me_(my_rank),
-        eager_max_(arena->config().eager_max) {}
+  // Builds the engine on the transport resolved from arena->config()
+  // (UPCXX_AM_TRANSPORT; gex/transport.hpp). The engine owns it.
+  AmEngine(Arena* arena, int my_rank);
+  ~AmEngine();
 
   int rank() const { return me_; }
   Arena& arena() { return *arena_; }
+  Transport& transport() { return *transport_; }
   std::size_t eager_max() const { return eager_max_; }
 
   // Largest payload a single frame record may carry through the ring.
   std::size_t max_frame_payload() const {
-    return arena_->inbox(me_).max_record_payload() - sizeof(WireHeader);
+    return transport_->max_record_payload() - sizeof(WireHeader);
   }
 
   // Two-phase zero-copy send: reserve space for `n` payload bytes addressed
@@ -128,7 +134,7 @@ class AmEngine {
 
    private:
     friend class AmEngine;
-    arch::MpscByteRing::Ticket ticket;  // eager path
+    Transport::Ticket ticket;  // eager path
     int target = -1;
     HandlerIdx handler = 0;
     bool rendezvous = false;
@@ -183,6 +189,7 @@ class AmEngine {
  private:
   Arena* arena_;
   int me_;
+  std::unique_ptr<Transport> transport_;
   std::size_t eager_max_;
   HandlerIdx sink_handler_ = 0;
   FrameSink sink_ = nullptr;

@@ -1,11 +1,14 @@
 #include "gex/arena.hpp"
 
 #include <sys/mman.h>
+#include <unistd.h>
 
 #include <cstdio>
 #include <cstdlib>
 #include <new>
 #include <thread>
+
+#include "arch/timer.hpp"
 
 namespace gex {
 
@@ -49,6 +52,8 @@ Arena* Arena::create(const Config& cfg_in) {
   a->ctrl_ = ::new (base + ctrl_off) ControlBlock();
   a->ctrl_->nranks = static_cast<std::uint32_t>(P);
   a->ctrl_->segment_bytes = cfg.segment_bytes;
+  a->ctrl_->job_pid = static_cast<std::uint32_t>(::getpid());
+  a->ctrl_->job_nonce = static_cast<std::uint32_t>(arch::now_ns());
 
   a->scratch_ = base + scratch_off;
 
@@ -68,6 +73,17 @@ Arena* Arena::create(const Config& cfg_in) {
     a->seg_heaps_[r] =
         SharedHeap::create(a->segment_base(r), cfg.segment_bytes);
   }
+
+  // Wire-address name space (gex/segment.hpp): registered before any rank
+  // exists, so every rank — thread or fork — inherits one identical map
+  // and segment ids agree across the wire by construction. The heap covers
+  // rendezvous and bounce-pool buffers; the rank segments cover every
+  // global_ptr (device segments are carved from them); the ring arena is
+  // registered so no region a record could name is left out.
+  a->segmap_.add(base + heap_off, cfg.heap_bytes, "heap");
+  for (int r = 0; r < P; ++r)
+    a->segmap_.add(a->segment_base(r), cfg.segment_bytes, "segment");
+  a->segmap_.add(base + ring_off0, heap_off - ring_off0, "rings");
   return a;
 }
 

@@ -18,6 +18,7 @@
 #include "arch/cacheline.hpp"
 #include "arch/ring.hpp"
 #include "gex/config.hpp"
+#include "gex/segment.hpp"
 #include "gex/shared_heap.hpp"
 
 namespace gex {
@@ -27,6 +28,12 @@ namespace gex {
 struct ControlBlock {
   std::uint32_t nranks = 0;
   std::size_t segment_bytes = 0;
+
+  // Job identity (launcher pid + a per-launch nonce), written once at
+  // creation. Names the shm-file transport's per-pair ring files so
+  // concurrent jobs on one host never collide.
+  std::uint32_t job_pid = 0;
+  std::uint32_t job_nonce = 0;
 
   // Sense-reversing centralized barrier over all world ranks.
   arch::Padded<std::atomic<std::uint32_t>> barrier_arrived;
@@ -55,6 +62,13 @@ class Arena {
   SharedHeap& heap() { return *heap_; }
   SharedHeap& segment_heap(int rank) { return *seg_heaps_[rank]; }
   std::byte* scratch(int rank) { return scratch_ + rank * kScratchSlot; }
+  std::uint32_t job_pid() const { return ctrl_->job_pid; }
+  std::uint32_t job_nonce() const { return ctrl_->job_nonce; }
+
+  // Wire-address name space over this arena's regions (global heap, rank
+  // segments, ring arena). Built at create, immutable afterwards; every
+  // address a wire record carries is encoded/decoded through it.
+  const SegmentMap& segmap() const { return segmap_; }
 
   std::byte* segment_base(int rank) const {
     return seg_base_ + static_cast<std::size_t>(rank) * cfg_.segment_bytes;
@@ -95,6 +109,7 @@ class Arena {
   SharedHeap* heap_ = nullptr;
   SharedHeap** seg_heaps_ = nullptr;
   std::byte* seg_base_ = nullptr;
+  SegmentMap segmap_;
 };
 
 }  // namespace gex

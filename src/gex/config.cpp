@@ -1,5 +1,7 @@
 #include "gex/config.hpp"
 
+#include <cerrno>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -9,21 +11,61 @@
 namespace gex {
 namespace {
 
+// Strict numeric env parsing: an unset/empty variable means "use the
+// default", but a *set* variable must parse completely — trailing garbage
+// ("64k"), non-numeric strings, and out-of-range magnitudes are rejected
+// loudly instead of silently falling back (the old behavior, which made a
+// typo'd knob indistinguishable from the default until a bench lied).
+
+// Parses v as a whole decimal integer. Returns false (after warning under
+// `name`) on malformed or out-of-range input.
+bool parse_long(const char* name, const char* v, long& out) {
+  errno = 0;
+  char* end = nullptr;
+  const long r = std::strtol(v, &end, 10);
+  if (end == v || *end != '\0') {
+    std::fprintf(stderr, "gex: ignoring %s=%s (not a number)\n", name, v);
+    return false;
+  }
+  if (errno == ERANGE) {
+    std::fprintf(stderr, "gex: ignoring %s=%s (out of range)\n", name, v);
+    return false;
+  }
+  out = r;
+  return true;
+}
+
 long env_long(const char* name, long dflt) {
   const char* v = std::getenv(name);
   if (!v || !*v) return dflt;
-  char* end = nullptr;
-  long r = std::strtol(v, &end, 10);
-  return (end && *end == '\0') ? r : dflt;
+  long r = dflt;
+  parse_long(name, v, r);
+  return r;
 }
 
 // Positive-valued knob: 0 or negative values are rejected (with a warning)
 // rather than silently shifted into a zero-byte mapping.
 long env_positive(const char* name, long dflt) {
-  long r = env_long(name, dflt);
+  const char* v = std::getenv(name);
+  if (!v || !*v) return dflt;
+  long r = dflt;
+  if (!parse_long(name, v, r)) return dflt;
   if (r <= 0) {
     std::fprintf(stderr, "gex: ignoring %s=%ld (must be positive)\n", name,
                  r);
+    return dflt;
+  }
+  return r;
+}
+
+// Non-negative knob (0 is meaningful: "disabled" / "no model").
+long env_nonnegative(const char* name, long dflt) {
+  const char* v = std::getenv(name);
+  if (!v || !*v) return dflt;
+  long r = dflt;
+  if (!parse_long(name, v, r)) return dflt;
+  if (r < 0) {
+    std::fprintf(stderr, "gex: ignoring %s=%ld (must be >= 0)\n", name, r);
     return dflt;
   }
   return r;
@@ -39,6 +81,18 @@ RmaWire parse_rma_wire(const char* v) {
                  "gex: ignoring UPCXX_RMA_WIRE=%s (expected auto|direct|am)\n",
                  v);
   return RmaWire::kAuto;
+}
+
+// Same contract for UPCXX_AM_TRANSPORT.
+AmTransport parse_am_transport(const char* v) {
+  if (std::strcmp(v, "mmap") == 0) return AmTransport::kMmap;
+  if (std::strcmp(v, "shmfile") == 0) return AmTransport::kShmFile;
+  if (std::strcmp(v, "auto") != 0)
+    std::fprintf(
+        stderr,
+        "gex: ignoring UPCXX_AM_TRANSPORT=%s (expected auto|mmap|shmfile)\n",
+        v);
+  return AmTransport::kAuto;
 }
 
 }  // namespace
@@ -62,6 +116,16 @@ RmaWire resolve_rma_wire(const Config& cfg) {
   return w == RmaWire::kAm ? RmaWire::kAm : RmaWire::kDirect;
 }
 
+AmTransport resolve_am_transport(const Config& cfg) {
+  AmTransport t = cfg.am_transport;
+  if (t == AmTransport::kAuto) {
+    if (const char* v = std::getenv("UPCXX_AM_TRANSPORT"); v && *v)
+      t = parse_am_transport(v);
+  }
+  return t == AmTransport::kShmFile ? AmTransport::kShmFile
+                                    : AmTransport::kMmap;
+}
+
 void Config::normalize() {
   const Config d;  // defaults
   if (ranks < 1) ranks = 1;
@@ -81,9 +145,10 @@ void Config::normalize() {
   if (agg_max_bytes > record_cap) agg_max_bytes = record_cap;
   if (agg_max_bytes < 256) agg_max_bytes = 256;
   if (agg_max_msgs == 0) agg_max_msgs = 1;
-  // Data-motion engine: a negative bandwidth means "no model"; chunks below
-  // 256 bytes would make per-chunk bookkeeping dominate the copies.
-  if (sim_bw_gbps < 0) sim_bw_gbps = 0;
+  // Data-motion engine: a negative or non-finite bandwidth means "no
+  // model"; chunks below 256 bytes would make per-chunk bookkeeping
+  // dominate the copies.
+  if (!(sim_bw_gbps > 0) || !std::isfinite(sim_bw_gbps)) sim_bw_gbps = 0;
   if (xfer_chunk_bytes < 256) xfer_chunk_bytes = 256;
   // am_window 0 means auto (resolve_am_window consults the environment),
   // so normalize leaves it alone.
@@ -92,7 +157,8 @@ void Config::normalize() {
 
 Config Config::from_env() {
   Config c;
-  c.ranks = static_cast<int>(env_long("UPCXX_RANKS", c.ranks));
+  c.ranks = static_cast<int>(
+      env_positive("UPCXX_RANKS", static_cast<long>(c.ranks)));
   if (const char* b = std::getenv("UPCXX_BACKEND")) {
     if (std::strcmp(b, "process") == 0) c.backend = Backend::kProcess;
   }
@@ -104,23 +170,23 @@ Config Config::from_env() {
                      "UPCXX_RING_KB", static_cast<long>(c.ring_bytes >> 10)))
                  << 10;
   c.eager_max = static_cast<std::size_t>(
-      env_long("UPCXX_EAGER_MAX", static_cast<long>(c.eager_max)));
+      env_positive("UPCXX_EAGER_MAX", static_cast<long>(c.eager_max)));
   c.heap_bytes = static_cast<std::size_t>(env_positive(
                      "UPCXX_HEAP_MB", static_cast<long>(c.heap_bytes >> 20)))
                  << 20;
-  c.sim_latency_ns =
-      static_cast<std::uint64_t>(env_long("UPCXX_SIM_LATENCY_NS", 0));
+  c.sim_latency_ns = static_cast<std::uint64_t>(
+      env_nonnegative("UPCXX_SIM_LATENCY_NS", 0));
   if (const char* a = std::getenv("UPCXX_ATOMICS")) {
     c.atomics_use_am = (std::strcmp(a, "am") == 0);
   }
   if (const char* v = std::getenv("UPCXX_SIM_BW_GBPS"); v && *v) {
     char* end = nullptr;
     const double bw = std::strtod(v, &end);
-    if (end && *end == '\0' && bw >= 0) {
+    if (end != v && *end == '\0' && bw >= 0 && std::isfinite(bw)) {
       c.sim_bw_gbps = bw;
     } else {
       std::fprintf(stderr,
-                   "gex: ignoring UPCXX_SIM_BW_GBPS=%s (must be a "
+                   "gex: ignoring UPCXX_SIM_BW_GBPS=%s (must be a finite "
                    "non-negative number)\n",
                    v);
     }
@@ -130,16 +196,13 @@ Config Config::from_env() {
           "UPCXX_XFER_CHUNK_KB", static_cast<long>(c.xfer_chunk_bytes >> 10)))
       << 10;
   // 0 is meaningful here (disable the async path), so no env_positive.
-  if (long v = env_long("UPCXX_RMA_ASYNC_MIN",
-                        static_cast<long>(c.rma_async_min));
-      v >= 0) {
-    c.rma_async_min = static_cast<std::size_t>(v);
-  } else {
-    std::fprintf(stderr,
-                 "gex: ignoring UPCXX_RMA_ASYNC_MIN=%ld (must be >= 0)\n", v);
-  }
+  c.rma_async_min = static_cast<std::size_t>(env_nonnegative(
+      "UPCXX_RMA_ASYNC_MIN", static_cast<long>(c.rma_async_min)));
   if (const char* v = std::getenv("UPCXX_RMA_WIRE"); v && *v) {
     c.rma_wire = parse_rma_wire(v);
+  }
+  if (const char* v = std::getenv("UPCXX_AM_TRANSPORT"); v && *v) {
+    c.am_transport = parse_am_transport(v);
   }
   // 0 (auto) stays 0 unless the environment names a window; resolution to
   // the concrete default happens in resolve_am_window at launch.

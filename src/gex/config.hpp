@@ -26,6 +26,19 @@ enum class RmaWire {
   kAm,
 };
 
+// AM transport (UPCXX_AM_TRANSPORT=auto|mmap|shmfile): what backs the
+// inbox rings the AmEngine pushes records through (gex/transport.hpp).
+// `mmap` is the pre-existing shared-arena ring (the fast path); `shmfile`
+// backs each (sender, receiver) pair with its own lazily created ring
+// file, mapped independently by each side — the proof that the wire
+// carries no cross-mapped pointers. `auto` consults the environment, then
+// falls back to mmap.
+enum class AmTransport {
+  kAuto,
+  kMmap,
+  kShmFile,
+};
+
 struct Config {
   int ranks = 4;                          // UPCXX_RANKS
   Backend backend = Backend::kThread;     // UPCXX_BACKEND=thread|process
@@ -69,6 +82,8 @@ struct Config {
   // in-flight staging footprint (window × chunk) inside L2 — the bounce
   // pool only pays off while the target consumes a chunk before it cools.
   std::size_t am_xfer_chunk_bytes = 64 << 10;  // UPCXX_AM_CHUNK_KB
+  // AM transport selection (see enum above).
+  AmTransport am_transport = AmTransport::kAuto;  // UPCXX_AM_TRANSPORT
 
   // Loads defaults overridden by environment variables; the result is
   // normalized.
@@ -93,5 +108,11 @@ RmaWire resolve_rma_wire(const Config& cfg);
 // 0 (auto) consults UPCXX_AM_WINDOW, else the default below.
 inline constexpr std::uint32_t kDefaultAmWindow = 8;
 std::uint32_t resolve_am_window(const Config& cfg);
+
+// Resolves a Config's am_transport. kAuto consults UPCXX_AM_TRANSPORT (so
+// hand-built Configs — the test helpers — honor a CI-level transport
+// override) and otherwise selects kMmap. An explicit kMmap / kShmFile
+// wins over the environment.
+AmTransport resolve_am_transport(const Config& cfg);
 
 }  // namespace gex

@@ -13,13 +13,15 @@ namespace gex {
 namespace {
 
 // Wire record headers. Always memcpy'd to/from the ring (record payloads
-// are only 4-byte aligned). Cookies are initiator-local ids; `dst`/`addr`
-// fields are addresses in the owning rank's cross-mapped segment — data
-// addresses, never code pointers (the same contract as RdzvDesc). Every
-// header carries `nacks`: the count of piggybacked ack cookies (u64 each)
-// laid out immediately after the header, ahead of any descriptors or
-// payload — reverse-direction traffic retires the sender's completions for
-// free.
+// are only 4-byte aligned). Cookies are initiator-local ids; `dst`/`addr`/
+// `buf` fields are (segment id, offset) wire addresses (gex/segment.hpp)
+// encoded by the sender and resolved against the *receiver's own* mapping
+// at decode — no record byte depends on the peer's virtual-address layout,
+// which is what lets the shm-file transport (and a future socket backend)
+// carry these records between unrelated mappings. Every header carries
+// `nacks`: the count of piggybacked ack cookies (u64 each) laid out
+// immediately after the header, ahead of any descriptors or payload —
+// reverse-direction traffic retires the sender's completions for free.
 struct PutHdr {
   std::uint64_t cookie;
   std::uint64_t dst;
@@ -118,9 +120,12 @@ struct RmaAmHandlers {
     const auto h = read_hdr<PutHdr>(cx.data);
     const auto* q = static_cast<const std::byte*>(cx.data) + sizeof(PutHdr);
     q = consume_acks(p, q, h.nacks);
-    std::memcpy(
-        reinterpret_cast<void*>(static_cast<std::uintptr_t>(h.dst)), q,
-        cx.size - sizeof(PutHdr) - ack_bytes(h.nacks));
+    const std::size_t bytes =
+        cx.size - sizeof(PutHdr) - ack_bytes(h.nacks);
+    if (bytes)
+      std::memcpy(reinterpret_cast<void*>(
+                      static_cast<std::uintptr_t>(p.wire_dec(h.dst))),
+                  q, bytes);
     p.peer(cx.src).acks_owed.push_back(h.cookie);
     ++p.stats_.puts_handled;
   }
@@ -132,8 +137,10 @@ struct RmaAmHandlers {
                         sizeof(PutStagedHdr),
                  h.nacks);
     std::memcpy(
-        reinterpret_cast<void*>(static_cast<std::uintptr_t>(h.dst)),
-        reinterpret_cast<const void*>(static_cast<std::uintptr_t>(h.buf)),
+        reinterpret_cast<void*>(
+            static_cast<std::uintptr_t>(p.wire_dec(h.dst))),
+        reinterpret_cast<const void*>(
+            static_cast<std::uintptr_t>(p.wire_dec(h.buf))),
         static_cast<std::size_t>(h.bytes));
     p.peer(cx.src).acks_owed.push_back(h.cookie);
     ++p.stats_.puts_handled;
@@ -145,15 +152,16 @@ struct RmaAmHandlers {
     consume_acks(p, static_cast<const std::byte*>(cx.data) +
                         sizeof(FragStagedHdr),
                  h.nacks);
-    const auto* descs =
-        reinterpret_cast<const std::byte*>(static_cast<std::uintptr_t>(h.buf));
+    const auto* descs = reinterpret_cast<const std::byte*>(
+        static_cast<std::uintptr_t>(p.wire_dec(h.buf)));
     const auto* payload = descs + h.nfrags * sizeof(FragDesc);
     std::size_t off = 0;
     for (std::uint32_t i = 0; i < h.nfrags; ++i) {
       const auto d = read_hdr<FragDesc>(descs + i * sizeof(FragDesc));
-      std::memcpy(reinterpret_cast<void*>(
-                      static_cast<std::uintptr_t>(d.addr)),
-                  payload + off, static_cast<std::size_t>(d.bytes));
+      if (d.bytes)
+        std::memcpy(reinterpret_cast<void*>(
+                        static_cast<std::uintptr_t>(p.wire_dec(d.addr))),
+                    payload + off, static_cast<std::size_t>(d.bytes));
       off += static_cast<std::size_t>(d.bytes);
     }
     assert(off == static_cast<std::size_t>(h.payload_bytes));
@@ -172,9 +180,10 @@ struct RmaAmHandlers {
     std::size_t off = 0;
     for (std::uint32_t i = 0; i < h.nfrags; ++i) {
       const auto d = read_hdr<FragDesc>(descs + i * sizeof(FragDesc));
-      std::memcpy(reinterpret_cast<void*>(
-                      static_cast<std::uintptr_t>(d.addr)),
-                  payload + off, static_cast<std::size_t>(d.bytes));
+      if (d.bytes)
+        std::memcpy(reinterpret_cast<void*>(
+                        static_cast<std::uintptr_t>(p.wire_dec(d.addr))),
+                    payload + off, static_cast<std::size_t>(d.bytes));
       off += static_cast<std::size_t>(d.bytes);
     }
     assert(sizeof(FragHdr) + ack_bytes(h.nacks) +
@@ -189,8 +198,11 @@ struct RmaAmHandlers {
     const auto h = read_hdr<GetHdr>(cx.data);
     consume_acks(p, static_cast<const std::byte*>(cx.data) + sizeof(GetHdr),
                  h.nacks);
+    // Resolve at decode; the gather list in replies_ holds this rank's own
+    // raw addresses from here on.
     p.replies_.push_back(
-        {cx.src, h.cookie, {RmaAmProtocol::Frag{h.src, h.bytes}}});
+        {cx.src, h.cookie,
+         {RmaAmProtocol::Frag{p.wire_dec(h.src), h.bytes}}});
     ++p.stats_.gets_handled;
   }
 
@@ -205,7 +217,7 @@ struct RmaAmHandlers {
     gather.reserve(h.nfrags);
     for (std::uint32_t i = 0; i < h.nfrags; ++i) {
       const auto d = read_hdr<FragDesc>(descs + i * sizeof(FragDesc));
-      gather.push_back({d.addr, d.bytes});
+      gather.push_back({p.wire_dec(d.addr), d.bytes});
     }
     p.replies_.push_back({cx.src, h.cookie, std::move(gather)});
     ++p.stats_.gets_handled;
@@ -235,13 +247,23 @@ struct RmaAmHandlers {
     // handler); completion itself is deferred to poll().
     std::size_t off = 0;
     for (const auto& f : it->second.scatter) {
-      std::memcpy(f.ptr, payload + off, f.bytes);
+      if (f.bytes) std::memcpy(f.ptr, payload + off, f.bytes);
       off += f.bytes;
     }
     assert(sizeof(RepHdr) + ack_bytes(h.nacks) + off == cx.size);
     p.completed_.push_back(h.cookie);
   }
 };
+
+WireAddr RmaAmProtocol::wire_enc(std::uint64_t addr) const {
+  return am_->arena().segmap().encode(
+      reinterpret_cast<const void*>(static_cast<std::uintptr_t>(addr)));
+}
+
+std::uint64_t RmaAmProtocol::wire_dec(WireAddr wa) const {
+  return static_cast<std::uint64_t>(reinterpret_cast<std::uintptr_t>(
+      am_->arena().segmap().decode(wa)));
+}
 
 RmaAmProtocol::Peer& RmaAmProtocol::peer(int target) {
   for (auto& p : peers_)
@@ -360,11 +382,11 @@ void RmaAmProtocol::send_put(int target, std::uint64_t cookie,
     auto sb = am_->prepare(target, am_handler<&RmaAmHandlers::on_put>(),
                            sizeof(PutHdr) + ack_bytes(acks.size()) + bytes);
     auto* q = static_cast<std::byte*>(sb.data);
-    const PutHdr h{cookie, dst.addr,
+    const PutHdr h{cookie, wire_enc(dst.addr),
                    static_cast<std::uint32_t>(acks.size()), 0};
     std::memcpy(q, &h, sizeof h);
     q = write_acks(q + sizeof h, acks);
-    std::memcpy(q, src, bytes);
+    if (bytes) std::memcpy(q, src, bytes);
     am_->commit(sb);
     ++stats_.puts_sent;
     stats_.acks_piggybacked += acks.size();
@@ -384,8 +406,8 @@ void RmaAmProtocol::send_put(int target, std::uint64_t cookie,
                          am_handler<&RmaAmHandlers::on_put_staged>(),
                          sizeof(PutStagedHdr) + ack_bytes(acks.size()));
   auto* q = static_cast<std::byte*>(sb.data);
-  const PutStagedHdr h{cookie, dst.addr,
-                       reinterpret_cast<std::uintptr_t>(stage.p),
+  const PutStagedHdr h{cookie, wire_enc(dst.addr),
+                       am_->arena().segmap().encode(stage.p),
                        dst.bytes, static_cast<std::uint32_t>(acks.size()),
                        0};
   std::memcpy(q, &h, sizeof h);
@@ -402,7 +424,7 @@ void RmaAmProtocol::send_get(int target, std::uint64_t cookie,
   auto sb = am_->prepare(target, am_handler<&RmaAmHandlers::on_get>(),
                          sizeof(GetHdr) + ack_bytes(acks.size()));
   auto* q = static_cast<std::byte*>(sb.data);
-  const GetHdr h{cookie, src.addr, src.bytes,
+  const GetHdr h{cookie, wire_enc(src.addr), src.bytes,
                  static_cast<std::uint32_t>(acks.size()), 0};
   std::memcpy(q, &h, sizeof h);
   write_acks(q + sizeof h, acks);
@@ -427,13 +449,13 @@ void RmaAmProtocol::send_put_frag(int target, std::uint64_t cookie,
     std::memcpy(q, &h, sizeof h);
     q = write_acks(q + sizeof h, acks);
     for (const auto& d : dsts) {
-      const FragDesc fd{d.addr, d.bytes};
+      const FragDesc fd{wire_enc(d.addr), d.bytes};
       std::memcpy(q, &fd, sizeof fd);
       q += sizeof fd;
     }
     // Gather the local fragments straight into the wire buffer.
     for (std::size_t i = 0; i < nsrcs; ++i) {
-      std::memcpy(q, srcs[i].ptr, srcs[i].bytes);
+      if (srcs[i].bytes) std::memcpy(q, srcs[i].ptr, srcs[i].bytes);
       q += srcs[i].bytes;
     }
     am_->commit(sb);
@@ -451,13 +473,15 @@ void RmaAmProtocol::send_put_frag(int target, std::uint64_t cookie,
   }
   auto acks = take_acks(target);
   auto* q = static_cast<std::byte*>(stage.p);
+  // The descriptors inside the staged buffer are wire data too (the target
+  // reads them out of the bounce buffer), so they carry wire addresses.
   for (const auto& d : dsts) {
-    const FragDesc fd{d.addr, d.bytes};
+    const FragDesc fd{wire_enc(d.addr), d.bytes};
     std::memcpy(q, &fd, sizeof fd);
     q += sizeof fd;
   }
   for (std::size_t i = 0; i < nsrcs; ++i) {
-    std::memcpy(q, srcs[i].ptr, srcs[i].bytes);
+    if (srcs[i].bytes) std::memcpy(q, srcs[i].ptr, srcs[i].bytes);
     q += srcs[i].bytes;
   }
   pending_.find(cookie)->second.stage = stage;
@@ -465,7 +489,7 @@ void RmaAmProtocol::send_put_frag(int target, std::uint64_t cookie,
                          am_handler<&RmaAmHandlers::on_put_frag_staged>(),
                          sizeof(FragStagedHdr) + ack_bytes(acks.size()));
   auto* w = static_cast<std::byte*>(sb.data);
-  const FragStagedHdr h{cookie, reinterpret_cast<std::uintptr_t>(stage.p),
+  const FragStagedHdr h{cookie, am_->arena().segmap().encode(stage.p),
                         total, static_cast<std::uint32_t>(dsts.size()),
                         static_cast<std::uint32_t>(acks.size())};
   std::memcpy(w, &h, sizeof h);
@@ -489,7 +513,7 @@ void RmaAmProtocol::send_get_frag(int target, std::uint64_t cookie,
   std::memcpy(q, &h, sizeof h);
   q = write_acks(q + sizeof h, acks);
   for (const auto& s : srcs) {
-    const FragDesc fd{s.addr, s.bytes};
+    const FragDesc fd{wire_enc(s.addr), s.bytes};
     std::memcpy(q, &fd, sizeof fd);
     q += sizeof fd;
   }
@@ -510,9 +534,11 @@ void RmaAmProtocol::put(int target, void* dst, const void* src,
   }
   // Window full: park the request with an owned payload copy — the caller
   // may reuse src the moment we return, exactly as on the immediate path.
+  // (0-byte puts may legally pass a null src; don't form iterators from it.)
   QueuedReq q{QueuedReq::kPut, cookie, {d}, {}};
-  q.payload.assign(static_cast<const std::byte*>(src),
-                   static_cast<const std::byte*>(src) + bytes);
+  if (bytes)
+    q.payload.assign(static_cast<const std::byte*>(src),
+                     static_cast<const std::byte*>(src) + bytes);
   enqueue(p, std::move(q));
 }
 
@@ -641,12 +667,14 @@ int RmaAmProtocol::poll_requests() {
       q = write_acks(q + sizeof h, acks);
       // Gather this rank's source runs at reply time — the get reads the
       // data as it exists when the target serves it, exactly like a
-      // direct-wire rget reads memory at copy time.
+      // direct-wire rget reads memory at copy time. (Addresses here are
+      // local: on_get/on_get_frag resolved them at decode.)
       for (const auto& f : r.gather) {
-        std::memcpy(q,
-                    reinterpret_cast<const void*>(
-                        static_cast<std::uintptr_t>(f.addr)),
-                    static_cast<std::size_t>(f.bytes));
+        if (f.bytes)
+          std::memcpy(q,
+                      reinterpret_cast<const void*>(
+                          static_cast<std::uintptr_t>(f.addr)),
+                      static_cast<std::size_t>(f.bytes));
         q += f.bytes;
       }
       am_->commit(sb);

@@ -95,8 +95,10 @@ class RmaAmProtocol {
   // flood can park in private memory.
   static constexpr std::size_t kQueueSlack = 64;
 
-  // A contiguous run in the *remote* rank's address space (cross-mapped
-  // today; an opaque segment offset on a future distributed backend).
+  // A contiguous run in the *remote* rank's address space. In memory this
+  // holds the initiator's view of the address (cross-mapped today); on the
+  // wire it always travels as a (segment id, offset) pair resolved at the
+  // owning rank — see wire_enc/wire_dec below.
   struct Frag {
     std::uint64_t addr;
     std::uint64_t bytes;
@@ -263,6 +265,14 @@ class RmaAmProtocol {
     std::vector<std::uint64_t> acks_owed;
     std::vector<StageBuf> stage_pool;  // free bounce buffers, ready to reuse
   };
+
+  // Wire-address translation (gex/segment.hpp): every remote/staged
+  // address leaving this rank is packed to (segment id, offset) at record
+  // encode, and every address arriving is resolved against this rank's own
+  // mapping at decode — no wire byte depends on the peer's virtual-address
+  // layout. Both abort on addresses outside the registered segments.
+  WireAddr wire_enc(std::uint64_t addr) const;
+  std::uint64_t wire_dec(WireAddr wa) const;
 
   Peer& peer(int target);
   // Null .p when the job is failing and the heap is exhausted (the blocks

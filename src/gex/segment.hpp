@@ -1,0 +1,84 @@
+// Segment registry: network-portable wire addressing.
+//
+// The AM RMA protocol used to ship raw virtual addresses in its PUT/GET/
+// bounce records, which only works while every rank maps the arena at one
+// address (the cross-mapped mmap). A network-portable wire must instead
+// name remote memory the way GASNet-EX does: by *segment* and *offset*,
+// resolved against the receiving rank's own mapping. This registry is that
+// name space: every region a wire record may point into — the global
+// shared heap (rendezvous and bounce-pool buffers), each rank's shared
+// segment (upcxx::allocate, device segments), and the inbox-ring arena —
+// gets a small id, and addresses cross the wire as (id, offset) pairs
+// packed into one u64.
+//
+// Wire format: bits 63..48 = segment id (1-based; 0 is reserved invalid),
+// bits 47..0 = byte offset into the segment. A leaked raw x86-64 pointer
+// has zero top bits, so it decodes to the reserved id and is rejected —
+// the registry doubles as the wire's address-hygiene check, which is why
+// decode validates unconditionally (two compares; not debug-only).
+//
+// The registry is built once at Arena::create (before threads spawn or
+// processes fork) and is immutable afterwards; every rank of the job holds
+// an identical copy, so ids agree across the wire by construction — the
+// same static-agreement contract as the AM handler registry.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace gex {
+
+// A packed (segment id, offset) wire address.
+using WireAddr = std::uint64_t;
+
+inline constexpr int kWireAddrOffsetBits = 48;
+inline constexpr std::uint64_t kWireAddrOffsetMask =
+    (std::uint64_t{1} << kWireAddrOffsetBits) - 1;
+
+class SegmentMap {
+ public:
+  // Registers [base, base+bytes) under the returned id (1-based). Call
+  // only during Arena::create; `name` must outlive the map (string
+  // literals).
+  std::uint16_t add(const void* base, std::size_t bytes, const char* name);
+
+  // Packs p into a wire address, or returns 0 when p lies in no registered
+  // segment (the caller decides whether that is fatal).
+  WireAddr try_encode(const void* p) const;
+
+  // Unpacks a wire address, or returns nullptr when the id is unregistered
+  // or the offset runs past the segment — i.e. when the value cannot have
+  // been produced by try_encode against this job's layout.
+  void* try_decode(WireAddr wa) const;
+
+  // Aborting variants for the wire paths: an encode failure means a record
+  // was about to carry an unregistered (process-private) address; a decode
+  // failure means the wire delivered bytes that do not resolve through the
+  // registry. Both are protocol bugs, never user errors.
+  WireAddr encode(const void* p) const;
+  void* decode(WireAddr wa) const;
+
+  bool contains(const void* p) const { return try_encode(p) != 0; }
+  std::size_t segment_count() const { return segs_.size(); }
+  const char* segment_name(std::uint16_t id) const;
+
+  // Total successful decodes (all ranks of a thread-backend job share the
+  // map). Tests use the delta across a traffic burst to prove every record
+  // that landed resolved through the registry.
+  std::uint64_t decode_count() const {
+    return decodes_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Seg {
+    const std::byte* base;
+    std::size_t bytes;
+    const char* name;
+  };
+  std::vector<Seg> segs_;  // index + 1 == id; few entries, linear scan
+  mutable std::atomic<std::uint64_t> decodes_{0};
+};
+
+}  // namespace gex

@@ -1,0 +1,91 @@
+// Pluggable AM transport: where the inbox rings live.
+//
+// The AmEngine's wire is a per-target byte ring of records. How those
+// rings are *backed* is a deployment property, not a protocol one — and
+// with segment-offset wire addressing (gex/segment.hpp) no record byte
+// depends on the peer's virtual-address mapping, so the rings no longer
+// have to live in the one pre-fork cross-mapped arena. This interface cuts
+// the engine's ring push/pop behind a virtual seam (one call per *record*,
+// never per byte — the payload memcpy still goes straight into ring
+// memory) with two implementations:
+//
+//   mmap     (default) — the per-rank MPSC rings inside the shared arena
+//            mapping, exactly the pre-existing fast path. Zero new cost:
+//            one virtual dispatch per reserve/commit/consume.
+//   shmfile  — one ring file per (sender, receiver) pair, created and
+//            opened lazily under /dev/shm (or /tmp) on first use, mapped
+//            independently by each side at whatever address mmap returns.
+//            Nothing about the mapping is shared up front, which is the
+//            proof that the protocol genuinely carries no cross-mapped
+//            pointers — and the stepping stone to a socket transport,
+//            whose reserve would return a private staging buffer and whose
+//            commit would write() it.
+//
+// Selection: UPCXX_AM_TRANSPORT=mmap|shmfile|auto (Config::am_transport;
+// auto consults the environment so hand-built test configs honor the CI
+// matrix, then defaults to mmap).
+//
+// Ordering contract (both implementations): records from one sender to
+// one receiver are delivered FIFO. Cross-sender order is unspecified —
+// the same per-pair guarantee a GASNet conduit gives, and the only one
+// the layers above rely on (the barrier argument in rma_am.hpp is
+// per-pair). Deadlock freedom is unchanged: a sender spinning on a full
+// ring drains its own inbox via AmEngine::poll, whichever transport backs
+// it.
+//
+// Bootstrap stays on the arena: the control block (world barrier, error
+// flag) and the data segments are not part of the AM wire and remain in
+// the shared mapping. The transport abstracts the *message* plane only.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "arch/ring.hpp"
+
+namespace gex {
+
+class Arena;
+
+class Transport {
+ public:
+  // Both implementations back records with MpscByteRing, so the reserve
+  // ticket is the ring's. (A socket transport would widen this into a
+  // tagged handle carrying a staging buffer instead.)
+  using Ticket = arch::MpscByteRing::Ticket;
+  using RecordVisitor = void (*)(void* payload, std::size_t bytes, void* cx);
+
+  virtual ~Transport() = default;
+
+  // Reserves a record of `bytes` payload bytes addressed to `target`'s
+  // inbox. Ticket.payload is null when the wire currently lacks space; the
+  // caller polls its own inbox and retries (AmEngine::prepare).
+  virtual Ticket try_reserve(int target, std::size_t bytes) = 0;
+
+  // Publishes a reserved record once its payload is fully written.
+  virtual void commit(const Ticket& t) = 0;
+
+  // Consumes at most one record from this rank's inbox, invoking
+  // visit(payload, bytes, cx) on it. Returns false when nothing is ready.
+  virtual bool try_consume(RecordVisitor visit, void* cx) = 0;
+
+  // Largest payload a single record may carry.
+  virtual std::size_t max_record_payload() const = 0;
+
+  // Nothing queued for this rank (teardown/idle checks; may be
+  // conservative but never falsely empty). Non-const: a transport whose
+  // inbox storage appears lazily may have to open it to answer.
+  virtual bool rx_empty() = 0;
+
+  virtual const char* name() const = 0;
+};
+
+// Builds the transport resolved from arena->config() (see
+// resolve_am_transport) for rank `me`. Caller owns the result.
+Transport* make_transport(Arena* arena, int me);
+
+// Directory shm-file transports place their ring files in (/dev/shm when
+// writable, else TMPDIR, else /tmp). Exposed for the cleanup tests.
+const char* shm_transport_dir();
+
+}  // namespace gex

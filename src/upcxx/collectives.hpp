@@ -115,11 +115,11 @@ future<> broadcast(T* buf, std::size_t n, intrank_t root,
   ops.up = false;
   ops.down = true;
   ops.deliver = [pr, buf, n](detail::Reader& r) mutable {
-    std::memcpy(buf, r.raw(n * sizeof(T)), n * sizeof(T));
+    if (n) std::memcpy(buf, r.raw(n * sizeof(T)), n * sizeof(T));
     pr.fulfill_anonymous(1);
   };
   std::vector<std::byte> contrib;
-  if (tm.rank_me() == root) {
+  if (tm.rank_me() == root && n) {
     contrib.resize(n * sizeof(T));
     std::memcpy(contrib.data(), buf, n * sizeof(T));
   }
@@ -309,12 +309,12 @@ future<> reduce_bulk_generic(const T* src, T* dst, std::size_t n, BinaryOp op,
     for (std::size_t i = 0; i < n; ++i) a[i] = op(a[i], b[i]);
   };
   ops.deliver = [pr, dst, n, i_receive](Reader& r) mutable {
-    if (i_receive && r.remaining() >= n * sizeof(T))
+    if (n && i_receive && r.remaining() >= n * sizeof(T))
       std::memcpy(dst, r.raw(n * sizeof(T)), n * sizeof(T));
     pr.fulfill_anonymous(1);
   };
   std::vector<std::byte> contrib(n * sizeof(T));
-  std::memcpy(contrib.data(), src, n * sizeof(T));
+  if (n) std::memcpy(contrib.data(), src, n * sizeof(T));
   coll_enter(tm, root, std::move(contrib), std::move(ops));
   return pr.finalize();
 }

@@ -54,7 +54,7 @@ auto copy_impl(Cxs cxs, intrank_t src_rank, intrank_t dst_rank, void* dst,
     return issue_am_contig_ns(std::move(cxs), target, dst, src, bytes,
                               is_get, wire_delay + dev_ns);
   }
-  std::memcpy(dst, src, bytes);
+  if (bytes) std::memcpy(dst, src, bytes);
   return finish_rma_ns(std::move(cxs), cx_target, wire_delay + dev_ns);
 }
 

@@ -19,6 +19,7 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <stdexcept>
 #include <thread>
 #include <tuple>
 #include <type_traits>
@@ -31,6 +32,17 @@ namespace upcxx {
 
 // Rank index type (world or team relative), as in UPC++.
 using intrank_t = int;
+
+// Thrown by blocking waits (future::wait, barrier, and every blocking
+// operation built on them) when another rank of the job has failed: the
+// awaited completion may depend on the dead rank and could otherwise never
+// arrive, so the wait surfaces the job failure instead of spinning forever.
+// Teardown paths already break on the same flag; this extends the contract
+// to user-level waits (ROADMAP "error-aware wait").
+class rank_failed : public std::runtime_error {
+ public:
+  rank_failed();
+};
 
 template <typename... T>
 class future;
@@ -47,6 +59,11 @@ namespace detail {
 // progress.cpp); wait loops yield the core when a progress call leaves it
 // unchanged.
 std::uint64_t progress_work_counter();
+
+// True once any rank of the job has failed (the arena error flag); false
+// outside an SPMD region. Defined in progress.cpp.
+bool job_failed();
+[[noreturn]] void throw_rank_failed();
 
 }  // namespace detail
 
@@ -177,17 +194,26 @@ class future {
 
   // Blocks (spinning on user progress) until ready; returns the result.
   // Matches the paper: "the wait call is simply a spin loop around
-  // progress".
+  // progress". Throws rank_failed once another rank of the job has died —
+  // the completion this future awaits may depend on that rank, and a
+  // failed job must tear down instead of hanging in user waits.
   result_type wait() const {
     // Yield as soon as a progress call accomplishes nothing: on
     // oversubscribed hosts (single-core CI) the peer this future depends on
     // needs the core to produce the completion, and repeat-polling empty
     // queues only delays it by a scheduling quantum.
+    //
+    // Check order matters for the failure path: progress first, then
+    // readiness, then the error flag — any completion already delivered
+    // (e.g. a barrier release committed to our inbox before the failing
+    // rank raised the flag) is consumed and returned rather than
+    // abandoned.
     while (!is_ready()) {
       const std::uint64_t w = detail::progress_work_counter();
       ::upcxx::progress();
-      if (!is_ready() && detail::progress_work_counter() == w)
-        std::this_thread::yield();
+      if (is_ready()) break;
+      if (detail::job_failed()) detail::throw_rank_failed();
+      if (detail::progress_work_counter() == w) std::this_thread::yield();
     }
     return result();
   }

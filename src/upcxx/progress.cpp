@@ -16,6 +16,12 @@
 #include "upcxx/team.hpp"
 
 namespace upcxx {
+
+rank_failed::rank_failed()
+    : std::runtime_error(
+          "upcxx: a peer rank failed; the awaited operation may never "
+          "complete") {}
+
 namespace detail {
 
 namespace {
@@ -34,6 +40,15 @@ bool has_persona() { return tls_persona != nullptr; }
 std::uint64_t progress_work_counter() {
   return tls_persona ? tls_persona->work_events : 0;
 }
+
+bool job_failed() {
+  auto* st = tls_persona;
+  if (!st || !st->rank || !st->rank->arena) return false;
+  return st->rank->arena->control().error_flag.value.load(
+             std::memory_order_acquire) != 0;
+}
+
+void throw_rank_failed() { throw rank_failed(); }
 
 void bind_rank_context(PersonaState* st) {
   tls_persona = st;

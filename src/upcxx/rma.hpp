@@ -237,7 +237,8 @@ auto rput(const T* src, global_ptr<T> dest, std::size_t n,
                                    dest.local(), src, bytes,
                                    /*is_get=*/false, /*hops=*/2);
   }
-  std::memcpy(dest.local(), src, bytes);
+  // 0-byte puts are legal (and may pass a null src); memcpy is not.
+  if (bytes) std::memcpy(dest.local(), src, bytes);
   return detail::finish_rma(std::move(cxs), dest.where(), /*hops=*/2);
 }
 
@@ -281,7 +282,7 @@ auto rget(global_ptr<T> src, T* dest, std::size_t n, Cxs cxs = Cxs{}) {
                                    src.local(), bytes, /*is_get=*/true,
                                    /*hops=*/2);
   }
-  std::memcpy(dest, src.local(), bytes);
+  if (bytes) std::memcpy(dest, src.local(), bytes);
   return detail::finish_rma(std::move(cxs), src.where(), /*hops=*/2);
 }
 
@@ -356,7 +357,8 @@ namespace detail {
 // distinct-target scan is quadratic rather than allocating.
 template <typename Cxs, typename TargetOf>
 auto finish_rma_fragments(Cxs&& cxs, std::size_t nfrags, TargetOf&& targets) {
-  assert(nfrags > 0 && "empty fragment list");
+  // nfrags == 0 is legal (an empty transfer): every completion fires, no
+  // remote rank is notified because none is named.
   cx_state<std::decay_t<Cxs>> st(std::move(cxs),
                                  nfrags ? targets(0) : intrank_t{0});
   st.source_now();
@@ -379,22 +381,29 @@ void pair_fragment_runs(const LocalVec& locals,
                         const std::vector<dst_fragment<T>>& remotes,
                         Fn&& fn) {
   std::size_t li = 0, lo = 0;  // local fragment index/offset
+  // Exhausted and zero-length local fragments contribute nothing; skipping
+  // them up front keeps every fn() run non-empty (a zero-length local
+  // fragment used to wedge this loop: take == 0 made no progress).
+  auto skip_consumed = [&] {
+    while (li < locals.size() && lo == locals[li].n) {
+      ++li;
+      lo = 0;
+    }
+  };
   for (const auto& r : remotes) {
     assert(!r.ptr.is_null());
     std::size_t need = r.n, ro = 0;
     while (need) {
+      skip_consumed();
       assert(li < locals.size() && "local side shorter than remote side");
       const std::size_t take = std::min(need, locals[li].n - lo);
       fn(static_cast<LocalPtr>(locals[li].ptr) + lo, r.ptr + ro, take);
       ro += take;
       lo += take;
       need -= take;
-      if (lo == locals[li].n) {
-        ++li;
-        lo = 0;
-      }
     }
   }
+  skip_consumed();  // trailing zero-length local fragments are legal
   assert(li == locals.size() && lo == 0 &&
          "remote side shorter than local side");
 }
@@ -411,8 +420,19 @@ auto rput_irregular(const std::vector<src_fragment<T>>& srcs,
                     Cxs cxs = Cxs{}) {
   static_assert(std::is_trivially_copyable_v<T>);
   ++detail::persona().stats.rputs;
+  if (dsts.empty()) {
+    // Empty transfer: complete locally (no remote rank is named, so no
+    // remote_cx fires). Any local fragments must be zero-length too.
+    return detail::finish_rma_fragments(
+        std::move(cxs), 0, [](std::size_t) { return intrank_t{0}; });
+  }
   if (detail::wire_am()) {
     std::vector<detail::AmFragGroup> groups;
+    // Every distinct destination rank gets a group up front: a target
+    // whose fragments are all zero-length still receives one (payload-
+    // free) scatter record, so its remote_cx notification fires exactly
+    // as on the direct wire.
+    for (const auto& d : dsts) detail::am_frag_group(groups, d.ptr.where());
     detail::pair_fragment_runs<T, const T*>(
         srcs, dsts, [&](const T* lp, global_ptr<T> rp, std::size_t n) {
           auto& g = detail::am_frag_group(groups, rp.where());
@@ -442,8 +462,13 @@ auto rget_irregular(const std::vector<dst_fragment<T>>& srcs,
                     Cxs cxs = Cxs{}) {
   static_assert(std::is_trivially_copyable_v<T>);
   ++detail::persona().stats.rgets;
+  if (srcs.empty()) {
+    return detail::finish_rma_fragments(
+        std::move(cxs), 0, [](std::size_t) { return intrank_t{0}; });
+  }
   if (detail::wire_am()) {
     std::vector<detail::AmFragGroup> groups;
+    for (const auto& s : srcs) detail::am_frag_group(groups, s.ptr.where());
     detail::pair_fragment_runs<T, T*>(
         dsts, srcs, [&](T* lp, global_ptr<T> rp, std::size_t n) {
           auto& g = detail::am_frag_group(groups, rp.where());

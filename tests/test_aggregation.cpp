@@ -80,6 +80,11 @@ void scan_target_handler(gex::AmContext&) {}
 // `AmHandler` in every record header.
 TEST(WireFormat, NoHandlerAddressOnTheWire) {
   auto cfg = small_cfg(2);
+  // This test raw-consumes records out of the arena inbox ring, so it pins
+  // the mmap transport explicitly (under UPCXX_AM_TRANSPORT=shmfile the
+  // records would travel through per-pair ring files instead — covered by
+  // test_transport.cpp).
+  cfg.am_transport = gex::AmTransport::kMmap;
   gex::Arena* arena = gex::Arena::create(cfg);
   gex::AmEngine eng(arena, 0);
   gex::Aggregator agg(&eng);

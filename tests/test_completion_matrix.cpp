@@ -356,6 +356,97 @@ TEST(CompletionMatrixAckBatching, PiggybackedAcksKeepSourceBeforeOperation) {
   EXPECT_EQ(fails, 0);
 }
 
+// Zero-byte cells: every RMA shape at zero length, on both wires and both
+// data-motion configurations, must fire its completion exactly once, move
+// nothing, and never touch memory through a null/zero memcpy (the UB class
+// PR 3 fixed in collectives; this pins the RMA paths). Null local pointers
+// are legal at n == 0.
+class ZeroByteMatrix
+    : public ::testing::TestWithParam<std::tuple<int /*async*/, int /*am*/>> {
+};
+
+TEST_P(ZeroByteMatrix, ZeroByteOpsCompleteAndMoveNothing) {
+  gex::Config cfg = testutil::test_cfg(2);
+  cfg.rma_async_min = std::get<0>(GetParam()) ? 1 : 0;
+  cfg.xfer_chunk_bytes = 256;
+  cfg.rma_wire = std::get<1>(GetParam()) ? gex::RmaWire::kAm
+                                         : gex::RmaWire::kDirect;
+  const int fails = upcxx::run(cfg, [] {
+    static upcxx::global_ptr<long> remote;
+    const int me = upcxx::rank_me();
+    if (me == 1) {
+      remote = upcxx::new_array<long>(kN);
+      for (std::size_t i = 0; i < kN; ++i) remote.local()[i] = -7;
+    }
+    upcxx::barrier();
+    if (me == 0) {
+      std::vector<long> buf(kN, 5);
+      // Contiguous, valid pointers.
+      upcxx::rput(buf.data(), remote, 0).wait();
+      upcxx::rget(remote, buf.data(), 0).wait();
+      // Contiguous, null local pointer at n == 0.
+      upcxx::rput(static_cast<const long*>(nullptr), remote, 0).wait();
+      upcxx::rget(remote, static_cast<long*>(nullptr), 0).wait();
+      // copy() in both directions (global endpoints must be valid).
+      upcxx::copy(buf.data(), remote, 0).wait();
+      upcxx::copy(remote, buf.data(), 0).wait();
+      // Strided with a zero extent.
+      upcxx::rput_strided<2>(
+          buf.data(),
+          {static_cast<std::ptrdiff_t>(8 * sizeof(long)),
+           static_cast<std::ptrdiff_t>(sizeof(long))},
+          remote,
+          {static_cast<std::ptrdiff_t>(8 * sizeof(long)),
+           static_cast<std::ptrdiff_t>(sizeof(long))},
+          {std::size_t{0}, std::size_t{8}})
+          .wait();
+      // Irregular: empty lists.
+      upcxx::rput_irregular<long>({}, {}).wait();
+      upcxx::rget_irregular<long>({}, {}).wait();
+      // Irregular: zero-length fragments mixed with real ones (a trailing
+      // zero-length local fragment used to wedge the pairing loop), and a
+      // target whose fragments are all zero-length.
+      {
+        std::vector<upcxx::src_fragment<long>> s{
+            {buf.data(), 8}, {buf.data() + 8, 0}};
+        std::vector<upcxx::dst_fragment<long>> d{{remote, 0}, {remote, 8}};
+        bool fired = false;
+        upcxx::rput_irregular(s, d,
+                              upcxx::operation_cx::as_lpc(
+                                  [&fired] { fired = true; }));
+        while (!fired) upcxx::progress();
+      }
+      {
+        std::vector<upcxx::dst_fragment<long>> s{{remote, 0}};
+        std::vector<upcxx::local_fragment<long>> d{{nullptr, 0}};
+        upcxx::rget_irregular(s, d).wait();
+      }
+      // rget at 0 bytes must not have disturbed the local buffer either.
+      for (std::size_t i = 0; i < 8; ++i) EXPECT_EQ(buf[i], 5);
+      upcxx::barrier();
+    } else {
+      upcxx::barrier();
+      // The only write was the 8-element irregular put; everything else
+      // moved zero bytes.
+      for (std::size_t i = 0; i < 8; ++i) EXPECT_EQ(remote.local()[i], 5);
+      for (std::size_t i = 8; i < kN; ++i)
+        EXPECT_EQ(remote.local()[i], -7) << "zero-byte op wrote at " << i;
+      upcxx::delete_array(remote, kN);
+    }
+    upcxx::barrier();
+  });
+  EXPECT_EQ(fails, 0) << (std::get<0>(GetParam()) ? "async" : "sync") << "/"
+                      << (std::get<1>(GetParam()) ? "am" : "direct");
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllZeroByteCells, ZeroByteMatrix,
+    ::testing::Combine(::testing::Range(0, 2), ::testing::Range(0, 2)),
+    [](const ::testing::TestParamInfo<std::tuple<int, int>>& info) {
+      return std::string(std::get<0>(info.param) ? "async" : "sync") +
+             (std::get<1>(info.param) ? "_am" : "_direct");
+    });
+
 // The stats facility: counters move with the operations that ran.
 TEST(Stats, CountersTrackOperations) {
   testutil::spmd(2, [] {

@@ -4,7 +4,10 @@
 
 #include <atomic>
 #include <cstring>
+#include <limits>
 #include <numeric>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "arch/rng.hpp"
@@ -391,6 +394,74 @@ TEST(Config, XferEnvParsing) {
   unsetenv("UPCXX_SIM_BW_GBPS");
   unsetenv("UPCXX_XFER_CHUNK_KB");
   unsetenv("UPCXX_RMA_ASYNC_MIN");
+}
+
+// Numeric knobs must reject garbage loudly and keep their defaults — a
+// typo'd knob used to be silently indistinguishable from the default.
+TEST(Config, NumericKnobsRejectGarbage) {
+  const gex::Config d;  // defaults
+  // Save and clear every knob this test touches: the surrounding test run
+  // may pin some of them (the CI am-window-1 job exports UPCXX_AM_WINDOW).
+  const char* knobs[] = {
+      "UPCXX_AM_WINDOW",      "UPCXX_AM_CHUNK_KB", "UPCXX_SIM_LATENCY_NS",
+      "UPCXX_SIM_BW_GBPS",    "UPCXX_EAGER_MAX",   "UPCXX_RANKS",
+      "UPCXX_XFER_CHUNK_KB",  "UPCXX_RING_KB",     "UPCXX_RMA_ASYNC_MIN",
+  };
+  std::vector<std::pair<const char*, std::string>> saved;
+  for (const char* k : knobs) {
+    if (const char* v = getenv(k)) saved.emplace_back(k, v);
+    unsetenv(k);
+  }
+  struct Case {
+    const char* name;
+    const char* value;
+  };
+  const Case cases[] = {
+      {"UPCXX_AM_WINDOW", "banana"},     {"UPCXX_AM_WINDOW", "-3"},
+      {"UPCXX_AM_CHUNK_KB", "12abc"},    {"UPCXX_AM_CHUNK_KB", "-64"},
+      {"UPCXX_SIM_LATENCY_NS", "-5"},    {"UPCXX_SIM_LATENCY_NS", "x"},
+      {"UPCXX_SIM_BW_GBPS", "inf"},      {"UPCXX_SIM_BW_GBPS", "-2"},
+      {"UPCXX_EAGER_MAX", "-1"},         {"UPCXX_RANKS", "0"},
+      {"UPCXX_RANKS", "four"},           {"UPCXX_XFER_CHUNK_KB", "256k"},
+      {"UPCXX_RING_KB", "99999999999999999999"},  // ERANGE
+      {"UPCXX_RMA_ASYNC_MIN", "-1"},
+  };
+  for (const auto& c : cases) {
+    setenv(c.name, c.value, 1);
+    gex::Config got = gex::Config::from_env();
+    EXPECT_EQ(got.am_window, d.am_window) << c.name << "=" << c.value;
+    EXPECT_EQ(got.am_xfer_chunk_bytes, d.am_xfer_chunk_bytes)
+        << c.name << "=" << c.value;
+    EXPECT_EQ(got.sim_latency_ns, 0u) << c.name << "=" << c.value;
+    EXPECT_EQ(got.sim_bw_gbps, 0.0) << c.name << "=" << c.value;
+    EXPECT_EQ(got.eager_max, d.eager_max) << c.name << "=" << c.value;
+    EXPECT_EQ(got.ranks, d.ranks) << c.name << "=" << c.value;
+    EXPECT_EQ(got.xfer_chunk_bytes, d.xfer_chunk_bytes)
+        << c.name << "=" << c.value;
+    EXPECT_EQ(got.ring_bytes, d.ring_bytes) << c.name << "=" << c.value;
+    EXPECT_EQ(got.rma_async_min, d.rma_async_min)
+        << c.name << "=" << c.value;
+    unsetenv(c.name);
+  }
+  // Valid values still parse (the strictness did not break the knobs).
+  setenv("UPCXX_AM_WINDOW", "16", 1);
+  setenv("UPCXX_SIM_LATENCY_NS", "250", 1);
+  const gex::Config ok = gex::Config::from_env();
+  EXPECT_EQ(ok.am_window, 16u);
+  EXPECT_EQ(ok.sim_latency_ns, 250u);
+  unsetenv("UPCXX_AM_WINDOW");
+  unsetenv("UPCXX_SIM_LATENCY_NS");
+  // resolve_am_window falls back to the default on a garbage environment.
+  setenv("UPCXX_AM_WINDOW", "zero", 1);
+  gex::Config c;
+  EXPECT_EQ(gex::resolve_am_window(c), gex::kDefaultAmWindow);
+  unsetenv("UPCXX_AM_WINDOW");
+  // Non-finite bandwidth is scrubbed by normalize() for hand-built
+  // configs too.
+  c.sim_bw_gbps = std::numeric_limits<double>::infinity();
+  c.normalize();
+  EXPECT_EQ(c.sim_bw_gbps, 0.0);
+  for (const auto& [k, v] : saved) setenv(k, v.c_str(), 1);
 }
 
 TEST(Config, RmaWireParsingAndResolution) {

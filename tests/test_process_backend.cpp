@@ -253,6 +253,50 @@ TEST(ProcessBackend, FailedPeerReleasesAmWireCredits) {
   EXPECT_EQ(fails, 1);
 }
 
+TEST(ProcessBackend, WaitThrowsRankFailedWhenPeerDies) {
+  // Error-aware wait (ROADMAP): a user-level future::wait() whose
+  // completion depends on a dead rank used to spin forever — only the
+  // teardown paths honored the arena error flag. It must now throw
+  // upcxx::rank_failed once the flag is up. The survivor catches it and
+  // finishes cleanly, so exactly the injected fault is reported; pre-fix
+  // this test hangs in the first wait below and trips the ctest timeout.
+  gex::Config cfg = testutil::test_cfg(3);
+  cfg.backend = gex::Backend::kProcess;
+  cfg.rma_wire = gex::RmaWire::kAm;
+  const int fails = upcxx::run(cfg, [] {
+    const int me = upcxx::rank_me();
+    static upcxx::global_ptr<long> victim;
+    if (me == 2) victim = upcxx::new_array<long>(8);
+    auto ptrs = upcxx::allgather(victim).wait();
+    upcxx::barrier();
+    if (me == 2) throw std::runtime_error("injected fault");
+    if (me == 0) {
+      // A future nothing will ever fulfill stands in for any completion
+      // that depended on the dead rank: deterministic, because readiness
+      // can never race the error flag.
+      bool threw = false;
+      try {
+        upcxx::promise<long> never;
+        never.get_future().wait();
+      } catch (const upcxx::rank_failed&) {
+        threw = true;
+      }
+      require(threw, "wait() threw rank_failed instead of hanging");
+      // A real blocking operation against the dead rank must terminate
+      // too. Rank 2's bounded teardown polls may still ack it (making the
+      // wait return normally) or may not (rank_failed); both are clean —
+      // what is forbidden is the pre-fix infinite spin.
+      std::vector<long> pat(8, 1);
+      try {
+        upcxx::rput(pat.data(), ptrs[2], 8).wait();
+      } catch (const upcxx::rank_failed&) {
+      }
+    }
+    for (int i = 0; i < 100; ++i) upcxx::progress();
+  });
+  EXPECT_EQ(fails, 1);
+}
+
 TEST(ProcessBackend, FailingRankIsReported) {
   // Failure injection: one rank throws; the parent must see exactly one
   // failed rank and the others must shut down cleanly (no hang).
