@@ -14,6 +14,8 @@
 
 #include "arch/timer.hpp"
 #include "bench_util.hpp"
+#include "gex/rma_am.hpp"
+#include "gex/runtime.hpp"
 #include "upcxx/upcxx.hpp"
 
 namespace {
@@ -211,10 +213,144 @@ int main() {
     if (fails) return 2;
     win_mbs.push_back(s_mbs);
   }
-  std::printf("\nFlow-control window sweep (32KB rput flood, wire=am):\n");
-  std::printf("%10s %14s\n", "window", "rate (MB/s)");
+  // Get-direction knee: same flood, but the payload rides the *reply* path
+  // (target stages it in a pooled shared-heap buffer, initiator's rack
+  // recycles the buffer). The knee should mirror the put sweep's — if it
+  // doesn't, reply staging is the bottleneck, not the request window.
+  static std::vector<double> get_win_mbs;
+  get_win_mbs.clear();
+  for (std::uint32_t w : windows) {
+    gex::Config cfg = gex::Config::from_env();
+    cfg.ranks = 2;
+    cfg.rma_wire = gex::RmaWire::kAm;
+    cfg.rma_async_min = 0;  // one protocol request per rget
+    cfg.am_window = w;
+    cfg.ring_bytes = 1 << 20;
+    cfg.heap_bytes = 128 << 20;
+    const int iters = static_cast<int>(256 * benchutil::work_scale());
+    static double s_mbs;
+    int fails = upcxx::run(cfg, [iters] {
+      static upcxx::global_ptr<char> remote;
+      if (upcxx::rank_me() == 1) remote = upcxx::allocate<char>(kSweepBytes);
+      upcxx::barrier();
+      if (upcxx::rank_me() == 0) {
+        std::vector<char> buf(kSweepBytes);
+        upcxx::rget(remote, buf.data(), kSweepBytes).wait();  // warm
+        upcxx::promise<> p;
+        const double t0 = arch::now_s();
+        for (int i = 0; i < iters; ++i) {
+          upcxx::rget(remote, buf.data(), kSweepBytes,
+                      upcxx::operation_cx::as_promise(p));
+          if (!(i % 8)) upcxx::progress();
+        }
+        p.finalize().wait();
+        s_mbs = static_cast<double>(kSweepBytes) * iters /
+                (arch::now_s() - t0) / 1e6;
+      }
+      upcxx::barrier();
+      if (upcxx::rank_me() == 1) upcxx::deallocate(remote);
+      upcxx::barrier();
+    });
+    if (fails) return 2;
+    get_win_mbs.push_back(s_mbs);
+  }
+  std::printf(
+      "\nFlow-control window sweep (32KB flood, wire=am), both directions:\n");
+  std::printf("%10s %14s %14s\n", "window", "put (MB/s)", "get (MB/s)");
   for (std::size_t i = 0; i < windows.size(); ++i)
-    std::printf("%10u %14.1f\n", windows[i], win_mbs[i]);
+    std::printf("%10u %14.1f %14.1f\n", windows[i], win_mbs[i],
+                get_win_mbs[i]);
+
+  // ---- put/get symmetry at 4MB, window=auto --------------------------------
+  // Large transfers with every knob at its default (adaptive window,
+  // auto chunking). Before pooled reply staging, every rendezvous reply
+  // was a fresh shared-heap allocation plus a descriptor round-trip, and
+  // gets trailed puts badly at this size; with the reply pool recycling
+  // through racks the two directions should be near-symmetric. The
+  // protocol counters from both ranks are surfaced in BENCH_JSON so a
+  // regression here is attributable (pool misses vs window thrash).
+  constexpr std::size_t kBigBytes = 4 << 20;
+  static double s_put4_mbs, s_get4_mbs;
+  static gex::RmaAmProtocol::Stats s_stats[2];
+  {
+    gex::Config cfg = gex::Config::from_env();
+    cfg.ranks = 2;
+    cfg.rma_wire = gex::RmaWire::kAm;
+    cfg.am_window = gex::kAmWindowForceAuto;  // adaptive even under CI pins
+    cfg.ring_bytes = 1 << 20;
+    cfg.heap_bytes = 256 << 20;
+    const int iters = static_cast<int>(std::max(
+        8.0, 16 * benchutil::work_scale()));
+    int fails = upcxx::run(cfg, [iters] {
+      static upcxx::global_ptr<char> remote;
+      if (upcxx::rank_me() == 1) remote = upcxx::allocate<char>(kBigBytes);
+      upcxx::barrier();
+      if (upcxx::rank_me() == 0) {
+        std::vector<char> buf(kBigBytes, 's');
+        // Best of several trials per direction: a single flood is at the
+        // mercy of one descheduling blip, and the symmetry ratio divides
+        // two of them. The envelope is the signal (same treatment as the
+        // fig3 floods).
+        const int trials = benchutil::reps(5, 3);
+        upcxx::rput(buf.data(), remote, kBigBytes).wait();  // warm
+        s_put4_mbs = 0;
+        for (int t = 0; t < trials; ++t) {
+          upcxx::promise<> pp;
+          const double t0 = arch::now_s();
+          for (int i = 0; i < iters; ++i)
+            upcxx::rput(buf.data(), remote, kBigBytes,
+                        upcxx::operation_cx::as_promise(pp));
+          pp.finalize().wait();
+          s_put4_mbs = std::max(s_put4_mbs,
+                                static_cast<double>(kBigBytes) * iters /
+                                    (arch::now_s() - t0) / 1e6);
+        }
+        upcxx::rget(remote, buf.data(), kBigBytes).wait();  // warm
+        s_get4_mbs = 0;
+        for (int t = 0; t < trials; ++t) {
+          upcxx::promise<> gp;
+          const double t0 = arch::now_s();
+          for (int i = 0; i < iters; ++i)
+            upcxx::rget(remote, buf.data(), kBigBytes,
+                        upcxx::operation_cx::as_promise(gp));
+          gp.finalize().wait();
+          s_get4_mbs = std::max(s_get4_mbs,
+                                static_cast<double>(kBigBytes) * iters /
+                                    (arch::now_s() - t0) / 1e6);
+        }
+      }
+      upcxx::barrier();  // rank 1 serves requests inside this barrier
+      s_stats[upcxx::rank_me()] = gex::rma_am().stats();
+      upcxx::barrier();
+      if (upcxx::rank_me() == 1) upcxx::deallocate(remote);
+      upcxx::barrier();
+    });
+    if (fails) return 2;
+  }
+  const double get_vs_put = s_get4_mbs / s_put4_mbs;
+  std::printf(
+      "\n4MB put/get symmetry (window=auto): put %.1f MB/s, get %.1f MB/s "
+      "(get/put = %.2f)\n",
+      s_put4_mbs, s_get4_mbs, get_vs_put);
+  const auto stat_sum = [](auto f) {
+    return static_cast<double>(f(s_stats[0]) + f(s_stats[1]));
+  };
+  const double st_replies_staged =
+      stat_sum([](const auto& s) { return s.replies_staged; });
+  const double st_reply_pool_hits =
+      stat_sum([](const auto& s) { return s.reply_pool_hits; });
+  const double st_reply_fallbacks =
+      stat_sum([](const auto& s) { return s.reply_fallbacks; });
+  const double st_window_grow =
+      stat_sum([](const auto& s) { return s.window_grow; });
+  const double st_window_shrink =
+      stat_sum([](const auto& s) { return s.window_shrink; });
+  std::printf(
+      "  protocol counters (both ranks): replies_staged=%.0f "
+      "reply_pool_hits=%.0f reply_fallbacks=%.0f window_grow=%.0f "
+      "window_shrink=%.0f\n",
+      st_replies_staged, st_reply_pool_hits, st_reply_fallbacks,
+      st_window_grow, st_window_shrink);
 
   benchutil::ShapeChecks checks;
   // The knee: any pipelining at all must beat full serialization. Compare
@@ -224,6 +360,21 @@ int main() {
       *std::max_element(win_mbs.begin() + 1, win_mbs.end());
   checks.expect(best_windowed > win_mbs[0],
                 "a pipelined window beats W=1 full serialization");
+  // The get direction overlaps even at W=1 — the target can serve request
+  // k+1 while the initiator scatters reply k, so full serialization never
+  // quite happens and "windowed strictly beats W=1" is not a stable claim
+  // the way it is for puts. Guard against pathology instead: widening the
+  // window must not collapse the rate.
+  const double best_get_windowed =
+      *std::max_element(get_win_mbs.begin() + 1, get_win_mbs.end());
+  checks.expect(best_get_windowed >= get_win_mbs[0] * 0.7,
+                "widened windows do not collapse get-direction bandwidth");
+  // The headline symmetry claim: pooled reply staging makes the get
+  // direction keep pace with puts at large sizes (within 10%).
+  checks.expect(get_vs_put >= 0.9,
+                "4MB gets within 10% of puts under window=auto");
+  checks.expect(st_replies_staged > 0,
+                "4MB gets exercised the staged-reply path");
   if (crossover)
     checks.note("rma-am put eager->rendezvous crossover at " +
                 benchutil::human_size(crossover));
@@ -251,6 +402,18 @@ int main() {
     json.metric("window_" + std::to_string(windows[i]) + "_mbs",
                 win_mbs[i]);
   json.metric("window_best_vs_w1", best_windowed / win_mbs[0]);
+  for (std::size_t i = 0; i < windows.size(); ++i)
+    json.metric("get_window_" + std::to_string(windows[i]) + "_mbs",
+                get_win_mbs[i]);
+  json.metric("get_window_best_vs_w1", best_get_windowed / get_win_mbs[0]);
+  json.metric("put_4mb_mbs", s_put4_mbs);
+  json.metric("get_4mb_mbs", s_get4_mbs);
+  json.metric("get_vs_put_4mb", get_vs_put);
+  json.metric("replies_staged", st_replies_staged);
+  json.metric("reply_pool_hits", st_reply_pool_hits);
+  json.metric("reply_fallbacks", st_reply_fallbacks);
+  json.metric("window_grow", st_window_grow);
+  json.metric("window_shrink", st_window_shrink);
   if (crossover)
     json.metric("put_crossover_bytes", static_cast<double>(crossover));
   json.write();

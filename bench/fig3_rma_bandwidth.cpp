@@ -202,72 +202,102 @@ int main() {
   // The same promise-tracked flood with the RMA wire pinned to the AM
   // protocol: every transfer moves as put requests through the target's
   // inbox (chunked above UPCXX_RMA_ASYNC_MIN), and completion waits for
-  // acks. Emitted as a wire=am series next to wire=direct in BENCH_JSON.
-  std::printf("\nAM-wire flood (UPCXX_RMA_WIRE=am: request/ack protocol)\n");
+  // acks. Run twice — once with the window pinned (the fixed-window series
+  // CI has always tracked) and once with the adaptive controller forced
+  // (`window=auto`, the default since the self-tuning transport landed) —
+  // and emitted as wire=am series next to wire=direct in BENCH_JSON.
   struct AmRow {
     std::size_t size;
     double mbs;
   };
   static std::vector<AmRow> am_rows;
+  auto am_flood = [&fails](gex::Config amcfg) {
+    am_rows.clear();
+    fails = upcxx::run(amcfg, [] {
+      const int me = upcxx::rank_me();
+      constexpr std::size_t kMax = 4 << 20;
+      auto seg = upcxx::allocate<char>(kMax);
+      upcxx::dist_object<upcxx::global_ptr<char>> dir(seg);
+      auto peer = dir.fetch(1 - me).wait();
+      static std::vector<char> src;
+      if (me == 0) src.assign(kMax, 'a');
+      upcxx::barrier();
+      // Same treatment as the direct-wire flood above (volume, trial
+      // count, and a warm first put): the series are divided into each
+      // other below, so asymmetric measurement would misstate the
+      // protocol cost.
+      const int trials = benchutil::reps(10, 3);
+      if (me == 0) upcxx::rput(src.data(), peer, kMax).wait();
+      upcxx::barrier();
+      for (std::size_t size : {std::size_t{8} << 10, std::size_t{256} << 10,
+                               kMax}) {
+        const auto volume = static_cast<std::size_t>(
+            (64u << 20) * benchutil::work_scale());
+        const int iters =
+            static_cast<int>(std::max<std::size_t>(8, volume / size));
+        double best = 0;
+        for (int t = 0; t < trials; ++t) {
+          if (me == 0)
+            best = std::max(best,
+                            upcxx_flood(peer, src.data(), size, iters));
+          upcxx::barrier();
+        }
+        if (me == 0) am_rows.push_back({size, best / 1e6});
+      }
+      upcxx::barrier();
+      upcxx::deallocate(seg);
+    });
+    return am_rows;
+  };
+
+  std::printf(
+      "\nAM-wire flood (UPCXX_RMA_WIRE=am: request/ack protocol)\n");
   gex::Config amcfg = gex::Config::from_env();
   amcfg.ranks = 2;
   amcfg.rma_wire = gex::RmaWire::kAm;
-  fails = upcxx::run(amcfg, [] {
-    const int me = upcxx::rank_me();
-    constexpr std::size_t kMax = 4 << 20;
-    auto seg = upcxx::allocate<char>(kMax);
-    upcxx::dist_object<upcxx::global_ptr<char>> dir(seg);
-    auto peer = dir.fetch(1 - me).wait();
-    static std::vector<char> src;
-    if (me == 0) src.assign(kMax, 'a');
-    upcxx::barrier();
-    // Same treatment as the direct-wire flood above (volume, trial count,
-    // and a warm first put): the series are divided into each other below,
-    // so asymmetric measurement would misstate the protocol cost.
-    const int trials = benchutil::reps(10, 3);
-    if (me == 0) upcxx::rput(src.data(), peer, kMax).wait();
-    upcxx::barrier();
-    for (std::size_t size : {std::size_t{8} << 10, std::size_t{256} << 10,
-                             kMax}) {
-      const auto volume = static_cast<std::size_t>(
-          (64u << 20) * benchutil::work_scale());
-      const int iters =
-          static_cast<int>(std::max<std::size_t>(8, volume / size));
-      double best = 0;
-      for (int t = 0; t < trials; ++t) {
-        if (me == 0)
-          best = std::max(best, upcxx_flood(peer, src.data(), size, iters));
-        upcxx::barrier();
-      }
-      if (me == 0) am_rows.push_back({size, best / 1e6});
-    }
-    upcxx::barrier();
-    upcxx::deallocate(seg);
-  });
+  // The fixed-window series: pin the default when the environment would
+  // select the adaptive controller, keep an explicit CI pin (am-window-1).
+  if (gex::resolve_am_window(amcfg).adaptive)
+    amcfg.am_window = gex::kDefaultAmWindow;
+  const auto fixed_rows = am_flood(amcfg);
   if (fails) return 2;
 
-  std::printf("%10s %14s\n", "size", "am (MB/s)");
-  for (const auto& r : am_rows)
-    std::printf("%10s %14.1f\n", benchutil::human_size(r.size).c_str(),
-                r.mbs);
-  const double am_vs_direct = am_rows.back().mbs / big.upcxx_mbs;
+  gex::Config autocfg = gex::Config::from_env();
+  autocfg.ranks = 2;
+  autocfg.rma_wire = gex::RmaWire::kAm;
+  autocfg.am_window = gex::kAmWindowForceAuto;  // adaptive even under CI pins
+  const auto auto_rows = am_flood(autocfg);
+  if (fails) return 2;
+
+  std::printf("%10s %16s %16s\n", "size", "am fixed (MB/s)",
+              "am auto (MB/s)");
+  for (std::size_t i = 0; i < fixed_rows.size(); ++i)
+    std::printf("%10s %16.1f %16.1f\n",
+                benchutil::human_size(fixed_rows[i].size).c_str(),
+                fixed_rows[i].mbs, auto_rows[i].mbs);
+  const double am_vs_direct = fixed_rows.back().mbs / big.upcxx_mbs;
+  const double am_auto_vs_direct = auto_rows.back().mbs / big.upcxx_mbs;
   {
-    char nbuf[160];
+    char nbuf[200];
     std::snprintf(nbuf, sizeof nbuf,
-                  "am wire reaches %.0f%% of direct-wire bandwidth at 4MB "
-                  "(credit window + pooled bounce staging + batched acks; "
+                  "am wire reaches %.0f%% (fixed window) / %.0f%% "
+                  "(window=auto) of direct-wire bandwidth at 4MB (credit "
+                  "window + pooled staging both directions + batched acks; "
                   "the residual is the extra copy)",
-                  100 * am_vs_direct);
+                  100 * am_vs_direct, 100 * am_auto_vs_direct);
     checks.note(nbuf);
   }
   // Flow control + hot pooled staging + ack batching keep the request/ack
   // protocol within shouting distance of the direct memcpy wire (was ~35%
   // before the transport performance layer). The floor leaves margin for
-  // scheduler noise on oversubscribed single-core hosts; the JSON metric
-  // carries the exact ratio.
+  // scheduler noise on oversubscribed single-core hosts; the JSON metrics
+  // carry the exact ratios.
   checks.expect(am_vs_direct >= 0.5,
                 "am-wire flood reaches at least half of direct-wire "
                 "bandwidth at 4MB");
+  checks.expect(am_auto_vs_direct >= 0.5,
+                "adaptive-window am-wire flood reaches at least half of "
+                "direct-wire bandwidth at 4MB");
 
   benchutil::JsonReport json("fig3_rma_bandwidth");
   json.metric("midrange_peak_ratio", best_mid_ratio);
@@ -275,9 +305,12 @@ int main() {
   json.metric("mpi_4mb_mbs", big.mpi_mbs);
   json.metric("simbw_cap_gbps", s_cap);
   json.metric("simbw_4mb_gbps", sim_rows.back().gbps);
-  for (const auto& r : am_rows)
+  for (const auto& r : fixed_rows)
     json.metric("am_" + std::to_string(r.size) + "_mbs", r.mbs);
   json.metric("am_4mb_vs_direct", am_vs_direct);
+  for (const auto& r : auto_rows)
+    json.metric("am_auto_" + std::to_string(r.size) + "_mbs", r.mbs);
+  json.metric("am_auto_4mb_vs_direct", am_auto_vs_direct);
   json.write();
   return checks.summary("fig3_rma_bandwidth");
 }

@@ -97,11 +97,36 @@ AmTransport parse_am_transport(const char* v) {
 
 }  // namespace
 
-std::uint32_t resolve_am_window(const Config& cfg) {
-  if (cfg.am_window != 0) return cfg.am_window;
-  if (long v = env_long("UPCXX_AM_WINDOW", 0); v > 0)
-    return static_cast<std::uint32_t>(v);
-  return kDefaultAmWindow;
+AmWindowSetting resolve_am_window(const Config& cfg) {
+  if (cfg.am_window == kAmWindowForceAuto)
+    return {true, kDefaultAmWindow};
+  if (cfg.am_window != 0) return {false, cfg.am_window};
+  if (const char* v = std::getenv("UPCXX_AM_WINDOW"); v && *v) {
+    // `auto` is the spelled-out default; a positive integer pins the
+    // window (the CI am-window-1 job). Garbage already warned in
+    // from_env; degrade to adaptive, the default.
+    if (std::strcmp(v, "auto") != 0) {
+      long n = 0;
+      if (parse_long("UPCXX_AM_WINDOW", v, n) && n > 0)
+        return {false, static_cast<std::uint32_t>(n)};
+    }
+  }
+  return {true, kDefaultAmWindow};
+}
+
+double resolve_am_rtt_envelope(const Config& cfg) {
+  if (cfg.am_rtt_envelope >= 1.0 && std::isfinite(cfg.am_rtt_envelope))
+    return cfg.am_rtt_envelope;
+  if (const char* v = std::getenv("UPCXX_AM_RTT_ENVELOPE"); v && *v) {
+    char* end = nullptr;
+    const double e = std::strtod(v, &end);
+    if (end != v && *end == '\0' && e >= 1.0 && std::isfinite(e)) return e;
+    std::fprintf(stderr,
+                 "gex: ignoring UPCXX_AM_RTT_ENVELOPE=%s (must be a finite "
+                 "factor >= 1)\n",
+                 v);
+  }
+  return kDefaultAmRttEnvelope;
 }
 
 RmaWire resolve_rma_wire(const Config& cfg) {
@@ -153,6 +178,9 @@ void Config::normalize() {
   // am_window 0 means auto (resolve_am_window consults the environment),
   // so normalize leaves it alone.
   if (am_xfer_chunk_bytes < 256) am_xfer_chunk_bytes = 256;
+  // A sub-1 envelope would declare every ack late; 0 stays 0 (auto).
+  if (!(am_rtt_envelope >= 1.0) || !std::isfinite(am_rtt_envelope))
+    am_rtt_envelope = 0;
 }
 
 Config Config::from_env() {
@@ -204,15 +232,19 @@ Config Config::from_env() {
   if (const char* v = std::getenv("UPCXX_AM_TRANSPORT"); v && *v) {
     c.am_transport = parse_am_transport(v);
   }
-  // 0 (auto) stays 0 unless the environment names a window; resolution to
-  // the concrete default happens in resolve_am_window at launch.
-  if (long v = env_long("UPCXX_AM_WINDOW", 0); v != 0) {
-    if (v > 0) {
-      c.am_window = static_cast<std::uint32_t>(v);
-    } else {
-      std::fprintf(stderr,
-                   "gex: ignoring UPCXX_AM_WINDOW=%ld (must be positive)\n",
-                   v);
+  // 0 (auto → adaptive) stays 0 unless the environment names a window;
+  // `auto` is the spelled-out default. Resolution to the adaptive
+  // controller or a pinned window happens in resolve_am_window at launch.
+  if (const char* v = std::getenv("UPCXX_AM_WINDOW");
+      v && *v && std::strcmp(v, "auto") != 0) {
+    if (long n = env_long("UPCXX_AM_WINDOW", 0); n != 0) {
+      if (n > 0) {
+        c.am_window = static_cast<std::uint32_t>(n);
+      } else {
+        std::fprintf(stderr,
+                     "gex: ignoring UPCXX_AM_WINDOW=%ld (must be positive)\n",
+                     n);
+      }
     }
   }
   c.am_xfer_chunk_bytes =
@@ -220,6 +252,18 @@ Config Config::from_env() {
           "UPCXX_AM_CHUNK_KB",
           static_cast<long>(c.am_xfer_chunk_bytes >> 10)))
       << 10;
+  if (const char* v = std::getenv("UPCXX_AM_RTT_ENVELOPE"); v && *v) {
+    char* end = nullptr;
+    const double e = std::strtod(v, &end);
+    if (end != v && *end == '\0' && e >= 1.0 && std::isfinite(e)) {
+      c.am_rtt_envelope = e;
+    } else {
+      std::fprintf(stderr,
+                   "gex: ignoring UPCXX_AM_RTT_ENVELOPE=%s (must be a "
+                   "finite factor >= 1)\n",
+                   v);
+    }
+  }
   c.agg_enabled = env_long("UPCXX_AGG", 1) != 0;
   c.agg_max_bytes = static_cast<std::size_t>(env_positive(
       "UPCXX_AGG_MAX_BYTES", static_cast<long>(c.agg_max_bytes)));

@@ -5,6 +5,7 @@
 #include <thread>
 
 #include "arch/spinlock.hpp"
+#include "arch/timer.hpp"
 #include "gex/handlers.hpp"
 #include "gex/runtime.hpp"
 
@@ -19,26 +20,30 @@ namespace {
 // at decode — no record byte depends on the peer's virtual-address layout,
 // which is what lets the shm-file transport (and a future socket backend)
 // carry these records between unrelated mappings. Every header carries
-// `nacks`: the count of piggybacked ack cookies (u64 each) laid out
-// immediately after the header, ahead of any descriptors or payload —
-// reverse-direction traffic retires the sender's completions for free.
+// `nacks` and `nracks`: the counts of piggybacked request-ack cookies and
+// staged-reply consumption-ack cookies (u64 each) laid out immediately
+// after the header — acks first, then racks — ahead of any descriptors or
+// payload, so reverse-direction traffic retires the sender's completions
+// and unpins its staged reply buffers for free.
 struct PutHdr {
   std::uint64_t cookie;
   std::uint64_t dst;
   std::uint32_t nacks;
-  std::uint32_t reserved;
+  std::uint32_t nracks;
 };
 struct GetHdr {
   std::uint64_t cookie;
   std::uint64_t src;
   std::uint64_t bytes;
   std::uint32_t nacks;
-  std::uint32_t reserved;
+  std::uint32_t nracks;
 };
 struct FragHdr {
   std::uint64_t cookie;
   std::uint32_t nfrags;
   std::uint32_t nacks;
+  std::uint32_t nracks;
+  std::uint32_t reserved;
 };
 // Pool-staged put: the payload sits in an initiator-owned bounce buffer in
 // the shared heap; only this descriptor crosses the ring. The target copies
@@ -50,7 +55,7 @@ struct PutStagedHdr {
   std::uint64_t buf;
   std::uint64_t bytes;
   std::uint32_t nacks;
-  std::uint32_t reserved;
+  std::uint32_t nracks;
 };
 struct FragStagedHdr {
   std::uint64_t cookie;
@@ -58,21 +63,36 @@ struct FragStagedHdr {
   std::uint64_t payload_bytes;
   std::uint32_t nfrags;
   std::uint32_t nacks;
+  std::uint32_t nracks;
+  std::uint32_t reserved;
 };
 struct FragDesc {
   std::uint64_t addr;
   std::uint64_t bytes;
 };
-// Standalone multi-ack record: every ack owed to one target, batched per
-// poll into one ring transaction.
+// Standalone multi-ack record: every ack (and rack) owed to one target,
+// batched per poll into one ring transaction.
 struct AckHdr {
   std::uint32_t nacks;
-  std::uint32_t reserved;
+  std::uint32_t nracks;
 };
 struct RepHdr {
   std::uint64_t cookie;
   std::uint32_t nacks;
-  std::uint32_t reserved;
+  std::uint32_t nracks;
+};
+// Pool-staged GET reply (contiguous and frag-gather variants share the
+// layout; distinct handlers keep the wire self-describing): the gathered
+// payload sits in a target-owned reply buffer in the shared heap; only
+// this descriptor crosses the ring. The initiator scatters out of the
+// buffer and owes a rack for `cookie`; the rack hands the buffer back to
+// the target's reply pool.
+struct RepStagedHdr {
+  std::uint64_t cookie;
+  std::uint64_t buf;
+  std::uint64_t bytes;
+  std::uint32_t nacks;
+  std::uint32_t nracks;
 };
 
 template <typename H>
@@ -89,6 +109,18 @@ constexpr std::size_t ack_bytes(std::size_t nacks) {
 std::byte* write_acks(std::byte* q, const std::vector<std::uint64_t>& acks) {
   if (!acks.empty()) std::memcpy(q, acks.data(), ack_bytes(acks.size()));
   return q + ack_bytes(acks.size());
+}
+
+// Both piggyback namespaces of one drained OwedAcks: total wire bytes, and
+// the writer (acks first, then racks — the order every handler consumes).
+template <typename OA>
+std::size_t oa_bytes(const OA& oa) {
+  return ack_bytes(oa.acks.size() + oa.racks.size());
+}
+template <typename OA>
+std::byte* write_oa(std::byte* q, const OA& oa) {
+  q = write_acks(q, oa.acks);
+  return write_acks(q, oa.racks);
 }
 
 RmaAmProtocol& proto() {
@@ -115,13 +147,31 @@ struct RmaAmHandlers {
     return q + ack_bytes(n);
   }
 
+  // Retires `n` piggybacked rack cookies from rank `src` — each unpins a
+  // staged reply buffer this rank sent to src — and returns the cursor past
+  // them. recycle_reply only moves a buffer between local containers (or
+  // frees it), so this is handler-safe.
+  static const std::byte* consume_racks(RmaAmProtocol& p, int src,
+                                        const std::byte* q,
+                                        std::uint32_t n) {
+    if (n == 0) return q;
+    auto& pr = p.peer(src);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      std::uint64_t cookie;
+      std::memcpy(&cookie, q + i * sizeof cookie, sizeof cookie);
+      p.recycle_reply(pr, cookie);
+    }
+    return q + ack_bytes(n);
+  }
+
   static void on_put(AmContext& cx) {
     auto& p = proto();
     const auto h = read_hdr<PutHdr>(cx.data);
     const auto* q = static_cast<const std::byte*>(cx.data) + sizeof(PutHdr);
     q = consume_acks(p, q, h.nacks);
+    q = consume_racks(p, cx.src, q, h.nracks);
     const std::size_t bytes =
-        cx.size - sizeof(PutHdr) - ack_bytes(h.nacks);
+        cx.size - sizeof(PutHdr) - ack_bytes(h.nacks) - ack_bytes(h.nracks);
     if (bytes)
       std::memcpy(reinterpret_cast<void*>(
                       static_cast<std::uintptr_t>(p.wire_dec(h.dst))),
@@ -133,9 +183,10 @@ struct RmaAmHandlers {
   static void on_put_staged(AmContext& cx) {
     auto& p = proto();
     const auto h = read_hdr<PutStagedHdr>(cx.data);
-    consume_acks(p, static_cast<const std::byte*>(cx.data) +
-                        sizeof(PutStagedHdr),
-                 h.nacks);
+    const auto* q = consume_acks(
+        p, static_cast<const std::byte*>(cx.data) + sizeof(PutStagedHdr),
+        h.nacks);
+    consume_racks(p, cx.src, q, h.nracks);
     std::memcpy(
         reinterpret_cast<void*>(
             static_cast<std::uintptr_t>(p.wire_dec(h.dst))),
@@ -149,9 +200,10 @@ struct RmaAmHandlers {
   static void on_put_frag_staged(AmContext& cx) {
     auto& p = proto();
     const auto h = read_hdr<FragStagedHdr>(cx.data);
-    consume_acks(p, static_cast<const std::byte*>(cx.data) +
-                        sizeof(FragStagedHdr),
-                 h.nacks);
+    const auto* q = consume_acks(
+        p, static_cast<const std::byte*>(cx.data) + sizeof(FragStagedHdr),
+        h.nacks);
+    consume_racks(p, cx.src, q, h.nracks);
     const auto* descs = reinterpret_cast<const std::byte*>(
         static_cast<std::uintptr_t>(p.wire_dec(h.buf)));
     const auto* payload = descs + h.nfrags * sizeof(FragDesc);
@@ -176,6 +228,7 @@ struct RmaAmHandlers {
         consume_acks(p, static_cast<const std::byte*>(cx.data) +
                             sizeof(FragHdr),
                      h.nacks);
+    descs = consume_racks(p, cx.src, descs, h.nracks);
     const auto* payload = descs + h.nfrags * sizeof(FragDesc);
     std::size_t off = 0;
     for (std::uint32_t i = 0; i < h.nfrags; ++i) {
@@ -186,7 +239,7 @@ struct RmaAmHandlers {
                     payload + off, static_cast<std::size_t>(d.bytes));
       off += static_cast<std::size_t>(d.bytes);
     }
-    assert(sizeof(FragHdr) + ack_bytes(h.nacks) +
+    assert(sizeof(FragHdr) + ack_bytes(h.nacks) + ack_bytes(h.nracks) +
                h.nfrags * sizeof(FragDesc) + off ==
            cx.size);
     p.peer(cx.src).acks_owed.push_back(h.cookie);
@@ -196,13 +249,14 @@ struct RmaAmHandlers {
   static void on_get(AmContext& cx) {
     auto& p = proto();
     const auto h = read_hdr<GetHdr>(cx.data);
-    consume_acks(p, static_cast<const std::byte*>(cx.data) + sizeof(GetHdr),
-                 h.nacks);
+    const auto* q = consume_acks(
+        p, static_cast<const std::byte*>(cx.data) + sizeof(GetHdr), h.nacks);
+    consume_racks(p, cx.src, q, h.nracks);
     // Resolve at decode; the gather list in replies_ holds this rank's own
     // raw addresses from here on.
     p.replies_.push_back(
         {cx.src, h.cookie,
-         {RmaAmProtocol::Frag{p.wire_dec(h.src), h.bytes}}});
+         {RmaAmProtocol::Frag{p.wire_dec(h.src), h.bytes}}, false});
     ++p.stats_.gets_handled;
   }
 
@@ -213,22 +267,25 @@ struct RmaAmHandlers {
         consume_acks(p, static_cast<const std::byte*>(cx.data) +
                             sizeof(FragHdr),
                      h.nacks);
+    descs = consume_racks(p, cx.src, descs, h.nracks);
     std::vector<RmaAmProtocol::Frag> gather;
     gather.reserve(h.nfrags);
     for (std::uint32_t i = 0; i < h.nfrags; ++i) {
       const auto d = read_hdr<FragDesc>(descs + i * sizeof(FragDesc));
       gather.push_back({p.wire_dec(d.addr), d.bytes});
     }
-    p.replies_.push_back({cx.src, h.cookie, std::move(gather)});
+    p.replies_.push_back({cx.src, h.cookie, std::move(gather), true});
     ++p.stats_.gets_handled;
   }
 
   static void on_ack(AmContext& cx) {
     auto& p = proto();
     const auto h = read_hdr<AckHdr>(cx.data);
-    consume_acks(p, static_cast<const std::byte*>(cx.data) + sizeof(AckHdr),
-                 h.nacks);
-    assert(sizeof(AckHdr) + ack_bytes(h.nacks) == cx.size);
+    const auto* q = consume_acks(
+        p, static_cast<const std::byte*>(cx.data) + sizeof(AckHdr), h.nacks);
+    consume_racks(p, cx.src, q, h.nracks);
+    assert(sizeof(AckHdr) + ack_bytes(h.nacks) + ack_bytes(h.nracks) ==
+           cx.size);
   }
 
   static void on_get_reply(AmContext& cx) {
@@ -236,6 +293,7 @@ struct RmaAmHandlers {
     const auto h = read_hdr<RepHdr>(cx.data);
     const auto* payload = consume_acks(
         p, static_cast<const std::byte*>(cx.data) + sizeof(RepHdr), h.nacks);
+    payload = consume_racks(p, cx.src, payload, h.nracks);
     auto it = p.pending_.find(h.cookie);
     if (it == p.pending_.end()) {
       // The request was cancelled (fail_all_peers) before this reply
@@ -250,8 +308,46 @@ struct RmaAmHandlers {
       if (f.bytes) std::memcpy(f.ptr, payload + off, f.bytes);
       off += f.bytes;
     }
-    assert(sizeof(RepHdr) + ack_bytes(h.nacks) + off == cx.size);
+    assert(sizeof(RepHdr) + ack_bytes(h.nacks) + ack_bytes(h.nracks) + off ==
+           cx.size);
     p.completed_.push_back(h.cookie);
+  }
+
+  // Pool-staged reply: scatter straight out of the target's reply buffer
+  // (cross-mapped shared heap — the same addressing contract as every
+  // staged put), then owe a rack so the target can recycle it. The rack is
+  // owed even when the request was cancelled: the buffer must go back
+  // regardless of what happens to the payload.
+  static void on_reply_staged(AmContext& cx, const RepStagedHdr& h) {
+    auto& p = proto();
+    const auto* q = consume_acks(
+        p, static_cast<const std::byte*>(cx.data) + sizeof(RepStagedHdr),
+        h.nacks);
+    consume_racks(p, cx.src, q, h.nracks);
+    p.peer(cx.src).racks_owed.push_back(h.cookie);
+    auto it = p.pending_.find(h.cookie);
+    if (it == p.pending_.end()) {
+      ++p.stats_.stale_completions;
+      return;
+    }
+    const auto* payload = reinterpret_cast<const std::byte*>(
+        static_cast<std::uintptr_t>(p.wire_dec(h.buf)));
+    std::size_t off = 0;
+    for (const auto& f : it->second.scatter) {
+      if (f.bytes) std::memcpy(f.ptr, payload + off, f.bytes);
+      off += f.bytes;
+    }
+    assert(off == static_cast<std::size_t>(h.bytes));
+    p.completed_.push_back(h.cookie);
+    ++p.stats_.staged_replies_handled;
+  }
+
+  static void on_get_reply_staged(AmContext& cx) {
+    on_reply_staged(cx, read_hdr<RepStagedHdr>(cx.data));
+  }
+
+  static void on_get_frag_reply_staged(AmContext& cx) {
+    on_reply_staged(cx, read_hdr<RepStagedHdr>(cx.data));
   }
 };
 
@@ -268,7 +364,10 @@ std::uint64_t RmaAmProtocol::wire_dec(WireAddr wa) const {
 RmaAmProtocol::Peer& RmaAmProtocol::peer(int target) {
   for (auto& p : peers_)
     if (p.target == target) return p;
-  peers_.push_back(Peer{target, 0, {}, {}});
+  // Every peer starts its controller at the configured window; pinned mode
+  // never consults it (window_now short-circuits on adaptive_).
+  peers_.push_back(
+      Peer{target, AmWindowController(window_, max_window_, envelope_)});
   return peers_.back();
 }
 
@@ -319,22 +418,91 @@ RmaAmProtocol::StageBuf RmaAmProtocol::acquire_stage(Peer& p,
 
 void RmaAmProtocol::recycle_stage(Peer& p, StageBuf buf) {
   if (!buf.p) return;
-  if (p.stage_pool.size() < window_) {
+  if (p.stage_pool.size() < window_now(p)) {
     p.stage_pool.push_back(buf);
     return;
   }
   am_->arena().heap().deallocate(buf.p);
 }
 
-std::vector<std::uint64_t> RmaAmProtocol::take_acks(int target) {
+std::uint32_t RmaAmProtocol::adaptive_ceiling(AmEngine* am) {
+  // Ceiling × chunk = the in-flight staging working set; 1MB keeps it
+  // cache-resident at the default 64K am-wire chunk (ceiling 16) while
+  // small-chunk configs (tests, soaks) still get the full range.
+  constexpr std::size_t kStagingBudgetBytes = 1 << 20;
+  const auto& cfg = am->arena().config();
+  std::size_t chunk = cfg.xfer_chunk_bytes < cfg.am_xfer_chunk_bytes
+                          ? cfg.xfer_chunk_bytes
+                          : cfg.am_xfer_chunk_bytes;
+  if (chunk == 0) chunk = 1;
+  auto cap = static_cast<std::uint32_t>(kStagingBudgetBytes / chunk);
+  if (cap < kDefaultAmWindow) cap = kDefaultAmWindow;
+  if (cap > kMaxAmWindow) cap = kMaxAmWindow;
+  return cap;
+}
+
+RmaAmProtocol::StageBuf RmaAmProtocol::acquire_reply_stage(
+    Peer& p, std::size_t bytes) {
+  // Staged replies are bounded by the window *ceiling*, not the adaptive
+  // operating point: a pure responder's controller never sees acks (it
+  // sends no credit-consuming requests), so its operating point would sit
+  // at the start window forever and clamp an initiator whose window has
+  // grown — the initiator's own window already bounds how many replies
+  // can be awaited, this bound only has to keep a failing peer from
+  // pinning unbounded heap. Past it the caller falls back to the
+  // rendezvous REPLY path — never block here, a reply send runs inside
+  // the target's poll loop.
+  if (p.reply_out.size() >= window()) return StageBuf{};
+  std::size_t best = p.reply_pool.size();
+  for (std::size_t i = 0; i < p.reply_pool.size(); ++i) {
+    if (p.reply_pool[i].cap < bytes) continue;
+    if (best == p.reply_pool.size() ||
+        p.reply_pool[i].cap < p.reply_pool[best].cap)
+      best = i;
+  }
+  if (best != p.reply_pool.size()) {
+    StageBuf b = p.reply_pool[best];
+    p.reply_pool[best] = p.reply_pool.back();
+    p.reply_pool.pop_back();
+    ++stats_.reply_pool_hits;
+    return b;
+  }
+  // Pool miss: one allocation attempt, same size-class rounding as the put
+  // pool. A momentarily exhausted heap is a fallback, not a stall.
+  std::size_t cap = 4096;
+  while (cap < bytes) cap <<= 1;
+  if (void* buf = am_->arena().heap().allocate(cap)) {
+    ++stats_.reply_stage_allocs;
+    return StageBuf{buf, cap};
+  }
+  return StageBuf{};
+}
+
+void RmaAmProtocol::recycle_reply(Peer& p, std::uint64_t cookie) {
+  auto it = p.reply_out.find(cookie);
+  if (it == p.reply_out.end()) return;  // freed by fail_all_peers already
+  StageBuf b = it->second;
+  p.reply_out.erase(it);
+  // Pool retention matches the stage bound (the window ceiling); a pinned
+  // window may have shrunk the bound since this buffer went out, and the
+  // excess drains back to the heap.
+  if (p.reply_pool.size() < window()) {
+    p.reply_pool.push_back(b);
+    return;
+  }
+  am_->arena().heap().deallocate(b.p);
+}
+
+RmaAmProtocol::OwedAcks RmaAmProtocol::take_acks(int target) {
   // Snapshot-and-clear before any send: the send may spin on a full ring,
   // which polls our own inbox, whose handlers append fresh owed acks —
   // those wait for the next record.
   for (auto& p : peers_) {
     if (p.target != target) continue;
-    std::vector<std::uint64_t> acks = std::move(p.acks_owed);
+    OwedAcks oa{std::move(p.acks_owed), std::move(p.racks_owed)};
     p.acks_owed.clear();
-    return acks;
+    p.racks_owed.clear();
+    return oa;
   }
   return {};
 }
@@ -345,8 +513,10 @@ void RmaAmProtocol::enqueue(Peer& p, QueuedReq q) {
   // a slot frees. Our own inbox keeps draining (acks retire credits, which
   // sends queued requests), so mutual floods advance in lockstep instead of
   // deadlocking. A set error flag means the acks may never come — park the
-  // request regardless; teardown's fail_all_peers() reclaims it.
-  const std::size_t cap = window_ + kQueueSlack;
+  // request regardless; teardown's fail_all_peers() reclaims it. The cap
+  // uses the window *ceiling*, not the moving operating point — a shrink
+  // must not strand already-parked requests behind a tighter bound.
+  const std::size_t cap = window() + kQueueSlack;
   while (p.sendq.size() >= cap &&
          am_->arena().control().error_flag.value.load(
              std::memory_order_acquire) == 0) {
@@ -370,6 +540,14 @@ void RmaAmProtocol::cancel_sent(Peer& p, std::uint64_t cookie) {
   --p.outstanding;
 }
 
+// Stamps the wire-send time on a just-sent request so the completion loop
+// can feed the request→ack round trip to the peer's window controller.
+void RmaAmProtocol::note_wire_send(std::uint64_t cookie) {
+  if (!adaptive_) return;
+  auto it = pending_.find(cookie);
+  if (it != pending_.end()) it->second.send_ns = arch::now_ns();
+}
+
 void RmaAmProtocol::send_put(int target, std::uint64_t cookie,
                              const Frag& dst, const void* src) {
   const std::size_t bytes = static_cast<std::size_t>(dst.bytes);
@@ -378,18 +556,21 @@ void RmaAmProtocol::send_put(int target, std::uint64_t cookie,
   // falls back to its rendezvous staging transparently.
   if (sizeof(PutHdr) + bytes <= am_->eager_max()) {
     // Small put: payload inline in the ring record.
-    auto acks = take_acks(target);
+    auto oa = take_acks(target);
     auto sb = am_->prepare(target, am_handler<&RmaAmHandlers::on_put>(),
-                           sizeof(PutHdr) + ack_bytes(acks.size()) + bytes);
+                           sizeof(PutHdr) + oa_bytes(oa) + bytes);
     auto* q = static_cast<std::byte*>(sb.data);
     const PutHdr h{cookie, wire_enc(dst.addr),
-                   static_cast<std::uint32_t>(acks.size()), 0};
+                   static_cast<std::uint32_t>(oa.acks.size()),
+                   static_cast<std::uint32_t>(oa.racks.size())};
     std::memcpy(q, &h, sizeof h);
-    q = write_acks(q + sizeof h, acks);
+    q = write_oa(q + sizeof h, oa);
     if (bytes) std::memcpy(q, src, bytes);
     am_->commit(sb);
     ++stats_.puts_sent;
-    stats_.acks_piggybacked += acks.size();
+    stats_.acks_piggybacked += oa.acks.size();
+    stats_.reply_acks_piggybacked += oa.racks.size();
+    note_wire_send(cookie);
     return;
   }
   // Large put: payload through a pooled bounce buffer, descriptor inline.
@@ -399,38 +580,44 @@ void RmaAmProtocol::send_put(int target, std::uint64_t cookie,
     cancel_sent(p, cookie);
     return;
   }
-  auto acks = take_acks(target);
+  auto oa = take_acks(target);
   std::memcpy(stage.p, src, bytes);
   pending_.find(cookie)->second.stage = stage;
   auto sb = am_->prepare(target,
                          am_handler<&RmaAmHandlers::on_put_staged>(),
-                         sizeof(PutStagedHdr) + ack_bytes(acks.size()));
+                         sizeof(PutStagedHdr) + oa_bytes(oa));
   auto* q = static_cast<std::byte*>(sb.data);
   const PutStagedHdr h{cookie, wire_enc(dst.addr),
                        am_->arena().segmap().encode(stage.p),
-                       dst.bytes, static_cast<std::uint32_t>(acks.size()),
-                       0};
+                       dst.bytes,
+                       static_cast<std::uint32_t>(oa.acks.size()),
+                       static_cast<std::uint32_t>(oa.racks.size())};
   std::memcpy(q, &h, sizeof h);
-  write_acks(q + sizeof h, acks);
+  write_oa(q + sizeof h, oa);
   am_->commit(sb);
   ++stats_.puts_sent;
   ++stats_.puts_staged;
-  stats_.acks_piggybacked += acks.size();
+  stats_.acks_piggybacked += oa.acks.size();
+  stats_.reply_acks_piggybacked += oa.racks.size();
+  note_wire_send(cookie);
 }
 
 void RmaAmProtocol::send_get(int target, std::uint64_t cookie,
                              const Frag& src) {
-  auto acks = take_acks(target);
+  auto oa = take_acks(target);
   auto sb = am_->prepare(target, am_handler<&RmaAmHandlers::on_get>(),
-                         sizeof(GetHdr) + ack_bytes(acks.size()));
+                         sizeof(GetHdr) + oa_bytes(oa));
   auto* q = static_cast<std::byte*>(sb.data);
   const GetHdr h{cookie, wire_enc(src.addr), src.bytes,
-                 static_cast<std::uint32_t>(acks.size()), 0};
+                 static_cast<std::uint32_t>(oa.acks.size()),
+                 static_cast<std::uint32_t>(oa.racks.size())};
   std::memcpy(q, &h, sizeof h);
-  write_acks(q + sizeof h, acks);
+  write_oa(q + sizeof h, oa);
   am_->commit(sb);
   ++stats_.gets_sent;
-  stats_.acks_piggybacked += acks.size();
+  stats_.acks_piggybacked += oa.acks.size();
+  stats_.reply_acks_piggybacked += oa.racks.size();
+  note_wire_send(cookie);
 }
 
 void RmaAmProtocol::send_put_frag(int target, std::uint64_t cookie,
@@ -439,15 +626,16 @@ void RmaAmProtocol::send_put_frag(int target, std::uint64_t cookie,
                                   std::size_t total) {
   const std::size_t desc_bytes = dsts.size() * sizeof(FragDesc);
   if (sizeof(FragHdr) + desc_bytes + total <= am_->eager_max()) {
-    auto acks = take_acks(target);
+    auto oa = take_acks(target);
     auto sb = am_->prepare(
         target, am_handler<&RmaAmHandlers::on_put_frag>(),
-        sizeof(FragHdr) + ack_bytes(acks.size()) + desc_bytes + total);
+        sizeof(FragHdr) + oa_bytes(oa) + desc_bytes + total);
     auto* q = static_cast<std::byte*>(sb.data);
     const FragHdr h{cookie, static_cast<std::uint32_t>(dsts.size()),
-                    static_cast<std::uint32_t>(acks.size())};
+                    static_cast<std::uint32_t>(oa.acks.size()),
+                    static_cast<std::uint32_t>(oa.racks.size()), 0};
     std::memcpy(q, &h, sizeof h);
-    q = write_acks(q + sizeof h, acks);
+    q = write_oa(q + sizeof h, oa);
     for (const auto& d : dsts) {
       const FragDesc fd{wire_enc(d.addr), d.bytes};
       std::memcpy(q, &fd, sizeof fd);
@@ -460,7 +648,9 @@ void RmaAmProtocol::send_put_frag(int target, std::uint64_t cookie,
     }
     am_->commit(sb);
     ++stats_.frag_puts_sent;
-    stats_.acks_piggybacked += acks.size();
+    stats_.acks_piggybacked += oa.acks.size();
+    stats_.reply_acks_piggybacked += oa.racks.size();
+    note_wire_send(cookie);
     return;
   }
   // Large scatter-put: descriptors and gathered payload go through a
@@ -471,7 +661,7 @@ void RmaAmProtocol::send_put_frag(int target, std::uint64_t cookie,
     cancel_sent(p, cookie);
     return;
   }
-  auto acks = take_acks(target);
+  auto oa = take_acks(target);
   auto* q = static_cast<std::byte*>(stage.p);
   // The descriptors inside the staged buffer are wire data too (the target
   // reads them out of the bounce buffer), so they carry wire addresses.
@@ -487,31 +677,34 @@ void RmaAmProtocol::send_put_frag(int target, std::uint64_t cookie,
   pending_.find(cookie)->second.stage = stage;
   auto sb = am_->prepare(target,
                          am_handler<&RmaAmHandlers::on_put_frag_staged>(),
-                         sizeof(FragStagedHdr) + ack_bytes(acks.size()));
+                         sizeof(FragStagedHdr) + oa_bytes(oa));
   auto* w = static_cast<std::byte*>(sb.data);
   const FragStagedHdr h{cookie, am_->arena().segmap().encode(stage.p),
                         total, static_cast<std::uint32_t>(dsts.size()),
-                        static_cast<std::uint32_t>(acks.size())};
+                        static_cast<std::uint32_t>(oa.acks.size()),
+                        static_cast<std::uint32_t>(oa.racks.size()), 0};
   std::memcpy(w, &h, sizeof h);
-  write_acks(w + sizeof h, acks);
+  write_oa(w + sizeof h, oa);
   am_->commit(sb);
   ++stats_.frag_puts_sent;
   ++stats_.puts_staged;
-  stats_.acks_piggybacked += acks.size();
+  stats_.acks_piggybacked += oa.acks.size();
+  stats_.reply_acks_piggybacked += oa.racks.size();
+  note_wire_send(cookie);
 }
 
 void RmaAmProtocol::send_get_frag(int target, std::uint64_t cookie,
                                   const std::vector<Frag>& srcs) {
-  auto acks = take_acks(target);
+  auto oa = take_acks(target);
   auto sb = am_->prepare(
       target, am_handler<&RmaAmHandlers::on_get_frag>(),
-      sizeof(FragHdr) + ack_bytes(acks.size()) +
-          srcs.size() * sizeof(FragDesc));
+      sizeof(FragHdr) + oa_bytes(oa) + srcs.size() * sizeof(FragDesc));
   auto* q = static_cast<std::byte*>(sb.data);
   const FragHdr h{cookie, static_cast<std::uint32_t>(srcs.size()),
-                  static_cast<std::uint32_t>(acks.size())};
+                  static_cast<std::uint32_t>(oa.acks.size()),
+                  static_cast<std::uint32_t>(oa.racks.size()), 0};
   std::memcpy(q, &h, sizeof h);
-  q = write_acks(q + sizeof h, acks);
+  q = write_oa(q + sizeof h, oa);
   for (const auto& s : srcs) {
     const FragDesc fd{wire_enc(s.addr), s.bytes};
     std::memcpy(q, &fd, sizeof fd);
@@ -519,7 +712,9 @@ void RmaAmProtocol::send_get_frag(int target, std::uint64_t cookie,
   }
   am_->commit(sb);
   ++stats_.frag_gets_sent;
-  stats_.acks_piggybacked += acks.size();
+  stats_.acks_piggybacked += oa.acks.size();
+  stats_.reply_acks_piggybacked += oa.racks.size();
+  note_wire_send(cookie);
 }
 
 void RmaAmProtocol::put(int target, void* dst, const void* src,
@@ -592,7 +787,7 @@ void RmaAmProtocol::get_fragments(int target, const std::vector<Frag>& srcs,
 
 int RmaAmProtocol::flush_sendq(Peer& p) {
   int work = 0;
-  while (!p.sendq.empty() && p.outstanding < window_) {
+  while (!p.sendq.empty() && p.outstanding < window_now(p)) {
     QueuedReq q = std::move(p.sendq.front());
     p.sendq.pop_front();
     note_sent(p);
@@ -629,6 +824,9 @@ int RmaAmProtocol::poll_requests() {
   if (!completed_.empty()) {
     auto comp = std::move(completed_);
     completed_.clear();
+    // One clock read for the whole batch: every cookie in comp was sent
+    // before this poll began, so now >= send_ns for each.
+    const std::uint64_t now = adaptive_ ? arch::now_ns() : 0;
     for (const std::uint64_t cookie : comp) {
       auto node = pending_.extract(cookie);
       if (node.empty()) {
@@ -641,6 +839,13 @@ int RmaAmProtocol::poll_requests() {
       --p.outstanding;
       // The target is done with the bounce buffer once its ack arrived.
       recycle_stage(p, node.mapped().stage);
+      // Feed the request→ack round trip to this peer's controller; its
+      // window moves and every derived bound follows on the next check.
+      if (adaptive_ && node.mapped().send_ns) {
+        const int d = p.ctrl.on_ack(now - node.mapped().send_ns);
+        if (d > 0) ++stats_.window_grow;
+        if (d < 0) ++stats_.window_shrink;
+      }
       // Extract before firing: the callback may issue new protocol ops.
       Done done = std::move(node.mapped().done);
       if (done) done();
@@ -655,16 +860,61 @@ int RmaAmProtocol::poll_requests() {
     auto reps = std::move(replies_);
     replies_.clear();
     for (const auto& r : reps) {
-      auto acks = take_acks(r.target);
       std::size_t total = 0;
       for (const auto& f : r.gather) total += f.bytes;
+      // A reply too large to ride inline goes through the pooled reply
+      // stage: gather into a recycled shared-heap buffer, ship only the
+      // descriptor, get the buffer back on the initiator's rack. Bound
+      // reached or heap empty → the old rendezvous REPLY below (staging
+      // is an optimization, never a requirement).
+      if (sizeof(RepHdr) + total > am_->eager_max()) {
+        Peer& p = peer(r.target);
+        StageBuf stage = acquire_reply_stage(p, total);
+        if (stage.p) {
+          auto* g = static_cast<std::byte*>(stage.p);
+          for (const auto& f : r.gather) {
+            if (f.bytes)
+              std::memcpy(g,
+                          reinterpret_cast<const void*>(
+                              static_cast<std::uintptr_t>(f.addr)),
+                          static_cast<std::size_t>(f.bytes));
+            g += f.bytes;
+          }
+          p.reply_out.emplace(r.cookie, stage);
+          auto oa = take_acks(r.target);
+          auto sb = am_->prepare(
+              r.target,
+              r.frag
+                  ? am_handler<&RmaAmHandlers::on_get_frag_reply_staged>()
+                  : am_handler<&RmaAmHandlers::on_get_reply_staged>(),
+              sizeof(RepStagedHdr) + oa_bytes(oa));
+          auto* q = static_cast<std::byte*>(sb.data);
+          const RepStagedHdr h{
+              r.cookie, am_->arena().segmap().encode(stage.p),
+              static_cast<std::uint64_t>(total),
+              static_cast<std::uint32_t>(oa.acks.size()),
+              static_cast<std::uint32_t>(oa.racks.size())};
+          std::memcpy(q, &h, sizeof h);
+          write_oa(q + sizeof h, oa);
+          am_->commit(sb);
+          ++stats_.replies_sent;
+          ++stats_.replies_staged;
+          stats_.acks_piggybacked += oa.acks.size();
+          stats_.reply_acks_piggybacked += oa.racks.size();
+          ++work;
+          continue;
+        }
+        ++stats_.reply_fallbacks;
+      }
+      auto oa = take_acks(r.target);
       auto sb = am_->prepare(
           r.target, am_handler<&RmaAmHandlers::on_get_reply>(),
-          sizeof(RepHdr) + ack_bytes(acks.size()) + total);
+          sizeof(RepHdr) + oa_bytes(oa) + total);
       auto* q = static_cast<std::byte*>(sb.data);
-      const RepHdr h{r.cookie, static_cast<std::uint32_t>(acks.size()), 0};
+      const RepHdr h{r.cookie, static_cast<std::uint32_t>(oa.acks.size()),
+                     static_cast<std::uint32_t>(oa.racks.size())};
       std::memcpy(q, &h, sizeof h);
-      q = write_acks(q + sizeof h, acks);
+      q = write_oa(q + sizeof h, oa);
       // Gather this rank's source runs at reply time — the get reads the
       // data as it exists when the target serves it, exactly like a
       // direct-wire rget reads memory at copy time. (Addresses here are
@@ -679,7 +929,8 @@ int RmaAmProtocol::poll_requests() {
       }
       am_->commit(sb);
       ++stats_.replies_sent;
-      stats_.acks_piggybacked += acks.size();
+      stats_.acks_piggybacked += oa.acks.size();
+      stats_.reply_acks_piggybacked += oa.racks.size();
       ++work;
     }
   }
@@ -688,21 +939,24 @@ int RmaAmProtocol::poll_requests() {
 
 int RmaAmProtocol::flush_acks() {
   int work = 0;
-  // Acks no request or reply carried: one multi-ack record per indebted
-  // target per flush.
+  // Acks and racks no request or reply carried: one combined multi-ack
+  // record per indebted target per flush.
   for (std::size_t i = 0; i < peers_.size(); ++i) {
-    if (peers_[i].acks_owed.empty()) continue;
+    if (peers_[i].acks_owed.empty() && peers_[i].racks_owed.empty())
+      continue;
     const int target = peers_[i].target;
-    auto acks = take_acks(target);
+    auto oa = take_acks(target);
     auto sb = am_->prepare(target, am_handler<&RmaAmHandlers::on_ack>(),
-                           sizeof(AckHdr) + ack_bytes(acks.size()));
+                           sizeof(AckHdr) + oa_bytes(oa));
     auto* q = static_cast<std::byte*>(sb.data);
-    const AckHdr h{static_cast<std::uint32_t>(acks.size()), 0};
+    const AckHdr h{static_cast<std::uint32_t>(oa.acks.size()),
+                   static_cast<std::uint32_t>(oa.racks.size())};
     std::memcpy(q, &h, sizeof h);
-    write_acks(q + sizeof h, acks);
+    write_oa(q + sizeof h, oa);
     am_->commit(sb);
     ++stats_.acks_sent;
-    stats_.ack_cookies_sent += acks.size();
+    stats_.ack_cookies_sent += oa.acks.size();
+    stats_.reply_ack_cookies_sent += oa.racks.size();
     ++work;
   }
   return work;
@@ -725,9 +979,18 @@ void RmaAmProtocol::fail_all_peers() {
   for (auto& p : peers_) {
     p.sendq.clear();
     p.acks_owed.clear();
+    p.racks_owed.clear();
     p.outstanding = 0;
     for (auto& b : p.stage_pool) heap.deallocate(b.p);
     p.stage_pool.clear();
+    // The reply side mirrors the put side: pooled buffers go back to the
+    // heap, and staged replies whose racks will never arrive are unpinned
+    // and freed — a dead initiator may still scatter from one, but it
+    // reads stale bytes at worst and can no longer complete anything.
+    for (auto& b : p.reply_pool) heap.deallocate(b.p);
+    p.reply_pool.clear();
+    for (auto& [cookie, b] : p.reply_out) heap.deallocate(b.p);
+    p.reply_out.clear();
   }
 }
 

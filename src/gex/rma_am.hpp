@@ -55,6 +55,33 @@
 // — which is what lets the am wire track the direct wire's bandwidth
 // instead of paying a cold DRAM round trip per chunk.
 //
+// Pooled reply staging (the get-direction mirror): a GET reply too large
+// to ride inline goes through the *target's* per-peer pool of recycled
+// shared-heap buffers instead of the AmEngine's allocate-per-message
+// rendezvous path. The target gathers into a pool buffer, ships a small
+// GET_REPLY_STAGED descriptor (wire addresses only, exactly as every
+// staged-put buffer), and gets the buffer back when the initiator's
+// consumption ack arrives — a second cookie namespace ("racks") batched
+// and piggybacked through the very same machinery as request acks, so a
+// chunked rget stream recycles the same cache-hot blocks with no extra
+// record traffic. At most `window` staged replies may be awaiting
+// consumption per peer; past that bound (or on a momentarily exhausted
+// heap) the reply falls back to the old inline/rendezvous REPLY path —
+// staging is an optimization, never a requirement.
+//
+// Adaptive window (UPCXX_AM_WINDOW=auto, the default): instead of a
+// hand-set window, each peer runs a small BBR-style controller
+// (AmWindowController below) fed by request→ack round-trip times. While
+// acks return within an envelope of the observed RTT floor the window
+// grows (one credit per windowful of timely acks); when acks lag —
+// queuing at the target, or window × chunk outgrowing the cache — it
+// backs off multiplicatively (at most once per windowful). The window
+// therefore converges on the host's own knee without any tuning, within
+// [1, kMaxAmWindow]. An explicit UPCXX_AM_WINDOW=<n> pins it (tests, the
+// am-window-1 CI job). Every window-derived bound (pools, queue slack,
+// engine back-pressure) reads the *current* window, so the whole state
+// machine tracks the moving operating point.
+//
 // Execution model (the part that differs from the direct wire): data lands
 // when the *target* runs the request handler inside its AmEngine::poll —
 // i.e. during any internal progress the target makes — not at initiator
@@ -86,6 +113,84 @@
 
 namespace gex {
 
+// Per-target adaptive window controller (BBR-style). Fed one request→ack
+// round-trip time per retired credit; maintains an RTT floor (true min
+// with a slow upward drift so a stale floor from a quiet period cannot
+// permanently misjudge a new traffic regime) and classifies each ack as
+// timely iff rtt <= floor × envelope + kAmRttSlackNs. A windowful of
+// consecutive timely acks grows the window by one (additive probe — the
+// growth rate is one per RTT, like BBR's probe phase); a late ack shrinks
+// it multiplicatively (×1/2), at most once per windowful so one
+// scheduler blip doesn't collapse the pipeline. Window stays in
+// [1, max]. Pure state machine — no clock of its own — so tests drive it
+// with synthetic delays.
+class AmWindowController {
+ public:
+  // Absolute slack added to the envelope: sub-microsecond shared-memory
+  // RTT floors make a purely multiplicative envelope brittle (any
+  // scheduler blip is 100× the floor), so lateness additionally requires
+  // this much absolute queuing delay. The value sets the equilibrium
+  // depth: an ack's RTT includes the service time of the window's other
+  // in-flight chunks, so the controller settles near
+  // (envelope×floor + slack) / chunk_service_time — 100 µs over ~10 µs
+  // staged-chunk copies lands in the 8–16 range the window-sweep knee
+  // (bench/abl_am_protocol) identifies, while still reacting to real
+  // multi-window backlog rather than scheduler jitter.
+  static constexpr std::uint64_t kAmRttSlackNs = 100'000;
+
+  AmWindowController(std::uint32_t start, std::uint32_t max,
+                     double envelope)
+      : envelope_(envelope >= 1.0 ? envelope : 1.0),
+        win_(start ? start : 1),
+        max_(max ? max : 1) {
+    if (win_ > max_) win_ = max_;
+  }
+
+  // Feeds one ack RTT; returns +1 (window grew), -1 (shrank), 0 (held).
+  int on_ack(std::uint64_t rtt_ns) {
+    if (rtt_floor_ == 0 || rtt_ns < rtt_floor_) {
+      rtt_floor_ = rtt_ns;
+    } else {
+      // Slow drift toward the observed RTT so the floor adapts when the
+      // regime genuinely changes (~256 acks to cross a sustained gap).
+      rtt_floor_ += (rtt_ns - rtt_floor_) >> 8;
+    }
+    ++since_shrink_;
+    const double bound =
+        static_cast<double>(rtt_floor_) * envelope_ +
+        static_cast<double>(kAmRttSlackNs);
+    if (static_cast<double>(rtt_ns) > bound) {
+      timely_ = 0;
+      // One backoff per windowful: the acks already in flight when the
+      // window shrank will mostly look late too — don't charge them.
+      if (since_shrink_ >= win_ && win_ > 1) {
+        win_ = win_ / 2 > 0 ? win_ / 2 : 1;
+        since_shrink_ = 0;
+        return -1;
+      }
+      return 0;
+    }
+    if (++timely_ >= win_ && win_ < max_) {
+      timely_ = 0;
+      ++win_;
+      return +1;
+    }
+    return 0;
+  }
+
+  std::uint32_t window() const { return win_; }
+  std::uint32_t max_window() const { return max_; }
+  std::uint64_t rtt_floor_ns() const { return rtt_floor_; }
+
+ private:
+  double envelope_;
+  std::uint32_t win_;
+  std::uint32_t max_;
+  std::uint64_t rtt_floor_ = 0;
+  std::uint32_t timely_ = 0;        // consecutive timely acks since a grow
+  std::uint32_t since_shrink_ = 0;  // acks since the last backoff
+};
+
 class RmaAmProtocol {
  public:
   using Done = arch::UniqueFunction<void()>;
@@ -109,10 +214,23 @@ class RmaAmProtocol {
     std::size_t bytes;
   };
 
-  // `window` is a resolved value (gex::resolve_am_window at launch).
+  // `w` is a resolved policy (gex::resolve_am_window at launch): a pinned
+  // window, or the adaptive controller started at w.window per target.
+  // The adaptive ceiling is footprint-clamped: ceiling × am-wire chunk is
+  // the in-flight staging working set (same cache argument as the
+  // UPCXX_AM_CHUNK_KB clamp), so letting RTT drift walk the window to
+  // kMaxAmWindow at 64K chunks would trade a 4MB working set for depth
+  // that is pure cache thrash. Budget 1MB, never below the start window.
   explicit RmaAmProtocol(AmEngine* am,
-                         std::uint32_t window = kDefaultAmWindow)
-      : am_(am), window_(window ? window : 1) {}
+                         AmWindowSetting w = {false, kDefaultAmWindow},
+                         double rtt_envelope = kDefaultAmRttEnvelope)
+      : am_(am),
+        adaptive_(w.adaptive),
+        window_(w.window ? w.window : 1),
+        max_window_(w.adaptive ? adaptive_ceiling(am) : (w.window ? w.window : 1)),
+        envelope_(rtt_envelope) {}
+
+  static std::uint32_t adaptive_ceiling(AmEngine* am);
 
   // Contiguous put: the payload leaves src before this call returns (the
   // initiator may reuse src immediately) — copied into the wire when a
@@ -162,13 +280,16 @@ class RmaAmProtocol {
   // opportunities above.
   int flush_acks();
 
-  // No requests awaiting completion (in flight or queued) and nothing
-  // deferred to send.
+  // No requests awaiting completion (in flight or queued), nothing
+  // deferred to send, and no staged reply still awaiting its consumption
+  // ack (the buffer is pinned until the rack arrives).
   bool idle() const {
     if (!pending_.empty() || !replies_.empty() || !completed_.empty())
       return false;
     for (const auto& p : peers_)
-      if (!p.sendq.empty() || !p.acks_owed.empty()) return false;
+      if (!p.sendq.empty() || !p.acks_owed.empty() ||
+          !p.racks_owed.empty() || !p.reply_out.empty())
+        return false;
     return true;
   }
   // Requests not yet completed, whether on the wire or still queued.
@@ -179,17 +300,29 @@ class RmaAmProtocol {
     for (const auto& p : peers_) n += p.sendq.size();
     return n;
   }
-  std::uint32_t window() const { return window_; }
+  // The pinned window, or — adaptive mode — the controller ceiling
+  // (kMaxAmWindow): in both cases the hard bound every per-target window
+  // and pool respects, which is what invariant checks compare against.
+  std::uint32_t window() const { return adaptive_ ? max_window_ : window_; }
+  bool adaptive_window() const { return adaptive_; }
+  // The current operating window for `target` (moves in adaptive mode).
+  std::uint32_t window_now(int target) const {
+    for (const auto& p : peers_)
+      if (p.target == target) return window_now(p);
+    return window_;
+  }
 
   // True when a request to `target` would go straight onto the wire (a
   // credit is free and nothing is queued ahead of it). The XferEngine's
   // chunk movers consult this (WireOps::ready) so chunks wait in the
   // engine — where they cost nothing — instead of piling up payload copies
-  // in the sender-side queue.
+  // in the sender-side queue. Reads the *current* window, so engine
+  // back-pressure follows an adaptive window as it moves: a shrink simply
+  // reports not-ready until in-flight requests drain below the new bound.
   bool can_accept(int target) const {
     for (const auto& p : peers_)
       if (p.target == target)
-        return p.sendq.empty() && p.outstanding < window_;
+        return p.sendq.empty() && p.outstanding < window_now(p);
     return true;
   }
 
@@ -223,6 +356,17 @@ class RmaAmProtocol {
     std::uint64_t stale_completions = 0;  // acks/replies after a cancel
     std::uint64_t puts_staged = 0;       // puts through the bounce pool
     std::uint64_t stage_allocs = 0;      // pool misses (fresh heap blocks)
+    // Pooled reply staging (target side unless noted).
+    std::uint64_t replies_staged = 0;    // GET replies through the pool
+    std::uint64_t reply_pool_hits = 0;   // stage acquisitions from the pool
+    std::uint64_t reply_stage_allocs = 0;  // fresh heap blocks for replies
+    std::uint64_t reply_fallbacks = 0;   // bound/heap exhausted -> old path
+    std::uint64_t staged_replies_handled = 0;  // initiator: consumed
+    std::uint64_t reply_ack_cookies_sent = 0;  // racks in standalone records
+    std::uint64_t reply_acks_piggybacked = 0;  // racks on reverse traffic
+    // Adaptive window controller, summed across peers.
+    std::uint64_t window_grow = 0;
+    std::uint64_t window_shrink = 0;
   };
   const Stats& stats() const { return stats_; }
 
@@ -240,6 +384,7 @@ class RmaAmProtocol {
     Done done;
     std::vector<LocalFrag> scatter;  // gets: local landing runs, wire order
     StageBuf stage;  // staged puts: recycled into the pool on ack
+    std::uint64_t send_ns = 0;  // wire-send time (adaptive RTT sampling)
   };
   // A window-blocked request. Puts own their payload (the caller's source
   // buffer is reusable the moment the injecting call returns); gets keep
@@ -255,15 +400,24 @@ class RmaAmProtocol {
     int target;
     std::uint64_t cookie;
     std::vector<Frag> gather;  // local (this rank's) source runs
+    bool frag;                 // GET_FRAG origin (staged record selection)
   };
-  // Per-target sender and receiver state: the credit window, the queue of
-  // window-blocked requests, and the acks this rank owes that target.
+  // Per-target sender and receiver state: the credit window (with its
+  // adaptive controller), the queue of window-blocked requests, the acks
+  // and reply-consumption acks this rank owes that target, and both
+  // staging pools (put bounce buffers as initiator, reply buffers as
+  // target).
   struct Peer {
     int target;
+    AmWindowController ctrl;
     std::uint32_t outstanding = 0;  // requests on the wire, not yet retired
     std::deque<QueuedReq> sendq;
     std::vector<std::uint64_t> acks_owed;
+    std::vector<std::uint64_t> racks_owed;  // staged replies consumed here
     std::vector<StageBuf> stage_pool;  // free bounce buffers, ready to reuse
+    std::vector<StageBuf> reply_pool;  // free reply buffers, ready to reuse
+    // Staged replies sent to this peer, pinned until its rack returns.
+    std::unordered_map<std::uint64_t, StageBuf> reply_out;
   };
 
   // Wire-address translation (gex/segment.hpp): every remote/staged
@@ -275,17 +429,42 @@ class RmaAmProtocol {
   std::uint64_t wire_dec(WireAddr wa) const;
 
   Peer& peer(int target);
+  // The operating window for one peer: pinned, or the controller's current
+  // value. Every bound in the protocol (credits, queue cap, both staging
+  // pools, engine back-pressure) derives from this so the state machine
+  // follows an adaptive window as it moves.
+  std::uint32_t window_now(const Peer& p) const {
+    return adaptive_ ? p.ctrl.window() : window_;
+  }
   // Null .p when the job is failing and the heap is exhausted (the blocks
   // may be pinned by a dead peer's unacked requests) — the caller cancels.
   StageBuf acquire_stage(Peer& p, std::size_t bytes);
   void recycle_stage(Peer& p, StageBuf buf);
+  // Reply-staging twin of acquire_stage, but *non-blocking*: null .p when
+  // the per-peer staged-reply bound is reached or the heap has no block
+  // right now — the caller falls back to the rendezvous REPLY path instead
+  // of stalling the target's poll loop.
+  StageBuf acquire_reply_stage(Peer& p, std::size_t bytes);
+  // Initiator's rack arrived: unpin the staged reply buffer `cookie` and
+  // recycle it into the peer's reply pool (freed if the pool is at its
+  // bound — the window may have shrunk since the buffer went out).
+  void recycle_reply(Peer& p, std::uint64_t cookie);
   void cancel_sent(Peer& p, std::uint64_t cookie);
   std::uint64_t new_pending(int target, Done done,
                             std::vector<LocalFrag> scatter);
-  // Drains the acks owed to `target` for embedding in an outgoing record.
-  std::vector<std::uint64_t> take_acks(int target);
+  // Both ack namespaces owed to one target, drained together for embedding
+  // in an outgoing record (request acks retire credits at the receiver;
+  // reply acks unpin staged reply buffers).
+  struct OwedAcks {
+    std::vector<std::uint64_t> acks;   // request cookies
+    std::vector<std::uint64_t> racks;  // staged-reply cookies
+  };
+  OwedAcks take_acks(int target);
+  // Records the wire-send time of `cookie` for adaptive RTT sampling
+  // (no-op when the window is pinned).
+  void note_wire_send(std::uint64_t cookie);
   bool has_credit(const Peer& p) const {
-    return p.sendq.empty() && p.outstanding < window_;
+    return p.sendq.empty() && p.outstanding < window_now(p);
   }
   void note_sent(Peer& p) {
     ++p.outstanding;
@@ -307,7 +486,10 @@ class RmaAmProtocol {
                      const std::vector<Frag>& srcs);
 
   AmEngine* am_;
-  std::uint32_t window_;
+  bool adaptive_;          // window policy: controller vs pinned
+  std::uint32_t window_;   // pinned window / adaptive starting window
+  std::uint32_t max_window_;  // hard ceiling (== window_ when pinned)
+  double envelope_;        // controller RTT envelope factor
   std::uint64_t next_cookie_ = 1;
   std::unordered_map<std::uint64_t, Pending> pending_;  // initiator side
   // Few peers; linear scan. A deque so references stay valid when a

@@ -451,10 +451,34 @@ TEST(Config, NumericKnobsRejectGarbage) {
   EXPECT_EQ(ok.sim_latency_ns, 250u);
   unsetenv("UPCXX_AM_WINDOW");
   unsetenv("UPCXX_SIM_LATENCY_NS");
-  // resolve_am_window falls back to the default on a garbage environment.
+  // resolve_am_window falls back to adaptive-at-default on a garbage
+  // environment, `auto` spells the default explicitly, an integer pins,
+  // and kAmWindowForceAuto overrides even a pinned environment.
   setenv("UPCXX_AM_WINDOW", "zero", 1);
   gex::Config c;
-  EXPECT_EQ(gex::resolve_am_window(c), gex::kDefaultAmWindow);
+  {
+    const auto w = gex::resolve_am_window(c);
+    EXPECT_TRUE(w.adaptive);
+    EXPECT_EQ(w.window, gex::kDefaultAmWindow);
+  }
+  setenv("UPCXX_AM_WINDOW", "auto", 1);
+  {
+    const auto w = gex::resolve_am_window(c);
+    EXPECT_TRUE(w.adaptive);
+    EXPECT_EQ(w.window, gex::kDefaultAmWindow);
+  }
+  setenv("UPCXX_AM_WINDOW", "16", 1);
+  {
+    const auto w = gex::resolve_am_window(c);
+    EXPECT_FALSE(w.adaptive);
+    EXPECT_EQ(w.window, 16u);
+  }
+  {
+    gex::Config forced;
+    forced.am_window = gex::kAmWindowForceAuto;
+    const auto w = gex::resolve_am_window(forced);
+    EXPECT_TRUE(w.adaptive);
+  }
   unsetenv("UPCXX_AM_WINDOW");
   // Non-finite bandwidth is scrubbed by normalize() for hand-built
   // configs too.

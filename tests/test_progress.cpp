@@ -139,20 +139,34 @@ TEST(SimLatency, OverlapHidesLatency) {
   // peer's progress, so the slack must absorb a descheduled peer, not
   // just local jitter.
   cfg.sim_latency_ns = 1000000;
+  // Pin a pipelined window: this test asserts the *overlap* property, and
+  // under the am-window-1 CI matrix (UPCXX_AM_WINDOW=1, am wire) the
+  // transport is deliberately serialized — one request per ack round trip
+  // can never finish 16 puts in under 16 RTTs. Window policy has its own
+  // suites (test_rma_flow / test_rma_stress).
+  cfg.am_window = gex::kDefaultAmWindow;
   int fails = upcxx::run(cfg, [] {
     constexpr int kOps = 16;
     auto mine = upcxx::allocate<int>(kOps);
     upcxx::dist_object<upcxx::global_ptr<int>> dir(mine);
     auto peer = dir.fetch(1 - upcxx::rank_me()).wait();
-    upcxx::barrier();
-    upcxx::promise<> p;
-    const auto t0 = arch::now_ns();
-    for (int i = 0; i < kOps; ++i)
-      upcxx::rput(i, peer + i, upcxx::operation_cx::as_promise(p));
-    p.finalize().wait();
-    const auto dt = arch::now_ns() - t0;
-    EXPECT_GE(dt, 2 * 1000000ull);     // at least one RTT
-    EXPECT_LT(dt, kOps * 1000000ull);  // far less than serialized RTTs
+    // Best of a fixed 3 attempts (fixed so both ranks stay in lockstep —
+    // a data-dependent retry would skew the barrier count): the bound is
+    // wall-clock, and one attempt can be stretched arbitrarily when a
+    // parallel ctest schedules a soak suite on every core. Overlap only
+    // has to be demonstrated once; the minimum still costs >= 1 RTT.
+    std::uint64_t best = ~0ull;
+    for (int attempt = 0; attempt < 3; ++attempt) {
+      upcxx::barrier();
+      upcxx::promise<> p;
+      const auto t0 = arch::now_ns();
+      for (int i = 0; i < kOps; ++i)
+        upcxx::rput(i, peer + i, upcxx::operation_cx::as_promise(p));
+      p.finalize().wait();
+      best = std::min(best, arch::now_ns() - t0);
+    }
+    EXPECT_GE(best, 2 * 1000000ull);     // at least one RTT
+    EXPECT_LT(best, kOps * 1000000ull);  // far less than serialized RTTs
     upcxx::barrier();
     upcxx::deallocate(mine);
   });

@@ -299,4 +299,178 @@ TEST(AmStagingPool, PoolBuffersRecycleAcrossAStream) {
   EXPECT_EQ(fails, 0);
 }
 
+// The staged-reply pool mirrors the put pool: a long stream of large gets
+// from one target stages every reply, recycles the target's reply buffers
+// (bounded allocations), and conserves racks on the initiator.
+TEST(AmReplyStaging, ReplyPoolRecyclesAcrossAStream) {
+  g_done = 0;
+  g_phase = 0;
+  gex::Config cfg = testutil::test_cfg(2);
+  cfg.rma_wire = gex::RmaWire::kAm;
+  cfg.am_window = 4;
+  const int fails = upcxx::run(cfg, [] {
+    constexpr int kGets = 64;
+    constexpr std::size_t kBytes = 32 << 10;  // far beyond eager_max
+    static upcxx::global_ptr<char> remote;
+    if (upcxx::rank_me() == 1) {
+      remote = upcxx::allocate<char>(kBytes);
+      std::fill_n(remote.local(), kBytes, 'r');
+    }
+    upcxx::barrier();
+    if (upcxx::rank_me() == 0) {
+      std::vector<std::vector<char>> sinks(
+          kGets, std::vector<char>(kBytes, 'x'));
+      for (int i = 0; i < kGets; ++i)
+        gex::rma_am().get(1, sinks[i].data(), remote.local(), kBytes,
+                          [] { g_done.fetch_add(1); });
+      while (g_done.load() < kGets) pump();
+      const auto& st = gex::rma_am().stats();
+      // Every reply arrived through the staged path and was consumed here.
+      EXPECT_EQ(st.staged_replies_handled,
+                static_cast<std::uint64_t>(kGets));
+      for (const auto& s : sinks)
+        ASSERT_EQ(s[0], 'r');
+      // Rack conservation: each consumed staged reply was acknowledged
+      // through exactly one channel.
+      while (!gex::rma_am().idle()) pump();
+      EXPECT_EQ(st.reply_ack_cookies_sent + st.reply_acks_piggybacked,
+                st.staged_replies_handled);
+      g_phase.store(1, std::memory_order_release);
+    } else {
+      while (g_phase.load(std::memory_order_acquire) < 1) pump();
+      while (!gex::rma_am().idle()) pump();  // last racks may be in flight
+      const auto& st = gex::rma_am().stats();
+      EXPECT_EQ(st.replies_staged, static_cast<std::uint64_t>(kGets));
+      EXPECT_EQ(st.reply_fallbacks, 0u);
+      // Every reply beyond the first window reused a recycled buffer.
+      EXPECT_LE(st.reply_stage_allocs, 8u);
+      EXPECT_GT(st.reply_pool_hits, 0u);
+    }
+    upcxx::barrier();
+    if (upcxx::rank_me() == 1) upcxx::deallocate(remote);
+    upcxx::barrier();
+  });
+  EXPECT_EQ(fails, 0);
+}
+
+// Reply-pool exhaustion falls back to the rendezvous REPLY path: the
+// replier runs a private protocol instance whose window (2) is smaller
+// than the initiator's (8), so a burst of 8 large gets finds the staged
+// bound exhausted after two replies — the rest must still complete through
+// the old path, with intact payloads.
+TEST(AmReplyStaging, ExhaustedPoolFallsBackToRendezvous) {
+  g_done = 0;
+  g_phase = 0;
+  gex::Config cfg = testutil::test_cfg(2);
+  cfg.rma_wire = gex::RmaWire::kAm;
+  cfg.am_window = 8;
+  const int fails = upcxx::run(cfg, [] {
+    constexpr int kGets = 8;
+    constexpr std::size_t kBytes = 32 << 10;
+    const int me = upcxx::rank_me();
+    static upcxx::global_ptr<char> remote;
+    static std::atomic<int> s_parked{0};
+    if (me == 1) {
+      remote = upcxx::allocate<char>(kBytes);
+      std::fill_n(remote.local(), kBytes, 'f');
+      s_parked = 0;
+    }
+    upcxx::barrier();
+    // Swap in per-rank protocol instances with mismatched pinned windows;
+    // the handlers route through gex::self()->rma_am, so both sides see
+    // their own instance.
+    gex::RmaAmProtocol proto(
+        gex::self()->am,
+        gex::AmWindowSetting{false, me == 1 ? 2u : 8u});
+    auto* saved = gex::self()->rma_am;
+    gex::self()->rma_am = &proto;
+    if (me == 1) s_parked.store(1, std::memory_order_release);
+    if (me == 0) {
+      while (s_parked.load(std::memory_order_acquire) < 1)
+        std::this_thread::yield();
+      std::vector<std::vector<char>> sinks(
+          kGets, std::vector<char>(kBytes, 'x'));
+      for (int i = 0; i < kGets; ++i)
+        proto.get(1, sinks[i].data(), remote.local(), kBytes,
+                  [] { g_done.fetch_add(1); });
+      g_phase.store(1, std::memory_order_release);
+      while (g_done.load() < kGets) pump();
+      const auto& st = proto.stats();
+      // A mix: the replier staged up to its window, the rest fell back.
+      EXPECT_EQ(st.staged_replies_handled, 2u);
+      for (const auto& s : sinks)
+        ASSERT_EQ(s[kBytes - 1], 'f');
+      while (!proto.idle()) pump();
+      g_phase.store(2, std::memory_order_release);
+    } else {
+      // Hold all polling until the full burst is in our ring, then serve
+      // it in one poll: 2 staged replies (the bound), 6 fallbacks.
+      while (g_phase.load(std::memory_order_acquire) < 1)
+        std::this_thread::yield();
+      gex::am().poll(/*max_msgs=*/64);
+      proto.poll();
+      const auto& st = proto.stats();
+      EXPECT_EQ(st.gets_handled, static_cast<std::uint64_t>(kGets));
+      EXPECT_EQ(st.replies_sent, static_cast<std::uint64_t>(kGets));
+      EXPECT_EQ(st.replies_staged, 2u);
+      EXPECT_EQ(st.reply_fallbacks, 6u);
+      while (g_phase.load(std::memory_order_acquire) < 2) pump();
+      while (!proto.idle()) pump();
+    }
+    upcxx::barrier();
+    gex::self()->rma_am = saved;
+    upcxx::barrier();
+    if (me == 1) upcxx::deallocate(remote);
+    upcxx::barrier();
+  });
+  EXPECT_EQ(fails, 0);
+}
+
+// The adaptive controller is a pure state machine; drive it with synthetic
+// RTTs and check the control law: additive growth on timely windowfuls,
+// multiplicative backoff (at most once per windowful) on late acks, window
+// always within [1, max].
+TEST(AmWindowAdaptive, ControllerGrowsShrinksAndStaysBounded) {
+  gex::AmWindowController c(4, 16, 2.0);
+  EXPECT_EQ(c.window(), 4u);
+  EXPECT_EQ(c.max_window(), 16u);
+  // Timely acks (at the floor) grow the window one credit per windowful:
+  // 4+5+...+15 = 114 acks to reach the ceiling.
+  int acks_to_max = 0;
+  while (c.window() < 16 && acks_to_max < 1000) {
+    c.on_ack(1000);
+    ++acks_to_max;
+  }
+  EXPECT_EQ(c.window(), 16u);
+  EXPECT_EQ(acks_to_max, 114);
+  // The ceiling holds under continued timely acks.
+  for (int i = 0; i < 200; ++i) c.on_ack(1000);
+  EXPECT_EQ(c.window(), 16u);
+  // One late ack does not shrink twice within a windowful; a sustained
+  // late regime halves per windowful down to 1, never below.
+  std::uint32_t prev = c.window();
+  for (int i = 0; i < 400 && c.window() > 1; ++i) {
+    const int d = c.on_ack(50'000'000);
+    if (d < 0) {
+      EXPECT_EQ(c.window(), prev / 2);
+      prev = c.window();
+    }
+  }
+  EXPECT_EQ(c.window(), 1u);
+  for (int i = 0; i < 100; ++i) c.on_ack(100'000'000);
+  EXPECT_GE(c.window(), 1u);
+  EXPECT_LE(c.window(), 16u);
+  // Recovery: back in the timely regime, the window climbs again.
+  gex::AmWindowController r(2, 8, 2.0);
+  for (int i = 0; i < 16; ++i) r.on_ack(60'000'000);  // establish high floor
+  const std::uint32_t before = r.window();
+  for (int i = 0; i < 200; ++i) r.on_ack(1000);  // fast acks lower the floor
+  EXPECT_GT(r.window(), before);
+  // Degenerate parameters clamp instead of misbehaving.
+  gex::AmWindowController z(0, 0, 0.5);
+  EXPECT_EQ(z.window(), 1u);
+  z.on_ack(0);
+  EXPECT_EQ(z.window(), 1u);
+}
+
 }  // namespace

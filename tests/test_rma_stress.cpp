@@ -35,8 +35,11 @@ long stamp(int writer, int round, std::size_t idx) {
 }
 
 // One rank's soak body. Every rank is simultaneously a writer (to its
-// slice in every peer) and an owner (serving peers' traffic).
-void soak_body(std::uint64_t seed, bool am_wire) {
+// slice in every peer) and an owner (serving peers' traffic). `adaptive`
+// marks the auto-window cells: the moving window makes sender-side
+// queueing load-dependent, so only the invariants that hold at any window
+// are asserted there.
+void soak_body(std::uint64_t seed, bool am_wire, bool adaptive = false) {
   const int me = upcxx::rank_me(), P = upcxx::rank_n();
   const std::size_t total = kSlice * static_cast<std::size_t>(P);
   auto mine = upcxx::new_array<long>(total);
@@ -183,18 +186,28 @@ void soak_body(std::uint64_t seed, bool am_wire) {
   const auto& st = gex::rma_am().stats();
   if (am_wire) {
     // The soak actually exercised the protocol on every rank, in both
-    // roles, and forced window-blocked requests through the queue.
+    // roles.
     EXPECT_GT(st.puts_sent + st.gets_sent + st.frag_puts_sent +
                   st.frag_gets_sent,
               0u);
     EXPECT_GT(st.puts_handled + st.gets_handled, 0u);
-    EXPECT_GT(st.requests_queued, 0u);
+    // A fixed tiny window provably forces window-blocked requests through
+    // the queue; an adaptive window may grow past the load instead.
+    if (!adaptive) EXPECT_GT(st.requests_queued, 0u);
+    EXPECT_EQ(gex::rma_am().adaptive_window(), adaptive);
   }
-  // The credit window held: never more in flight to one target than W.
+  // The credit window held: never more in flight to one target than the
+  // window ceiling (the pinned value, or kMaxAmWindow under the adaptive
+  // controller).
   EXPECT_LE(st.max_outstanding, gex::rma_am().window());
   // Ack conservation: every put this rank handled was acknowledged through
   // exactly one channel (a standalone multi-ack record or a piggyback).
   EXPECT_EQ(st.ack_cookies_sent + st.acks_piggybacked, st.puts_handled);
+  // Rack conservation: every staged reply this rank consumed was
+  // acknowledged through exactly one channel too (trivially 0 == 0 on the
+  // direct wire and when every reply fit eager).
+  EXPECT_EQ(st.reply_ack_cookies_sent + st.reply_acks_piggybacked,
+            st.staged_replies_handled);
   EXPECT_EQ(st.cancelled, 0u);
   EXPECT_EQ(st.stale_completions, 0u);
   upcxx::barrier();
@@ -221,6 +234,35 @@ TEST(RmaStress, RandomizedSoakAmWire) {
 TEST(RmaStress, RandomizedSoakDirectWire) {
   const int fails = upcxx::run(stress_cfg(gex::RmaWire::kDirect),
                                [] { soak_body(0xBEEF, false); });
+  EXPECT_EQ(fails, 0);
+}
+
+// The adaptive-window soak: same traffic, `UPCXX_AM_WINDOW=auto` semantics
+// forced (kAmWindowForceAuto beats any CI window pin), and chunks sized so
+// GET replies exceed eager_max and exercise the staged-reply pool under
+// racing multi-rank traffic — on both AM transports. The conservation
+// asserts inside soak_body (ack and rack channels, window ceiling) are the
+// point: the moving window must never break the flow-control invariants.
+gex::Config adaptive_cfg(gex::AmTransport t) {
+  gex::Config cfg = testutil::test_cfg(3);
+  cfg.rma_wire = gex::RmaWire::kAm;
+  cfg.am_transport = t;
+  cfg.am_window = gex::kAmWindowForceAuto;
+  cfg.rma_async_min = 4 << 10;
+  cfg.xfer_chunk_bytes = 16 << 10;  // reply payloads exceed 8K eager_max
+  cfg.am_xfer_chunk_bytes = 16 << 10;
+  return cfg;
+}
+
+TEST(RmaStress, AdaptiveWindowSoakMmap) {
+  const int fails = upcxx::run(adaptive_cfg(gex::AmTransport::kMmap),
+                               [] { soak_body(0xAD0BE, true, true); });
+  EXPECT_EQ(fails, 0);
+}
+
+TEST(RmaStress, AdaptiveWindowSoakShmFile) {
+  const int fails = upcxx::run(adaptive_cfg(gex::AmTransport::kShmFile),
+                               [] { soak_body(0xF11E, true, true); });
   EXPECT_EQ(fails, 0);
 }
 
