@@ -49,6 +49,23 @@ inline double work_scale() {
   return 1.0;
 }
 
+// True when compiled with ThreadSanitizer: its ~10x serialization makes
+// performance *shape* assertions meaningless — benches report instead of
+// enforce (the TSan CI job is about races, not throughput).
+constexpr bool under_tsan() {
+#if defined(__SANITIZE_THREAD__)
+  return true;
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+  return true;
+#else
+  return false;
+#endif
+#else
+  return false;
+#endif
+}
+
 class ShapeChecks {
  public:
   void expect(bool ok, const std::string& what) {

@@ -29,6 +29,7 @@ std::atomic<long> g_hits{0};
 int main() {
   std::printf("Micro — personas / cross-thread LPC\n\n");
   benchutil::ShapeChecks checks;
+  benchutil::JsonReport json("micro_persona");
   const int n = static_cast<int>(200000 * benchutil::work_scale());
 
   // ---------------------------------------------------------- 1. self-LPC
@@ -43,10 +44,12 @@ int main() {
     const double dt = arch::now_s() - t0;
     std::printf("self-LPC:            %8.1f ns/op (%d ops)\n", dt / n * 1e9,
                 n);
+    json.metric("self_lpc_ns", dt / n * 1e9);
   });
 
   // ------------------------------------------- 2. cross-thread throughput
-  for (int producers : {1, 4}) {
+  // Producer series 1 -> N: contention on one inbox as app threads scale.
+  for (int producers : {1, 2, 4}) {
     upcxx::run(1, [&] {
       std::atomic<long> done{0};
       upcxx::persona& master = upcxx::master_persona();
@@ -65,9 +68,11 @@ int main() {
         upcxx::progress();
       for (auto& t : ts) t.join();
       const double dt = arch::now_s() - t0;
+      const double total = static_cast<double>(per) * producers;
       std::printf("cross-thread lpc_ff: %8.1f ns/op (%d producer%s)\n",
-                  dt / (static_cast<double>(per) * producers) * 1e9,
-                  producers, producers > 1 ? "s" : "");
+                  dt / total * 1e9, producers, producers > 1 ? "s" : "");
+      json.metric("xthread_lpc_ff_ops_per_s_p" + std::to_string(producers),
+                  total / dt);
     });
   }
 
@@ -89,6 +94,7 @@ int main() {
     worker.join();
     std::printf("lpc round trip:      %8.2f us (worker <-> master)\n",
                 rt_us.load());
+    json.metric("lpc_round_trip_us", rt_us.load());
   });
 
   // ----------------------------------------------------- 4. attentiveness
@@ -159,9 +165,17 @@ int main() {
       "attentiveness:       %8.0f rpc/s single-thread (progress every "
       "%dus)\n                     %8.0f rpc/s with progress thread\n",
       rate_single, kSliceUs, rate_progress_thread);
-  checks.expect(rate_progress_thread > rate_single * 1.5,
-                "dedicated progress thread lifts RPC service rate >=1.5x "
-                "at an inattentive rank (paper SIII stall)");
+  json.metric("attentive_rpc_per_s_single", rate_single);
+  json.metric("attentive_rpc_per_s_progress_thread", rate_progress_thread);
+  json.write();
+  if (benchutil::under_tsan())
+    checks.note("TSan build: progress-thread lift " +
+                std::to_string(rate_progress_thread / rate_single) +
+                "x reported, not enforced");
+  else
+    checks.expect(rate_progress_thread > rate_single * 1.5,
+                  "dedicated progress thread lifts RPC service rate >=1.5x "
+                  "at an inattentive rank (paper SIII stall)");
 
   return checks.summary("micro_persona");
 }

@@ -7,6 +7,7 @@
 #include <new>
 #include <thread>
 
+#include "arch/atomics.hpp"
 #include "arch/timer.hpp"
 
 namespace gex {
@@ -51,12 +52,14 @@ void release_frame(void* handle) {
   }
 }
 
-AmEngine::SendBuf AmEngine::prepare(int target, HandlerIdx h, std::size_t n) {
+AmEngine::SendBuf AmEngine::prepare(int target, HandlerIdx h, std::size_t n,
+                                    bool may_poll) {
   assert(target >= 0 && target < arena_->nranks());
   SendBuf sb;
   sb.size = n;
   sb.target = target;
   sb.handler = h;
+  sb.may_poll = may_poll;
   if (n <= eager_max_) {
     for (;;) {
       auto t = transport_->try_reserve(target, sizeof(WireHeader) + n);
@@ -68,8 +71,10 @@ AmEngine::SendBuf AmEngine::prepare(int target, HandlerIdx h, std::size_t n) {
       // Target ring full: drain our own inbox so a cyclic backlog cannot
       // deadlock, then retry. Yield when the drain found nothing — on an
       // oversubscribed host the consumer needs the core to make room.
-      ++stats_.send_stalls;
-      if (poll() == 0) std::this_thread::yield();
+      // Off-consumer senders (may_poll false) only yield: poll() is
+      // single-consumer and the real consumer is running elsewhere.
+      arch::relaxed_inc(stats_.send_stalls);
+      if (!may_poll || poll() == 0) std::this_thread::yield();
       arch::cpu_relax();
     }
   }
@@ -82,15 +87,15 @@ AmEngine::SendBuf AmEngine::prepare(int target, HandlerIdx h, std::size_t n) {
       sb.data = buf;
       return sb;
     }
-    ++stats_.send_stalls;
-    if (poll() == 0) std::this_thread::yield();
+    arch::relaxed_inc(stats_.send_stalls);
+    if (!may_poll || poll() == 0) std::this_thread::yield();
     arch::cpu_relax();
   }
 }
 
 AmEngine::SendBuf AmEngine::prepare_frame(int target, std::size_t n,
                                           HandlerIdx uniform_handler,
-                                          bool uniform) {
+                                          bool uniform, bool may_poll) {
   assert(target >= 0 && target < arena_->nranks());
   assert(n <= max_frame_payload() && "frame exceeds one ring record");
   SendBuf sb;
@@ -99,6 +104,7 @@ AmEngine::SendBuf AmEngine::prepare_frame(int target, std::size_t n,
   sb.frame = true;
   sb.uniform = uniform;
   sb.handler = uniform_handler;
+  sb.may_poll = may_poll;
   for (;;) {
     auto t = transport_->try_reserve(target, sizeof(WireHeader) + n);
     if (t.payload) {
@@ -106,8 +112,8 @@ AmEngine::SendBuf AmEngine::prepare_frame(int target, std::size_t n,
       sb.data = static_cast<std::byte*>(t.payload) + sizeof(WireHeader);
       return sb;
     }
-    ++stats_.send_stalls;
-    if (poll() == 0) std::this_thread::yield();
+    arch::relaxed_inc(stats_.send_stalls);
+    if (!may_poll || poll() == 0) std::this_thread::yield();
     arch::cpu_relax();
   }
 }
@@ -123,9 +129,9 @@ void AmEngine::commit(SendBuf& sb) {
     wh->send_ns = arch::now_ns();
     transport_->commit(sb.ticket);
     if (sb.frame)
-      ++stats_.sent_frames;
+      arch::relaxed_inc(stats_.sent_frames);
     else
-      ++stats_.sent_eager;
+      arch::relaxed_inc(stats_.sent_eager);
     return;
   }
   for (;;) {
@@ -141,11 +147,11 @@ void AmEngine::commit(SendBuf& sb) {
       d->buf = arena_->segmap().encode(sb.data);
       d->size = sb.size;
       transport_->commit(t);
-      ++stats_.sent_rendezvous;
+      arch::relaxed_inc(stats_.sent_rendezvous);
       return;
     }
-    ++stats_.send_stalls;
-    if (poll() == 0) std::this_thread::yield();
+    arch::relaxed_inc(stats_.send_stalls);
+    if (!sb.may_poll || poll() == 0) std::this_thread::yield();
     arch::cpu_relax();
   }
 }
@@ -194,7 +200,7 @@ int AmEngine::poll(int max_msgs) {
           cx.frame = fb;
           sink_(cx);
           release_frame(fb);
-          ++stats_.received_frames;
+          arch::relaxed_inc(stats_.received_frames);
           return;
         }
         std::size_t off = 0;
@@ -215,7 +221,7 @@ int AmEngine::poll(int max_msgs) {
                  arch::align_up(mh->size, kFrameAlign);
         }
         release_frame(fb);  // drop poll's own reference
-        ++stats_.received_frames;
+        arch::relaxed_inc(stats_.received_frames);
         return;
       }
       AmContext cx;
@@ -244,7 +250,7 @@ int AmEngine::poll(int max_msgs) {
         &visit);
     if (!got) break;
     handled += delivered;
-    stats_.received += static_cast<std::uint64_t>(delivered);
+    arch::relaxed_add(stats_.received, static_cast<std::uint64_t>(delivered));
   }
   return handled;
 }

@@ -181,6 +181,9 @@ void Config::normalize() {
   // A sub-1 envelope would declare every ack late; 0 stays 0 (auto).
   if (!(am_rtt_envelope >= 1.0) || !std::isfinite(am_rtt_envelope))
     am_rtt_envelope = 0;
+  if (progress_threads < 1) progress_threads = 1;
+  if (inject_shards < 1) inject_shards = 1;
+  if (inject_shards > 64) inject_shards = 64;
 }
 
 Config Config::from_env() {
@@ -264,6 +267,10 @@ Config Config::from_env() {
                    v);
     }
   }
+  c.progress_threads = static_cast<int>(env_positive(
+      "UPCXX_PROGRESS_THREADS", static_cast<long>(c.progress_threads)));
+  c.inject_shards = static_cast<std::uint32_t>(env_positive(
+      "UPCXX_INJECT_SHARDS", static_cast<long>(c.inject_shards)));
   c.agg_enabled = env_long("UPCXX_AGG", 1) != 0;
   c.agg_max_bytes = static_cast<std::size_t>(env_positive(
       "UPCXX_AGG_MAX_BYTES", static_cast<long>(c.agg_max_bytes)));

@@ -1008,6 +1008,21 @@ XferEngine::WireOps RmaAmProtocol::wire_ops() {
   // is pinned until on_source anyway) while the window to this target is
   // full, instead of piling payload copies into the sender-side queue.
   ops.ready = [this](int target) { return can_accept(target); };
+  // Budget metering: how many chunks this target can take right now —
+  // the *adaptive* window (window_now follows the controller as it
+  // moves) minus in-flight requests, zero while anything is parked in
+  // the sender-side queue. The engine's poll deals its chunk budget
+  // against this, so a shrunken window diverts budget to other targets
+  // within the same poll instead of consuming it on a closed channel.
+  ops.credits = [this](int target) -> std::uint32_t {
+    for (const auto& p : peers_)
+      if (p.target == target) {
+        if (!p.sendq.empty()) return 0;
+        const std::uint32_t w = window_now(p);
+        return p.outstanding < w ? w - p.outstanding : 0;
+      }
+    return window_now(target);
+  };
   return ops;
 }
 

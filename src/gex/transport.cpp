@@ -5,11 +5,13 @@
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <vector>
 
 #include "arch/cacheline.hpp"
+#include "arch/spinlock.hpp"
 #include "gex/arena.hpp"
 
 namespace gex {
@@ -68,7 +70,7 @@ class ShmFileTransport final : public Transport {
             kRingOff + arch::MpscByteRing::footprint(
                            arena->config().ring_bytes),
             std::size_t{4096})),
-        tx_(static_cast<std::size_t>(arena->nranks()), nullptr),
+        tx_(static_cast<std::size_t>(arena->nranks())),
         rx_(static_cast<std::size_t>(arena->nranks()), nullptr) {}
 
   ~ShmFileTransport() override {
@@ -86,8 +88,20 @@ class ShmFileTransport final : public Transport {
   }
 
   Ticket try_reserve(int target, std::size_t bytes) override {
-    auto& ring = tx_[static_cast<std::size_t>(target)];
-    if (!ring) ring = open_pair(me_, target);
+    // Double-checked lazy open: try_reserve is called concurrently by
+    // injection-shard drains, so the slot is an atomic and the one-time
+    // file open/mmap/init runs under open_mu_ (the ring itself is MPSC —
+    // only its *creation* needs serializing).
+    auto& slot = tx_[static_cast<std::size_t>(target)];
+    arch::MpscByteRing* ring = slot.load(std::memory_order_acquire);
+    if (!ring) {
+      arch::SpinGuard g(open_mu_);
+      ring = slot.load(std::memory_order_relaxed);
+      if (!ring) {
+        ring = open_pair(me_, target);
+        slot.store(ring, std::memory_order_release);
+      }
+    }
     return ring->try_reserve(bytes);
   }
 
@@ -163,7 +177,12 @@ class ShmFileTransport final : public Transport {
       std::perror("gex: shmfile transport mmap");
       std::abort();
     }
-    maps_.push_back(base);
+    {
+      // The consumer's open_rx() can race a sender-side lazy open (which
+      // already holds open_mu_), so maps_ gets its own guard.
+      arch::SpinGuard g(maps_mu_);
+      maps_.push_back(base);
+    }
     // First-toucher initializes the ring; the file arrives zero-filled, so
     // the flag reads 0 exactly once across all openers.
     auto* state = reinterpret_cast<std::atomic<std::uint32_t>*>(base);
@@ -191,9 +210,13 @@ class ShmFileTransport final : public Transport {
   std::uint32_t job_pid_;
   std::uint32_t job_nonce_;
   std::size_t map_bytes_;
-  std::vector<arch::MpscByteRing*> tx_;  // [target], null until first send
+  // [target], null until first send; atomic because any injector-drain
+  // thread may race the first send to a target.
+  std::vector<std::atomic<arch::MpscByteRing*>> tx_;
   std::vector<arch::MpscByteRing*> rx_;  // [sender], null until first poll
-  std::vector<void*> maps_;
+  std::vector<void*> maps_;              // guarded by maps_mu_
+  arch::Spinlock open_mu_;               // serializes lazy tx pair opens
+  arch::Spinlock maps_mu_;
   bool rx_open_ = false;
   unsigned rr_ = 0;
 };

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 #include <cstring>
+#include <limits>
+#include <vector>
 
 #include "arch/timer.hpp"
 
@@ -109,6 +111,25 @@ int XferEngine::retire_landed(Channel& ch) {
 
 int XferEngine::poll(int chunk_budget) {
   int work = 0;
+  // Per-poll credit ledger on metered wires (WireOps::credits — the AM
+  // wire's adaptive window): how many more chunks each channel may issue
+  // this poll. Both passes deal against the same snapshot, so budget a
+  // throttled channel cannot use flows to the others rather than being
+  // burned on a channel whose window is already full. Unmetered wires
+  // (the direct wire) skip the ledger entirely — no allocation on the
+  // fast path.
+  const bool metered = wire_ && wire_->credits;
+  std::vector<int> credit;
+  auto credit_of = [&](std::size_t i) -> int {
+    if (!metered) return std::numeric_limits<int>::max();
+    while (credit.size() <= i)  // channels may appear mid-poll
+      credit.push_back(static_cast<int>(std::min<std::uint32_t>(
+          wire_->credits(channels_[credit.size()].target), 1u << 30)));
+    return credit[i];
+  };
+  auto spend_credit = [&](std::size_t i) {
+    if (metered) --credit[i];
+  };
   // Pass 1 — bandwidth-proportional quotas: each channel with queued work
   // and a ready wire gets a share of the budget scaled by its link
   // bandwidth (minimum one chunk), so a fast link soaks up the budget a
@@ -116,21 +137,26 @@ int XferEngine::poll(int chunk_budget) {
   // are recomputed per poll: completion callbacks change the channel set.
   if (chunk_budget > 0 && !channels_.empty()) {
     double total_weight = 0;
-    for (auto& ch : channels_)
-      if (!ch.active_.empty() && wire_ready(ch)) total_weight += link_weight(ch);
+    for (std::size_t i = 0; i < channels_.size(); ++i) {
+      Channel& ch = channels_[i];
+      if (!ch.active_.empty() && wire_ready(ch) && credit_of(i) > 0)
+        total_weight += link_weight(ch);
+    }
     if (total_weight > 0) {
       const int budget0 = chunk_budget;
       const std::size_t n = channels_.size();
       for (std::size_t k = 0; k < n && chunk_budget > 0; ++k) {
-        Channel& ch = channels_[(rr_ + k) % n];
+        const std::size_t i = (rr_ + k) % n;
+        Channel& ch = channels_[i];
         if (ch.active_.empty() || !wire_ready(ch)) continue;
         int quota = std::max(
             1, static_cast<int>(budget0 * (link_weight(ch) / total_weight)));
-        quota = std::min(quota, chunk_budget);
+        quota = std::min({quota, chunk_budget, credit_of(i)});
         // Re-check readiness per chunk: each issued chunk may consume a
         // wire credit (the AM window) and close the channel mid-quota.
         while (quota > 0 && !ch.active_.empty() && wire_ready(ch)) {
           issue_one_chunk(ch);
+          spend_credit(i);
           --quota;
           --chunk_budget;
           ++work;
@@ -144,9 +170,12 @@ int XferEngine::poll(int chunk_budget) {
     bool any = false;
     const std::size_t n = channels_.size();
     for (std::size_t k = 0; k < n && chunk_budget > 0; ++k) {
-      Channel& ch = channels_[(rr_ + k) % n];
-      if (ch.active_.empty() || !wire_ready(ch)) continue;
+      const std::size_t i = (rr_ + k) % n;
+      Channel& ch = channels_[i];
+      if (ch.active_.empty() || !wire_ready(ch) || credit_of(i) <= 0)
+        continue;
       issue_one_chunk(ch);
+      spend_credit(i);
       --chunk_budget;
       ++work;
       any = true;

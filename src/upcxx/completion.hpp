@@ -117,6 +117,15 @@ struct is_completions<completions<Cx...>> : std::true_type {};
 // live above this header (progress.hpp / rpc.hpp). Declared here so the
 // pipeline can be defined in one place without an include cycle; templates
 // instantiate at call sites that see the definitions.
+//
+// Threading: both hooks are safe off-persona (an injector thread under an
+// upcxx::injection_scope). push_compq then routes to the calling thread's
+// own persona inbox — its "completion shard" — and push_completion_after_ns
+// runs the timer on the master but fires the callback back on the calling
+// persona, so a cx_state built by an injector thread always signals where
+// its promises live. A cx_state must only ever be *driven* (source_now /
+// operation_done) on the persona that built it; the engines honor this by
+// shipping deferred transitions home via lpc_ff rather than calling in.
 
 void push_compq(arch::UniqueFunction<void()> fn);
 void push_completion_after_ns(std::uint64_t delay_ns,

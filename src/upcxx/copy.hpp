@@ -40,20 +40,30 @@ template <typename Cxs>
 auto copy_impl(Cxs cxs, intrank_t src_rank, intrank_t dst_rank, void* dst,
                const void* src, std::size_t bytes, int dev_ends,
                intrank_t cx_target) {
-  const intrank_t me = gex::rank_me();
+  // op_state(), not gex::rank_me(): injector threads have no gex TLS rank.
+  const intrank_t me = op_state().rank->me;
   const bool remote = src_rank != me || dst_rank != me;
   const std::uint64_t dev_ns = device_transfer_cost_ns(bytes, dev_ends);
   const bool is_get = src_rank != me && dst_rank == me;
   const intrank_t target = is_get ? src_rank : dst_rank;
-  const std::uint64_t wire_delay = remote ? 2 * persona().sim_latency_ns : 0;
+  const std::uint64_t wire_delay = remote ? 2 * op_state().sim_latency_ns : 0;
   if (use_xfer(bytes) && (remote || dev_ns > 0)) {
+    if (!has_persona())
+      return inject_contig(std::move(cxs), rma_route::xfer, target, dst,
+                           src, bytes, is_get, wire_delay,
+                           /*extra_landing_ns=*/dev_ns);
     return issue_xfer_ns(std::move(cxs), target, dst, src, bytes,
                          wire_delay, is_get, /*extra_landing_ns=*/dev_ns);
   }
   if (wire_am() && remote) {
+    if (!has_persona())
+      return inject_contig(std::move(cxs), rma_route::am, target, dst, src,
+                           bytes, is_get, wire_delay + dev_ns);
     return issue_am_contig_ns(std::move(cxs), target, dst, src, bytes,
                               is_get, wire_delay + dev_ns);
   }
+  // Synchronous move: thread-safe as-is (the memcpy is the caller's own;
+  // the completion hooks route off-persona), so injectors fall through.
   if (bytes) std::memcpy(dst, src, bytes);
   return finish_rma_ns(std::move(cxs), cx_target, wire_delay + dev_ns);
 }
@@ -69,7 +79,7 @@ auto copy(global_ptr<T, KS> src, global_ptr<T, KD> dest, std::size_t n,
           Cxs cxs = Cxs{}) {
   static_assert(std::is_trivially_copyable_v<T>);
   assert(!src.is_null() && !dest.is_null());
-  ++detail::persona().stats.rputs;
+  arch::relaxed_inc(detail::op_state().stats.rputs);
   constexpr int dev_ends = (KS == memory_kind::sim_device ? 1 : 0) +
                            (KD == memory_kind::sim_device ? 1 : 0);
   return detail::copy_impl(std::move(cxs), src.where(), dest.where(),
@@ -83,11 +93,11 @@ auto copy(const T* src, global_ptr<T, KD> dest, std::size_t n,
           Cxs cxs = Cxs{}) {
   static_assert(std::is_trivially_copyable_v<T>);
   assert(!dest.is_null());
-  ++detail::persona().stats.rputs;
+  arch::relaxed_inc(detail::op_state().stats.rputs);
   constexpr int dev_ends = KD == memory_kind::sim_device ? 1 : 0;
-  return detail::copy_impl(std::move(cxs), gex::rank_me(), dest.where(),
-                           dest.raw_address(), src, n * sizeof(T), dev_ends,
-                           dest.where());
+  return detail::copy_impl(std::move(cxs), detail::op_state().rank->me,
+                           dest.where(), dest.raw_address(), src,
+                           n * sizeof(T), dev_ends, dest.where());
 }
 
 // global (host or device) -> local host.
@@ -95,10 +105,11 @@ template <typename T, memory_kind KS, typename Cxs = default_cx_t>
 auto copy(global_ptr<T, KS> src, T* dest, std::size_t n, Cxs cxs = Cxs{}) {
   static_assert(std::is_trivially_copyable_v<T>);
   assert(!src.is_null());
-  ++detail::persona().stats.rgets;
+  arch::relaxed_inc(detail::op_state().stats.rgets);
   constexpr int dev_ends = KS == memory_kind::sim_device ? 1 : 0;
-  return detail::copy_impl(std::move(cxs), src.where(), gex::rank_me(),
-                           dest, src.raw_address(), n * sizeof(T), dev_ends,
+  return detail::copy_impl(std::move(cxs), src.where(),
+                           detail::op_state().rank->me, dest,
+                           src.raw_address(), n * sizeof(T), dev_ends,
                            src.where());
 }
 

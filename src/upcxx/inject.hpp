@@ -1,0 +1,71 @@
+// Thread-safe op injection: initiate rpc/rput/rget/copy from app threads.
+//
+// The persona discipline (persona.hpp) says communication is initiated
+// only by the thread holding the rank's master persona; worker threads
+// post LPCs to it. That serializes every initiation through one thread —
+// exactly the bottleneck a serving workload with many app threads hits.
+// This header is the sanctioned bypass: an `injector` captures the rank's
+// runtime state on a thread that has the rank context, and an
+// `injection_scope` binds it to an app thread, after which that thread may
+// call rpc/rpc_ff/rput/rget/copy directly. Under the hood:
+//
+//   * Small sync RMA against the direct wire completes entirely on the
+//     calling thread (the same zero-allocation memcpy fast path the
+//     master uses — this is where multi-thread injection scales).
+//   * Everything else is prepared caller-side (serialization, completion
+//     state) and handed to the rank through lock-free MPSC queues
+//     (PersonaState::submitq / wire_shards), drained by the progress
+//     persona — or by upcxx::progress_pool helpers — inside poll.
+//   * Completions ship back to the initiating thread's own persona inbox,
+//     so the returned futures/promises stay persona-affine: they become
+//     ready during *this thread's* upcxx::progress() / future::wait()
+//     calls, never concurrently from another thread.
+//
+// Not covered: collectives, barriers, dist_object construction, and
+// irregular/strided RMA remain master-persona-only (they assert).
+//
+// Lifetime: the injector must not outlive the SPMD region that created
+// it, and every injection_scope must be destroyed (thread joined or scope
+// exited) before fini_persona tears the rank down — the final barrier in
+// upcxx::run only quiesces work that has already been submitted.
+#pragma once
+
+#include <cassert>
+
+#include "upcxx/progress.hpp"
+
+namespace upcxx {
+
+// Capability handle to a rank's runtime state. Create it on a thread that
+// has the rank context (the primordial thread, or a holder of the master
+// persona); hand copies to app threads. Copyable and cheap — it is just a
+// pointer whose validity is the SPMD region's lifetime.
+class injector {
+ public:
+  injector() : st_(&detail::persona()) {}
+
+ private:
+  friend class injection_scope;
+  detail::PersonaState* st_;
+};
+
+// RAII binding of an injector to the calling thread. While alive, this
+// thread may initiate operations off-persona (see header comment). Not
+// nestable, and invalid on a thread that already has a rank context (the
+// master's thread initiates directly and must not shadow itself).
+class injection_scope {
+ public:
+  explicit injection_scope(const injector& inj) {
+    assert(!detail::has_persona() &&
+           "injection_scope on a thread that already has the rank context");
+    assert(!detail::inject_context() && "injection_scope is not nestable");
+    detail::bind_inject_context(inj.st_);
+  }
+
+  ~injection_scope() { detail::bind_inject_context(nullptr); }
+
+  injection_scope(const injection_scope&) = delete;
+  injection_scope& operator=(const injection_scope&) = delete;
+};
+
+}  // namespace upcxx

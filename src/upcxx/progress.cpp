@@ -26,6 +26,10 @@ namespace detail {
 
 namespace {
 thread_local PersonaState* tls_persona = nullptr;
+// Injection binding (upcxx::injection_scope): lets an app thread without a
+// rank context reach the rank state's thread-safe subset. Never set on a
+// thread that also has tls_persona (the scope asserts).
+thread_local PersonaState* tls_inject = nullptr;
 }
 
 PersonaState& persona() {
@@ -36,6 +40,20 @@ PersonaState& persona() {
 }
 
 bool has_persona() { return tls_persona != nullptr; }
+
+PersonaState& op_state() {
+  if (tls_persona) return *tls_persona;
+  assert(tls_inject &&
+         "no rank or injection context: initiate operations from the "
+         "master persona's thread, or bind an upcxx::injection_scope");
+  return *tls_inject;
+}
+
+bool has_op_state() { return tls_persona != nullptr || tls_inject != nullptr; }
+
+void bind_inject_context(PersonaState* st) { tls_inject = st; }
+
+PersonaState* inject_context() { return tls_inject; }
 
 std::uint64_t progress_work_counter() {
   return tls_persona ? tls_persona->work_events : 0;
@@ -57,15 +75,43 @@ void bind_rank_context(PersonaState* st) {
 
 PersonaState* rank_context() { return tls_persona; }
 
-void push_compq(Lpc fn) { persona().compq.push_back(std::move(fn)); }
+void push_compq(Lpc fn) {
+  if (tls_persona) {
+    tls_persona->compq.push_back(std::move(fn));
+    return;
+  }
+  // Completion-shard routing: an off-persona initiator's "compQ" is its
+  // own persona inbox, drained by this thread's user-level progress — so
+  // the scheduled fn (promise fulfillment, .then callback) still runs
+  // persona-affine, with no rank-global lock involved.
+  current_persona().lpc_ff(std::move(fn));
+}
 
 void push_completion_after(std::uint64_t wire_hops, Lpc fn) {
-  push_completion_after_ns(wire_hops * persona().sim_latency_ns,
+  push_completion_after_ns(wire_hops * op_state().sim_latency_ns,
                            std::move(fn));
 }
 
 void push_completion_after_ns(std::uint64_t delay_ns, Lpc fn) {
-  auto& p = persona();
+  if (!tls_persona) {
+    if (delay_ns == 0) {
+      current_persona().lpc_ff(std::move(fn));
+      return;
+    }
+    // The timed queue is master-owned: route the timer through the master
+    // persona and ship the firing back to the initiating persona, where
+    // fn's captured completion state lives.
+    upcxx::persona* init = &current_persona();
+    submit_to_master(
+        op_state(), Lpc([delay_ns, init, fn = std::move(fn)]() mutable {
+          push_completion_after_ns(
+              delay_ns, Lpc([init, fn = std::move(fn)]() mutable {
+                init->lpc_ff(std::move(fn));
+              }));
+        }));
+    return;
+  }
+  auto& p = *tls_persona;
   if (delay_ns == 0) {
     p.compq.push_back(std::move(fn));
     return;
@@ -75,10 +121,65 @@ void push_completion_after_ns(std::uint64_t delay_ns, Lpc fn) {
 }
 
 std::uint64_t register_reply(arch::UniqueFunction<void(Reader&)> fn) {
-  auto& p = persona();
-  std::uint64_t id = p.next_op_id++;
+  auto& p = op_state();
+  const std::uint64_t id =
+      p.next_op_id.fetch_add(1, std::memory_order_relaxed);
+  arch::SpinGuard g(p.reply_mu);
   p.pending_replies.emplace(id, std::move(fn));
   return id;
+}
+
+// ------------------------------------------------- MPSC injection hand-off
+
+void submit_to_master(PersonaState& st, Lpc fn) {
+  st.submitq.push(std::move(fn));
+}
+
+void submit_wire_send(PersonaState& st, int target, std::uint32_t bytes,
+                      std::unique_ptr<std::byte[]> buf) {
+  auto& sh = st.wire_shards[static_cast<std::uint32_t>(target) %
+                            st.n_wire_shards];
+  sh.q.push(PersonaState::WireSend{target, bytes, std::move(buf)});
+}
+
+int drain_submitq(PersonaState& st, int budget) {
+  assert(tls_persona == &st && "submitq closures need the rank context");
+  if (st.submitq.empty_hint()) return 0;
+  int work = 0;
+  Lpc fn;
+  while (budget-- > 0 && st.submitq.try_pop(fn)) {
+    fn();
+    ++work;
+  }
+  return work;
+}
+
+int drain_wire_shard(PersonaState& st, std::uint32_t shard, bool may_poll) {
+  auto& sh = st.wire_shards[shard];
+  if (sh.q.empty_hint()) return 0;
+  if (!sh.mu.try_lock()) return 0;  // a competing drainer owns this shard
+  int work = 0;
+  PersonaState::WireSend ws;
+  // Bounded so one drain cannot monopolize a progress call. The lock is
+  // held across reserve -> memcpy -> commit, so a shard's sends hit the
+  // target ring in pop order and the transport's per-pair FIFO carries
+  // the ordering end to end.
+  while (work < 64 && sh.q.try_pop(ws)) {
+    auto& eng = *st.rank->am;
+    auto sb = eng.prepare(ws.target, am_delivery_index(), ws.bytes, may_poll);
+    std::memcpy(sb.data, ws.buf.get(), ws.bytes);
+    eng.commit(sb);
+    ++work;
+  }
+  sh.mu.unlock();
+  return work;
+}
+
+bool inject_queues_empty(PersonaState& st) {
+  if (!st.submitq.empty_hint()) return false;
+  for (std::uint32_t s = 0; s < st.n_wire_shards; ++s)
+    if (!st.wire_shards[s].q.empty_hint()) return false;
+  return true;
 }
 
 // ----------------------------------------------------- dispatch registry
@@ -250,7 +351,15 @@ void progress(progress_level lvl) {
   // engine: chunk requests issued in between are reverse traffic that
   // carries the acks piggybacked, so the flush only spends a ring record
   // on whatever found no ride.
-  int work = p.rank->am->poll();
+  // Off-persona injection first: submitted op closures dispatch into the
+  // engines (so this poll round already moves their chunks), and staged
+  // wire sends reach the target rings ahead of our poll of the replies
+  // they will generate. Shard drains here run with may_poll=true — this
+  // thread IS the wire consumer, so a full-ring stall may self-poll.
+  int work = detail::drain_submitq(p, 64);
+  for (std::uint32_t s = 0; s < p.n_wire_shards; ++s)
+    work += detail::drain_wire_shard(p, s, /*may_poll=*/true);
+  work += p.rank->am->poll();
   if (p.rank->rma_am) work += p.rank->rma_am->poll_requests();
   if (p.rank->xfer) work += p.rank->xfer->poll();
   if (p.rank->rma_am) work += p.rank->rma_am->flush_acks();
@@ -282,7 +391,7 @@ void progress(progress_level lvl) {
       p.compq.push_back(std::move(fn));
       continue;
     }
-    ++p.stats.lpcs_run;
+    arch::relaxed_inc(p.stats.lpcs_run);
     ++p.work_events;
   }
 }
@@ -295,6 +404,10 @@ void init_persona() {
   st->sim_latency_ns = r->arena->config().sim_latency_ns;
   st->rma_async_min = r->arena->config().rma_async_min;
   st->rma_wire_am = r->rma_wire_am;
+  st->n_wire_shards = r->arena->config().inject_shards;
+  if (st->n_wire_shards == 0) st->n_wire_shards = 1;
+  st->wire_shards = std::make_unique<detail::PersonaState::WireShard[]>(
+      st->n_wire_shards);
   // Aggregated upcxx frames take the whole-frame delivery path.
   r->am->set_frame_sink(detail::am_delivery_index(),
                         &detail::am_frame_delivery);
@@ -314,8 +427,9 @@ void fini_persona() {
   // rank's compQ and may send remote notifications, neither of which is
   // possible after teardown. Give up when a peer failed — on the am wire
   // idleness needs the peer's acks, and a dead peer never sends them.
+  auto* pst = static_cast<detail::PersonaState*>(r->upcxx_state);
   auto& err = gex::arena().control().error_flag.value;
-  while (((r->xfer && !r->xfer->idle()) ||
+  while ((!detail::inject_queues_empty(*pst) || (r->xfer && !r->xfer->idle()) ||
           (r->rma_am && !r->rma_am->idle())) &&
          err.load(std::memory_order_acquire) == 0) {
     progress();

@@ -29,7 +29,10 @@
 #include <unordered_map>
 #include <vector>
 
+#include "arch/atomics.hpp"
+#include "arch/mpsc_queue.hpp"
 #include "arch/small_fn.hpp"
+#include "arch/spinlock.hpp"
 #include "gex/agg.hpp"
 #include "gex/runtime.hpp"
 #include "upcxx/future.hpp"
@@ -95,9 +98,13 @@ struct PersonaState {
   std::uint64_t timed_seq = 0;
 
   // Outstanding RPC replies: op id -> deserialize-and-fulfill action.
+  // Guarded by reply_mu: injector threads register replies concurrently
+  // with the master persona dispatching arriving ones. Op ids come from
+  // the atomic counter so registration never needs the lock for the id.
+  arch::Spinlock reply_mu;
   std::unordered_map<std::uint64_t, arch::UniqueFunction<void(Reader&)>>
       pending_replies;
-  std::uint64_t next_op_id = 1;
+  std::atomic<std::uint64_t> next_op_id{1};
 
   // dist_object registry: id -> object address, plus per-team id counters.
   std::unordered_map<std::uint64_t, void*> dist_registry;
@@ -109,7 +116,11 @@ struct PersonaState {
   std::unordered_map<std::uint64_t, std::shared_ptr<CollInstance>> colls;
   std::unordered_map<std::uint64_t, std::uint64_t> coll_seq;  // per team
 
-  // Counters surfaced by tests and benches.
+  // Counters surfaced by tests and benches. Plain u64 fields (printf-able,
+  // source-compatible readers) bumped through arch::relaxed_inc — injector
+  // threads increment rputs/rgets/rpcs_sent concurrently with the progress
+  // threads, and plain ++ would tear counts the tests assert on. Read via
+  // experimental::stats() (relaxed loads) or directly after a quiesce.
   struct Stats {
     std::uint64_t rpcs_executed = 0;
     std::uint64_t rpcs_sent = 0;
@@ -117,6 +128,41 @@ struct PersonaState {
     std::uint64_t rgets = 0;
     std::uint64_t lpcs_run = 0;
   } stats;
+
+  // ---- thread-safe injection (off-persona op initiation) ----
+  //
+  // App threads that hold neither the master persona nor a rank context
+  // initiate operations by handing prepared work to the rank through two
+  // MPSC paths, both drained at internal progress:
+  //
+  //   submitq      op closures (serialization and cx_state setup already
+  //                done caller-side) that need the rank context to
+  //                dispatch into the XferEngine / AM RMA protocol.
+  //   wire_shards  fully serialized upcxx messages ([idx prefix][body]);
+  //                shard index = target % n_wire_shards, so unrelated
+  //                targets never contend and progress-pool helpers can
+  //                drain disjoint shards in parallel. A drain holds the
+  //                shard lock across pop -> reserve -> memcpy -> commit,
+  //                so one thread's sends to one target stay FIFO end to
+  //                end; ordering against master-side (aggregated) sends
+  //                to the same target is unspecified.
+  //
+  // Completions route the other way: deferred cx_state transitions are
+  // shipped to the *initiating* thread's persona inbox (lpc_ff), so
+  // futures and promises still fire persona-affine with no global lock —
+  // the per-thread inboxes are the sharded completion queues.
+  struct WireSend {
+    int target = -1;
+    std::uint32_t bytes = 0;
+    std::unique_ptr<std::byte[]> buf;
+  };
+  struct WireShard {
+    arch::Spinlock mu;  // serializes competing drainers (pool stealing)
+    arch::MpscQueue<WireSend> q;
+  };
+  arch::MpscQueue<Lpc> submitq;
+  std::unique_ptr<WireShard[]> wire_shards;
+  std::uint32_t n_wire_shards = 1;
 
   // Monotone count of actions performed by progress calls on this rank
   // (messages handled, chunks moved, acks pumped, LPCs run). Spin loops
@@ -134,6 +180,39 @@ PersonaState& persona();
 
 // True if the calling thread currently has a rank context.
 bool has_persona();
+
+// Injection context: upcxx::injection_scope (upcxx/inject.hpp) binds the
+// rank's PersonaState to an app thread that holds no rank context, allowing
+// it to initiate rpc/rput/rget/copy off-persona. op_state() is the union
+// accessor — the rank state via either binding; it grants access to the
+// *thread-safe* subset only (config fields, stats via relaxed_inc, the
+// MPSC hand-off entry points below). Engine access (state.rank->am etc.)
+// remains the progress personas' exclusive right; op-layer code that
+// touches engines still goes through persona().
+PersonaState& op_state();
+bool has_op_state();
+void bind_inject_context(PersonaState* st);
+PersonaState* inject_context();
+
+// MPSC hand-off (thread-safe, lock-free push): enqueues a prepared op
+// closure to run with rank context at the master persona's next internal
+// progress.
+void submit_to_master(PersonaState& st, Lpc fn);
+// Enqueues a fully serialized upcxx message for transmission by the next
+// wire-shard drain.
+void submit_wire_send(PersonaState& st, int target, std::uint32_t bytes,
+                      std::unique_ptr<std::byte[]> buf);
+// Drain side. drain_submitq requires the rank context (closures dispatch
+// into the engines); drain_wire_shard may run on any thread — it takes the
+// shard's try_lock (returning 0 when a competing drainer holds it) and
+// must pass may_poll=false unless the caller is the wire's consumer
+// thread (see gex::AmEngine::SendBuf). Both return items processed.
+int drain_submitq(PersonaState& st, int budget);
+int drain_wire_shard(PersonaState& st, std::uint32_t shard, bool may_poll);
+// True when every injection queue (submitq + all wire shards) looks empty
+// (teardown/idle checks; may be transiently false, never falsely empty at
+// a quiesced rank).
+bool inject_queues_empty(PersonaState& st);
 
 // PersonaState::work_events of the calling thread's rank, or 0 without a
 // rank context (a persona-less waiter always yields, which is right — some
@@ -228,6 +307,21 @@ void send_msg_idx(int target, DispatchIdx idx, std::size_t body_size,
                   WriteBody&& write_body, wire_mode mode) {
   const std::size_t total = kMsgPrefix + body_size;
   const std::uint64_t prefix = idx;
+  if (!has_persona()) {
+    // Off-persona injection: serialize caller-side into a private buffer
+    // and hand it to the rank's wire shards. The aggregator is rank-
+    // private state, so injected messages bypass it (both wire modes
+    // collapse to immediate); per-(thread,target) FIFO is preserved by
+    // the shard, ordering against other personas is unspecified.
+    std::unique_ptr<std::byte[]> buf(new std::byte[total]);
+    std::memcpy(buf.get(), &prefix, kMsgPrefix);
+    WriteArchive wa(buf.get() + kMsgPrefix);
+    write_body(wa);
+    assert(wa.written() == body_size);
+    submit_wire_send(op_state(), target, static_cast<std::uint32_t>(total),
+                     std::move(buf));
+    return;
+  }
   gex::Aggregator& agg = *gex::self()->agg;
   if (mode == wire_mode::aggregated && agg.enabled() &&
       total <= agg.small_msg_cutoff() && total <= agg.max_msg_bytes() &&
@@ -323,8 +417,13 @@ struct op_stats {
 };
 
 inline op_stats stats() {
-  const auto& s = detail::persona().stats;
-  return {s.rputs, s.rgets, s.rpcs_sent, s.rpcs_executed, s.lpcs_run};
+  // op_state(): readable from injector threads too; relaxed loads pair
+  // with the relaxed_inc writers (mid-run values are monotone snapshots).
+  const auto& s = detail::op_state().stats;
+  return {arch::relaxed_load(s.rputs), arch::relaxed_load(s.rgets),
+          arch::relaxed_load(s.rpcs_sent),
+          arch::relaxed_load(s.rpcs_executed),
+          arch::relaxed_load(s.lpcs_run)};
 }
 
 }  // namespace experimental

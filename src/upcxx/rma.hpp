@@ -53,6 +53,7 @@
 #include <memory>
 #include <vector>
 
+#include "arch/atomics.hpp"
 #include "gex/rma_am.hpp"
 #include "gex/xfer.hpp"
 #include "upcxx/completion.hpp"
@@ -83,17 +84,19 @@ auto finish_rma_ns(Cxs&& cxs, intrank_t target, std::uint64_t delay_ns) {
 template <typename Cxs>
 auto finish_rma(Cxs&& cxs, intrank_t target, std::uint64_t hops) {
   return finish_rma_ns(std::forward<Cxs>(cxs), target,
-                       hops * persona().sim_latency_ns);
+                       hops * op_state().sim_latency_ns);
 }
 
 // True when this rank's RMA rides the AM protocol instead of touching the
-// target's segment directly.
-inline bool wire_am() { return persona().rma_wire_am; }
+// target's segment directly. Reads only configuration frozen at rank
+// startup, so it answers correctly on injector threads too (op_state).
+inline bool wire_am() { return op_state().rma_wire_am; }
 
 // True when a contiguous transfer of `bytes` should ride the asynchronous
-// data-motion engine instead of the injection-time path.
+// data-motion engine instead of the injection-time path. Off-persona-safe
+// for the same reason as wire_am().
 inline bool use_xfer(std::size_t bytes) {
-  auto& p = persona();
+  auto& p = op_state();
   return p.rma_async_min != 0 && bytes >= p.rma_async_min &&
          p.rank->xfer != nullptr;
 }
@@ -162,6 +165,78 @@ auto issue_am_contig(Cxs cxs, intrank_t target, void* dst, const void* src,
                             hops * persona().sim_latency_ns);
 }
 
+// Which engine an off-persona transfer is dispatched to. The route is
+// decided at the call site with the same predicates (use_xfer / wire_am)
+// the on-persona branches use, so the two paths cannot classify a
+// transfer differently.
+enum class rma_route { xfer, am };
+
+// Off-persona counterpart of issue_xfer_ns / issue_am_contig_ns, for
+// transfers an injector thread cannot drive itself (the XferEngine and
+// RmaAmProtocol are progress-persona-owned). The completion state is
+// built on the *calling* thread — its futures and promises stay affine to
+// this thread's persona — and only the engine dispatch ships to the
+// rank's progress persona through the submit queue. Deferred completions
+// ship back through this thread's persona inbox (lpc_ff). remote_now()
+// is driven on the progress persona: it only reads the remote-cx items
+// (the notification AM's payload) while the initiator side touches the
+// promise/LPC items, so the remote notification fires at data-landing
+// time instead of one inbox round trip later.
+//
+// `delay` is the simulated wire time from data-landing to operation
+// completion; `extra_landing_ns` is the device toll copy() charges (fed
+// to the XferEngine's landing hook, or folded into the AM route's
+// delay exactly as issue_am_contig_ns's callers do). `hold` keeps a
+// caller-side staging buffer (a scalar put's value) alive until the
+// dispatched closure has consumed it.
+template <typename Cxs>
+auto inject_contig(Cxs cxs, rma_route route, intrank_t target, void* dst,
+                   const void* src, std::size_t bytes, bool is_get,
+                   std::uint64_t delay, std::uint64_t extra_landing_ns = 0,
+                   std::shared_ptr<const void> hold = nullptr) {
+  auto st = std::make_shared<cx_state<Cxs>>(std::move(cxs), target);
+  st->prepare_deferred();
+  upcxx::persona* init = &current_persona();
+  submit_to_master(
+      op_state(),
+      Lpc([st, init, route, target, dst, src, bytes, is_get, delay,
+           extra_landing_ns, hold = std::move(hold)]() mutable {
+        (void)hold;           // kept alive until this closure has run
+        auto& p = persona();  // the closure runs with the rank context
+        auto source_home = [st, init] {
+          init->lpc_ff([st] { st->source_now(); });
+        };
+        auto op_home = [st, init](std::uint64_t d) {
+          push_completion_after_ns(d, [st, init] {
+            init->lpc_ff([st] { st->operation_done(0); });
+          });
+        };
+        if (route == rma_route::xfer) {
+          p.rank->xfer->submit(
+              target, dst, src, bytes, source_home,
+              [st, op_home, delay] {
+                st->remote_now();
+                op_home(delay);
+              },
+              is_get, extra_landing_ns);
+        } else {
+          auto& proto = *p.rank->rma_am;
+          auto done = [st, op_home, delay, extra_landing_ns] {
+            st->remote_now();
+            op_home(delay + extra_landing_ns);
+          };
+          if (is_get)
+            proto.get(target, dst, src, bytes, std::move(done));
+          else
+            proto.put(target, dst, src, bytes, std::move(done));
+          // put() copied the payload out (or there is none): the source
+          // is reusable as soon as the initiator hears so.
+          source_home();
+        }
+      }));
+  return st->result();
+}
+
 // Matched fragment runs grouped by target rank — the unit the am wire's
 // scatter-put / gather-get records carry. `remote` and `local` line up
 // index-by-index in wire order.
@@ -226,17 +301,29 @@ auto rput(const T* src, global_ptr<T> dest, std::size_t n,
   static_assert(std::is_trivially_copyable_v<T>,
                 "RMA requires trivially copyable element types");
   assert(!dest.is_null());
-  ++detail::persona().stats.rputs;
+  arch::relaxed_inc(detail::op_state().stats.rputs);
   const std::size_t bytes = n * sizeof(T);
+  const std::uint64_t lat = detail::op_state().sim_latency_ns;
   if (detail::use_xfer(bytes)) {
+    if (!detail::has_persona())
+      return detail::inject_contig(std::move(cxs), detail::rma_route::xfer,
+                                   dest.where(), dest.local(), src, bytes,
+                                   /*is_get=*/false, 2 * lat);
     return detail::issue_xfer(std::move(cxs), dest.where(), dest.local(),
                               src, bytes, /*hops=*/2, /*is_get=*/false);
   }
   if (detail::wire_am()) {
+    if (!detail::has_persona())
+      return detail::inject_contig(std::move(cxs), detail::rma_route::am,
+                                   dest.where(), dest.local(), src, bytes,
+                                   /*is_get=*/false, 2 * lat);
     return detail::issue_am_contig(std::move(cxs), dest.where(),
                                    dest.local(), src, bytes,
                                    /*is_get=*/false, /*hops=*/2);
   }
+  // Direct-wire injection path: runs unchanged on injector threads — the
+  // memcpy is the initiator's own, and every completion hook routes
+  // off-persona correctly. This is the multi-thread scaling fast path.
   // 0-byte puts are legal (and may pass a null src); memcpy is not.
   if (bytes) std::memcpy(dest.local(), src, bytes);
   return detail::finish_rma(std::move(cxs), dest.where(), /*hops=*/2);
@@ -251,8 +338,18 @@ auto rput(T value, global_ptr<T> dest, Cxs cxs = Cxs{}) {
   static_assert(std::is_trivially_copyable_v<T>,
                 "RMA requires trivially copyable element types");
   assert(!dest.is_null());
-  ++detail::persona().stats.rputs;
+  arch::relaxed_inc(detail::op_state().stats.rputs);
   if (detail::wire_am()) {
+    if (!detail::has_persona()) {
+      // The by-value parameter dies with this call, but the AM request is
+      // built later on the progress persona: stage the value in a holder
+      // the dispatched closure keeps alive.
+      auto holder = std::make_shared<T>(value);
+      return detail::inject_contig(
+          std::move(cxs), detail::rma_route::am, dest.where(), dest.local(),
+          holder.get(), sizeof(T), /*is_get=*/false,
+          2 * detail::op_state().sim_latency_ns, 0, holder);
+    }
     return detail::issue_am_contig(std::move(cxs), dest.where(),
                                    dest.local(), &value, sizeof(T),
                                    /*is_get=*/false, /*hops=*/2);
@@ -270,14 +367,23 @@ template <typename T, typename Cxs = default_cx_t>
 auto rget(global_ptr<T> src, T* dest, std::size_t n, Cxs cxs = Cxs{}) {
   static_assert(std::is_trivially_copyable_v<T>);
   assert(!src.is_null());
-  ++detail::persona().stats.rgets;
+  arch::relaxed_inc(detail::op_state().stats.rgets);
   const std::size_t bytes = n * sizeof(T);
+  const std::uint64_t lat = detail::op_state().sim_latency_ns;
   if (detail::use_xfer(bytes)) {
+    if (!detail::has_persona())
+      return detail::inject_contig(std::move(cxs), detail::rma_route::xfer,
+                                   src.where(), dest, src.local(), bytes,
+                                   /*is_get=*/true, 2 * lat);
     return detail::issue_xfer(std::move(cxs), src.where(), dest,
                               src.local(), bytes, /*hops=*/2,
                               /*is_get=*/true);
   }
   if (detail::wire_am()) {
+    if (!detail::has_persona())
+      return detail::inject_contig(std::move(cxs), detail::rma_route::am,
+                                   src.where(), dest, src.local(), bytes,
+                                   /*is_get=*/true, 2 * lat);
     return detail::issue_am_contig(std::move(cxs), src.where(), dest,
                                    src.local(), bytes, /*is_get=*/true,
                                    /*hops=*/2);
@@ -293,14 +399,35 @@ template <typename T>
 future<T> rget(global_ptr<T> src) {
   static_assert(std::is_trivially_copyable_v<T>);
   assert(!src.is_null());
-  ++detail::persona().stats.rgets;
+  arch::relaxed_inc(detail::op_state().stats.rgets);
   if (detail::wire_am()) {
     // The reply scatters into a shared holder; the value ships to the
     // future through compQ (plus the modeled round trip) like every other
     // deferred completion.
     auto buf = std::make_shared<T>();
     promise<T> pr;
-    const std::uint64_t delay = 2 * detail::persona().sim_latency_ns;
+    const std::uint64_t delay = 2 * detail::op_state().sim_latency_ns;
+    if (!detail::has_persona()) {
+      // Off-persona: the protocol get is dispatched on the progress
+      // persona; the fetched value ships back to this thread's persona,
+      // where the promise lives.
+      upcxx::persona* init = &current_persona();
+      detail::submit_to_master(
+          detail::op_state(),
+          detail::Lpc([buf, pr, src, delay, init]() mutable {
+            detail::persona().rank->rma_am->get(
+                src.where(), buf.get(), src.local(), sizeof(T),
+                [buf, pr, delay, init]() mutable {
+                  detail::push_completion_after_ns(
+                      delay, [buf, pr, init]() mutable {
+                        init->lpc_ff([buf, pr]() mutable {
+                          pr.fulfill_result(*buf);
+                        });
+                      });
+                });
+          }));
+      return pr.get_future();
+    }
     detail::persona().rank->rma_am->get(
         src.where(), buf.get(), src.local(), sizeof(T),
         [buf, pr, delay]() mutable {
@@ -310,8 +437,9 @@ future<T> rget(global_ptr<T> src) {
         });
     return pr.get_future();
   }
-  if (detail::persona().sim_latency_ns == 0) {
-    // PSHM fast path: the load is the transfer.
+  if (detail::op_state().sim_latency_ns == 0) {
+    // PSHM fast path: the load is the transfer — thread-safe by nature,
+    // so injector threads take it unchanged.
     return make_future(*src.local());
   }
   promise<T> pr;
@@ -419,7 +547,7 @@ auto rput_irregular(const std::vector<src_fragment<T>>& srcs,
                     const std::vector<dst_fragment<T>>& dsts,
                     Cxs cxs = Cxs{}) {
   static_assert(std::is_trivially_copyable_v<T>);
-  ++detail::persona().stats.rputs;
+  arch::relaxed_inc(detail::persona().stats.rputs);
   if (dsts.empty()) {
     // Empty transfer: complete locally (no remote rank is named, so no
     // remote_cx fires). Any local fragments must be zero-length too.
@@ -461,7 +589,7 @@ auto rget_irregular(const std::vector<dst_fragment<T>>& srcs,
                     const std::vector<local_fragment<T>>& dsts,
                     Cxs cxs = Cxs{}) {
   static_assert(std::is_trivially_copyable_v<T>);
-  ++detail::persona().stats.rgets;
+  arch::relaxed_inc(detail::persona().stats.rgets);
   if (srcs.empty()) {
     return detail::finish_rma_fragments(
         std::move(cxs), 0, [](std::size_t) { return intrank_t{0}; });
@@ -554,7 +682,7 @@ auto rput_strided(const T* src_base,
                   const std::array<std::size_t, Dim>& extents,
                   Cxs cxs = Cxs{}) {
   static_assert(std::is_trivially_copyable_v<T>);
-  ++detail::persona().stats.rputs;
+  arch::relaxed_inc(detail::persona().stats.rputs);
   auto* a = reinterpret_cast<const std::byte*>(src_base);
   auto* b = reinterpret_cast<std::byte*>(dst_base.local());
   if (detail::wire_am()) {
@@ -582,7 +710,7 @@ auto rget_strided(global_ptr<T> src_base,
                   const std::array<std::size_t, Dim>& extents,
                   Cxs cxs = Cxs{}) {
   static_assert(std::is_trivially_copyable_v<T>);
-  ++detail::persona().stats.rgets;
+  arch::relaxed_inc(detail::persona().stats.rgets);
   auto* a = reinterpret_cast<const std::byte*>(src_base.local());
   auto* b = reinterpret_cast<std::byte*>(dst_base);
   if (detail::wire_am()) {

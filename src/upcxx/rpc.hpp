@@ -19,6 +19,8 @@
 #include <cstring>
 #include <type_traits>
 
+#include "arch/atomics.hpp"
+#include "arch/spinlock.hpp"
 #include "upcxx/completion.hpp"
 #include "upcxx/future.hpp"
 #include "upcxx/progress.hpp"
@@ -54,10 +56,17 @@ F read_fn(Reader& r) {
 inline void reply_dispatch(int /*src*/, Reader& r) {
   const auto op_id = r.pod<std::uint64_t>();
   auto& p = persona();
-  auto it = p.pending_replies.find(op_id);
-  assert(it != p.pending_replies.end() && "reply for unknown op");
-  auto fn = std::move(it->second);
-  p.pending_replies.erase(it);
+  arch::UniqueFunction<void(Reader&)> fn;
+  {
+    // Injector threads register replies concurrently (register_reply), so
+    // the map is only touched under its lock; the continuation itself runs
+    // outside it (it may send, or ship values to another persona).
+    arch::SpinGuard g(p.reply_mu);
+    auto it = p.pending_replies.find(op_id);
+    assert(it != p.pending_replies.end() && "reply for unknown op");
+    fn = std::move(it->second);
+    p.pending_replies.erase(it);
+  }
   fn(r);
 }
 
@@ -100,7 +109,7 @@ void rpc_request_dispatch(int src, Reader& r) {
   const auto op_id = r.pod<std::uint64_t>();
   F fn = read_fn<F>(r);
   auto args = deserialize_tuple<Args...>(r);
-  ++persona().stats.rpcs_executed;
+  arch::relaxed_inc(persona().stats.rpcs_executed);
   invoke_and_reply(fn, args, [src, op_id](const auto&... results) {
     send_reply(src, op_id, results...);
   });
@@ -111,7 +120,7 @@ template <typename F, typename... Args>
 void rpc_ff_dispatch(int /*src*/, Reader& r) {
   F fn = read_fn<F>(r);
   auto args = deserialize_tuple<Args...>(r);
-  ++persona().stats.rpcs_executed;
+  arch::relaxed_inc(persona().stats.rpcs_executed);
   std::apply(fn, args);
 }
 
@@ -129,18 +138,41 @@ template <typename... U>
 struct reply_fulfiller<future<U...>> {
   static future<U...> attach(std::uint64_t* op_id_out) {
     promise<U...> pr;
-    *op_id_out = register_reply([pr](Reader& r) mutable {
-      if constexpr (sizeof...(U) == 0) {
-        pr.fulfill_anonymous(1);
-      } else {
-        auto vals = deserialize_tuple<U...>(r);
-        std::apply(
-            [&pr](auto&&... v) {
-              pr.fulfill_result(std::forward<decltype(v)>(v)...);
-            },
-            std::move(vals));
-      }
-    });
+    if (!has_persona()) {
+      // Off-persona initiator: the continuation runs on the master persona
+      // (reply_dispatch), but the promise's state is affine to THIS
+      // thread's persona. Deserialize on the master — the wire buffer dies
+      // with the dispatch — then ship the values home via lpc_ff.
+      upcxx::persona* init = &current_persona();
+      *op_id_out = register_reply([pr, init](Reader& r) mutable {
+        if constexpr (sizeof...(U) == 0) {
+          (void)r;
+          init->lpc_ff([pr]() mutable { pr.fulfill_anonymous(1); });
+        } else {
+          auto vals = deserialize_tuple<U...>(r);
+          init->lpc_ff([pr, vals = std::move(vals)]() mutable {
+            std::apply(
+                [&pr](auto&&... v) {
+                  pr.fulfill_result(std::forward<decltype(v)>(v)...);
+                },
+                std::move(vals));
+          });
+        }
+      });
+    } else {
+      *op_id_out = register_reply([pr](Reader& r) mutable {
+        if constexpr (sizeof...(U) == 0) {
+          pr.fulfill_anonymous(1);
+        } else {
+          auto vals = deserialize_tuple<U...>(r);
+          std::apply(
+              [&pr](auto&&... v) {
+                pr.fulfill_result(std::forward<decltype(v)>(v)...);
+              },
+              std::move(vals));
+        }
+      });
+    }
     if constexpr (sizeof...(U) == 0) pr.require_anonymous(1);
     return sizeof...(U) == 0 ? pr.finalize() : pr.get_future();
   }
@@ -154,7 +186,7 @@ template <typename F, typename... Args>
 void rpc_ff_impl(intrank_t target, wire_mode mode, F fn, Args&&... args) {
   static_assert(std::is_trivially_copyable_v<F>,
                 "RPC callables must be trivially copyable");
-  ++persona().stats.rpcs_sent;
+  arch::relaxed_inc(op_state().stats.rpcs_sent);
   SizeArchive sa;
   serialization_write_fn(sa, fn);
   serialize_args(sa, args...);
@@ -186,7 +218,7 @@ auto rpc_impl(intrank_t target, wire_mode mode, F fn, Args&&... args)
   static_assert(std::is_trivially_copyable_v<F>,
                 "RPC callables must be trivially copyable");
   using Fut = rpc_return_t<F, std::decay_t<Args>...>;
-  ++persona().stats.rpcs_sent;
+  arch::relaxed_inc(op_state().stats.rpcs_sent);
   std::uint64_t op_id = 0;
   Fut fut = reply_fulfiller<Fut>::attach(&op_id);
   SizeArchive sa;

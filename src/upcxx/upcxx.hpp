@@ -16,6 +16,7 @@
 #include "upcxx/dist_object.hpp"     // IWYU pragma: export
 #include "upcxx/future.hpp"          // IWYU pragma: export
 #include "upcxx/global_ptr.hpp"      // IWYU pragma: export
+#include "upcxx/inject.hpp"          // IWYU pragma: export
 #include "upcxx/persona.hpp"         // IWYU pragma: export
 #include "upcxx/progress.hpp"        // IWYU pragma: export
 #include "upcxx/progress_thread.hpp" // IWYU pragma: export

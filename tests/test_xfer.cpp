@@ -228,6 +228,42 @@ TEST(XferEngine, WireReadinessHoldsChunksInEngine) {
   EXPECT_EQ(src, dst);
 }
 
+TEST(XferEngine, CreditsMeterBudgetAcrossChannels) {
+  // The budget dealer reads the wire's *current* credit window
+  // (WireOps::credits — on the AM wire, the adaptive controller's
+  // window_now minus in-flight) instead of a static ceiling. Target 1
+  // offers 1 credit, target 2 offers 8: a budget-8 poll must hand target
+  // 1 exactly its single credit and spend the other 7 chunks on target 2
+  // rather than burning quota on the throttled channel.
+  gex::XferEngine eng(512, 0);
+  int moved1 = 0, moved2 = 0;
+  gex::XferEngine::WireOps ops;
+  auto mover = [&](int t, void* dst, const void* src, std::size_t n,
+                   gex::XferEngine::Callback done) {
+    std::memcpy(dst, src, n);
+    (t == 1 ? moved1 : moved2)++;
+    done();
+  };
+  ops.put_chunk = mover;
+  ops.get_chunk = mover;
+  ops.ready = [](int) { return true; };  // sticky: credits do the metering
+  ops.credits = [](int t) -> std::uint32_t { return t == 1 ? 1u : 8u; };
+  eng.set_wire(std::move(ops));
+  std::vector<std::byte> s1(8 * 512), d1(8 * 512), s2(8 * 512), d2(8 * 512);
+  eng.submit(1, d1.data(), s1.data(), s1.size(), {}, {});
+  eng.submit(2, d2.data(), s2.data(), s2.size(), {}, {});
+  eng.poll(/*chunk_budget=*/8);
+  EXPECT_EQ(moved1, 1) << "throttled channel exceeded its credit window";
+  EXPECT_EQ(moved2, 7) << "unused quota did not flow to the open channel";
+  // Credits are re-read each poll, so the throttled channel still drains.
+  int polls = 0;
+  while (!eng.idle() && polls++ < 32) eng.poll(8);
+  EXPECT_EQ(moved1, 8);
+  EXPECT_EQ(moved2, 8);
+  EXPECT_EQ(s1, d1);
+  EXPECT_EQ(s2, d2);
+}
+
 TEST(XferEngine, BandwidthModelGatesLanding) {
   // 4 MB at 0.25 GB/s is ~16.8 ms of virtual wire time, far more than the
   // memcpy itself: on_source fires with the copy, on_landed only once the
