@@ -9,6 +9,8 @@
 
 #include "arch/atomics.hpp"
 #include "arch/timer.hpp"
+#include "gex/agg.hpp"
+#include "gex/runtime.hpp"
 
 namespace gex {
 
@@ -60,7 +62,16 @@ AmEngine::SendBuf AmEngine::prepare(int target, HandlerIdx h, std::size_t n,
   sb.target = target;
   sb.handler = h;
   sb.may_poll = may_poll;
-  if (n <= eager_max_) {
+  // Rendezvous stages the payload in the shared heap and ships only a
+  // descriptor — meaningless when the peer cannot read our memory, so on
+  // such transports (socket) every payload goes inline, whatever
+  // eager_max says. Callers above this layer cap themselves at
+  // inline_max(); the assert catches the ones that forget.
+  if (n <= eager_max_ || !transport_->shared_memory()) {
+    assert(sizeof(WireHeader) + n <=
+               transport_->max_record_payload() &&
+           "payload exceeds one wire record on a non-shared-memory "
+           "transport");
     for (;;) {
       auto t = transport_->try_reserve(target, sizeof(WireHeader) + n);
       if (t.payload) {
@@ -163,6 +174,76 @@ void AmEngine::send(int target, HandlerIdx h, const void* data,
   commit(sb);
 }
 
+namespace {
+// Wire prefix of an exchange() contribution; the value bytes follow.
+struct ExchHdr {
+  std::uint64_t key;
+};
+}  // namespace
+
+void AmEngine::on_exchange(AmContext& cx) {
+  ExchHdr h;
+  std::memcpy(&h, cx.data, sizeof h);
+  auto& slot = cx.engine->exchanges_[h.key][cx.src];
+  const auto* val = static_cast<const std::byte*>(cx.data) + sizeof h;
+  slot.assign(val, val + (cx.size - sizeof h));
+}
+
+void AmEngine::exchange(std::uint64_t key, const int* group, std::size_t n,
+                        const void* mine, std::size_t bytes, void* out) {
+  const HandlerIdx h = am_handler<&AmEngine::on_exchange>();
+  std::size_t expected = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (group[i] == me_) continue;
+    ++expected;
+    SendBuf sb = prepare(group[i], h, sizeof(ExchHdr) + bytes);
+    const ExchHdr eh{key};
+    std::memcpy(sb.data, &eh, sizeof eh);
+    if (bytes)
+      std::memcpy(static_cast<std::byte*>(sb.data) + sizeof eh, mine, bytes);
+    commit(sb);
+  }
+  auto& err = arena_->control().error_flag.value;
+  for (;;) {
+    // Re-find every iteration: poll()'s handlers mutate the map.
+    const auto it = exchanges_.find(key);
+    if (it != exchanges_.end() && it->second.size() >= expected) break;
+    if (err.load(std::memory_order_acquire) != 0) break;
+    // Frames delivered by poll() below only *enqueue* their dispatch (rpc
+    // execution, reply staging) with the upper layer, and replies it has
+    // already staged sit in this rank's Aggregator — both normally advance
+    // only in user-level progress. While blocked here nothing else runs
+    // that layer, and a peer waiting on one of our rpc replies never
+    // reaches its own exchange(), deadlocking the collective. Drive the
+    // upper layer's progress ourselves (or at least the flush when no
+    // hook is installed, e.g. under bare-minimpi programs).
+    if (Rank* r = self(); r != nullptr) {
+      if (r->progress_hook)
+        r->progress_hook();
+      else if (r->agg != nullptr)
+        r->agg->flush_all();
+    }
+    if (poll() == 0) std::this_thread::yield();
+  }
+  auto* dst = static_cast<std::byte*>(out);
+  const auto it = exchanges_.find(key);
+  for (std::size_t i = 0; i < n; ++i, dst += bytes) {
+    if (group[i] == me_) {
+      std::memcpy(dst, mine, bytes);
+      continue;
+    }
+    if (it != exchanges_.end()) {
+      const auto vi = it->second.find(group[i]);
+      if (vi != it->second.end() && vi->second.size() == bytes) {
+        std::memcpy(dst, vi->second.data(), bytes);
+        continue;
+      }
+    }
+    std::memset(dst, 0, bytes);  // failed job: zero-fill the missing slot
+  }
+  exchanges_.erase(key);
+}
+
 int AmEngine::poll(int max_msgs) {
   int handled = 0;
   while (handled < max_msgs) {
@@ -229,6 +310,9 @@ int AmEngine::poll(int max_msgs) {
       cx.src = wh->src;
       cx.send_ns = wh->send_ns;
       if (wh->flags & kWireRendezvous) {
+        assert(transport_->shared_memory() &&
+               "rendezvous record on a transport whose peers share no "
+               "memory");
         auto* d = reinterpret_cast<RdzvDesc*>(wh + 1);
         void* buf = arena_->segmap().decode(d->buf);
         cx.data = buf;

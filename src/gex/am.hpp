@@ -25,6 +25,8 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <unordered_map>
+#include <vector>
 
 #include "arch/ring.hpp"
 #include "gex/arena.hpp"
@@ -123,6 +125,14 @@ class AmEngine {
     return transport_->max_record_payload() - sizeof(WireHeader);
   }
 
+  // Largest payload prepare() can ship without the shared-heap rendezvous
+  // path — i.e. inside one wire record. On transports whose peers cannot
+  // read this rank's memory (socket), every payload must fit under this;
+  // the RMA protocol caps its eager/staged decisions with it.
+  std::size_t inline_max() const {
+    return transport_->max_record_payload() - sizeof(WireHeader);
+  }
+
   // Two-phase zero-copy send: reserve space for `n` payload bytes addressed
   // to `target`, serialize into .data, then commit(). Never fails; if the
   // target ring is full the call polls its own inbox while spinning, which
@@ -176,6 +186,20 @@ class AmEngine {
   // Convenience single-shot send.
   void send(int target, HandlerIdx h, const void* data, std::size_t n);
 
+  // Keyed small-value allgather over `group` (n world ranks, this rank
+  // among them): every member calls exchange with an agreed key and the
+  // same group in the same order; on return `out` holds n*bytes with
+  // member i's contribution at offset i*bytes. Self-synchronizing — each
+  // member's value travels as an AM, and the call polls until all have
+  // arrived — so it needs no shared scratch memory and works on every
+  // transport (it replaces the arena scratch-slot exchanges that assumed a
+  // shared mapping). Keys must be unique among concurrent exchanges and
+  // agreed across the group (e.g. hash of a team id and a collective
+  // counter). Bails out early, zero-filling missing slots, if the job
+  // error flag rises.
+  void exchange(std::uint64_t key, const int* group, std::size_t n,
+                const void* mine, std::size_t bytes, void* out);
+
   // Drains up to max_msgs ring records from this rank's inbox, invoking
   // handlers (a frame record counts as one but may deliver many messages).
   // Returns the number of messages handled.
@@ -200,6 +224,8 @@ class AmEngine {
   const Stats& stats() const { return stats_; }
 
  private:
+  static void on_exchange(AmContext& cx);
+
   Arena* arena_;
   int me_;
   std::unique_ptr<Transport> transport_;
@@ -207,6 +233,12 @@ class AmEngine {
   HandlerIdx sink_handler_ = 0;
   FrameSink sink_ = nullptr;
   Stats stats_;
+  // In-flight exchange() contributions, keyed by collective key then
+  // sender rank. Touched only from poll handlers and exchange() itself
+  // (consumer thread), so no lock.
+  std::unordered_map<std::uint64_t,
+                     std::unordered_map<int, std::vector<std::byte>>>
+      exchanges_;
 };
 
 }  // namespace gex

@@ -10,9 +10,28 @@
 
 #include "arch/timer.hpp"
 
+// Old glibc headers may lack the flag (Linux 4.17+); the raw value is ABI.
+#ifndef MAP_FIXED_NOREPLACE
+#define MAP_FIXED_NOREPLACE 0x100000
+#endif
+
 namespace gex {
 
 Arena* Arena::create(const Config& cfg_in) {
+  return create_at(cfg_in, 0);
+}
+
+Arena* Arena::create_private(const Config& cfg_in) {
+  Config cfg = cfg_in;
+  // An isolated rank's peers cannot read this mapping: every byte must
+  // travel over the AM wire, whatever the caller's Config said.
+  cfg.am_transport = AmTransport::kSocket;
+  cfg.rma_wire = RmaWire::kAm;
+  cfg.atomics_use_am = true;
+  return create_at(cfg, cfg.socket_arena_base);
+}
+
+Arena* Arena::create_at(const Config& cfg_in, std::uint64_t fixed_base) {
   Config cfg = cfg_in;
   cfg.normalize();  // hand-built Configs get the same invariants as env ones
   const int P = cfg.ranks;
@@ -25,6 +44,7 @@ Arena* Arena::create(const Config& cfg_in) {
     return at;
   };
   const std::size_t ctrl_off = reserve(sizeof(ControlBlock));
+  const std::size_t ports_off = reserve(sizeof(std::atomic<std::uint32_t>) * P);
   const std::size_t scratch_off = reserve(kScratchSlot * P);
   std::size_t ring_off0 = off;
   for (int r = 0; r < P; ++r) reserve(ring_fp);
@@ -34,12 +54,28 @@ Arena* Arena::create(const Config& cfg_in) {
   const std::size_t seg_off = off;
   off += static_cast<std::size_t>(P) * cfg.segment_bytes;
 
-  void* mem = ::mmap(nullptr, off, PROT_READ | PROT_WRITE,
-                     MAP_SHARED | MAP_ANONYMOUS, -1, 0);
-  if (mem == MAP_FAILED) {
+  // Shared mode: one anonymous shared mapping wherever the kernel places
+  // it, created pre-fork so every rank inherits the same address. Isolated
+  // mode (fixed_base != 0): a *private* per-process mapping pinned at the
+  // agreed address so the layout — and with it every global_ptr raw
+  // address and segment id — matches across unrelated processes.
+  // MAP_NORESERVE: a 32-rank job maps 32 copies of the full layout, but
+  // each rank only ever touches its own slice.
+  void* want = fixed_base
+                   ? reinterpret_cast<void*>(static_cast<std::uintptr_t>(
+                         fixed_base))
+                   : nullptr;
+  const int flags =
+      fixed_base ? MAP_PRIVATE | MAP_ANONYMOUS | MAP_NORESERVE |
+                       MAP_FIXED_NOREPLACE
+                 : MAP_SHARED | MAP_ANONYMOUS;
+  void* mem = ::mmap(want, off, PROT_READ | PROT_WRITE, flags, -1, 0);
+  if (mem == MAP_FAILED || (want && mem != want)) {
     std::fprintf(stderr,
-                 "gex: failed to map %zu MiB arena (ranks=%d seg=%zu MiB)\n",
-                 off >> 20, P, cfg.segment_bytes >> 20);
+                 "gex: failed to map %zu MiB arena (ranks=%d seg=%zu MiB%s)\n",
+                 off >> 20, P, cfg.segment_bytes >> 20,
+                 want ? ", fixed base taken — set UPCXX_SOCKET_ARENA_BASE"
+                      : "");
     std::abort();
   }
 
@@ -54,6 +90,9 @@ Arena* Arena::create(const Config& cfg_in) {
   a->ctrl_->segment_bytes = cfg.segment_bytes;
   a->ctrl_->job_pid = static_cast<std::uint32_t>(::getpid());
   a->ctrl_->job_nonce = static_cast<std::uint32_t>(arch::now_ns());
+
+  // Endpoint slots start zero (fresh zero-filled mapping) = unpublished.
+  a->ports_ = reinterpret_cast<std::atomic<std::uint32_t>*>(base + ports_off);
 
   a->scratch_ = base + scratch_off;
 
@@ -95,7 +134,16 @@ void Arena::destroy(Arena* a) {
   delete a;
 }
 
+void Arena::signal_error() {
+  ctrl_->error_flag.value.store(1, std::memory_order_release);
+  if (cp_) cp_->broadcast_error();
+}
+
 void Arena::world_barrier() {
+  if (cp_) {
+    cp_->barrier();
+    return;
+  }
   auto& arrived = ctrl_->barrier_arrived.value;
   auto& epoch = ctrl_->barrier_epoch.value;
   auto& err = ctrl_->error_flag.value;

@@ -47,10 +47,33 @@ struct ControlBlock {
 // (team split exchange, allgather of small values).
 inline constexpr std::size_t kScratchSlot = 256;
 
+// Job-wide control operations (world barrier, error propagation) for
+// deployments whose ranks share no memory: an isolated socket rank cannot
+// reach the peer's ControlBlock, so its SocketRuntime implements this over
+// the bootstrap connection and installs itself via set_control_plane.
+// world_barrier()/signal_error() then delegate; the local ControlBlock
+// error flag stays the in-process signal every wait loop reads.
+class ControlPlane {
+ public:
+  virtual ~ControlPlane() = default;
+  // Blocks until every world rank arrives (or the job is failing).
+  virtual void barrier() = 0;
+  // Tells every other rank that this rank failed.
+  virtual void broadcast_error() = 0;
+};
+
 class Arena {
  public:
   // Maps and initializes an arena for `cfg`. Aborts on OOM.
   static Arena* create(const Config& cfg);
+  // Maps a *private* per-process arena at the fixed address
+  // cfg.socket_arena_base (isolated socket ranks). Identical layout and
+  // base on every rank, so global_ptr raw addresses and segment-map ids
+  // agree across processes that share nothing; the bytes behind each
+  // rank's segment are authoritative only on that rank, which is exactly
+  // the PGAS model once every transfer rides the AM wire — the config is
+  // forced to socket/am/atomics-over-am accordingly.
+  static Arena* create_private(const Config& cfg);
   // Unmaps. Only the launcher calls this, after all ranks are done.
   static void destroy(Arena* a);
 
@@ -92,18 +115,36 @@ class Arena {
 
   // Blocks until all world ranks arrive. Spins; used at startup/teardown and
   // by tests. Application barriers go through the AM-based collectives.
+  // Delegates to the installed ControlPlane when ranks share no memory.
   void world_barrier();
+
+  // Marks the job as failing: sets the local error flag (what every
+  // error-aware wait loop reads) and, with a ControlPlane installed,
+  // broadcasts the failure so peers that cannot see this mapping learn it.
+  void signal_error();
+
+  void set_control_plane(ControlPlane* cp) { cp_ = cp; }
+  ControlPlane* control_plane() const { return cp_; }
+
+  // Per-rank endpoint slot (socket transport, shared-arena mode): each
+  // rank publishes its AM listen port here at transport construction;
+  // senders read the peer's slot before the first connect. Zero until
+  // published. Isolated ranks exchange ports through the launcher instead.
+  std::atomic<std::uint32_t>& port_slot(int rank) { return ports_[rank]; }
 
   Arena(const Arena&) = delete;
   Arena& operator=(const Arena&) = delete;
 
  private:
   Arena() = default;
+  static Arena* create_at(const Config& cfg, std::uint64_t fixed_base);
 
   Config cfg_;
   void* map_base_ = nullptr;
   std::size_t map_bytes_ = 0;
   ControlBlock* ctrl_ = nullptr;
+  ControlPlane* cp_ = nullptr;
+  std::atomic<std::uint32_t>* ports_ = nullptr;
   std::byte* scratch_ = nullptr;
   arch::MpscByteRing** rings_ = nullptr;  // process-local pointer table
   SharedHeap* heap_ = nullptr;

@@ -87,11 +87,12 @@ RmaWire parse_rma_wire(const char* v) {
 AmTransport parse_am_transport(const char* v) {
   if (std::strcmp(v, "mmap") == 0) return AmTransport::kMmap;
   if (std::strcmp(v, "shmfile") == 0) return AmTransport::kShmFile;
+  if (std::strcmp(v, "socket") == 0) return AmTransport::kSocket;
   if (std::strcmp(v, "auto") != 0)
-    std::fprintf(
-        stderr,
-        "gex: ignoring UPCXX_AM_TRANSPORT=%s (expected auto|mmap|shmfile)\n",
-        v);
+    std::fprintf(stderr,
+                 "gex: ignoring UPCXX_AM_TRANSPORT=%s (expected "
+                 "auto|mmap|shmfile|socket)\n",
+                 v);
   return AmTransport::kAuto;
 }
 
@@ -134,6 +135,12 @@ RmaWire resolve_rma_wire(const Config& cfg) {
   if (w == RmaWire::kAuto) {
     if (const char* v = std::getenv("UPCXX_RMA_WIRE"); v && *v)
       w = parse_rma_wire(v);
+    // Auto under the socket transport pins the am wire: a socket peer's
+    // segment must be treated as not cross-mapped (isolated ranks really
+    // cannot reach it), so initiator-side memcpys are off the table.
+    if (w == RmaWire::kAuto &&
+        resolve_am_transport(cfg) == AmTransport::kSocket)
+      return RmaWire::kAm;
   }
   // Auto: every segment on this arena is cross-mapped, so the direct wire
   // is always reachable. A backend whose targets are not cross-mapped would
@@ -147,8 +154,7 @@ AmTransport resolve_am_transport(const Config& cfg) {
     if (const char* v = std::getenv("UPCXX_AM_TRANSPORT"); v && *v)
       t = parse_am_transport(v);
   }
-  return t == AmTransport::kShmFile ? AmTransport::kShmFile
-                                    : AmTransport::kMmap;
+  return t == AmTransport::kAuto ? AmTransport::kMmap : t;
 }
 
 void Config::normalize() {
@@ -184,6 +190,15 @@ void Config::normalize() {
   if (progress_threads < 1) progress_threads = 1;
   if (inject_shards < 1) inject_shards = 1;
   if (inject_shards > 64) inject_shards = 64;
+  // Socket knobs: a record must at least hold a maximal eager payload plus
+  // headers; fault probabilities are percentages; the fixed arena base
+  // must be page-aligned for MAP_FIXED_NOREPLACE.
+  if (socket_max_record < (std::size_t{64} << 10))
+    socket_max_record = std::size_t{64} << 10;
+  if (socket_fault_short_write_pct > 100) socket_fault_short_write_pct = 100;
+  if (socket_fault_short_read_pct > 100) socket_fault_short_read_pct = 100;
+  socket_arena_base &= ~std::uint64_t{4095};
+  if (socket_arena_base == 0) socket_arena_base = d.socket_arena_base;
 }
 
 Config Config::from_env() {
@@ -271,6 +286,36 @@ Config Config::from_env() {
       "UPCXX_PROGRESS_THREADS", static_cast<long>(c.progress_threads)));
   c.inject_shards = static_cast<std::uint32_t>(env_positive(
       "UPCXX_INJECT_SHARDS", static_cast<long>(c.inject_shards)));
+  c.socket_max_record =
+      static_cast<std::size_t>(env_positive(
+          "UPCXX_SOCKET_MAX_RECORD_KB",
+          static_cast<long>(c.socket_max_record >> 10)))
+      << 10;
+  if (const char* v = std::getenv("UPCXX_SOCKET_ARENA_BASE"); v && *v) {
+    // Hex (0x...) or decimal; strtoull base 0 accepts both.
+    errno = 0;
+    char* end = nullptr;
+    const unsigned long long b = std::strtoull(v, &end, 0);
+    if (end != v && *end == '\0' && errno != ERANGE && b != 0) {
+      c.socket_arena_base = b;
+    } else {
+      std::fprintf(stderr,
+                   "gex: ignoring UPCXX_SOCKET_ARENA_BASE=%s (not a "
+                   "non-zero address)\n",
+                   v);
+    }
+  }
+  c.socket_isolated = env_long("UPCXX_SOCKET_ISOLATED", 0) != 0;
+  c.socket_fault_seed = static_cast<std::uint64_t>(
+      env_nonnegative("UPCXX_SOCKET_FAULT_SEED", 0));
+  c.socket_fault_short_write_pct = static_cast<std::uint32_t>(
+      env_nonnegative("UPCXX_SOCKET_FAULT_SHORT_WRITE_PCT", 0));
+  c.socket_fault_short_read_pct = static_cast<std::uint32_t>(
+      env_nonnegative("UPCXX_SOCKET_FAULT_SHORT_READ_PCT", 0));
+  c.socket_fault_die_rank = static_cast<int>(
+      env_nonnegative("UPCXX_SOCKET_FAULT_DIE_RANK", -1));
+  c.socket_fault_die_at = static_cast<std::uint64_t>(
+      env_nonnegative("UPCXX_SOCKET_FAULT_DIE_AT", 0));
   c.agg_enabled = env_long("UPCXX_AGG", 1) != 0;
   c.agg_max_bytes = static_cast<std::size_t>(env_positive(
       "UPCXX_AGG_MAX_BYTES", static_cast<long>(c.agg_max_bytes)));

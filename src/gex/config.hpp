@@ -26,17 +26,21 @@ enum class RmaWire {
   kAm,
 };
 
-// AM transport (UPCXX_AM_TRANSPORT=auto|mmap|shmfile): what backs the
-// inbox rings the AmEngine pushes records through (gex/transport.hpp).
+// AM transport (UPCXX_AM_TRANSPORT=auto|mmap|shmfile|socket): what backs
+// the inbox rings the AmEngine pushes records through (gex/transport.hpp).
 // `mmap` is the pre-existing shared-arena ring (the fast path); `shmfile`
 // backs each (sender, receiver) pair with its own lazily created ring
 // file, mapped independently by each side — the proof that the wire
-// carries no cross-mapped pointers. `auto` consults the environment, then
-// falls back to mmap.
+// carries no cross-mapped pointers. `socket` frames each record onto a
+// non-blocking loopback TCP stream (gex/socket.hpp) — the first transport
+// that needs no shared memory at all, so rendezvous/staged payloads ship
+// inline and UPCXX_RMA_WIRE resolves to `am` under it. `auto` consults
+// the environment, then falls back to mmap.
 enum class AmTransport {
   kAuto,
   kMmap,
   kShmFile,
+  kSocket,
 };
 
 struct Config {
@@ -102,6 +106,42 @@ struct Config {
   // on one queue and pool helpers can drain disjoint shards in
   // parallel. Clamped to [1, 64].
   std::uint32_t inject_shards = 4;        // UPCXX_INJECT_SHARDS
+  // ------------------------------------------------- socket transport
+  // Largest record the socket transport advertises via
+  // Transport::max_record_payload (the stream itself accepts any size;
+  // this caps what the inline-only AM paths will ship in one record).
+  std::size_t socket_max_record = 8 << 20;  // UPCXX_SOCKET_MAX_RECORD_KB
+  // Fixed virtual address isolated-mode ranks map their *private* arenas
+  // at (MAP_FIXED_NOREPLACE), so global_ptr raw addresses and segment-map
+  // ids agree across processes that share nothing. 0x2000'0000'0000 sits
+  // between the heap and the mmap base on every Linux layout we target.
+  std::uint64_t socket_arena_base = 0x200000000000ull;
+  //                                         UPCXX_SOCKET_ARENA_BASE
+  // With backend=process and the socket transport: fork ranks that each
+  // create their own private arena and bootstrap over a control socket
+  // (no shared memory at all) instead of sharing the pre-fork arena.
+  // This is what `upcxx-run` sets up across exec'd processes; the flag
+  // gives in-process tests the same topology.
+  bool socket_isolated = false;           // UPCXX_SOCKET_ISOLATED
+  // Deterministic fault injection inside the socket transport. Faults are
+  // active when any of the knobs below is set; the seed (xor'd with the
+  // rank) makes every schedule reproducible.
+  std::uint64_t socket_fault_seed = 0;    // UPCXX_SOCKET_FAULT_SEED
+  // Probability (percent) that one flush truncates its write to a random
+  // prefix — exercises partial-write continuation and framing recovery.
+  std::uint32_t socket_fault_short_write_pct = 0;
+  //                                  UPCXX_SOCKET_FAULT_SHORT_WRITE_PCT
+  // Probability (percent) that one ready fd is read in a short, delayed
+  // gulp (1..64 bytes) this pump — exercises header/body reassembly.
+  std::uint32_t socket_fault_short_read_pct = 0;
+  //                                  UPCXX_SOCKET_FAULT_SHORT_READ_PCT
+  // Rank that _exit()s mid-stream after committing its Nth record,
+  // leaving a half-written frame on the wire (die_rank < 0 disables).
+  // Only meaningful when ranks are processes — in thread mode an _exit
+  // would take the whole job down.
+  int socket_fault_die_rank = -1;         // UPCXX_SOCKET_FAULT_DIE_RANK
+  std::uint64_t socket_fault_die_at = 0;  // UPCXX_SOCKET_FAULT_DIE_AT
+
   // Adaptive-window RTT envelope: an ack counts as "timely" while its RTT
   // stays at or below envelope × the observed RTT floor (plus a small
   // absolute slack absorbing scheduler noise — see rma_am.hpp). Larger
@@ -124,8 +164,11 @@ struct Config {
 // Resolves a Config's rma_wire to a concrete wire. kAuto consults
 // UPCXX_RMA_WIRE (so hand-built Configs — the test helpers — still honor a
 // CI-level wire override) and otherwise selects kDirect, because every
-// target segment on this arena is cross-mapped. An explicitly set kDirect /
-// kAm always wins over the environment.
+// target segment on this arena is cross-mapped — unless the AM transport
+// resolves to socket, whose peers must be treated as not cross-mapped, in
+// which case auto pins kAm. An explicitly set kDirect / kAm always wins
+// over the environment (explicit kDirect under socket is legal only while
+// ranks still share one arena — thread or plain process backends).
 RmaWire resolve_rma_wire(const Config& cfg);
 
 // The resolved AM-window policy: either a fixed per-target window (an
@@ -170,8 +213,8 @@ double resolve_am_rtt_envelope(const Config& cfg);
 
 // Resolves a Config's am_transport. kAuto consults UPCXX_AM_TRANSPORT (so
 // hand-built Configs — the test helpers — honor a CI-level transport
-// override) and otherwise selects kMmap. An explicit kMmap / kShmFile
-// wins over the environment.
+// override) and otherwise selects kMmap. An explicit kMmap / kShmFile /
+// kSocket wins over the environment.
 AmTransport resolve_am_transport(const Config& cfg);
 
 }  // namespace gex

@@ -13,6 +13,19 @@ namespace gex {
 
 namespace {
 
+// Largest request/reply record the protocol sends inline. On shared-memory
+// transports that is the configured eager cap — anything larger goes
+// through pooled shared-heap staging. On transports whose peers cannot
+// read this rank's memory (socket) staging is meaningless, so everything
+// up to the wire-record limit ships inline instead.
+std::size_t inline_cutoff(AmEngine* am) {
+  return am->transport().shared_memory() ? am->eager_max() : am->inline_max();
+}
+
+}  // namespace
+
+namespace {
+
 // Wire record headers. Always memcpy'd to/from the ring (record payloads
 // are only 4-byte aligned). Cookies are initiator-local ids; `dst`/`addr`/
 // `buf` fields are (segment id, offset) wire addresses (gex/segment.hpp)
@@ -181,6 +194,12 @@ struct RmaAmHandlers {
   }
 
   static void on_put_staged(AmContext& cx) {
+    // h.buf names a bounce buffer in the *initiator's* heap — readable
+    // here only because the transport cross-maps it. A staged record
+    // arriving over a transport without that property (socket) is a
+    // protocol bug: inline_cutoff should have kept the payload inline.
+    assert(cx.engine->transport().shared_memory() &&
+           "staged put crossed a non-shared-memory transport");
     auto& p = proto();
     const auto h = read_hdr<PutStagedHdr>(cx.data);
     const auto* q = consume_acks(
@@ -198,6 +217,8 @@ struct RmaAmHandlers {
   }
 
   static void on_put_frag_staged(AmContext& cx) {
+    assert(cx.engine->transport().shared_memory() &&
+           "staged frag-put crossed a non-shared-memory transport");
     auto& p = proto();
     const auto h = read_hdr<FragStagedHdr>(cx.data);
     const auto* q = consume_acks(
@@ -319,6 +340,8 @@ struct RmaAmHandlers {
   // owed even when the request was cancelled: the buffer must go back
   // regardless of what happens to the payload.
   static void on_reply_staged(AmContext& cx, const RepStagedHdr& h) {
+    assert(cx.engine->transport().shared_memory() &&
+           "staged reply crossed a non-shared-memory transport");
     auto& p = proto();
     const auto* q = consume_acks(
         p, static_cast<const std::byte*>(cx.data) + sizeof(RepStagedHdr),
@@ -554,7 +577,7 @@ void RmaAmProtocol::send_put(int target, std::uint64_t cookie,
   // The eager-fit decision ignores the (yet untaken) piggyback list: if
   // the acks push an inline record past eager_max, AmEngine::prepare
   // falls back to its rendezvous staging transparently.
-  if (sizeof(PutHdr) + bytes <= am_->eager_max()) {
+  if (sizeof(PutHdr) + bytes <= inline_cutoff(am_)) {
     // Small put: payload inline in the ring record.
     auto oa = take_acks(target);
     auto sb = am_->prepare(target, am_handler<&RmaAmHandlers::on_put>(),
@@ -625,7 +648,7 @@ void RmaAmProtocol::send_put_frag(int target, std::uint64_t cookie,
                                   const LocalFrag* srcs, std::size_t nsrcs,
                                   std::size_t total) {
   const std::size_t desc_bytes = dsts.size() * sizeof(FragDesc);
-  if (sizeof(FragHdr) + desc_bytes + total <= am_->eager_max()) {
+  if (sizeof(FragHdr) + desc_bytes + total <= inline_cutoff(am_)) {
     auto oa = take_acks(target);
     auto sb = am_->prepare(
         target, am_handler<&RmaAmHandlers::on_put_frag>(),
@@ -867,7 +890,7 @@ int RmaAmProtocol::poll_requests() {
       // descriptor, get the buffer back on the initiator's rack. Bound
       // reached or heap empty → the old rendezvous REPLY below (staging
       // is an optimization, never a requirement).
-      if (sizeof(RepHdr) + total > am_->eager_max()) {
+      if (sizeof(RepHdr) + total > inline_cutoff(am_)) {
         Peer& p = peer(r.target);
         StageBuf stage = acquire_reply_stage(p, total);
         if (stage.p) {

@@ -2,6 +2,7 @@
 
 #include "gex/agg.hpp"
 #include "gex/rma_am.hpp"
+#include "gex/socket.hpp"
 #include "gex/xfer.hpp"
 
 #include <sys/types.h>
@@ -12,6 +13,7 @@
 #include <atomic>
 #include <cassert>
 #include <cstdio>
+#include <cstdlib>
 #include <exception>
 #include <thread>
 #include <vector>
@@ -56,12 +58,14 @@ int run_rank(Arena* arena, int r, const std::function<void()>& fn) {
   } catch (const std::exception& e) {
     std::fprintf(stderr, "gex: rank %d terminated with exception: %s\n", r,
                  e.what());
-    arena->control().error_flag.value.store(1, std::memory_order_release);
+    // signal_error (not a bare flag store): isolated socket ranks must also
+    // tell peers that cannot see this mapping.
+    arena->signal_error();
     rc = 1;
   } catch (...) {
     std::fprintf(stderr, "gex: rank %d terminated with unknown exception\n",
                  r);
-    arena->control().error_flag.value.store(1, std::memory_order_release);
+    arena->signal_error();
     rc = 1;
   }
   // Drain any stragglers so peers blocked on a full ring can finish, then
@@ -90,10 +94,67 @@ int run_rank(Arena* arena, int r, const std::function<void()>& fn) {
     engine.poll();
     rma_am_proto.poll();
   }
+  // Transports with buffered tx (socket) may still hold committed records
+  // in user-space queues; push them onto the wire before the barrier, or a
+  // peer could pass the barrier and tear down while our bytes are queued.
+  while (!engine.transport().tx_quiesced() &&
+         arena->control().error_flag.value.load(std::memory_order_acquire) ==
+             0)
+    engine.poll();
   if (arena->control().error_flag.value.load(std::memory_order_acquire) == 0)
     arena->world_barrier();
   tls_rank = nullptr;
   return rc;
+}
+
+// One isolated socket rank: this process IS rank `me` of an nranks-wide
+// job whose peers live in other processes (spawned by upcxx-run or by
+// launch_socket_isolated below). Bootstraps through the launcher, builds a
+// private arena at the agreed fixed base, and installs the SocketRuntime
+// as the arena's control plane so barriers and error propagation travel
+// over the bootstrap connection.
+int launch_socket_worker(const Config& cfg, const std::function<void()>& fn,
+                         int me, int boot_port) {
+  SocketRuntime* rt = SocketRuntime::create(me, cfg.ranks, boot_port);
+  set_active_socket_runtime(rt);
+  Arena* arena = Arena::create_private(cfg);
+  arena->set_control_plane(rt);
+  const int rc = run_rank(arena, me, fn) == 0 ? 0 : 1;
+  // Tell the launcher we finished (either way) before closing anything —
+  // EOF without a BYE reads as a crash.
+  rt->bye(rc);
+  Arena::destroy(arena);
+  set_active_socket_runtime(nullptr);
+  delete rt;
+  return rc;
+}
+
+// Isolated-mode in-process launcher (UPCXX_SOCKET_ISOLATED with the
+// process backend): forks one process per rank like the plain process
+// backend, but ranks share no arena — each builds its own private mapping
+// and all traffic rides the socket transport, which is exactly what
+// upcxx-run does across binaries. Used by tests to exercise the
+// no-shared-memory path without exec.
+int launch_socket_isolated(const Config& cfg,
+                           const std::function<void()>& fn) {
+  BootstrapServer boot(cfg.ranks);
+  std::vector<pid_t> kids;
+  kids.reserve(cfg.ranks);
+  for (int r = 0; r < cfg.ranks; ++r) {
+    const pid_t pid = ::fork();
+    if (pid == 0) {
+      const int rc = launch_socket_worker(cfg, fn, r, boot.port());
+      std::fflush(stdout);
+      std::fflush(stderr);
+      ::_exit(rc);
+    }
+    if (pid < 0) {
+      std::perror("gex: fork");
+      std::abort();
+    }
+    kids.push_back(pid);
+  }
+  return boot.serve(kids);
 }
 
 }  // namespace
@@ -138,6 +199,27 @@ RmaAmProtocol& rma_am() {
 }
 
 int launch(const Config& cfg, const std::function<void()>& fn) {
+  // Spawned by upcxx-run: this process is one isolated rank of a wider
+  // job, whatever the binary's own launch arguments say.
+  if (const char* sr = std::getenv("UPCXX_SOCKET_RANK")) {
+    const char* bp = std::getenv("UPCXX_SOCKET_BOOTSTRAP");
+    if (!bp) {
+      std::fprintf(stderr,
+                   "gex: UPCXX_SOCKET_RANK set without "
+                   "UPCXX_SOCKET_BOOTSTRAP\n");
+      return 1;
+    }
+    Config c = cfg;
+    c.normalize();
+    return launch_socket_worker(c, fn, std::atoi(sr), std::atoi(bp));
+  }
+  // Explicit isolated mode: fork ranks that share nothing.
+  if (cfg.socket_isolated && cfg.backend == Backend::kProcess &&
+      resolve_am_transport(cfg) == AmTransport::kSocket) {
+    Config c = cfg;
+    c.normalize();
+    return launch_socket_isolated(c, fn);
+  }
   Arena* arena = Arena::create(cfg);
   int failures = 0;
 

@@ -17,15 +17,20 @@
 //            independently by each side at whatever address mmap returns.
 //            Nothing about the mapping is shared up front, which is the
 //            proof that the protocol genuinely carries no cross-mapped
-//            pointers — and the stepping stone to a socket transport,
-//            whose reserve would return a private staging buffer and whose
-//            commit would write() it.
+//            pointers.
+//   socket   — records framed onto non-blocking loopback TCP streams
+//            (gex/socket.hpp): reserve hands back a private staging
+//            buffer, commit frames and write()s it through per-peer send
+//            queues with partial-write continuation, and an epoll loop
+//            per rank assembles inbound frames. The first transport whose
+//            peers share no memory, so shared_memory() below is false and
+//            every payload the layers above ship must ride inline.
 //
-// Selection: UPCXX_AM_TRANSPORT=mmap|shmfile|auto (Config::am_transport;
-// auto consults the environment so hand-built test configs honor the CI
-// matrix, then defaults to mmap).
+// Selection: UPCXX_AM_TRANSPORT=mmap|shmfile|socket|auto
+// (Config::am_transport; auto consults the environment so hand-built test
+// configs honor the CI matrix, then defaults to mmap).
 //
-// Ordering contract (both implementations): records from one sender to
+// Ordering contract (all implementations): records from one sender to
 // one receiver are delivered FIFO. Cross-sender order is unspecified —
 // the same per-pair guarantee a GASNet conduit gives, and the only one
 // the layers above rely on (the barrier argument in rma_am.hpp is
@@ -33,9 +38,11 @@
 // ring drains its own inbox via AmEngine::poll, whichever transport backs
 // it.
 //
-// Bootstrap stays on the arena: the control block (world barrier, error
-// flag) and the data segments are not part of the AM wire and remain in
-// the shared mapping. The transport abstracts the *message* plane only.
+// Bootstrap: on the ring transports the control block (world barrier,
+// error flag) and the data segments remain in the shared arena mapping.
+// Isolated socket ranks have no shared mapping — their control plane
+// moves onto small records over a bootstrap socket (gex::SocketRuntime,
+// installed as the arena's ControlPlane hook).
 #pragma once
 
 #include <cstddef>
@@ -49,10 +56,14 @@ class Arena;
 
 class Transport {
  public:
-  // Both implementations back records with MpscByteRing, so the reserve
-  // ticket is the ring's. (A socket transport would widen this into a
-  // tagged handle carrying a staging buffer instead.)
-  using Ticket = arch::MpscByteRing::Ticket;
+  // Opaque reserve handle. `h` is transport-private (the ring's record
+  // header, or the socket transport's staging buffer); `target` is echoed
+  // so a commit that must route the staged bytes knows the destination.
+  struct Ticket {
+    void* h = nullptr;
+    void* payload = nullptr;
+    int target = -1;
+  };
   using RecordVisitor = void (*)(void* payload, std::size_t bytes, void* cx);
 
   virtual ~Transport() = default;
@@ -76,6 +87,19 @@ class Transport {
   // conservative but never falsely empty). Non-const: a transport whose
   // inbox storage appears lazily may have to open it to answer.
   virtual bool rx_empty() = 0;
+
+  // True when the peer can dereference this rank's shared mappings (heap
+  // and segments). The AM layers consult this before shipping a payload
+  // by reference: rendezvous descriptors and staged bounce/reply buffers
+  // are only sound on a shared-memory transport; otherwise every byte
+  // must travel inline in the record.
+  virtual bool shared_memory() const { return true; }
+
+  // Every committed record has been handed to the wire (ring transports:
+  // trivially true at commit; socket: the per-peer send queues drained
+  // into the kernel). run_rank drains this before the final barrier so
+  // no acks are stranded in a user-space queue at teardown.
+  virtual bool tx_quiesced() { return true; }
 
   virtual const char* name() const = 0;
 };

@@ -1,0 +1,79 @@
+// upcxx-run: rank launcher for the socket transport.
+//
+//   upcxx-run -n <ranks> <binary> [args...]
+//
+// Spawns <ranks> copies of <binary>, each of which becomes one isolated
+// rank: the UPCXX_SOCKET_RANK / UPCXX_SOCKET_BOOTSTRAP environment tells
+// gex::launch (inside the binary) to skip its own thread/fork backend and
+// run a single rank that bootstraps through this process's
+// BootstrapServer — endpoint exchange, world barriers, error fan-out, and
+// exit-status collection all ride the bootstrap sockets (gex/socket.hpp).
+// Any rank that exits without a BYE (crash, kill, fault injection) fails
+// the job: every surviving rank is told, given a grace period to unwind
+// through its error-aware teardown, then killed. Exit status is 0 only
+// when every rank reported success — mpirun behavior.
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "gex/socket.hpp"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr, "usage: %s -n <ranks> <binary> [args...]\n", argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int nranks = 0;
+  int i = 1;
+  for (; i < argc; ++i) {
+    if (std::strcmp(argv[i], "-n") == 0 && i + 1 < argc) {
+      nranks = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--") == 0) {
+      ++i;
+      break;
+    } else {
+      break;
+    }
+  }
+  if (nranks <= 0 || i >= argc) return usage(argv[0]);
+  char** app_argv = argv + i;
+
+  gex::BootstrapServer boot(nranks);
+  std::vector<pid_t> kids;
+  kids.reserve(static_cast<std::size_t>(nranks));
+  const std::string ranks_s = std::to_string(nranks);
+  const std::string boot_s = std::to_string(boot.port());
+  for (int r = 0; r < nranks; ++r) {
+    const pid_t pid = ::fork();
+    if (pid == 0) {
+      ::setenv("UPCXX_SOCKET_RANK", std::to_string(r).c_str(), 1);
+      ::setenv("UPCXX_SOCKET_BOOTSTRAP", boot_s.c_str(), 1);
+      ::setenv("UPCXX_RANKS", ranks_s.c_str(), 1);
+      ::setenv("UPCXX_AM_TRANSPORT", "socket", 1);
+      ::execvp(app_argv[0], app_argv);
+      std::perror("upcxx-run: exec");
+      ::_exit(127);
+    }
+    if (pid < 0) {
+      std::perror("upcxx-run: fork");
+      return 1;
+    }
+    kids.push_back(pid);
+  }
+  const int failures = boot.serve(kids);
+  if (failures) {
+    std::fprintf(stderr, "upcxx-run: %d of %d ranks failed\n", failures,
+                 nranks);
+    return 1;
+  }
+  return 0;
+}

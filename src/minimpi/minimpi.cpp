@@ -259,6 +259,13 @@ void barrier() {
     while (s.barrier_got[key] < 1) poll();
     s.barrier_got.erase(key);
   }
+  // Our receives arriving says nothing about our *sends* on a buffered-tx
+  // transport (socket): the last round's record can still sit in a
+  // user-space queue behind an in-flight connect. The caller may stop
+  // polling entirely after this return (finalize's world_barrier is a pure
+  // atomic spin), which would strand the record and deadlock its target's
+  // barrier. Push everything onto the wire first.
+  while (!eng.transport().tx_quiesced()) poll();
 }
 
 void alltoallv(const void* sendbuf, const std::size_t* sendcounts,
@@ -310,18 +317,23 @@ void alltoallv_group(const std::vector<int>& members, const void* sendbuf,
 
 Win Win::create(void* base, std::size_t bytes) {
   auto& s = detail::st();
-  auto& a = gex::arena();
-  // Exchange (base, size) through the bootstrap scratch slots. MPI windows
-  // legitimately store O(ranks) bases — one of the non-scalable constructs
-  // the paper's design principles call out.
+  // Allgather (base, size) over the AM engine's keyed exchange —
+  // self-synchronizing, no shared scratch, works on every transport. The
+  // key mixes a salt with the per-process window count: window creation is
+  // collective, so the count (and thus the key) agrees on all ranks. MPI
+  // windows legitimately store O(ranks) bases — one of the non-scalable
+  // constructs the paper's design principles call out.
   struct Slot {
     void* base;
     std::size_t size;
   };
-  auto* mine = reinterpret_cast<Slot*>(a.scratch(s.rank));
-  mine->base = base;
-  mine->size = bytes;
-  barrier();
+  const Slot mine{base, bytes};
+  std::vector<Slot> slots(static_cast<std::size_t>(s.nranks));
+  std::vector<int> world(static_cast<std::size_t>(s.nranks));
+  for (int r = 0; r < s.nranks; ++r) world[static_cast<std::size_t>(r)] = r;
+  gex::self()->am->exchange(
+      0x31145EED0000ull ^ static_cast<std::uint64_t>(s.windows.size()),
+      world.data(), world.size(), &mine, sizeof(Slot), slots.data());
   detail::WinState w;
   w.bases.resize(s.nranks);
   w.sizes.resize(s.nranks);
@@ -329,11 +341,9 @@ Win Win::create(void* base, std::size_t bytes) {
   w.pending_count.assign(s.nranks, 0);
   w.epoch.assign(s.nranks, 0);
   for (int r = 0; r < s.nranks; ++r) {
-    auto* slot = reinterpret_cast<Slot*>(a.scratch(r));
-    w.bases[r] = static_cast<std::byte*>(slot->base);
-    w.sizes[r] = slot->size;
+    w.bases[r] = static_cast<std::byte*>(slots[static_cast<std::size_t>(r)].base);
+    w.sizes[r] = slots[static_cast<std::size_t>(r)].size;
   }
-  barrier();  // scratch consumed
   s.windows.push_back(std::move(w));
   Win win;
   win.id_ = static_cast<std::uint32_t>(s.windows.size() - 1);

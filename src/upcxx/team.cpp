@@ -218,23 +218,29 @@ void coll_enter(const team& tm, intrank_t root, std::vector<std::byte> contrib,
 }  // namespace detail
 
 team team::split(int color, int key) const {
-  // Exchange (color, key) through the arena scratch slots, synchronized by
-  // team barriers. Scratch is indexed by world rank, so members never race.
+  // Allgather (color, key) across the team through the AM engine's keyed
+  // exchange — self-synchronizing and shared-memory-free, so it works on
+  // every transport (the scratch-slot version it replaces assumed a
+  // cross-mapped arena). The exchange key mixes the team id with the
+  // per-team collective counter: identical on every member (they all run
+  // the same split sequence on this team), distinct across teams and
+  // successive splits.
   struct Slot {
     std::int32_t color;
     std::int32_t key;
   };
-  auto& a = gex::arena();
-  auto* mine = reinterpret_cast<Slot*>(a.scratch(gex::rank_me()));
-  mine->color = color;
-  mine->key = key;
-  upcxx::barrier(*this);  // all slots written
+  const std::uint64_t xkey =
+      detail::mix64(0x5017C0117EC7ull ^ id_, split_count_);
+  const Slot mine{color, key};
+  std::vector<Slot> slots(static_cast<std::size_t>(rank_n()));
+  gex::am().exchange(xkey, members_.data(), slots.size(), &mine,
+                     sizeof(Slot), slots.data());
 
   std::vector<std::pair<std::pair<int, int>, int>> group;  // ((key,world),world)
   for (intrank_t i = 0; i < rank_n(); ++i) {
     const int w = members_[i];
-    auto* s = reinterpret_cast<Slot*>(a.scratch(w));
-    if (s->color == color) group.push_back({{s->key, w}, w});
+    const Slot& s = slots[static_cast<std::size_t>(i)];
+    if (s.color == color) group.push_back({{s.key, w}, w});
   }
   std::sort(group.begin(), group.end());
 
@@ -245,7 +251,6 @@ team team::split(int color, int key) const {
                                                    static_cast<std::uint64_t>(
                                                        color)));
   ++split_count_;
-  upcxx::barrier(*this);  // slots consumed; safe to reuse scratch
 
   if (color < 0) return detail::TeamAccess::make({}, -1, 0);
 

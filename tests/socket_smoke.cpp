@@ -1,0 +1,60 @@
+// Plain-main SPMD smoke run under `upcxx-run -n <ranks>`: each process is
+// one isolated rank (no shared memory anywhere), so every byte of this
+// traffic — allgather, neighbor RMA, RPC, barriers — rides the socket
+// transport and the bootstrap control plane. Exit status is the job
+// verdict; upcxx-run propagates any rank's failure.
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "gex/am.hpp"
+#include "upcxx/upcxx.hpp"
+
+namespace {
+
+void require(bool ok, const char* what) {
+  if (!ok) throw std::runtime_error(std::string("check failed: ") + what);
+}
+
+void body() {
+  const int me = upcxx::rank_me(), P = upcxx::rank_n();
+  require(std::strcmp(gex::am().transport().name(), "socket") == 0,
+          "transport resolved to socket");
+  require(!gex::am().transport().shared_memory(),
+          "isolated ranks share no memory");
+  constexpr std::size_t kN = 2048;  // 16 KB of longs: beyond eager_max
+  auto mine = upcxx::new_array<long>(kN);
+  for (std::size_t i = 0; i < kN; ++i) mine.local()[i] = -1;
+  auto ptrs = upcxx::allgather(mine).wait();
+  upcxx::barrier();
+  const int nb = (me + 1) % P;
+  std::vector<long> pat(kN);
+  for (std::size_t i = 0; i < kN; ++i)
+    pat[i] = me * 100000 + static_cast<long>(i);
+  upcxx::rput(pat.data(), ptrs[nb], kN).wait();
+  upcxx::barrier();
+  const int left = (me + P - 1) % P;
+  for (std::size_t i = 0; i < kN; ++i)
+    require(mine.local()[i] == left * 100000 + static_cast<long>(i),
+            "neighbor put landed");
+  std::vector<long> back(kN, 0);
+  upcxx::rget(ptrs[nb], back.data(), kN).wait();
+  require(back == pat, "rget round trip");
+  const int echoed =
+      upcxx::rpc(nb, [](int x) { return x + 1; }, me).wait();
+  require(echoed == me + 1, "rpc round trip");
+  upcxx::barrier();
+  upcxx::delete_array(mine, kN);
+  upcxx::barrier();
+  if (me == 0) std::printf("socket_smoke: %d ranks ok\n", P);
+}
+
+}  // namespace
+
+int main() {
+  // Ranks and transport come from the environment upcxx-run sets
+  // (UPCXX_RANKS / UPCXX_SOCKET_RANK / UPCXX_SOCKET_BOOTSTRAP).
+  return upcxx::run_env(body) == 0 ? 0 : 1;
+}

@@ -333,6 +333,10 @@ void rdzv_adopt_handler(gex::AmContext& cx) {
 TEST(Aggregation, RendezvousAdoptReleaseProcessBackend) {
   auto cfg = small_cfg(2);
   cfg.backend = gex::Backend::kProcess;
+  // Pinned to the mmap transport: the test is *about* the rendezvous
+  // adopt/release protocol, which only exists on shared-memory transports
+  // (socket ships every payload inline).
+  cfg.am_transport = gex::AmTransport::kMmap;
   const std::size_t big = cfg.eager_max * 4;
   int fails = gex::launch(cfg, [big] {
     g_rdzv_got = 0;

@@ -184,7 +184,9 @@ TEST(AmEngine, EagerRoundTrip) {
 std::atomic<int> g_rdzv_ok{0};
 
 void rdzv_handler(gex::AmContext& cx) {
-  EXPECT_TRUE(cx.is_rendezvous);
+  // Rendezvous only exists on shared-memory transports; the socket
+  // transport ships the same payload inline in one record.
+  EXPECT_EQ(cx.is_rendezvous, gex::am().transport().shared_memory());
   auto* p = static_cast<std::uint8_t*>(cx.data);
   bool ok = true;
   for (std::size_t i = 0; i < cx.size; ++i)
@@ -235,7 +237,10 @@ TEST(AmEngine, BackpressureFloodDoesNotDeadlock) {
                        sizeof payload);
       // The ring holds ~120 of these records and the receiver held off for
       // 2 ms while we flooded, so backpressure must have been exercised.
-      EXPECT_GT(gex::am().stats().send_stalls, 0u);
+      // Only on ring transports, though: the socket transport queues sends
+      // kernel-side with a multi-MB cap this flood never reaches.
+      if (gex::am().transport().shared_memory())
+        EXPECT_GT(gex::am().stats().send_stalls, 0u);
     } else {
       // Deliberately unattentive start: let the sender slam into a full
       // ring before the first poll, then drain everything.
@@ -490,9 +495,14 @@ TEST(Config, NumericKnobsRejectGarbage) {
 
 TEST(Config, RmaWireParsingAndResolution) {
   // Preserve any wire the surrounding test run pinned (the CI am-wire
-  // matrix job exports UPCXX_RMA_WIRE=am).
+  // matrix job exports UPCXX_RMA_WIRE=am), and any transport pin (the
+  // socket-transport job's UPCXX_AM_TRANSPORT=socket makes auto resolve
+  // to am, not direct — that rule is covered in test_socket).
   const char* saved = getenv("UPCXX_RMA_WIRE");
   const std::string saved_val = saved ? saved : "";
+  const char* saved_tr = getenv("UPCXX_AM_TRANSPORT");
+  const std::string saved_tr_val = saved_tr ? saved_tr : "";
+  unsetenv("UPCXX_AM_TRANSPORT");
 
   unsetenv("UPCXX_RMA_WIRE");
   gex::Config c;
@@ -518,6 +528,7 @@ TEST(Config, RmaWireParsingAndResolution) {
     setenv("UPCXX_RMA_WIRE", saved_val.c_str(), 1);
   else
     unsetenv("UPCXX_RMA_WIRE");
+  if (saved_tr) setenv("UPCXX_AM_TRANSPORT", saved_tr_val.c_str(), 1);
 }
 
 }  // namespace

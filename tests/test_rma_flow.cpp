@@ -271,6 +271,9 @@ TEST(AmStagingPool, PoolBuffersRecycleAcrossAStream) {
   gex::Config cfg = testutil::test_cfg(2);
   cfg.rma_wire = gex::RmaWire::kAm;
   cfg.am_window = 4;
+  // The bounce pool under test only engages on shared-memory transports
+  // (socket ships puts inline), so pin mmap against the CI matrix.
+  cfg.am_transport = gex::AmTransport::kMmap;
   const int fails = upcxx::run(cfg, [] {
     constexpr int kPuts = 64;
     constexpr std::size_t kBytes = 32 << 10;  // far beyond eager_max
@@ -308,6 +311,8 @@ TEST(AmReplyStaging, ReplyPoolRecyclesAcrossAStream) {
   gex::Config cfg = testutil::test_cfg(2);
   cfg.rma_wire = gex::RmaWire::kAm;
   cfg.am_window = 4;
+  // Reply staging requires shared memory; pin mmap against the CI matrix.
+  cfg.am_transport = gex::AmTransport::kMmap;
   const int fails = upcxx::run(cfg, [] {
     constexpr int kGets = 64;
     constexpr std::size_t kBytes = 32 << 10;  // far beyond eager_max
@@ -364,6 +369,9 @@ TEST(AmReplyStaging, ExhaustedPoolFallsBackToRendezvous) {
   gex::Config cfg = testutil::test_cfg(2);
   cfg.rma_wire = gex::RmaWire::kAm;
   cfg.am_window = 8;
+  // Staged replies and the rendezvous fallback both assume shared
+  // memory; pin mmap against the CI matrix.
+  cfg.am_transport = gex::AmTransport::kMmap;
   const int fails = upcxx::run(cfg, [] {
     constexpr int kGets = 8;
     constexpr std::size_t kBytes = 32 << 10;
