@@ -29,4 +29,15 @@ inline std::uint64_t relaxed_load(const std::uint64_t& c) {
       .load(std::memory_order_relaxed);
 }
 
+// CAS-max for peak trackers (max_inflight, max_outstanding): concurrent
+// writers keep the field monotone where a read-compare-store would lose
+// peaks.
+inline void relaxed_max(std::uint64_t& c, std::uint64_t v) {
+  std::atomic_ref<std::uint64_t> r(c);
+  std::uint64_t cur = r.load(std::memory_order_relaxed);
+  while (cur < v &&
+         !r.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
 }  // namespace arch

@@ -106,6 +106,13 @@ struct Config {
   // on one queue and pool helpers can drain disjoint shards in
   // parallel. Clamped to [1, 64].
   std::uint32_t inject_shards = 4;        // UPCXX_INJECT_SHARDS
+  // Submit-queue shards: off-persona op closures (engine submits,
+  // collective entries, protocol put/get) are staged into
+  // shard[hash(thread) % submit_shards], keeping each injector thread's
+  // submissions FIFO while spreading unrelated threads across queue
+  // tails. All shards are drained by the master persona. Clamped to
+  // [1, 64].
+  std::uint32_t submit_shards = 4;        // UPCXX_SUBMIT_SHARDS
   // ------------------------------------------------- socket transport
   // Largest record the socket transport advertises via
   // Transport::max_record_payload (the stream itself accepts any size;

@@ -4,6 +4,7 @@
 #include <cstring>
 #include <thread>
 
+#include "arch/atomics.hpp"
 #include "arch/spinlock.hpp"
 #include "arch/timer.hpp"
 #include "gex/handlers.hpp"
@@ -189,7 +190,7 @@ struct RmaAmHandlers {
       std::memcpy(reinterpret_cast<void*>(
                       static_cast<std::uintptr_t>(p.wire_dec(h.dst))),
                   q, bytes);
-    p.peer(cx.src).acks_owed.push_back(h.cookie);
+    p.owe_ack(cx.src, h.cookie);
     ++p.stats_.puts_handled;
   }
 
@@ -212,7 +213,7 @@ struct RmaAmHandlers {
         reinterpret_cast<const void*>(
             static_cast<std::uintptr_t>(p.wire_dec(h.buf))),
         static_cast<std::size_t>(h.bytes));
-    p.peer(cx.src).acks_owed.push_back(h.cookie);
+    p.owe_ack(cx.src, h.cookie);
     ++p.stats_.puts_handled;
   }
 
@@ -238,7 +239,7 @@ struct RmaAmHandlers {
       off += static_cast<std::size_t>(d.bytes);
     }
     assert(off == static_cast<std::size_t>(h.payload_bytes));
-    p.peer(cx.src).acks_owed.push_back(h.cookie);
+    p.owe_ack(cx.src, h.cookie);
     ++p.stats_.puts_handled;
   }
 
@@ -263,7 +264,7 @@ struct RmaAmHandlers {
     assert(sizeof(FragHdr) + ack_bytes(h.nacks) + ack_bytes(h.nracks) +
                h.nfrags * sizeof(FragDesc) + off ==
            cx.size);
-    p.peer(cx.src).acks_owed.push_back(h.cookie);
+    p.owe_ack(cx.src, h.cookie);
     ++p.stats_.puts_handled;
   }
 
@@ -315,8 +316,16 @@ struct RmaAmHandlers {
     const auto* payload = consume_acks(
         p, static_cast<const std::byte*>(cx.data) + sizeof(RepHdr), h.nacks);
     payload = consume_racks(p, cx.src, payload, h.nracks);
-    auto it = p.pending_.find(h.cookie);
-    if (it == p.pending_.end()) {
+    // Map lookup under the lock; the node reference stays valid after
+    // release (unordered_map nodes are stable under concurrent inserts
+    // from injected sends, and only this thread — the consumer — erases).
+    const RmaAmProtocol::Pending* pd = nullptr;
+    {
+      arch::SpinGuard g(p.pending_mu_);
+      auto it = p.pending_.find(h.cookie);
+      if (it != p.pending_.end()) pd = &it->second;
+    }
+    if (!pd) {
       // The request was cancelled (fail_all_peers) before this reply
       // arrived; the landing buffers may be gone, so drop the payload.
       ++p.stats_.stale_completions;
@@ -325,7 +334,7 @@ struct RmaAmHandlers {
     // Scatter while the payload is alive (eager payloads die with the
     // handler); completion itself is deferred to poll().
     std::size_t off = 0;
-    for (const auto& f : it->second.scatter) {
+    for (const auto& f : pd->scatter) {
       if (f.bytes) std::memcpy(f.ptr, payload + off, f.bytes);
       off += f.bytes;
     }
@@ -347,16 +356,21 @@ struct RmaAmHandlers {
         p, static_cast<const std::byte*>(cx.data) + sizeof(RepStagedHdr),
         h.nacks);
     consume_racks(p, cx.src, q, h.nracks);
-    p.peer(cx.src).racks_owed.push_back(h.cookie);
-    auto it = p.pending_.find(h.cookie);
-    if (it == p.pending_.end()) {
+    p.owe_rack(cx.src, h.cookie);
+    const RmaAmProtocol::Pending* pd = nullptr;
+    {
+      arch::SpinGuard g(p.pending_mu_);
+      auto it = p.pending_.find(h.cookie);
+      if (it != p.pending_.end()) pd = &it->second;
+    }
+    if (!pd) {
       ++p.stats_.stale_completions;
       return;
     }
     const auto* payload = reinterpret_cast<const std::byte*>(
         static_cast<std::uintptr_t>(p.wire_dec(h.buf)));
     std::size_t off = 0;
-    for (const auto& f : it->second.scatter) {
+    for (const auto& f : pd->scatter) {
       if (f.bytes) std::memcpy(f.ptr, payload + off, f.bytes);
       off += f.bytes;
     }
@@ -384,53 +398,93 @@ std::uint64_t RmaAmProtocol::wire_dec(WireAddr wa) const {
       am_->arena().segmap().decode(wa)));
 }
 
-RmaAmProtocol::Peer& RmaAmProtocol::peer(int target) {
-  for (auto& p : peers_)
-    if (p.target == target) return p;
-  // Every peer starts its controller at the configured window; pinned mode
-  // never consults it (window_now short-circuits on adaptive_).
-  peers_.push_back(
-      Peer{target, AmWindowController(window_, max_window_, envelope_)});
-  return peers_.back();
+RmaAmProtocol::RmaAmProtocol(AmEngine* am, AmWindowSetting w,
+                             double rtt_envelope)
+    : am_(am),
+      adaptive_(w.adaptive),
+      window_(w.window ? w.window : 1),
+      max_window_(w.adaptive ? adaptive_ceiling(am)
+                             : (w.window ? w.window : 1)),
+      envelope_(rtt_envelope) {
+  // The constructing thread is the consumer until poll_requests re-stamps
+  // (progress-thread migration moves the role with the poll loop).
+  consumer_tm_.store(thread_marker(), std::memory_order_relaxed);
+  // One peer per rank up front: peer() becomes an index, and helper issue
+  // passes hold stable references without a container lock. Every peer
+  // starts its controller at the configured window; pinned mode never
+  // consults it (window_now short-circuits on adaptive_).
+  const int n = am_->arena().config().ranks;
+  peers_.reserve(static_cast<std::size_t>(n));
+  for (int t = 0; t < n; ++t)
+    peers_.push_back(
+        std::make_unique<Peer>(t, window_, max_window_, envelope_));
 }
 
 std::uint64_t RmaAmProtocol::new_pending(int target, Done done,
                                          std::vector<LocalFrag> scatter) {
+  arch::SpinGuard g(pending_mu_);
   const std::uint64_t cookie = next_cookie_++;
   pending_.emplace(cookie,
                    Pending{target, std::move(done), std::move(scatter)});
   return cookie;
 }
 
+bool RmaAmProtocol::claim_outstanding(Peer& p) {
+  std::uint32_t cur = p.outstanding.load(std::memory_order_relaxed);
+  const std::uint32_t w = window_now(p);
+  while (cur < w) {
+    if (p.outstanding.compare_exchange_weak(cur, cur + 1,
+                                            std::memory_order_acq_rel)) {
+      arch::relaxed_max(stats_.max_outstanding, cur + 1);
+      return true;
+    }
+  }
+  return false;
+}
+
+bool RmaAmProtocol::try_claim_credit(Peer& p) {
+  // Queued requests go first — only flush_sendq (consumer) drains those,
+  // claiming credits past this check.
+  if (p.sendq_n.load(std::memory_order_acquire) != 0) return false;
+  return claim_outstanding(p);
+}
+
 RmaAmProtocol::StageBuf RmaAmProtocol::acquire_stage(Peer& p,
                                                      std::size_t bytes) {
-  // Smallest pooled buffer that fits; the pool holds at most `window`
-  // entries (one per possible in-flight request), so the scan is short.
-  std::size_t best = p.stage_pool.size();
-  for (std::size_t i = 0; i < p.stage_pool.size(); ++i) {
-    if (p.stage_pool[i].cap < bytes) continue;
-    if (best == p.stage_pool.size() ||
-        p.stage_pool[i].cap < p.stage_pool[best].cap)
-      best = i;
-  }
-  if (best != p.stage_pool.size()) {
-    StageBuf b = p.stage_pool[best];
-    p.stage_pool[best] = p.stage_pool.back();
-    p.stage_pool.pop_back();
-    return b;
+  {
+    // Smallest pooled buffer that fits; the pool holds at most `window`
+    // entries (one per possible in-flight request), so the scan is short.
+    arch::SpinGuard g(p.mu);
+    std::size_t best = p.stage_pool.size();
+    for (std::size_t i = 0; i < p.stage_pool.size(); ++i) {
+      if (p.stage_pool[i].cap < bytes) continue;
+      if (best == p.stage_pool.size() ||
+          p.stage_pool[i].cap < p.stage_pool[best].cap)
+        best = i;
+    }
+    if (best != p.stage_pool.size()) {
+      StageBuf b = p.stage_pool[best];
+      p.stage_pool[best] = p.stage_pool.back();
+      p.stage_pool.pop_back();
+      return b;
+    }
   }
   // Pool miss: carve a fresh block, rounded up so a stream of slightly
-  // varying sizes converges on one reusable size class. Spin-with-poll on
-  // an exhausted heap, like the AmEngine's rendezvous path — but bail out
-  // (returning a null buffer; the caller cancels the request) once the
-  // error flag is up: the blocks we are waiting for may be bounce buffers
-  // pinned by a dead peer's never-coming acks.
+  // varying sizes converges on one reusable size class (the shared heap
+  // is internally locked — any thread may allocate). On an exhausted
+  // heap the consumer spins with poll, like the AmEngine's rendezvous
+  // path — but bails out (null buffer; the caller cancels) once the error
+  // flag is up: the blocks we are waiting for may be bounce buffers
+  // pinned by a dead peer's never-coming acks. A *helper* must not poll,
+  // so it takes one attempt and returns null — its caller requeues the
+  // request for the consumer to retry.
   std::size_t cap = 4096;
   while (cap < bytes) cap <<= 1;
-  ++stats_.stage_allocs;
+  arch::relaxed_inc(stats_.stage_allocs);
   auto& heap = am_->arena().heap();
   for (;;) {
     if (void* buf = heap.allocate(cap)) return StageBuf{buf, cap};
+    if (!on_consumer()) return StageBuf{};
     if (am_->arena().control().error_flag.value.load(
             std::memory_order_acquire) != 0)
       return StageBuf{};
@@ -441,9 +495,12 @@ RmaAmProtocol::StageBuf RmaAmProtocol::acquire_stage(Peer& p,
 
 void RmaAmProtocol::recycle_stage(Peer& p, StageBuf buf) {
   if (!buf.p) return;
-  if (p.stage_pool.size() < window_now(p)) {
-    p.stage_pool.push_back(buf);
-    return;
+  {
+    arch::SpinGuard g(p.mu);
+    if (p.stage_pool.size() < window_now(p)) {
+      p.stage_pool.push_back(buf);
+      return;
+    }
   }
   am_->arena().heap().deallocate(buf.p);
 }
@@ -520,36 +577,39 @@ RmaAmProtocol::OwedAcks RmaAmProtocol::take_acks(int target) {
   // Snapshot-and-clear before any send: the send may spin on a full ring,
   // which polls our own inbox, whose handlers append fresh owed acks —
   // those wait for the next record.
-  for (auto& p : peers_) {
-    if (p.target != target) continue;
-    OwedAcks oa{std::move(p.acks_owed), std::move(p.racks_owed)};
-    p.acks_owed.clear();
-    p.racks_owed.clear();
-    return oa;
-  }
-  return {};
+  Peer& p = peer(target);
+  arch::SpinGuard g(p.mu);
+  OwedAcks oa{std::move(p.acks_owed), std::move(p.racks_owed)};
+  p.acks_owed.clear();
+  p.racks_owed.clear();
+  return oa;
 }
 
 void RmaAmProtocol::enqueue(Peer& p, QueuedReq q) {
-  ++stats_.requests_queued;
-  // Bounded queue: past the slack, the injecting call makes progress until
-  // a slot frees. Our own inbox keeps draining (acks retire credits, which
-  // sends queued requests), so mutual floods advance in lockstep instead of
-  // deadlocking. A set error flag means the acks may never come — park the
-  // request regardless; teardown's fail_all_peers() reclaims it. The cap
-  // uses the window *ceiling*, not the moving operating point — a shrink
-  // must not strand already-parked requests behind a tighter bound.
+  arch::relaxed_inc(stats_.requests_queued);
+  // Bounded queue: past the slack, the injecting *consumer* call makes
+  // progress until a slot frees. Our own inbox keeps draining (acks retire
+  // credits, which sends queued requests), so mutual floods advance in
+  // lockstep instead of deadlocking. A set error flag means the acks may
+  // never come — park the request regardless; teardown's fail_all_peers()
+  // reclaims it. The cap uses the window *ceiling*, not the moving
+  // operating point — a shrink must not strand already-parked requests
+  // behind a tighter bound. A helper cannot poll, so it parks
+  // unconditionally: only the consumer's flush_sendq grows the queue past
+  // the cap from the helper side, and it drains as fast as it grows.
   const std::size_t cap = window() + kQueueSlack;
-  while (p.sendq.size() >= cap &&
+  while (on_consumer() &&
+         p.sendq_n.load(std::memory_order_acquire) >= cap &&
          am_->arena().control().error_flag.value.load(
              std::memory_order_acquire) == 0) {
-    ++stats_.send_stalls;
+    arch::relaxed_inc(stats_.send_stalls);
     if (am_->poll() + poll() == 0) std::this_thread::yield();
     arch::cpu_relax();
   }
+  arch::SpinGuard g(p.mu);
   p.sendq.push_back(std::move(q));
-  if (p.sendq.size() > stats_.queued_peak)
-    stats_.queued_peak = p.sendq.size();
+  p.sendq_n.store(p.sendq.size(), std::memory_order_release);
+  arch::relaxed_max(stats_.queued_peak, p.sendq.size());
 }
 
 // A staged send found the heap exhausted while the job is failing: the
@@ -557,18 +617,39 @@ void RmaAmProtocol::enqueue(Peer& p, QueuedReq q) {
 // drop the pending entry (its done callback is destroyed, not fired) and
 // return the credit the caller just consumed.
 void RmaAmProtocol::cancel_sent(Peer& p, std::uint64_t cookie) {
-  pending_.erase(cookie);
-  ++stats_.cancelled;
-  assert(p.outstanding > 0);
-  --p.outstanding;
+  {
+    arch::SpinGuard g(pending_mu_);
+    pending_.erase(cookie);
+  }
+  arch::relaxed_inc(stats_.cancelled);
+  const auto prev = p.outstanding.fetch_sub(1, std::memory_order_acq_rel);
+  assert(prev > 0);
+  (void)prev;
+}
+
+// Helper-side staged-put fallback: release the claimed credit and park the
+// request (owned payload copy) for the consumer's flush_sendq to retry —
+// a helper must not poll-spin on the exhausted heap, and cancel_sent would
+// silently drop the data.
+void RmaAmProtocol::requeue_put(Peer& p, std::uint64_t cookie,
+                                const Frag& dst, const void* src) {
+  p.outstanding.fetch_sub(1, std::memory_order_acq_rel);
+  QueuedReq q{QueuedReq::kPut, cookie, {dst}, {}};
+  const auto bytes = static_cast<std::size_t>(dst.bytes);
+  if (bytes)
+    q.payload.assign(static_cast<const std::byte*>(src),
+                     static_cast<const std::byte*>(src) + bytes);
+  enqueue(p, std::move(q));
 }
 
 // Stamps the wire-send time on a just-sent request so the completion loop
 // can feed the request→ack round trip to the peer's window controller.
 void RmaAmProtocol::note_wire_send(std::uint64_t cookie) {
   if (!adaptive_) return;
+  const std::uint64_t now = arch::now_ns();
+  arch::SpinGuard g(pending_mu_);
   auto it = pending_.find(cookie);
-  if (it != pending_.end()) it->second.send_ns = arch::now_ns();
+  if (it != pending_.end()) it->second.send_ns = now;
 }
 
 void RmaAmProtocol::send_put(int target, std::uint64_t cookie,
@@ -578,10 +659,13 @@ void RmaAmProtocol::send_put(int target, std::uint64_t cookie,
   // the acks push an inline record past eager_max, AmEngine::prepare
   // falls back to its rendezvous staging transparently.
   if (sizeof(PutHdr) + bytes <= inline_cutoff(am_)) {
-    // Small put: payload inline in the ring record.
+    // Small put: payload inline in the ring record. Helpers prepare with
+    // may_poll=false — on a full ring they yield-spin while the *target*
+    // drains it; only the consumer may poll its own inbox here.
     auto oa = take_acks(target);
     auto sb = am_->prepare(target, am_handler<&RmaAmHandlers::on_put>(),
-                           sizeof(PutHdr) + oa_bytes(oa) + bytes);
+                           sizeof(PutHdr) + oa_bytes(oa) + bytes,
+                           /*may_poll=*/on_consumer());
     auto* q = static_cast<std::byte*>(sb.data);
     const PutHdr h{cookie, wire_enc(dst.addr),
                    static_cast<std::uint32_t>(oa.acks.size()),
@@ -590,9 +674,9 @@ void RmaAmProtocol::send_put(int target, std::uint64_t cookie,
     q = write_oa(q + sizeof h, oa);
     if (bytes) std::memcpy(q, src, bytes);
     am_->commit(sb);
-    ++stats_.puts_sent;
-    stats_.acks_piggybacked += oa.acks.size();
-    stats_.reply_acks_piggybacked += oa.racks.size();
+    arch::relaxed_inc(stats_.puts_sent);
+    arch::relaxed_add(stats_.acks_piggybacked, oa.acks.size());
+    arch::relaxed_add(stats_.reply_acks_piggybacked, oa.racks.size());
     note_wire_send(cookie);
     return;
   }
@@ -600,15 +684,28 @@ void RmaAmProtocol::send_put(int target, std::uint64_t cookie,
   Peer& p = peer(target);
   StageBuf stage = acquire_stage(p, bytes);
   if (!stage.p) {
-    cancel_sent(p, cookie);
+    // Exhausted heap: a helper parks the request for the consumer to
+    // retry; the consumer only gets here when the job is failing, and
+    // cancels.
+    if (!on_consumer() &&
+        am_->arena().control().error_flag.value.load(
+            std::memory_order_acquire) == 0)
+      requeue_put(p, cookie, dst, src);
+    else
+      cancel_sent(p, cookie);
     return;
   }
   auto oa = take_acks(target);
   std::memcpy(stage.p, src, bytes);
-  pending_.find(cookie)->second.stage = stage;
+  {
+    arch::SpinGuard g(pending_mu_);
+    auto it = pending_.find(cookie);
+    if (it != pending_.end()) it->second.stage = stage;
+  }
   auto sb = am_->prepare(target,
                          am_handler<&RmaAmHandlers::on_put_staged>(),
-                         sizeof(PutStagedHdr) + oa_bytes(oa));
+                         sizeof(PutStagedHdr) + oa_bytes(oa),
+                         /*may_poll=*/on_consumer());
   auto* q = static_cast<std::byte*>(sb.data);
   const PutStagedHdr h{cookie, wire_enc(dst.addr),
                        am_->arena().segmap().encode(stage.p),
@@ -618,10 +715,10 @@ void RmaAmProtocol::send_put(int target, std::uint64_t cookie,
   std::memcpy(q, &h, sizeof h);
   write_oa(q + sizeof h, oa);
   am_->commit(sb);
-  ++stats_.puts_sent;
-  ++stats_.puts_staged;
-  stats_.acks_piggybacked += oa.acks.size();
-  stats_.reply_acks_piggybacked += oa.racks.size();
+  arch::relaxed_inc(stats_.puts_sent);
+  arch::relaxed_inc(stats_.puts_staged);
+  arch::relaxed_add(stats_.acks_piggybacked, oa.acks.size());
+  arch::relaxed_add(stats_.reply_acks_piggybacked, oa.racks.size());
   note_wire_send(cookie);
 }
 
@@ -629,7 +726,8 @@ void RmaAmProtocol::send_get(int target, std::uint64_t cookie,
                              const Frag& src) {
   auto oa = take_acks(target);
   auto sb = am_->prepare(target, am_handler<&RmaAmHandlers::on_get>(),
-                         sizeof(GetHdr) + oa_bytes(oa));
+                         sizeof(GetHdr) + oa_bytes(oa),
+                         /*may_poll=*/on_consumer());
   auto* q = static_cast<std::byte*>(sb.data);
   const GetHdr h{cookie, wire_enc(src.addr), src.bytes,
                  static_cast<std::uint32_t>(oa.acks.size()),
@@ -637,9 +735,9 @@ void RmaAmProtocol::send_get(int target, std::uint64_t cookie,
   std::memcpy(q, &h, sizeof h);
   write_oa(q + sizeof h, oa);
   am_->commit(sb);
-  ++stats_.gets_sent;
-  stats_.acks_piggybacked += oa.acks.size();
-  stats_.reply_acks_piggybacked += oa.racks.size();
+  arch::relaxed_inc(stats_.gets_sent);
+  arch::relaxed_add(stats_.acks_piggybacked, oa.acks.size());
+  arch::relaxed_add(stats_.reply_acks_piggybacked, oa.racks.size());
   note_wire_send(cookie);
 }
 
@@ -670,9 +768,9 @@ void RmaAmProtocol::send_put_frag(int target, std::uint64_t cookie,
       q += srcs[i].bytes;
     }
     am_->commit(sb);
-    ++stats_.frag_puts_sent;
-    stats_.acks_piggybacked += oa.acks.size();
-    stats_.reply_acks_piggybacked += oa.racks.size();
+    arch::relaxed_inc(stats_.frag_puts_sent);
+    arch::relaxed_add(stats_.acks_piggybacked, oa.acks.size());
+    arch::relaxed_add(stats_.reply_acks_piggybacked, oa.racks.size());
     note_wire_send(cookie);
     return;
   }
@@ -697,10 +795,15 @@ void RmaAmProtocol::send_put_frag(int target, std::uint64_t cookie,
     if (srcs[i].bytes) std::memcpy(q, srcs[i].ptr, srcs[i].bytes);
     q += srcs[i].bytes;
   }
-  pending_.find(cookie)->second.stage = stage;
+  {
+    arch::SpinGuard g(pending_mu_);
+    auto it = pending_.find(cookie);
+    if (it != pending_.end()) it->second.stage = stage;
+  }
   auto sb = am_->prepare(target,
                          am_handler<&RmaAmHandlers::on_put_frag_staged>(),
-                         sizeof(FragStagedHdr) + oa_bytes(oa));
+                         sizeof(FragStagedHdr) + oa_bytes(oa),
+                         /*may_poll=*/on_consumer());
   auto* w = static_cast<std::byte*>(sb.data);
   const FragStagedHdr h{cookie, am_->arena().segmap().encode(stage.p),
                         total, static_cast<std::uint32_t>(dsts.size()),
@@ -709,10 +812,10 @@ void RmaAmProtocol::send_put_frag(int target, std::uint64_t cookie,
   std::memcpy(w, &h, sizeof h);
   write_oa(w + sizeof h, oa);
   am_->commit(sb);
-  ++stats_.frag_puts_sent;
-  ++stats_.puts_staged;
-  stats_.acks_piggybacked += oa.acks.size();
-  stats_.reply_acks_piggybacked += oa.racks.size();
+  arch::relaxed_inc(stats_.frag_puts_sent);
+  arch::relaxed_inc(stats_.puts_staged);
+  arch::relaxed_add(stats_.acks_piggybacked, oa.acks.size());
+  arch::relaxed_add(stats_.reply_acks_piggybacked, oa.racks.size());
   note_wire_send(cookie);
 }
 
@@ -734,9 +837,9 @@ void RmaAmProtocol::send_get_frag(int target, std::uint64_t cookie,
     q += sizeof fd;
   }
   am_->commit(sb);
-  ++stats_.frag_gets_sent;
-  stats_.acks_piggybacked += oa.acks.size();
-  stats_.reply_acks_piggybacked += oa.racks.size();
+  arch::relaxed_inc(stats_.frag_gets_sent);
+  arch::relaxed_add(stats_.acks_piggybacked, oa.acks.size());
+  arch::relaxed_add(stats_.reply_acks_piggybacked, oa.racks.size());
   note_wire_send(cookie);
 }
 
@@ -745,8 +848,7 @@ void RmaAmProtocol::put(int target, void* dst, const void* src,
   const std::uint64_t cookie = new_pending(target, std::move(done), {});
   Peer& p = peer(target);
   const Frag d{reinterpret_cast<std::uintptr_t>(dst), bytes};
-  if (has_credit(p)) {
-    note_sent(p);
+  if (try_claim_credit(p)) {
     send_put(target, cookie, d, src);
     return;
   }
@@ -766,8 +868,7 @@ void RmaAmProtocol::get(int target, void* dst, const void* src,
       new_pending(target, std::move(done), {LocalFrag{dst, bytes}});
   Peer& p = peer(target);
   const Frag s{reinterpret_cast<std::uintptr_t>(src), bytes};
-  if (has_credit(p)) {
-    note_sent(p);
+  if (try_claim_credit(p)) {
     send_get(target, cookie, s);
     return;
   }
@@ -781,8 +882,7 @@ void RmaAmProtocol::put_fragments(int target, const std::vector<Frag>& dsts,
   for (const auto& s : srcs) total += s.bytes;
   const std::uint64_t cookie = new_pending(target, std::move(done), {});
   Peer& p = peer(target);
-  if (has_credit(p)) {
-    note_sent(p);
+  if (try_claim_credit(p)) {
     send_put_frag(target, cookie, dsts, srcs.data(), srcs.size(), total);
     return;
   }
@@ -800,8 +900,7 @@ void RmaAmProtocol::get_fragments(int target, const std::vector<Frag>& srcs,
   const std::uint64_t cookie =
       new_pending(target, std::move(done), std::move(dsts));
   Peer& p = peer(target);
-  if (has_credit(p)) {
-    note_sent(p);
+  if (try_claim_credit(p)) {
     send_get_frag(target, cookie, srcs);
     return;
   }
@@ -809,11 +908,20 @@ void RmaAmProtocol::get_fragments(int target, const std::vector<Frag>& srcs,
 }
 
 int RmaAmProtocol::flush_sendq(Peer& p) {
+  // Consumer-only drain. Pop + credit claim under the peer lock (ignoring
+  // the sendq_n gate — we ARE the queue), the send itself outside it: a
+  // send may spin on a full ring, and a helper blocked on p.mu for that
+  // long would stall its whole issue pass.
   int work = 0;
-  while (!p.sendq.empty() && p.outstanding < window_now(p)) {
-    QueuedReq q = std::move(p.sendq.front());
-    p.sendq.pop_front();
-    note_sent(p);
+  for (;;) {
+    QueuedReq q;
+    {
+      arch::SpinGuard g(p.mu);
+      if (p.sendq.empty() || !claim_outstanding(p)) break;
+      q = std::move(p.sendq.front());
+      p.sendq.pop_front();
+      p.sendq_n.store(p.sendq.size(), std::memory_order_release);
+    }
     switch (q.kind) {
       case QueuedReq::kPut:
         send_put(p.target, q.cookie, q.remote[0], q.payload.data());
@@ -837,6 +945,9 @@ int RmaAmProtocol::flush_sendq(Peer& p) {
 }
 
 int RmaAmProtocol::poll_requests() {
+  // The poll loop defines the consumer: re-stamp every pass so the role
+  // follows a progress-thread migration (constructor thread vs worker 0).
+  consumer_tm_.store(thread_marker(), std::memory_order_relaxed);
   int work = 0;
   // Swap-to-local idiom throughout: every send below may spin on a full
   // ring, which polls our own inbox, whose handlers append to these very
@@ -851,15 +962,21 @@ int RmaAmProtocol::poll_requests() {
     // before this poll began, so now >= send_ns for each.
     const std::uint64_t now = adaptive_ ? arch::now_ns() : 0;
     for (const std::uint64_t cookie : comp) {
-      auto node = pending_.extract(cookie);
+      decltype(pending_)::node_type node;
+      {
+        arch::SpinGuard g(pending_mu_);
+        node = pending_.extract(cookie);
+      }
       if (node.empty()) {
         // Cancelled by fail_all_peers before the ack arrived.
         ++stats_.stale_completions;
         continue;
       }
       Peer& p = peer(node.mapped().target);
-      assert(p.outstanding > 0 && "ack for a request never sent");
-      --p.outstanding;
+      const auto prev =
+          p.outstanding.fetch_sub(1, std::memory_order_acq_rel);
+      assert(prev > 0 && "ack for a request never sent");
+      (void)prev;
       // The target is done with the bounce buffer once its ack arrived.
       recycle_stage(p, node.mapped().stage);
       // Feed the request→ack round trip to this peer's controller; its
@@ -869,16 +986,16 @@ int RmaAmProtocol::poll_requests() {
         if (d > 0) ++stats_.window_grow;
         if (d < 0) ++stats_.window_shrink;
       }
-      // Extract before firing: the callback may issue new protocol ops.
+      // Extracted from the map (and outside every lock) before firing:
+      // the callback may issue new protocol ops.
       Done done = std::move(node.mapped().done);
       if (done) done();
       ++work;
     }
   }
-  // Freed credits release window-blocked requests (index loop: sends may
-  // reach handlers that create new peers).
+  // Freed credits release window-blocked requests.
   for (std::size_t i = 0; i < peers_.size(); ++i)
-    work += flush_sendq(peers_[i]);
+    work += flush_sendq(*peers_[i]);
   if (!replies_.empty()) {
     auto reps = std::move(replies_);
     replies_.clear();
@@ -922,8 +1039,8 @@ int RmaAmProtocol::poll_requests() {
           am_->commit(sb);
           ++stats_.replies_sent;
           ++stats_.replies_staged;
-          stats_.acks_piggybacked += oa.acks.size();
-          stats_.reply_acks_piggybacked += oa.racks.size();
+          arch::relaxed_add(stats_.acks_piggybacked, oa.acks.size());
+          arch::relaxed_add(stats_.reply_acks_piggybacked, oa.racks.size());
           ++work;
           continue;
         }
@@ -952,8 +1069,8 @@ int RmaAmProtocol::poll_requests() {
       }
       am_->commit(sb);
       ++stats_.replies_sent;
-      stats_.acks_piggybacked += oa.acks.size();
-      stats_.reply_acks_piggybacked += oa.racks.size();
+      arch::relaxed_add(stats_.acks_piggybacked, oa.acks.size());
+      arch::relaxed_add(stats_.reply_acks_piggybacked, oa.racks.size());
       ++work;
     }
   }
@@ -965,9 +1082,12 @@ int RmaAmProtocol::flush_acks() {
   // Acks and racks no request or reply carried: one combined multi-ack
   // record per indebted target per flush.
   for (std::size_t i = 0; i < peers_.size(); ++i) {
-    if (peers_[i].acks_owed.empty() && peers_[i].racks_owed.empty())
-      continue;
-    const int target = peers_[i].target;
+    Peer& pr = *peers_[i];
+    {
+      arch::SpinGuard g(pr.mu);
+      if (pr.acks_owed.empty() && pr.racks_owed.empty()) continue;
+    }
+    const int target = pr.target;
     auto oa = take_acks(target);
     auto sb = am_->prepare(target, am_handler<&RmaAmHandlers::on_ack>(),
                            sizeof(AckHdr) + oa_bytes(oa));
@@ -985,25 +1105,49 @@ int RmaAmProtocol::flush_acks() {
   return work;
 }
 
+bool RmaAmProtocol::idle() const {
+  {
+    arch::SpinGuard g(pending_mu_);
+    if (!pending_.empty()) return false;
+  }
+  if (!replies_.empty() || !completed_.empty()) return false;
+  for (const auto& pp : peers_) {
+    const Peer& p = *pp;
+    if (p.sendq_n.load(std::memory_order_acquire) != 0) return false;
+    arch::SpinGuard g(p.mu);
+    if (!p.acks_owed.empty() || !p.racks_owed.empty() ||
+        !p.reply_out.empty())
+      return false;
+  }
+  return true;
+}
+
 void RmaAmProtocol::fail_all_peers() {
-  // Every request (in flight or queued) has a pending_ entry; dropping the
-  // map cancels them all — done callbacks are destroyed, never fired, and
-  // the arena error flag is the failure signal user code observes. Bounce
+  // Teardown path (consumer, with helpers quiesced by the caller). Every
+  // request (in flight or queued) has a pending_ entry; dropping the map
+  // cancels them all — done callbacks are destroyed, never fired, and the
+  // arena error flag is the failure signal user code observes. Bounce
   // buffers go back to the shared heap (a dead target may still copy from
   // one, but it reads stale bytes at worst — it can no longer complete
   // anything).
-  stats_.cancelled += pending_.size();
   auto& heap = am_->arena().heap();
-  for (auto& [cookie, pd] : pending_)
-    if (pd.stage.p) heap.deallocate(pd.stage.p);
-  pending_.clear();
+  {
+    arch::SpinGuard g(pending_mu_);
+    stats_.cancelled += pending_.size();
+    for (auto& [cookie, pd] : pending_)
+      if (pd.stage.p) heap.deallocate(pd.stage.p);
+    pending_.clear();
+  }
   completed_.clear();
   replies_.clear();
-  for (auto& p : peers_) {
+  for (auto& pp : peers_) {
+    Peer& p = *pp;
+    arch::SpinGuard g(p.mu);
     p.sendq.clear();
+    p.sendq_n.store(0, std::memory_order_release);
     p.acks_owed.clear();
     p.racks_owed.clear();
-    p.outstanding = 0;
+    p.outstanding.store(0, std::memory_order_release);
     for (auto& b : p.stage_pool) heap.deallocate(b.p);
     p.stage_pool.clear();
     // The reply side mirrors the put side: pooled buffers go back to the
@@ -1038,13 +1182,13 @@ XferEngine::WireOps RmaAmProtocol::wire_ops() {
   // against this, so a shrunken window diverts budget to other targets
   // within the same poll instead of consuming it on a closed channel.
   ops.credits = [this](int target) -> std::uint32_t {
-    for (const auto& p : peers_)
-      if (p.target == target) {
-        if (!p.sendq.empty()) return 0;
-        const std::uint32_t w = window_now(p);
-        return p.outstanding < w ? w - p.outstanding : 0;
-      }
-    return window_now(target);
+    if (target < 0 || static_cast<std::size_t>(target) >= peers_.size())
+      return window_now(target);
+    const Peer& p = *peers_[static_cast<std::size_t>(target)];
+    if (p.sendq_n.load(std::memory_order_acquire) != 0) return 0;
+    const std::uint32_t w = window_now(p);
+    const std::uint32_t out = p.outstanding.load(std::memory_order_relaxed);
+    return out < w ? w - out : 0;
   };
   return ops;
 }

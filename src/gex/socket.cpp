@@ -10,10 +10,12 @@
 #include <sys/epoll.h>
 #include <sys/socket.h>
 #include <sys/types.h>
+#include <sys/uio.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
 #include <chrono>
 #include <cstdio>
@@ -39,6 +41,10 @@ constexpr std::size_t kPreambleBytes = 8;
 constexpr std::size_t kTxBackpressure = 4u << 20;
 // Exit code of a fault-injected mid-stream death (tests assert on it).
 constexpr int kFaultDeathExit = 113;
+// Most frames a single sendmsg gathers. Queues deeper than this drain in
+// successive batches; 16 covers the bursts injection produces without an
+// oversized on-stack iovec array.
+constexpr std::size_t kTxIovBatch = 16;
 
 struct FrameHdr {
   std::uint32_t len;
@@ -222,18 +228,20 @@ class SocketTransport final : public Transport {
     FrameHdr h;
     std::memcpy(&h, base, sizeof h);
     const std::uint32_t total = static_cast<std::uint32_t>(sizeof h) + h.len;
-    arch::SpinGuard g(mu_);
+    mu_.lock();
     if (die_here_ && die_at_ != 0 && ++committed_ == die_at_) die_torn(t, base, total);
     if (t.target == me_) {
       // Self sends bypass the wire entirely (the ring transports loop
       // through the own-inbox ring; here the "inbox" is the ready queue).
       ready_.push_back(RxRec{base, base + sizeof h, h.len});
+      mu_.unlock();
       return;
     }
     PeerTx& p = tx_[static_cast<std::size_t>(t.target)];
     if (p.dead) {
       // Black hole: the peer is gone and the error flag already says so;
       // dropping the record keeps every reserve/commit caller loop-free.
+      mu_.unlock();
       std::free(base);
       return;
     }
@@ -251,11 +259,19 @@ class SocketTransport final : public Transport {
     // pumping also reads inbound bytes into ready_ (no handlers run), so
     // two ranks blocked here flooding each other still free each other's
     // kernel buffers; a vanished peer trips peer_lost(), which empties the
-    // queue and marks it dead.
+    // queue and marks it dead. The lock drops between iterations so the
+    // consumer and concurrent injectors keep making progress while this
+    // thread waits out a slow connect or a full kernel buffer (p is a
+    // reference into tx_, which never resizes after construction).
     while (!p.dead && !p.q.empty()) {
       pump();
       if (!p.connecting && !p.q.empty()) flush(t.target, p);
+      if (p.dead || p.q.empty()) break;
+      mu_.unlock();
+      arch::cpu_relax();
+      mu_.lock();
     }
+    mu_.unlock();
   }
 
   bool try_consume(RecordVisitor visit, void* cx) override {
@@ -297,6 +313,10 @@ class SocketTransport final : public Transport {
   }
 
   const char* name() const override { return "socket"; }
+
+  std::uint64_t tx_writev_batches() const override {
+    return tx_writev_batches_.load(std::memory_order_relaxed);
+  }
 
   // I/O progress without record delivery — the control-plane barrier
   // pumps this so launcher releases (and peer traffic) keep flowing while
@@ -436,26 +456,59 @@ class SocketTransport final : public Transport {
   void flush(int target, PeerTx& p) {
     if (p.connecting) return;  // EPOLLOUT will land when the connect does
     while (!p.q.empty()) {
-      TxBuf& b = p.q.front();
-      std::size_t n = b.len - b.off;
       bool faulted = false;
+      ssize_t w;
       if (fault_on_ && short_write_pct_ &&
-          xorshift64(&rng_) % 100 < short_write_pct_ && n > 1) {
-        n = 1 + static_cast<std::size_t>(xorshift64(&rng_) % n);
+          xorshift64(&rng_) % 100 < short_write_pct_ &&
+          p.q.front().len - p.q.front().off > 1) {
+        // Fault injection falls back to the single-buffer path: a short
+        // write of the head frame, continuation delayed to a later pump so
+        // torn-frame handling downstream actually gets exercised.
+        TxBuf& b = p.q.front();
+        const std::size_t left = b.len - b.off;
+        const std::size_t n =
+            1 + static_cast<std::size_t>(xorshift64(&rng_) % left);
+        w = ::send(p.fd, b.data + b.off, n, MSG_NOSIGNAL);
         faulted = true;
+      } else {
+        // Gather the queued frames into one syscall. The head entry may be
+        // mid-write from an earlier short send, so it alone honors its
+        // offset; everything behind it is whole.
+        iovec iov[kTxIovBatch];
+        std::size_t niov = 0;
+        for (const TxBuf& b : p.q) {
+          if (niov == kTxIovBatch) break;
+          const std::uint32_t off = niov == 0 ? b.off : 0;
+          iov[niov].iov_base = b.data + off;
+          iov[niov].iov_len = b.len - off;
+          ++niov;
+        }
+        msghdr mh{};
+        mh.msg_iov = iov;
+        mh.msg_iovlen = niov;
+        w = ::sendmsg(p.fd, &mh, MSG_NOSIGNAL);
+        if (w > 0 && niov >= 2)
+          tx_writev_batches_.fetch_add(1, std::memory_order_relaxed);
       }
-      const ssize_t w = ::send(p.fd, b.data + b.off, n, MSG_NOSIGNAL);
       if (w < 0) {
         if (errno == EINTR) continue;
         if (errno == EAGAIN || errno == EWOULDBLOCK) break;
         peer_lost(target, p);
         return;
       }
-      b.off += static_cast<std::uint32_t>(w);
-      p.queued -= static_cast<std::size_t>(w);
-      if (b.off == b.len) {
-        std::free(b.data);
-        p.q.pop_front();
+      // Retire the written bytes across however many frames they covered.
+      std::size_t left = static_cast<std::size_t>(w);
+      p.queued -= left;
+      while (left) {
+        TxBuf& b = p.q.front();
+        const std::size_t take =
+            std::min(left, static_cast<std::size_t>(b.len - b.off));
+        b.off += static_cast<std::uint32_t>(take);
+        left -= take;
+        if (b.off == b.len) {
+          std::free(b.data);
+          p.q.pop_front();
+        }
       }
       if (faulted) break;  // delay the continuation to a later pump
     }
@@ -684,6 +737,7 @@ class SocketTransport final : public Transport {
   std::vector<PeerTx> tx_;
   std::vector<RxConn*> rx_;
   std::deque<RxRec> ready_;
+  std::atomic<std::uint64_t> tx_writev_batches_{0};
   // Fault injection.
   bool fault_on_ = false;
   std::uint64_t rng_ = 1;

@@ -101,6 +101,11 @@ class Transport {
   // no acks are stranded in a user-space queue at teardown.
   virtual bool tx_quiesced() { return true; }
 
+  // Sends that carried two or more queued frames in one syscall (socket
+  // transport writev coalescing). Ring transports have no syscalls to
+  // coalesce, so the count stays zero.
+  virtual std::uint64_t tx_writev_batches() const { return 0; }
+
   virtual const char* name() const = 0;
 };
 

@@ -21,6 +21,7 @@
 #include <initializer_list>
 #include <vector>
 
+#include "arch/atomics.hpp"
 #include "upcxx/collectives.hpp"
 #include "upcxx/global_ptr.hpp"
 #include "upcxx/rpc.hpp"
@@ -238,16 +239,23 @@ class atomic_domain {
     (void)listed;
   }
 
+  // Both issue paths are persona-agnostic: the direct path is a plain CPU
+  // atomic plus a completion timer (push_completion_after routes itself home
+  // through op_context when the caller is an injector thread), and the AM
+  // path is rpc_impl, which serializes caller-side and hands the descriptor
+  // over the wire shards. No master-persona assert anywhere — an
+  // atomic_domain op from inside an injection_scope just works.
   future<T> fetch_op(atomic_op op, global_ptr<T> p, T a, T b) {
     check(op);
     assert(!p.is_null());
+    arch::relaxed_inc(detail::op_state().stats.amos_run);
     if (direct_) {
       // "Offloaded": perform the CPU atomic immediately; deliver the result
       // through the progress engine after the simulated round trip (or
       // synchronously on the zero-latency wire, like a NIC doorbell that
       // has already rung).
       T prev = detail::apply_atomic(op, p.local(), a, b);
-      if (detail::persona().sim_latency_ns == 0) return make_future(prev);
+      if (detail::op_state().sim_latency_ns == 0) return make_future(prev);
       promise<T> pr;
       detail::push_completion_after(2, [pr, prev]() mutable {
         pr.fulfill_result(prev);
@@ -269,9 +277,10 @@ class atomic_domain {
   future<> update_op(atomic_op op, global_ptr<T> p, T a, T b) {
     check(op);
     assert(!p.is_null());
+    arch::relaxed_inc(detail::op_state().stats.amos_run);
     if (direct_) {
       detail::apply_atomic(op, p.local(), a, b);
-      if (detail::persona().sim_latency_ns == 0)
+      if (detail::op_state().sim_latency_ns == 0)
         return detail::ready_future();
       promise<> pr;
       pr.require_anonymous(1);

@@ -62,8 +62,24 @@ inline future<> barrier_async(const team& tm = world()) {
   // barrier is on the wire — and every RMA issued before the barrier is
   // visible at its target — before any rank can observe the barrier
   // complete (tests/test_aggregation.cpp relies on this ordering).
-  detail::flush_aggregation();
-  detail::drain_xfer_copies();
+  if (!detail::has_persona()) {
+    // Injected barrier: the drains below are rank state, so ship them
+    // ahead of the collective entry through the caller's submit shard —
+    // shard FIFO guarantees they run (master-side) before the entry that
+    // coll_enter submits next. The wire-shard drain first: this thread's
+    // earlier injected rpc/rpc_ff sends ride those queues, and the barrier
+    // ordering contract covers them too.
+    detail::op_context::current().run_at_rank([] {
+      auto& p = detail::persona();
+      for (std::uint32_t s = 0; s < p.n_wire_shards; ++s)
+        detail::drain_wire_shard(p, s, /*may_poll=*/true);
+      detail::flush_aggregation();
+      detail::drain_xfer_copies();
+    });
+  } else {
+    detail::flush_aggregation();
+    detail::drain_xfer_copies();
+  }
   promise<> pr;
   detail::CollOps ops;
   ops.up = true;

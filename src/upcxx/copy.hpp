@@ -48,17 +48,12 @@ auto copy_impl(Cxs cxs, intrank_t src_rank, intrank_t dst_rank, void* dst,
   const intrank_t target = is_get ? src_rank : dst_rank;
   const std::uint64_t wire_delay = remote ? 2 * op_state().sim_latency_ns : 0;
   if (use_xfer(bytes) && (remote || dev_ns > 0)) {
-    if (!has_persona())
-      return inject_contig(std::move(cxs), rma_route::xfer, target, dst,
-                           src, bytes, is_get, wire_delay,
-                           /*extra_landing_ns=*/dev_ns);
+    // issue_xfer_ns / issue_am_contig_ns are op_context-routed: the same
+    // call works from the master persona and from injector threads.
     return issue_xfer_ns(std::move(cxs), target, dst, src, bytes,
                          wire_delay, is_get, /*extra_landing_ns=*/dev_ns);
   }
   if (wire_am() && remote) {
-    if (!has_persona())
-      return inject_contig(std::move(cxs), rma_route::am, target, dst, src,
-                           bytes, is_get, wire_delay + dev_ns);
     return issue_am_contig_ns(std::move(cxs), target, dst, src, bytes,
                               is_get, wire_delay + dev_ns);
   }

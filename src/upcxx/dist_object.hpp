@@ -57,6 +57,10 @@ class dist_object {
   std::uint64_t id() const { return id_; }
 
   // Fetches the remote representative's value (explicit communication).
+  // Plain rpc underneath, so it is injection-safe: callable from an
+  // injector thread (upcxx::injection_scope), with the future fulfilled on
+  // that thread's persona. Construction/destruction remain collective and
+  // master-persona-only, like every other collective setup.
   future<T> fetch(intrank_t team_rank) const {
     return rpc((*team_)[team_rank],
                [](const dist_object<T>& o) { return *o; }, *this);

@@ -1,4 +1,4 @@
-// Thread-safe op injection: initiate rpc/rput/rget/copy from app threads.
+// Thread-safe op injection: initiate ops from app threads.
 //
 // The persona discipline (persona.hpp) says communication is initiated
 // only by the thread holding the rank's master persona; worker threads
@@ -7,22 +7,33 @@
 // This header is the sanctioned bypass: an `injector` captures the rank's
 // runtime state on a thread that has the rank context, and an
 // `injection_scope` binds it to an app thread, after which that thread may
-// call rpc/rpc_ff/rput/rget/copy directly. Under the hood:
+// call rpc/rpc_ff, rput/rget (contiguous, irregular, strided), copy,
+// collectives (barrier/broadcast/reduce/allgather/...), atomic_domain
+// operations, and dist_object::fetch directly. Every public entry point
+// routes through detail::op_context (progress.hpp): *state stays put;
+// descriptors cross over; completions cross back.* Under the hood:
 //
 //   * Small sync RMA against the direct wire completes entirely on the
 //     calling thread (the same zero-allocation memcpy fast path the
-//     master uses — this is where multi-thread injection scales).
+//     master uses — this is where multi-thread injection scales), as do
+//     direct-backend atomics (a CPU atomic is a CPU atomic).
 //   * Everything else is prepared caller-side (serialization, completion
-//     state) and handed to the rank through lock-free MPSC queues
-//     (PersonaState::submitq / wire_shards), drained by the progress
-//     persona — or by upcxx::progress_pool helpers — inside poll.
+//     state, collective fold/deliver closures) and handed to the rank
+//     through lock-free MPSC queues — the thread-hash-sharded submit
+//     queue (PersonaState::submit_shards, UPCXX_SUBMIT_SHARDS) for engine
+//     dispatches, the wire shards for serialized sends — drained by the
+//     progress persona or upcxx::progress_pool helpers inside poll.
 //   * Completions ship back to the initiating thread's own persona inbox,
 //     so the returned futures/promises stay persona-affine: they become
 //     ready during *this thread's* upcxx::progress() / future::wait()
 //     calls, never concurrently from another thread.
 //
-// Not covered: collectives, barriers, dist_object construction, and
-// irregular/strided RMA remain master-persona-only (they assert).
+// Still master-persona-only: team/dist_object/atomic_domain *construction*
+// and destruction (collective setup, like upcxx::init itself). Collectives
+// injected from several threads concurrently must be issued symmetrically
+// across ranks, the same rule real UPC++ imposes on unordered collectives
+// over one team; one thread's collectives stay FIFO through its submit
+// shard, so per-thread sequences agree rank-to-rank.
 //
 // Lifetime: the injector must not outlive the SPMD region that created
 // it, and every injection_scope must be destroyed (thread joined or scope

@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <functional>
 #include <thread>
 
 #include "arch/fixed_registry.hpp"
@@ -101,14 +102,10 @@ void push_completion_after_ns(std::uint64_t delay_ns, Lpc fn) {
     // The timed queue is master-owned: route the timer through the master
     // persona and ship the firing back to the initiating persona, where
     // fn's captured completion state lives.
-    upcxx::persona* init = &current_persona();
-    submit_to_master(
-        op_state(), Lpc([delay_ns, init, fn = std::move(fn)]() mutable {
-          push_completion_after_ns(
-              delay_ns, Lpc([init, fn = std::move(fn)]() mutable {
-                init->lpc_ff(std::move(fn));
-              }));
-        }));
+    const op_context cx = op_context::current();
+    cx.run_at_rank([cx, delay_ns, fn = std::move(fn)]() mutable {
+      cx.complete_after_ns(delay_ns, std::move(fn));
+    });
     return;
   }
   auto& p = *tls_persona;
@@ -132,7 +129,13 @@ std::uint64_t register_reply(arch::UniqueFunction<void(Reader&)> fn) {
 // ------------------------------------------------- MPSC injection hand-off
 
 void submit_to_master(PersonaState& st, Lpc fn) {
-  st.submitq.push(std::move(fn));
+  // Shard by initiating thread, not round-robin: one thread's submissions
+  // must stay FIFO (a thread that enters barrier() then reduce() relies on
+  // its collective sequence numbers being allocated in that order), and a
+  // stable thread->shard map gives that while spreading unrelated
+  // injectors across queue tails.
+  const auto h = std::hash<const void*>{}(thread_marker());
+  st.submit_shards[h % st.n_submit_shards].q.push(std::move(fn));
 }
 
 void submit_wire_send(PersonaState& st, int target, std::uint32_t bytes,
@@ -144,12 +147,19 @@ void submit_wire_send(PersonaState& st, int target, std::uint32_t bytes,
 
 int drain_submitq(PersonaState& st, int budget) {
   assert(tls_persona == &st && "submitq closures need the rank context");
-  if (st.submitq.empty_hint()) return 0;
+  // The shards are MPSC queues with the master persona as the single
+  // consumer; a fixed drain order keeps each thread's submissions FIFO
+  // (within its shard) without any cross-shard coordination.
   int work = 0;
   Lpc fn;
-  while (budget-- > 0 && st.submitq.try_pop(fn)) {
-    fn();
-    ++work;
+  for (std::uint32_t s = 0; s < st.n_submit_shards && budget > 0; ++s) {
+    auto& q = st.submit_shards[s].q;
+    if (q.empty_hint()) continue;
+    while (budget > 0 && q.try_pop(fn)) {
+      fn();
+      ++work;
+      --budget;
+    }
   }
   return work;
 }
@@ -176,7 +186,8 @@ int drain_wire_shard(PersonaState& st, std::uint32_t shard, bool may_poll) {
 }
 
 bool inject_queues_empty(PersonaState& st) {
-  if (!st.submitq.empty_hint()) return false;
+  for (std::uint32_t s = 0; s < st.n_submit_shards; ++s)
+    if (!st.submit_shards[s].q.empty_hint()) return false;
   for (std::uint32_t s = 0; s < st.n_wire_shards; ++s)
     if (!st.wire_shards[s].q.empty_hint()) return false;
   return true;
@@ -408,6 +419,10 @@ void init_persona() {
   if (st->n_wire_shards == 0) st->n_wire_shards = 1;
   st->wire_shards = std::make_unique<detail::PersonaState::WireShard[]>(
       st->n_wire_shards);
+  st->n_submit_shards = r->arena->config().submit_shards;
+  if (st->n_submit_shards == 0) st->n_submit_shards = 1;
+  st->submit_shards = std::make_unique<detail::PersonaState::SubmitShard[]>(
+      st->n_submit_shards);
   // Aggregated upcxx frames take the whole-frame delivery path.
   r->am->set_frame_sink(detail::am_delivery_index(),
                         &detail::am_frame_delivery);

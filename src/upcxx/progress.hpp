@@ -127,6 +127,8 @@ struct PersonaState {
     std::uint64_t rputs = 0;
     std::uint64_t rgets = 0;
     std::uint64_t lpcs_run = 0;
+    std::uint64_t colls_run = 0;  // collectives entered (per rank, any thread)
+    std::uint64_t amos_run = 0;   // atomic_domain ops issued
   } stats;
 
   // ---- thread-safe injection (off-persona op initiation) ----
@@ -135,9 +137,17 @@ struct PersonaState {
   // initiate operations by handing prepared work to the rank through two
   // MPSC paths, both drained at internal progress:
   //
-  //   submitq      op closures (serialization and cx_state setup already
+  //   submit_shards  op closures (serialization and cx_state setup already
   //                done caller-side) that need the rank context to
   //                dispatch into the XferEngine / AM RMA protocol.
+  //                Sharded by *initiating thread* (UPCXX_SUBMIT_SHARDS;
+  //                shard = hash(thread marker) mod count) so concurrent
+  //                injectors don't contend on one queue tail while each
+  //                thread's own submissions stay FIFO within its shard —
+  //                the property collective sequence-number agreement and
+  //                per-thread RMA ordering rely on. All shards are drained
+  //                by the master persona's internal progress in fixed
+  //                order.
   //   wire_shards  fully serialized upcxx messages ([idx prefix][body]);
   //                shard index = target % n_wire_shards, so unrelated
   //                targets never contend and progress-pool helpers can
@@ -160,7 +170,11 @@ struct PersonaState {
     arch::Spinlock mu;  // serializes competing drainers (pool stealing)
     arch::MpscQueue<WireSend> q;
   };
-  arch::MpscQueue<Lpc> submitq;
+  struct SubmitShard {
+    arch::MpscQueue<Lpc> q;
+  };
+  std::unique_ptr<SubmitShard[]> submit_shards;
+  std::uint32_t n_submit_shards = 1;
   std::unique_ptr<WireShard[]> wire_shards;
   std::uint32_t n_wire_shards = 1;
 
@@ -235,6 +249,70 @@ void push_completion_after(std::uint64_t wire_hops, Lpc fn);
 // Same, with an explicit delay in nanoseconds (used by simulated-device
 // transfers whose cost is not a multiple of the wire hop latency).
 void push_completion_after_ns(std::uint64_t delay_ns, Lpc fn);
+
+// ---- op_context: the one op-initiation dispatch --------------------------
+//
+// Captured at every public entry point (rput/rget/copy, collectives,
+// atomics, rpc replies), op_context records where the op was initiated and
+// routes the two thread-crossing moments every deferred operation has:
+//
+//   run_at_rank(fn)   the engine-touching half. Inline when the caller
+//                     already holds the rank context; otherwise fn ships
+//                     through the caller's submit shard and runs at the
+//                     master persona's next internal progress. fn must
+//                     capture everything it needs by value (caller-side
+//                     serialization, cx_state construction) — it hands a
+//                     descriptor over, never shared state.
+//   complete_now / complete_after_ns
+//                     the completion half, invoked later *with* the rank
+//                     context (an engine callback, an ack handler). Routes
+//                     the final hook home: run in place for a master-persona
+//                     initiator (cx_state defers user-visible delivery to
+//                     compQ itself), through the initiating persona's lpc_ff
+//                     shard for an injector thread — so futures/promises
+//                     always fire persona-affine, with no global lock.
+//
+// This is the dispatch invariant the threading model reduces to: *state
+// stays put; descriptors cross over; completions cross back.*
+struct op_context {
+  PersonaState* st;
+  ::upcxx::persona* init;  // the initiating thread's current persona
+  bool on_persona;         // caller held the rank context at capture time
+
+  static op_context current() {
+    return {&op_state(), &::upcxx::current_persona(), has_persona()};
+  }
+
+  template <typename Fn>
+  void run_at_rank(Fn&& fn) const {
+    if (on_persona)
+      fn();
+    else
+      submit_to_master(*st, Lpc(std::forward<Fn>(fn)));
+  }
+
+  // Callable only with the rank context held (master side).
+  template <typename Fn>
+  void complete_now(Fn&& fn) const {
+    if (on_persona)
+      fn();
+    else
+      init->lpc_ff(std::forward<Fn>(fn));
+  }
+
+  template <typename Fn>
+  void complete_after_ns(std::uint64_t delay_ns, Fn&& fn) const {
+    if (on_persona) {
+      push_completion_after_ns(delay_ns, Lpc(std::forward<Fn>(fn)));
+    } else {
+      ::upcxx::persona* home = init;
+      push_completion_after_ns(
+          delay_ns, Lpc([home, f = std::forward<Fn>(fn)]() mutable {
+            home->lpc_ff(std::move(f));
+          }));
+    }
+  }
+};
 
 // Registers a reply continuation; returns the op id to embed in the request.
 std::uint64_t register_reply(arch::UniqueFunction<void(Reader&)> fn);
@@ -414,16 +492,20 @@ struct op_stats {
   std::uint64_t rpcs_sent = 0;
   std::uint64_t rpcs_executed = 0;
   std::uint64_t lpcs_run = 0;
+  std::uint64_t colls_run = 0;
+  std::uint64_t amos_run = 0;
 };
 
 inline op_stats stats() {
   // op_state(): readable from injector threads too; relaxed loads pair
   // with the relaxed_inc writers (mid-run values are monotone snapshots).
   const auto& s = detail::op_state().stats;
-  return {arch::relaxed_load(s.rputs), arch::relaxed_load(s.rgets),
+  return {arch::relaxed_load(s.rputs),          arch::relaxed_load(s.rgets),
           arch::relaxed_load(s.rpcs_sent),
           arch::relaxed_load(s.rpcs_executed),
-          arch::relaxed_load(s.lpcs_run)};
+          arch::relaxed_load(s.lpcs_run),
+          arch::relaxed_load(s.colls_run),
+          arch::relaxed_load(s.amos_run)};
 }
 
 }  // namespace experimental

@@ -107,10 +107,18 @@ class progress_thread {
 // and runs the full progress loop, staying the wire's single consumer
 // (AmEngine::poll) and the sole drainer of the rank's submit queue (the
 // closures in it need the rank context). Workers 1..N-1 are injection
-// helpers: they drain the MPSC wire shards that injector threads
-// (inject.hpp) fill, each owning the shards congruent to its index and
-// stealing the rest when its own slice runs dry. Helpers pass
-// may_poll=false into the shard drain, so a full ring makes them yield
+// helpers with two jobs:
+//
+//   * drain the MPSC wire shards that injector threads (inject.hpp) fill,
+//     each owning the shards congruent to its index and stealing the rest
+//     when its own slice runs dry;
+//   * run XferEngine::issue_pass over a disjoint slice of the engine's
+//     channels, pushing queued chunks onto the wire in parallel with
+//     worker 0's receive/completion path — per-channel issue locks make
+//     this safe, and helper-issued source callbacks park on the landing
+//     queue for worker 0 to fire (helpers never run user code).
+//
+// Helpers pass may_poll=false everywhere, so a full ring makes them yield
 // rather than touch the engine's single-consumer receive path — the
 // master keeps polling independently, which keeps the stall bounded.
 //
@@ -175,6 +183,11 @@ class progress_pool {
       if (moved == 0)
         for (std::uint32_t s = 0; s < st.n_wire_shards; ++s)
           moved += detail::drain_wire_shard(st, s, /*may_poll=*/false);
+      // Chunk issue for this helper's channel slice: try-locks only, so a
+      // channel worker 0 (or another helper) holds is simply skipped.
+      if (st.rank && st.rank->xfer)
+        moved += st.rank->xfer->issue_pass(
+            8, static_cast<std::size_t>(idx), static_cast<std::size_t>(nh));
       if (moved == 0) std::this_thread::yield();
     }
   }

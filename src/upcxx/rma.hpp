@@ -106,23 +106,34 @@ inline bool use_xfer(std::size_t bytes) {
 // (shared between the source and landed callbacks), so its futures are
 // materialized up front; the wire-hop delay to operation completion is
 // charged after the data lands. Works on either wire — the engine's chunk
-// movers differ, the completion pipeline does not.
+// movers differ, the completion pipeline does not — and from any thread:
+// the cx_state is built on the *calling* thread (its futures stay affine
+// to this thread's persona), op_context ships only the engine dispatch to
+// the rank's progress persona and routes each completion hook back home.
+// remote_now() stays on the progress persona: it only reads the remote-cx
+// items (the notification AM's payload), so the target's notification
+// fires at data-landing time instead of one inbox round trip later.
 template <typename Cxs>
 auto issue_xfer_ns(Cxs cxs, intrank_t target, void* dst, const void* src,
                    std::size_t bytes, std::uint64_t delay, bool is_get,
                    std::uint64_t extra_landing_ns = 0) {
   auto st = std::make_shared<cx_state<Cxs>>(std::move(cxs), target);
   st->prepare_deferred();
-  persona().rank->xfer->submit(
-      target, dst, src, bytes, [st] { st->source_now(); },
-      [st, delay] {
-        // Data is visible at the target: notify it (1 more hop carried by
-        // the rpc itself), then complete the operation after the
-        // round-trip acknowledgment.
-        st->remote_now();
-        st->operation_done(delay);
-      },
-      is_get, extra_landing_ns);
+  const op_context cx = op_context::current();
+  cx.run_at_rank([cx, st, target, dst, src, bytes, delay, is_get,
+                  extra_landing_ns]() mutable {
+    persona().rank->xfer->submit(
+        target, dst, src, bytes,
+        [cx, st] { cx.complete_now([st] { st->source_now(); }); },
+        [cx, st, delay] {
+          // Data is visible at the target: notify it (1 more hop carried
+          // by the rpc itself), then complete the operation after the
+          // round-trip acknowledgment.
+          st->remote_now();
+          cx.complete_after_ns(delay, [st] { st->operation_done(0); });
+        },
+        is_get, extra_landing_ns);
+  });
   return st->result();
 }
 
@@ -131,30 +142,42 @@ template <typename Cxs>
 auto issue_xfer(Cxs cxs, intrank_t target, void* dst, const void* src,
                 std::size_t bytes, std::uint64_t hops, bool is_get) {
   return issue_xfer_ns(std::move(cxs), target, dst, src, bytes,
-                       hops * persona().sim_latency_ns, is_get);
+                       hops * op_state().sim_latency_ns, is_get);
 }
 
 // One sub-engine-threshold contiguous op on the am wire: a single protocol
 // request whose ack/reply drives remote and operation completion. put()
-// copies the payload out before returning, so source completion is
-// synchronous here too; for gets the initiator has no source buffer to
-// protect and the same holds trivially.
+// copies the payload out before the dispatched closure finishes, so for a
+// master-persona initiator source completion is synchronous exactly as
+// before; for gets the initiator has no source buffer to protect and the
+// same holds trivially. `hold` keeps a caller-side staging buffer (a
+// scalar put's value) alive until the closure has consumed it — needed
+// only when the initiator's stack frame dies before an injected closure
+// runs.
 template <typename Cxs>
 auto issue_am_contig_ns(Cxs cxs, intrank_t target, void* dst,
                         const void* src, std::size_t bytes, bool is_get,
-                        std::uint64_t delay) {
+                        std::uint64_t delay,
+                        std::shared_ptr<const void> hold = nullptr) {
   auto st = std::make_shared<cx_state<Cxs>>(std::move(cxs), target);
   st->prepare_deferred();
-  auto& proto = *persona().rank->rma_am;
-  auto done = [st, delay] {
-    st->remote_now();
-    st->operation_done(delay);
-  };
-  if (is_get)
-    proto.get(target, dst, src, bytes, std::move(done));
-  else
-    proto.put(target, dst, src, bytes, std::move(done));
-  st->source_now();
+  const op_context cx = op_context::current();
+  cx.run_at_rank([cx, st, target, dst, src, bytes, is_get, delay,
+                  hold = std::move(hold)]() mutable {
+    (void)hold;  // kept alive until this closure has run
+    auto& proto = *persona().rank->rma_am;
+    auto done = [cx, st, delay] {
+      st->remote_now();
+      cx.complete_after_ns(delay, [st] { st->operation_done(0); });
+    };
+    if (is_get)
+      proto.get(target, dst, src, bytes, std::move(done));
+    else
+      proto.put(target, dst, src, bytes, std::move(done));
+    // put() copied the payload out (or there is none): the source is
+    // reusable as soon as the initiator hears so.
+    cx.complete_now([st] { st->source_now(); });
+  });
   return st->result();
 }
 
@@ -162,79 +185,7 @@ template <typename Cxs>
 auto issue_am_contig(Cxs cxs, intrank_t target, void* dst, const void* src,
                      std::size_t bytes, bool is_get, std::uint64_t hops) {
   return issue_am_contig_ns(std::move(cxs), target, dst, src, bytes, is_get,
-                            hops * persona().sim_latency_ns);
-}
-
-// Which engine an off-persona transfer is dispatched to. The route is
-// decided at the call site with the same predicates (use_xfer / wire_am)
-// the on-persona branches use, so the two paths cannot classify a
-// transfer differently.
-enum class rma_route { xfer, am };
-
-// Off-persona counterpart of issue_xfer_ns / issue_am_contig_ns, for
-// transfers an injector thread cannot drive itself (the XferEngine and
-// RmaAmProtocol are progress-persona-owned). The completion state is
-// built on the *calling* thread — its futures and promises stay affine to
-// this thread's persona — and only the engine dispatch ships to the
-// rank's progress persona through the submit queue. Deferred completions
-// ship back through this thread's persona inbox (lpc_ff). remote_now()
-// is driven on the progress persona: it only reads the remote-cx items
-// (the notification AM's payload) while the initiator side touches the
-// promise/LPC items, so the remote notification fires at data-landing
-// time instead of one inbox round trip later.
-//
-// `delay` is the simulated wire time from data-landing to operation
-// completion; `extra_landing_ns` is the device toll copy() charges (fed
-// to the XferEngine's landing hook, or folded into the AM route's
-// delay exactly as issue_am_contig_ns's callers do). `hold` keeps a
-// caller-side staging buffer (a scalar put's value) alive until the
-// dispatched closure has consumed it.
-template <typename Cxs>
-auto inject_contig(Cxs cxs, rma_route route, intrank_t target, void* dst,
-                   const void* src, std::size_t bytes, bool is_get,
-                   std::uint64_t delay, std::uint64_t extra_landing_ns = 0,
-                   std::shared_ptr<const void> hold = nullptr) {
-  auto st = std::make_shared<cx_state<Cxs>>(std::move(cxs), target);
-  st->prepare_deferred();
-  upcxx::persona* init = &current_persona();
-  submit_to_master(
-      op_state(),
-      Lpc([st, init, route, target, dst, src, bytes, is_get, delay,
-           extra_landing_ns, hold = std::move(hold)]() mutable {
-        (void)hold;           // kept alive until this closure has run
-        auto& p = persona();  // the closure runs with the rank context
-        auto source_home = [st, init] {
-          init->lpc_ff([st] { st->source_now(); });
-        };
-        auto op_home = [st, init](std::uint64_t d) {
-          push_completion_after_ns(d, [st, init] {
-            init->lpc_ff([st] { st->operation_done(0); });
-          });
-        };
-        if (route == rma_route::xfer) {
-          p.rank->xfer->submit(
-              target, dst, src, bytes, source_home,
-              [st, op_home, delay] {
-                st->remote_now();
-                op_home(delay);
-              },
-              is_get, extra_landing_ns);
-        } else {
-          auto& proto = *p.rank->rma_am;
-          auto done = [st, op_home, delay, extra_landing_ns] {
-            st->remote_now();
-            op_home(delay + extra_landing_ns);
-          };
-          if (is_get)
-            proto.get(target, dst, src, bytes, std::move(done));
-          else
-            proto.put(target, dst, src, bytes, std::move(done));
-          // put() copied the payload out (or there is none): the source
-          // is reusable as soon as the initiator hears so.
-          source_home();
-        }
-      }));
-  return st->result();
+                            hops * op_state().sim_latency_ns);
 }
 
 // Matched fragment runs grouped by target rank — the unit the am wire's
@@ -258,7 +209,11 @@ inline AmFragGroup& am_frag_group(std::vector<AmFragGroup>& groups,
 // completions: each target is remote-notified once when its fragments
 // landed (its ack/reply arrived); the operation completes when every
 // target has. `is_get` moves each group's local runs into the protocol as
-// the reply's scatter list.
+// the reply's scatter list. op_context-routed like the contiguous issue
+// paths, so irregular/strided transfers work from injector threads too
+// (the fragment descriptors travel inside the dispatched closure; the
+// user buffers they point at are pinned until source/operation
+// completion by the usual RMA contract).
 template <typename Cxs>
 auto issue_am_fragments(Cxs cxs, std::vector<AmFragGroup> groups,
                         bool is_get) {
@@ -266,21 +221,26 @@ auto issue_am_fragments(Cxs cxs, std::vector<AmFragGroup> groups,
   auto st = std::make_shared<cx_state<Cxs>>(std::move(cxs),
                                             groups.front().target);
   st->prepare_deferred();
-  const std::uint64_t delay = 2 * persona().sim_latency_ns;
-  auto remaining = std::make_shared<std::size_t>(groups.size());
-  auto& proto = *persona().rank->rma_am;
-  for (auto& g : groups) {
-    auto done = [st, remaining, t = g.target, delay] {
-      st->remote_now(t);
-      if (--*remaining == 0) st->operation_done(delay);
-    };
-    if (is_get)
-      proto.get_fragments(g.target, g.remote, std::move(g.local),
-                          std::move(done));
-    else
-      proto.put_fragments(g.target, g.remote, g.local, std::move(done));
-  }
-  st->source_now();
+  const std::uint64_t delay = 2 * op_state().sim_latency_ns;
+  const op_context cx = op_context::current();
+  cx.run_at_rank([cx, st, groups = std::move(groups), is_get,
+                  delay]() mutable {
+    auto remaining = std::make_shared<std::size_t>(groups.size());
+    auto& proto = *persona().rank->rma_am;
+    for (auto& g : groups) {
+      auto done = [cx, st, remaining, t = g.target, delay] {
+        st->remote_now(t);
+        if (--*remaining == 0)
+          cx.complete_after_ns(delay, [st] { st->operation_done(0); });
+      };
+      if (is_get)
+        proto.get_fragments(g.target, g.remote, std::move(g.local),
+                            std::move(done));
+      else
+        proto.put_fragments(g.target, g.remote, g.local, std::move(done));
+    }
+    cx.complete_now([st] { st->source_now(); });
+  });
   return st->result();
 }
 
@@ -303,20 +263,11 @@ auto rput(const T* src, global_ptr<T> dest, std::size_t n,
   assert(!dest.is_null());
   arch::relaxed_inc(detail::op_state().stats.rputs);
   const std::size_t bytes = n * sizeof(T);
-  const std::uint64_t lat = detail::op_state().sim_latency_ns;
   if (detail::use_xfer(bytes)) {
-    if (!detail::has_persona())
-      return detail::inject_contig(std::move(cxs), detail::rma_route::xfer,
-                                   dest.where(), dest.local(), src, bytes,
-                                   /*is_get=*/false, 2 * lat);
     return detail::issue_xfer(std::move(cxs), dest.where(), dest.local(),
                               src, bytes, /*hops=*/2, /*is_get=*/false);
   }
   if (detail::wire_am()) {
-    if (!detail::has_persona())
-      return detail::inject_contig(std::move(cxs), detail::rma_route::am,
-                                   dest.where(), dest.local(), src, bytes,
-                                   /*is_get=*/false, 2 * lat);
     return detail::issue_am_contig(std::move(cxs), dest.where(),
                                    dest.local(), src, bytes,
                                    /*is_get=*/false, /*hops=*/2);
@@ -340,19 +291,17 @@ auto rput(T value, global_ptr<T> dest, Cxs cxs = Cxs{}) {
   assert(!dest.is_null());
   arch::relaxed_inc(detail::op_state().stats.rputs);
   if (detail::wire_am()) {
-    if (!detail::has_persona()) {
-      // The by-value parameter dies with this call, but the AM request is
-      // built later on the progress persona: stage the value in a holder
-      // the dispatched closure keeps alive.
-      auto holder = std::make_shared<T>(value);
-      return detail::inject_contig(
-          std::move(cxs), detail::rma_route::am, dest.where(), dest.local(),
-          holder.get(), sizeof(T), /*is_get=*/false,
-          2 * detail::op_state().sim_latency_ns, 0, holder);
-    }
-    return detail::issue_am_contig(std::move(cxs), dest.where(),
-                                   dest.local(), &value, sizeof(T),
-                                   /*is_get=*/false, /*hops=*/2);
+    // The by-value parameter dies with this call; when an injector thread
+    // initiates, the AM request is built later on the progress persona —
+    // stage the value in a holder the dispatched closure keeps alive (on
+    // the master-persona path the closure runs inline, same lifetime,
+    // one small allocation next to the cx_state's own).
+    auto holder = std::make_shared<T>(value);
+    const void* src = holder.get();
+    return detail::issue_am_contig_ns(
+        std::move(cxs), dest.where(), dest.local(), src, sizeof(T),
+        /*is_get=*/false, 2 * detail::op_state().sim_latency_ns,
+        std::move(holder));
   }
   std::memcpy(dest.local(), &value, sizeof(T));
   return detail::finish_rma(std::move(cxs), dest.where(), /*hops=*/2);
@@ -369,21 +318,12 @@ auto rget(global_ptr<T> src, T* dest, std::size_t n, Cxs cxs = Cxs{}) {
   assert(!src.is_null());
   arch::relaxed_inc(detail::op_state().stats.rgets);
   const std::size_t bytes = n * sizeof(T);
-  const std::uint64_t lat = detail::op_state().sim_latency_ns;
   if (detail::use_xfer(bytes)) {
-    if (!detail::has_persona())
-      return detail::inject_contig(std::move(cxs), detail::rma_route::xfer,
-                                   src.where(), dest, src.local(), bytes,
-                                   /*is_get=*/true, 2 * lat);
     return detail::issue_xfer(std::move(cxs), src.where(), dest,
                               src.local(), bytes, /*hops=*/2,
                               /*is_get=*/true);
   }
   if (detail::wire_am()) {
-    if (!detail::has_persona())
-      return detail::inject_contig(std::move(cxs), detail::rma_route::am,
-                                   src.where(), dest, src.local(), bytes,
-                                   /*is_get=*/true, 2 * lat);
     return detail::issue_am_contig(std::move(cxs), src.where(), dest,
                                    src.local(), bytes, /*is_get=*/true,
                                    /*hops=*/2);
@@ -403,38 +343,21 @@ future<T> rget(global_ptr<T> src) {
   if (detail::wire_am()) {
     // The reply scatters into a shared holder; the value ships to the
     // future through compQ (plus the modeled round trip) like every other
-    // deferred completion.
+    // deferred completion — back through the initiating persona's inbox
+    // when an injector thread asked, where the promise lives.
     auto buf = std::make_shared<T>();
     promise<T> pr;
     const std::uint64_t delay = 2 * detail::op_state().sim_latency_ns;
-    if (!detail::has_persona()) {
-      // Off-persona: the protocol get is dispatched on the progress
-      // persona; the fetched value ships back to this thread's persona,
-      // where the promise lives.
-      upcxx::persona* init = &current_persona();
-      detail::submit_to_master(
-          detail::op_state(),
-          detail::Lpc([buf, pr, src, delay, init]() mutable {
-            detail::persona().rank->rma_am->get(
-                src.where(), buf.get(), src.local(), sizeof(T),
-                [buf, pr, delay, init]() mutable {
-                  detail::push_completion_after_ns(
-                      delay, [buf, pr, init]() mutable {
-                        init->lpc_ff([buf, pr]() mutable {
-                          pr.fulfill_result(*buf);
-                        });
-                      });
-                });
-          }));
-      return pr.get_future();
-    }
-    detail::persona().rank->rma_am->get(
-        src.where(), buf.get(), src.local(), sizeof(T),
-        [buf, pr, delay]() mutable {
-          detail::push_completion_after_ns(delay, [buf, pr]() mutable {
-            pr.fulfill_result(*buf);
+    const detail::op_context cx = detail::op_context::current();
+    cx.run_at_rank([cx, buf, pr, src, delay]() mutable {
+      detail::persona().rank->rma_am->get(
+          src.where(), buf.get(), src.local(), sizeof(T),
+          [cx, buf, pr, delay]() mutable {
+            cx.complete_after_ns(delay, [buf, pr]() mutable {
+              pr.fulfill_result(*buf);
+            });
           });
-        });
+    });
     return pr.get_future();
   }
   if (detail::op_state().sim_latency_ns == 0) {
@@ -496,7 +419,7 @@ auto finish_rma_fragments(Cxs&& cxs, std::size_t nfrags, TargetOf&& targets) {
     for (std::size_t j = 0; j < i && !seen; ++j) seen = targets(j) == t;
     if (!seen) st.remote_now(t);
   }
-  st.operation_done(2 * persona().sim_latency_ns);
+  st.operation_done(2 * op_state().sim_latency_ns);
   return st.result();
 }
 
@@ -547,7 +470,7 @@ auto rput_irregular(const std::vector<src_fragment<T>>& srcs,
                     const std::vector<dst_fragment<T>>& dsts,
                     Cxs cxs = Cxs{}) {
   static_assert(std::is_trivially_copyable_v<T>);
-  arch::relaxed_inc(detail::persona().stats.rputs);
+  arch::relaxed_inc(detail::op_state().stats.rputs);
   if (dsts.empty()) {
     // Empty transfer: complete locally (no remote rank is named, so no
     // remote_cx fires). Any local fragments must be zero-length too.
@@ -589,7 +512,7 @@ auto rget_irregular(const std::vector<dst_fragment<T>>& srcs,
                     const std::vector<local_fragment<T>>& dsts,
                     Cxs cxs = Cxs{}) {
   static_assert(std::is_trivially_copyable_v<T>);
-  arch::relaxed_inc(detail::persona().stats.rgets);
+  arch::relaxed_inc(detail::op_state().stats.rgets);
   if (srcs.empty()) {
     return detail::finish_rma_fragments(
         std::move(cxs), 0, [](std::size_t) { return intrank_t{0}; });
@@ -682,7 +605,7 @@ auto rput_strided(const T* src_base,
                   const std::array<std::size_t, Dim>& extents,
                   Cxs cxs = Cxs{}) {
   static_assert(std::is_trivially_copyable_v<T>);
-  arch::relaxed_inc(detail::persona().stats.rputs);
+  arch::relaxed_inc(detail::op_state().stats.rputs);
   auto* a = reinterpret_cast<const std::byte*>(src_base);
   auto* b = reinterpret_cast<std::byte*>(dst_base.local());
   if (detail::wire_am()) {
@@ -710,7 +633,7 @@ auto rget_strided(global_ptr<T> src_base,
                   const std::array<std::size_t, Dim>& extents,
                   Cxs cxs = Cxs{}) {
   static_assert(std::is_trivially_copyable_v<T>);
-  arch::relaxed_inc(detail::persona().stats.rgets);
+  arch::relaxed_inc(detail::op_state().stats.rgets);
   auto* a = reinterpret_cast<const std::byte*>(src_base.local());
   auto* b = reinterpret_cast<std::byte*>(dst_base);
   if (detail::wire_am()) {

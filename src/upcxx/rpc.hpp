@@ -138,41 +138,27 @@ template <typename... U>
 struct reply_fulfiller<future<U...>> {
   static future<U...> attach(std::uint64_t* op_id_out) {
     promise<U...> pr;
-    if (!has_persona()) {
-      // Off-persona initiator: the continuation runs on the master persona
-      // (reply_dispatch), but the promise's state is affine to THIS
-      // thread's persona. Deserialize on the master — the wire buffer dies
-      // with the dispatch — then ship the values home via lpc_ff.
-      upcxx::persona* init = &current_persona();
-      *op_id_out = register_reply([pr, init](Reader& r) mutable {
-        if constexpr (sizeof...(U) == 0) {
-          (void)r;
-          init->lpc_ff([pr]() mutable { pr.fulfill_anonymous(1); });
-        } else {
-          auto vals = deserialize_tuple<U...>(r);
-          init->lpc_ff([pr, vals = std::move(vals)]() mutable {
-            std::apply(
-                [&pr](auto&&... v) {
-                  pr.fulfill_result(std::forward<decltype(v)>(v)...);
-                },
-                std::move(vals));
-          });
-        }
-      });
-    } else {
-      *op_id_out = register_reply([pr](Reader& r) mutable {
-        if constexpr (sizeof...(U) == 0) {
-          pr.fulfill_anonymous(1);
-        } else {
-          auto vals = deserialize_tuple<U...>(r);
+    // The continuation runs on the master persona (reply_dispatch), but the
+    // promise's state is affine to the *initiating* thread's persona.
+    // Deserialize on the master — the wire buffer dies with the dispatch —
+    // then op_context routes the fulfillment: in place for a master-persona
+    // initiator, home via lpc_ff for an injector thread.
+    const op_context cx = op_context::current();
+    *op_id_out = register_reply([cx, pr](Reader& r) mutable {
+      if constexpr (sizeof...(U) == 0) {
+        (void)r;
+        cx.complete_now([pr]() mutable { pr.fulfill_anonymous(1); });
+      } else {
+        auto vals = deserialize_tuple<U...>(r);
+        cx.complete_now([pr, vals = std::move(vals)]() mutable {
           std::apply(
               [&pr](auto&&... v) {
                 pr.fulfill_result(std::forward<decltype(v)>(v)...);
               },
               std::move(vals));
-        }
-      });
-    }
+        });
+      }
+    });
     if constexpr (sizeof...(U) == 0) pr.require_anonymous(1);
     return sizeof...(U) == 0 ? pr.finalize() : pr.get_future();
   }

@@ -19,11 +19,15 @@ std::uint64_t mix64(std::uint64_t a, std::uint64_t b) {
 
 team& world() {
   // Resolved through the rank context so the world team follows the master
-  // persona when it migrates to another thread.
+  // persona when it migrates to another thread; injector threads reach it
+  // through their injection binding (the team object itself is immutable
+  // rank state, safe to read from any thread).
   auto* st = detail::rank_context();
+  if (!st) st = detail::inject_context();
   assert(st && st->world_team &&
-         "world() requires a rank context (inside upcxx::run, on the "
-         "thread holding the master persona)");
+         "world() requires a rank or injection context (inside upcxx::run, "
+         "on the thread holding the master persona or inside an "
+         "upcxx::injection_scope)");
   return *st->world_team;
 }
 
@@ -184,7 +188,46 @@ CollTopology& coll_topology() {
 
 void coll_enter(const team& tm, intrank_t root, std::vector<std::byte> contrib,
                 CollOps ops) {
+  if (!has_persona()) {
+    // Injected collective: the engine state (instance map, sequence
+    // counters, tree sends) is master-persona-owned, so the whole entry
+    // ships over the caller's submit shard as a descriptor — contribution
+    // bytes and fold/deliver closures were built caller-side. The sequence
+    // number is allocated master-side, in shard-drain order; one injector
+    // thread's collectives stay FIFO through its shard, which is what key
+    // agreement across ranks requires (concurrent collectives from
+    // *different* threads must be symmetric, the same rule real UPC++
+    // imposes on unordered collectives over one team).
+    //
+    // deliver would otherwise run master-side in coll_finish and touch the
+    // caller's promise there; wrap it so the master copies the result
+    // bytes out of the tree buffer (which dies with the instance) and the
+    // original deliver runs home on the initiating persona.
+    const op_context cx = op_context::current();
+    auto home_deliver = std::move(ops.deliver);
+    ops.deliver = [cx, home_deliver = std::move(home_deliver)](
+                      Reader& r) mutable {
+      const std::size_t n = r.remaining();
+      std::vector<std::byte> copy(n);
+      if (n) std::memcpy(copy.data(), r.cursor(), n);
+      cx.complete_now([home_deliver = std::move(home_deliver),
+                       copy = std::move(copy)]() mutable {
+        Reader rr(copy.data(), copy.size());
+        home_deliver(rr);
+      });
+    };
+    const team* tp = &tm;
+    cx.run_at_rank([tp, root, contrib = std::move(contrib),
+                    ops = std::move(ops)]() mutable {
+      // Master-side staged traffic keeps its ordering relative to the
+      // collective, exactly as an on-persona entry guarantees.
+      flush_aggregation();
+      coll_enter(*tp, root, std::move(contrib), std::move(ops));
+    });
+    return;
+  }
   auto& p = persona();
+  arch::relaxed_inc(p.stats.colls_run);
   const std::uint64_t seq = p.coll_seq[tm.id()]++;
   const std::uint64_t key = mix64(tm.id(), seq);
 

@@ -223,6 +223,91 @@ TEST(Inject, CopyFromThread) {
   });
 }
 
+// Collectives initiated from an injection_scope thread: the op_context
+// dispatch routes the rank-level protocol to the master while the
+// injector's persona waits on the future. One injector per rank — the
+// collective-entry order must match across ranks, and that is the
+// caller's contract, not the runtime's.
+void collectives_from_injector_body() {
+  const int me = upcxx::rank_me();
+  const int P = upcxx::rank_n();
+  const auto before = upcxx::experimental::stats();
+
+  with_injectors(1, [&](int) {
+    upcxx::barrier();
+    EXPECT_EQ(upcxx::broadcast(me == 0 ? 41 : -1, 0).wait(), 41);
+    EXPECT_EQ(upcxx::reduce_all(me + 1, std::plus<int>()).wait(),
+              P * (P + 1) / 2);
+    const int sum = upcxx::reduce_one(2, std::plus<int>(), 0).wait();
+    if (me == 0) EXPECT_EQ(sum, 2 * P);
+    const auto all = upcxx::allgather(me * 10).wait();
+    ASSERT_EQ(all.size(), static_cast<std::size_t>(P));
+    for (int r = 0; r < P; ++r) EXPECT_EQ(all[r], r * 10);
+    upcxx::barrier();
+  });
+
+  const auto after = upcxx::experimental::stats();
+  EXPECT_GE(after.colls_run - before.colls_run, std::uint64_t{6});
+  upcxx::barrier();
+}
+
+TEST(Inject, CollectivesFromInjectorMmap) {
+  spmd(2, collectives_from_injector_body);
+}
+
+TEST(Inject, CollectivesFromInjectorSocket) {
+  gex::Config cfg = testutil::test_cfg(2);
+  cfg.am_transport = gex::AmTransport::kSocket;
+  EXPECT_EQ(upcxx::run(cfg, collectives_from_injector_body), 0);
+}
+
+// atomic_domain ops from injector threads. The domain is constructed
+// collectively on the master before any injector exists; the ops
+// themselves are point-to-point and ride the op_context dispatch like any
+// other injected request. Each thread owns one slot on the peer, so the
+// fetched values are a strict 0..kOps-1 sequence — any drop or reorder
+// shows up as a wrong prev.
+void atomics_from_injector_body() {
+  constexpr int kThreads = 2;
+  constexpr int kOps = 64;
+  const int me = upcxx::rank_me();
+  upcxx::atomic_domain<std::int64_t> ad(
+      {upcxx::atomic_op::load, upcxx::atomic_op::fetch_add}, upcxx::world());
+  auto slots = upcxx::allocate<std::int64_t>(kThreads);
+  std::fill_n(slots.local(), kThreads, 0);
+  upcxx::dist_object<upcxx::global_ptr<std::int64_t>> dir(slots);
+  auto peer = dir.fetch(1 - me).wait();
+  const auto before = upcxx::experimental::stats();
+  upcxx::barrier();
+
+  with_injectors(kThreads, [&](int t) {
+    for (int i = 0; i < kOps; ++i) {
+      const auto prev = ad.fetch_add(peer + t, 1).wait();
+      EXPECT_EQ(prev, i);  // sole writer of this slot
+    }
+    EXPECT_EQ(ad.load(peer + t).wait(), kOps);
+  });
+
+  upcxx::barrier();
+  for (int t = 0; t < kThreads; ++t)
+    ASSERT_EQ(slots.local()[t], kOps);
+  const auto after = upcxx::experimental::stats();
+  EXPECT_GE(after.amos_run - before.amos_run,
+            static_cast<std::uint64_t>(kThreads) * (kOps + 1));
+  upcxx::barrier();
+  upcxx::deallocate(slots);
+}
+
+TEST(Inject, AtomicsFromInjectorMmap) {
+  spmd(2, atomics_from_injector_body);
+}
+
+TEST(Inject, AtomicsFromInjectorSocket) {
+  gex::Config cfg = testutil::test_cfg(2);
+  cfg.am_transport = gex::AmTransport::kSocket;
+  EXPECT_EQ(upcxx::run(cfg, atomics_from_injector_body), 0);
+}
+
 TEST(Inject, StatsCountThreadedOps) {
   // Satellite: the op counters are relaxed atomics — concurrent injector
   // increments must not tear or drop.

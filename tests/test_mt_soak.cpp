@@ -1,11 +1,14 @@
 // Seeded multi-thread soak: N injector threads per rank hammer a random
 // mix of rput/rget/rpc/copy at their own disjoint slice of the peer's
 // segment, with a local shadow to verify every byte that comes back and
-// conservation asserts on the rpc counters afterwards. Runs over the AM
-// wire (so every op crosses the transport) on BOTH transports — the mmap
-// shared-arena ring and the per-pair shmfile rings — and routes the large
-// ops through the XferEngine (rma_async_min) so the chunked path soaks
-// too.
+// conservation asserts on the rpc counters afterwards. Barriers and
+// atomic fetch_adds ride along at deterministic op indices — the same
+// schedule on every rank, so collective entry counts match — proving the
+// full op surface is injectable mid-stream, not just point-to-point RMA.
+// Runs over the AM wire (so every op crosses the transport) on BOTH
+// transports — the mmap shared-arena ring and the per-pair shmfile rings
+// — and routes the large ops through the XferEngine (rma_async_min) so
+// the chunked path soaks too.
 #include <gtest/gtest.h>
 
 #include <atomic>
@@ -43,6 +46,17 @@ void soak_body() {
   upcxx::dist_object<upcxx::global_ptr<std::uint32_t>> dir(mine);
   auto remote = dir.fetch(peer).wait();
 
+  // Collectively constructed before any injector exists; the ops inside
+  // the threads are point-to-point. Thread t is the sole writer of the
+  // peer's slot t, so fetched values form a strict 0..n-1 sequence.
+  upcxx::atomic_domain<std::int64_t> ad(
+      {upcxx::atomic_op::fetch_add, upcxx::atomic_op::load}, upcxx::world());
+  auto aslots = upcxx::allocate<std::int64_t>(kThreads);
+  std::fill_n(aslots.local(), kThreads, 0);
+  upcxx::dist_object<upcxx::global_ptr<std::int64_t>> adir(aslots);
+  auto apeer = adir.fetch(peer).wait();
+  upcxx::barrier();
+
   const auto rpcs_before = upcxx::experimental::stats().rpcs_sent;
   std::atomic<long> my_rpcs{0};
 
@@ -57,6 +71,7 @@ void soak_body() {
       // Shadow of the peer-side slice this thread exclusively owns.
       std::vector<std::uint32_t> shadow(kSlice, 0u);
       std::vector<std::uint32_t> buf(kSlice);
+      std::int64_t amo_count = 0;
 
       for (int op = 0; op < kOpsPerThread; ++op) {
         const std::size_t len = 1 + rng() % 2048;
@@ -122,10 +137,23 @@ void soak_body() {
             break;
           }
         }
+        // Deterministic mix-ins, independent of the rng stream so every
+        // rank runs the same schedule. The fetch_add's shadow is the local
+        // count: a dropped or duplicated op skews prev immediately.
+        if (op % 24 == 11) {
+          const auto prev = ad.fetch_add(apeer + t, 1).wait();
+          ASSERT_EQ(prev, amo_count);
+          ++amo_count;
+        }
+        // Rank-level barrier from inside the injection scope, concurrent
+        // with the other threads' RMA. Anonymous barriers match by count,
+        // and every rank's thread t reaches this at the same op index.
+        if (op % 40 == 23) upcxx::barrier();
       }
       // Full-slice final check before leaving the injection scope.
       upcxx::rget(slice, buf.data(), kSlice).wait();
       for (std::size_t i = 0; i < kSlice; ++i) ASSERT_EQ(buf[i], shadow[i]);
+      ASSERT_EQ(ad.load(apeer + t).wait(), amo_count);
       alive.fetch_sub(1, std::memory_order_release);
     });
 
@@ -142,7 +170,14 @@ void soak_body() {
   EXPECT_EQ(upcxx::experimental::stats().rpcs_sent - rpcs_before,
             static_cast<std::uint64_t>(my_rpcs.load()));
 
+  // The peer's thread t was the sole writer of local slot t: the landed
+  // counts must equal the deterministic fetch_add schedule (5 per thread
+  // at kOpsPerThread=120, op % 24 == 11).
+  for (int t = 0; t < kThreads; ++t)
+    EXPECT_EQ(aslots.local()[t], (kOpsPerThread + 12) / 24);
+
   upcxx::barrier();
+  upcxx::deallocate(aslots);
   upcxx::deallocate(mine);
 }
 
